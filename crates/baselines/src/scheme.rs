@@ -1,0 +1,210 @@
+//! A unified driver over every implemented protection scheme, used by the
+//! experiment harnesses (Tables 1/3/4, Figure 2, §6.5).
+
+use crate::fatptr::{self, FatPtrRuntime};
+use crate::mscc::{instrument_mscc, MsccRuntime};
+use crate::object_table::{instrument_object_scheme, ObjectScheme, ObjectTableRuntime};
+use crate::valgrind::{instrument_valgrind, ValgrindRuntime, REDZONE};
+use softbound::SoftBoundConfig;
+use sb_ir::Module;
+use sb_vm::{Machine, MachineConfig, NoRuntime, RunResult, RuntimeHooks};
+
+/// Every protection scheme the reproduction implements.
+#[derive(Debug, Clone)]
+pub enum Scheme {
+    /// No protection (the overhead baseline).
+    Uninstrumented,
+    /// SoftBound in any configuration.
+    SoftBound(SoftBoundConfig),
+    /// Jones-Kelly object table (arithmetic + dereference checks).
+    JonesKelly,
+    /// GCC Mudflap-style object database (dereference checks).
+    Mudflap,
+    /// Valgrind/Memcheck-style heap addressability + redzones.
+    Valgrind,
+    /// SafeC/CCured-SEQ-style inline fat pointers.
+    FatPointer,
+    /// MSCC-style disjoint metadata without wild-cast support.
+    Mscc,
+}
+
+impl Scheme {
+    /// Human-readable label.
+    pub fn label(&self) -> String {
+        match self {
+            Scheme::Uninstrumented => "uninstrumented".into(),
+            Scheme::SoftBound(cfg) => format!("SoftBound {}", cfg.label()),
+            Scheme::JonesKelly => "Jones-Kelly (object table)".into(),
+            Scheme::Mudflap => "Mudflap (object db)".into(),
+            Scheme::Valgrind => "Valgrind (memcheck-like)".into(),
+            Scheme::FatPointer => "Fat pointers (SafeC/CCured-SEQ)".into(),
+            Scheme::Mscc => "MSCC".into(),
+        }
+    }
+
+    /// Compiles and instruments a CIR-C source for this scheme (the fat
+    /// baseline uses the fat memory layout).
+    ///
+    /// # Errors
+    ///
+    /// Frontend errors.
+    pub fn compile(&self, src: &str) -> Result<Module, sb_cir::CompileError> {
+        let module = match self {
+            Scheme::FatPointer => return fatptr::compile_fat_protected(src),
+            _ => {
+                let prog = sb_cir::compile(src)?;
+                let mut m = sb_ir::lower(&prog, "program");
+                sb_ir::optimize(&mut m, sb_ir::OptLevel::PreInstrument);
+                m
+            }
+        };
+        let mut m = match self {
+            Scheme::Uninstrumented => module,
+            Scheme::SoftBound(cfg) => softbound::instrument(&module, cfg),
+            Scheme::JonesKelly => instrument_object_scheme(&module, ObjectScheme::JonesKelly),
+            Scheme::Mudflap => instrument_object_scheme(&module, ObjectScheme::Mudflap),
+            Scheme::Valgrind => instrument_valgrind(&module),
+            Scheme::Mscc => instrument_mscc(&module),
+            Scheme::FatPointer => unreachable!("handled above"),
+        };
+        if !matches!(self, Scheme::Uninstrumented) {
+            sb_ir::optimize(&mut m, sb_ir::OptLevel::PostInstrument);
+        }
+        sb_ir::verify(&m).expect("instrumented module verifies");
+        Ok(m)
+    }
+
+    /// The runtime hooks implementing this scheme's dynamic semantics.
+    pub fn runtime(&self) -> Box<dyn RuntimeHooks> {
+        match self {
+            Scheme::Uninstrumented => Box::new(NoRuntime),
+            Scheme::SoftBound(cfg) => softbound::runtime_for(cfg),
+            Scheme::JonesKelly => Box::new(ObjectTableRuntime::new(ObjectScheme::JonesKelly)),
+            Scheme::Mudflap => Box::new(ObjectTableRuntime::new(ObjectScheme::Mudflap)),
+            Scheme::Valgrind => Box::new(ValgrindRuntime::new()),
+            Scheme::FatPointer => Box::new(FatPtrRuntime::new()),
+            Scheme::Mscc => Box::new(MsccRuntime::new()),
+        }
+    }
+
+    /// Machine configuration (Valgrind gets heap redzones).
+    pub fn machine_config(&self) -> MachineConfig {
+        let mut cfg = MachineConfig::default();
+        if matches!(self, Scheme::Valgrind) {
+            cfg.redzone = REDZONE;
+        }
+        cfg
+    }
+
+    /// Compile + run in one call.
+    ///
+    /// # Errors
+    ///
+    /// Frontend errors.
+    pub fn run(&self, src: &str, entry: &str, args: &[i64]) -> Result<RunResult, sb_cir::CompileError> {
+        let module = self.compile(src)?;
+        let mut machine = Machine::new(&module, self.machine_config(), self.runtime());
+        Ok(machine.run(entry, args))
+    }
+
+    /// Runs a precompiled module (must have been produced by
+    /// [`Scheme::compile`] on the same scheme).
+    pub fn run_module(&self, module: &Module, entry: &str, args: &[i64]) -> RunResult {
+        let mut machine = Machine::new(module, self.machine_config(), self.runtime());
+        machine.run(entry, args)
+    }
+
+    /// Runs a precompiled module with a custom machine config (e.g. with
+    /// the cache model enabled); redzones are still forced for Valgrind.
+    pub fn run_module_with(
+        &self,
+        module: &Module,
+        mut cfg: MachineConfig,
+        entry: &str,
+        args: &[i64],
+    ) -> RunResult {
+        if matches!(self, Scheme::Valgrind) {
+            cfg.redzone = REDZONE;
+        }
+        let mut machine = Machine::new(module, cfg, self.runtime());
+        machine.run(entry, args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAFE: &str = r#"
+        int main() {
+            char* p = (char*)malloc(16);
+            strcpy(p, "hello");
+            long n = strlen(p);
+            free(p);
+            return n == 5;
+        }
+    "#;
+
+    const HEAP_OVERFLOW: &str = r#"
+        int main() {
+            char* p = (char*)malloc(8);
+            p[8] = 'x';
+            return 0;
+        }
+    "#;
+
+    #[test]
+    fn every_scheme_runs_safe_code() {
+        for scheme in [
+            Scheme::Uninstrumented,
+            Scheme::SoftBound(SoftBoundConfig::full_shadow()),
+            Scheme::SoftBound(SoftBoundConfig::store_only_hash()),
+            Scheme::JonesKelly,
+            Scheme::Mudflap,
+            Scheme::Valgrind,
+            Scheme::FatPointer,
+            Scheme::Mscc,
+        ] {
+            let r = scheme.run(SAFE, "main", &[]).expect("compiles");
+            assert_eq!(r.ret(), Some(1), "{}: {:?}", scheme.label(), r.outcome);
+        }
+    }
+
+    #[test]
+    fn every_checker_catches_heap_overflow() {
+        for scheme in [
+            Scheme::SoftBound(SoftBoundConfig::full_shadow()),
+            Scheme::JonesKelly,
+            Scheme::Mudflap,
+            Scheme::Valgrind,
+            Scheme::FatPointer,
+            Scheme::Mscc,
+        ] {
+            let r = scheme.run(HEAP_OVERFLOW, "main", &[]).expect("compiles");
+            assert!(
+                r.outcome.is_spatial_violation(),
+                "{} should detect the heap overflow: {:?}",
+                scheme.label(),
+                r.outcome
+            );
+        }
+    }
+
+    #[test]
+    fn uninstrumented_is_cheapest() {
+        let base = Scheme::Uninstrumented.run(SAFE, "main", &[]).expect("ok");
+        for scheme in [
+            Scheme::SoftBound(SoftBoundConfig::full_shadow()),
+            Scheme::JonesKelly,
+            Scheme::Valgrind,
+            Scheme::Mscc,
+        ] {
+            let r = scheme.run(SAFE, "main", &[]).expect("ok");
+            assert!(
+                r.stats.cycles >= base.stats.cycles,
+                "{} cheaper than baseline?",
+                scheme.label()
+            );
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Microbenchmark: the splay-tree object table behind the Jones-Kelly /
+//! Mudflap baselines (§2.1 — "often implemented as a splay tree, which
+//! can be a performance bottleneck").
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sb_baselines::SplayTree;
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("objecttable/splay");
+    group.sample_size(20);
+
+    for &n in &[1_000u64, 10_000] {
+        group.bench_function(format!("hot_lookups_{n}_objects"), |b| {
+            let mut t = SplayTree::new();
+            for i in 0..n {
+                t.insert(i * 64, 48);
+            }
+            b.iter(|| {
+                // Hot: repeated access to a small working set (splay's
+                // best case — and the common case for object tables).
+                for i in 0..1000u64 {
+                    let addr = (i % 16) * 64 + 10;
+                    black_box(t.find_covering(addr));
+                }
+            });
+        });
+
+        group.bench_function(format!("uniform_lookups_{n}_objects"), |b| {
+            let mut t = SplayTree::new();
+            for i in 0..n {
+                t.insert(i * 64, 48);
+            }
+            let mut s = 0x2545f4914f6cdd1du64;
+            b.iter(|| {
+                for _ in 0..1000 {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let addr = (s >> 33) % (n * 64);
+                    black_box(t.find_covering(addr));
+                }
+            });
+        });
+    }
+
+    group.bench_function("churn_insert_remove", |b| {
+        let mut t = SplayTree::new();
+        b.iter(|| {
+            for i in 0..1000u64 {
+                t.insert(i * 32, 24);
+            }
+            for i in 0..1000u64 {
+                t.remove(i * 32);
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(objecttable, benches);
+criterion_main!(objecttable);

@@ -1,0 +1,51 @@
+//! Wall-clock companion to Figure 2: execute representative workloads
+//! (one array-heavy, one pointer-heavy) under the uninstrumented machine
+//! and the four SoftBound configurations.
+//!
+//! The *reported* Figure 2 numbers come from the cost model
+//! (`cargo run -p sb-bench --bin figure2 --release`); this bench exists
+//! to keep real executable end-to-end latency visible in CI.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sb_baselines::Scheme;
+use sb_vm::{Machine, MachineConfig, NoRuntime};
+use softbound::SoftBoundConfig;
+
+fn bench_workload(c: &mut Criterion, name: &str, arg: i64) {
+    let w = sb_workloads::benchmark_by_name(name).expect("workload exists");
+    let mut group = c.benchmark_group(format!("overhead/{name}"));
+    group.sample_size(10);
+
+    let prog = sb_cir::compile(w.source).expect("compiles");
+    let mut base_module = sb_ir::lower(&prog, w.name);
+    sb_ir::optimize(&mut base_module, sb_ir::OptLevel::PreInstrument);
+
+    group.bench_function("uninstrumented", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(&base_module, MachineConfig::default(), Box::new(NoRuntime));
+            black_box(m.run("main", &[arg]).ret())
+        });
+    });
+
+    for cfg in [
+        SoftBoundConfig::full_hash(),
+        SoftBoundConfig::full_shadow(),
+        SoftBoundConfig::store_only_hash(),
+        SoftBoundConfig::store_only_shadow(),
+    ] {
+        let scheme = Scheme::SoftBound(cfg.clone());
+        let module = scheme.compile(w.source).expect("compiles");
+        group.bench_function(cfg.label(), |b| {
+            b.iter(|| black_box(scheme.run_module(&module, "main", &[arg]).ret()));
+        });
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_workload(c, "compress", 1); // array-heavy (SPEC side)
+    bench_workload(c, "treeadd", 9); // pointer-heavy (Olden side)
+}
+
+criterion_group!(overhead, benches);
+criterion_main!(overhead);

@@ -1,0 +1,5 @@
+//! Regenerates the paper's compat artifact. Run with --release for speed.
+fn main() {
+    let rows = sb_bench::compat::run();
+    print!("{}", sb_bench::compat::render(&rows));
+}

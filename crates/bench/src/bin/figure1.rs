@@ -1,0 +1,5 @@
+//! Regenerates the paper's figure1 artifact. Run with --release for speed.
+fn main() {
+    let rows = sb_bench::figure1::run();
+    print!("{}", sb_bench::figure1::render(&rows));
+}

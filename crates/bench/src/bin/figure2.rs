@@ -1,0 +1,5 @@
+//! Regenerates the paper's figure2 artifact. Run with --release for speed.
+fn main() {
+    let rows = sb_bench::figure2::run();
+    print!("{}", sb_bench::figure2::render(&rows));
+}

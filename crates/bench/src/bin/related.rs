@@ -1,0 +1,5 @@
+//! Regenerates the paper's related artifact. Run with --release for speed.
+fn main() {
+    let rows = sb_bench::related::run();
+    print!("{}", sb_bench::related::render(&rows));
+}

@@ -1,0 +1,18 @@
+//! Regenerates every table and figure of the paper in one run
+//! (`cargo run -p sb-bench --bin report --release`).
+fn main() {
+    println!("==== SoftBound (PLDI 2009) reproduction report ====\n");
+    print!("{}", sb_bench::table1::render(&sb_bench::table1::run()));
+    println!();
+    print!("{}", sb_bench::figure1::render(&sb_bench::figure1::run()));
+    println!();
+    print!("{}", sb_bench::figure2::render(&sb_bench::figure2::run()));
+    println!();
+    print!("{}", sb_bench::table3::render(&sb_bench::table3::run()));
+    println!();
+    print!("{}", sb_bench::table4::render(&sb_bench::table4::run()));
+    println!();
+    print!("{}", sb_bench::compat::render(&sb_bench::compat::run()));
+    println!();
+    print!("{}", sb_bench::related::render(&sb_bench::related::run()));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's table1 artifact. Run with --release for speed.
+fn main() {
+    let rows = sb_bench::table1::run();
+    print!("{}", sb_bench::table1::render(&rows));
+}

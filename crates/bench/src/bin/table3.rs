@@ -1,0 +1,5 @@
+//! Regenerates the paper's table3 artifact. Run with --release for speed.
+fn main() {
+    let rows = sb_bench::table3::run();
+    print!("{}", sb_bench::table3::render(&rows));
+}

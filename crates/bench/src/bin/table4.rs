@@ -1,0 +1,5 @@
+//! Regenerates the paper's table4 artifact. Run with --release for speed.
+fn main() {
+    let rows = sb_bench::table4::run();
+    print!("{}", sb_bench::table4::render(&rows));
+}

@@ -1,0 +1,183 @@
+//! Figure 2: runtime overhead of SoftBound with full and store-only
+//! checking under both metadata organizations, per benchmark plus the
+//! average row.
+
+use crate::overhead;
+use sb_baselines::Scheme;
+use sb_vm::{CacheConfig, Machine, MachineConfig, NoRuntime};
+use sb_workloads::all_benchmarks;
+use softbound::SoftBoundConfig;
+
+/// One benchmark's overheads (fractions; 0.79 = 79%).
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Benchmark name.
+    pub name: String,
+    /// HashTable-Complete.
+    pub ht_full: f64,
+    /// ShadowSpace-Complete.
+    pub ss_full: f64,
+    /// HashTable-Stores.
+    pub ht_store: f64,
+    /// ShadowSpace-Stores.
+    pub ss_store: f64,
+    /// Baseline cost-model cycles.
+    pub base_cycles: u64,
+}
+
+/// The four configurations, in the figure's legend order.
+pub fn configs() -> [SoftBoundConfig; 4] {
+    [
+        SoftBoundConfig::full_hash(),
+        SoftBoundConfig::full_shadow(),
+        SoftBoundConfig::store_only_hash(),
+        SoftBoundConfig::store_only_shadow(),
+    ]
+}
+
+/// Paper headline numbers (§6.3) for the report.
+pub mod paper {
+    /// HashTable-Complete average overhead.
+    pub const HT_FULL_AVG: f64 = 1.27;
+    /// ShadowSpace-Complete average overhead.
+    pub const SS_FULL_AVG: f64 = 0.79;
+    /// Store-only average overhead (shadow space).
+    pub const SS_STORE_AVG: f64 = 0.32;
+    /// ShadowSpace-Complete average with li/bisort/em3d removed.
+    pub const SS_FULL_AVG_TRIMMED: f64 = 0.66;
+}
+
+/// Runs every benchmark under all four configurations.
+///
+/// The cache model is enabled (as in the paper's evaluation machine, a
+/// Core 2 with a 32 KiB L1D): §6.3 attributes part of the hash table's
+/// extra overhead on pointer-heavy benchmarks to metadata memory
+/// pressure, which only shows up with a cache in the loop.
+pub fn run() -> Vec<Row> {
+    run_with_cache(Some(CacheConfig::default()))
+}
+
+/// Runs with an explicit cache configuration (None = flat memory).
+pub fn run_with_cache(cache: Option<CacheConfig>) -> Vec<Row> {
+    let machine_cfg = MachineConfig { cache, ..MachineConfig::default() };
+    all_benchmarks()
+        .iter()
+        .map(|w| {
+            let prog = sb_cir::compile(w.source).expect("workload compiles");
+            let mut m = sb_ir::lower(&prog, w.name);
+            sb_ir::optimize(&mut m, sb_ir::OptLevel::PreInstrument);
+            let mut machine = Machine::new(&m, machine_cfg.clone(), Box::new(NoRuntime));
+            let base = machine.run("main", &[w.default_arg]);
+            assert!(matches!(base.outcome, sb_vm::Outcome::Finished { .. }));
+            let expected = base.ret();
+            let get = |cfg: &SoftBoundConfig| {
+                let scheme = Scheme::SoftBound(cfg.clone());
+                let module = scheme.compile(w.source).expect("compiles");
+                let r = scheme.run_module_with(&module, machine_cfg.clone(), "main", &[w.default_arg]);
+                assert_eq!(r.ret(), expected, "{} diverged under {}", w.name, cfg.label());
+                overhead(base.stats.cycles, r.stats.cycles)
+            };
+            let [ht_f, ss_f, ht_s, ss_s] = configs();
+            Row {
+                name: w.name.to_string(),
+                ht_full: get(&ht_f),
+                ss_full: get(&ss_f),
+                ht_store: get(&ht_s),
+                ss_store: get(&ss_s),
+                base_cycles: base.stats.cycles,
+            }
+        })
+        .collect()
+}
+
+/// Column averages `(ht_full, ss_full, ht_store, ss_store)`.
+pub fn averages(rows: &[Row]) -> (f64, f64, f64, f64) {
+    let n = rows.len() as f64;
+    (
+        rows.iter().map(|r| r.ht_full).sum::<f64>() / n,
+        rows.iter().map(|r| r.ss_full).sum::<f64>() / n,
+        rows.iter().map(|r| r.ht_store).sum::<f64>() / n,
+        rows.iter().map(|r| r.ss_store).sum::<f64>() / n,
+    )
+}
+
+/// Renders the figure as a text table.
+pub fn render(rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 2: Runtime overhead of SoftBound (percent over uninstrumented)\n\n");
+    out.push_str(&format!(
+        "{:<12}{:>12}{:>14}{:>12}{:>14}\n",
+        "benchmark", "HashTable", "ShadowSpace", "HashTable", "ShadowSpace"
+    ));
+    out.push_str(&format!(
+        "{:<12}{:>12}{:>14}{:>12}{:>14}\n",
+        "", "-Complete", "-Complete", "-Stores", "-Stores"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<12}{:>11.0}%{:>13.0}%{:>11.0}%{:>13.0}%\n",
+            r.name,
+            100.0 * r.ht_full,
+            100.0 * r.ss_full,
+            100.0 * r.ht_store,
+            100.0 * r.ss_store
+        ));
+    }
+    let (a, b, c, d) = averages(rows);
+    out.push_str(&format!(
+        "{:<12}{:>11.0}%{:>13.0}%{:>11.0}%{:>13.0}%\n",
+        "average",
+        100.0 * a,
+        100.0 * b,
+        100.0 * c,
+        100.0 * d
+    ));
+    out.push_str(&format!(
+        "\npaper:      {:>11.0}%{:>13.0}%{:>12}{:>13.0}%\n",
+        100.0 * paper::HT_FULL_AVG,
+        100.0 * paper::SS_FULL_AVG,
+        "-",
+        100.0 * paper::SS_STORE_AVG
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_shape_matches_paper() {
+        // Flat memory (no cache model) keeps the test fast; the shape
+        // claims hold in both modes.
+        let rows = run_with_cache(None);
+        assert_eq!(rows.len(), 15);
+        for r in &rows {
+            // Hash table costs at least as much as the shadow space, and
+            // full checking at least as much as store-only (§6.3).
+            assert!(r.ht_full >= r.ss_full - 1e-9, "{}: ht {} < ss {}", r.name, r.ht_full, r.ss_full);
+            assert!(r.ss_full >= r.ss_store - 1e-9, "{}: full < store-only", r.name);
+            assert!(r.ht_store >= r.ss_store - 1e-9, "{}", r.name);
+            assert!(r.ss_store >= 0.0, "{}: negative overhead", r.name);
+        }
+        // Pointer-light SPEC kernels (left) are cheaper than pointer-heavy
+        // Olden kernels (right) under full checking.
+        let left: f64 = rows[..5].iter().map(|r| r.ss_full).sum::<f64>() / 5.0;
+        let right: f64 = rows[10..].iter().map(|r| r.ss_full).sum::<f64>() / 5.0;
+        assert!(left < right, "left {left} vs right {right}");
+        // Store-only is cheap on the array-heavy side (the paper counts
+        // "less than 15% for more than half of the benchmarks"; our
+        // flat instruction-count model — no superscalar ILP to hide the
+        // check instructions — clears 15% on at least three and stays far
+        // below full checking overall; see EXPERIMENTS.md).
+        let cheap = rows.iter().filter(|r| r.ss_store < 0.15).count();
+        assert!(cheap >= 3, "only {cheap} benchmarks under 15% store-only");
+        let (ht_f, ss_f, _, ss_s) = averages(&rows);
+        assert!(ht_f > ss_f, "hash table must average above shadow space");
+        assert!(ss_f > ss_s, "full must average above store-only");
+        assert!(
+            ss_s < 0.6 * ss_f,
+            "store-only ({ss_s}) should be well under full checking ({ss_f})"
+        );
+    }
+}

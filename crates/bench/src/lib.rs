@@ -1,0 +1,52 @@
+//! # sb-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the SoftBound paper's evaluation
+//! (§6) from the reproduction's own implementations:
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`figure1`] | Figure 1 — % of memory ops that move pointers |
+//! | [`figure2`] | Figure 2 — runtime overhead, 4 SoftBound configs |
+//! | [`table1`]  | Table 1 — qualitative attribute matrix (probe-driven) |
+//! | [`table3`]  | Table 3 — Wilander attack detection |
+//! | [`table4`]  | Table 4 — BugBench detection vs Valgrind/Mudflap |
+//! | [`compat`]  | §6.4 — daemons transformed unmodified, zero false positives |
+//! | [`related`] | §6.5 — overhead comparison with the MSCC-like scheme |
+//!
+//! Each module exposes a `run()` returning structured rows plus a
+//! `render()` producing the textual table; the `report` binary prints
+//! everything (`cargo run -p sb-bench --bin report --release`).
+
+pub mod compat;
+pub mod figure1;
+pub mod figure2;
+pub mod related;
+pub mod table1;
+pub mod table3;
+pub mod table4;
+
+use sb_vm::{Machine, MachineConfig, NoRuntime, RunResult};
+use sb_workloads::Workload;
+
+/// Compiles and runs a workload uninstrumented (the overhead baseline).
+pub fn run_uninstrumented(w: &Workload) -> RunResult {
+    let prog = sb_cir::compile(w.source).expect("workload compiles");
+    let mut m = sb_ir::lower(&prog, w.name);
+    sb_ir::optimize(&mut m, sb_ir::OptLevel::PreInstrument);
+    let mut machine = Machine::new(&m, MachineConfig::default(), Box::new(NoRuntime));
+    machine.run("main", &[w.default_arg])
+}
+
+/// Percentage formatter (one decimal).
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Overhead of `cycles` relative to `base` as a fraction (0.79 = 79%).
+pub fn overhead(base: u64, cycles: u64) -> f64 {
+    if base == 0 {
+        0.0
+    } else {
+        cycles as f64 / base as f64 - 1.0
+    }
+}

@@ -1,0 +1,100 @@
+//! Table 4: BugBench-style bugs versus Valgrind-like, Mudflap-like and
+//! SoftBound (store-only / full).
+
+use sb_baselines::Scheme;
+use sb_workloads::bugbench::{self, BugProgram};
+use softbound::SoftBoundConfig;
+
+/// One Table 4 row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// The buggy program.
+    pub bug: BugProgram,
+    /// Detected by the Valgrind-like baseline?
+    pub valgrind: bool,
+    /// Detected by the Mudflap-like baseline?
+    pub mudflap: bool,
+    /// Detected by SoftBound store-only?
+    pub store_only: bool,
+    /// Detected by SoftBound full?
+    pub full: bool,
+}
+
+impl Row {
+    /// True if all four outcomes equal the paper's Table 4 row.
+    pub fn matches_paper(&self) -> bool {
+        self.valgrind == self.bug.expected.valgrind
+            && self.mudflap == self.bug.expected.mudflap
+            && self.store_only == self.bug.expected.store_only
+            && self.full == self.bug.expected.full
+    }
+}
+
+fn detected(scheme: &Scheme, src: &str) -> bool {
+    scheme
+        .run(src, "main", &[])
+        .expect("bug program compiles")
+        .outcome
+        .is_spatial_violation()
+}
+
+/// Runs the four bug programs under the four tools.
+pub fn run() -> Vec<Row> {
+    bugbench::all()
+        .into_iter()
+        .map(|bug| Row {
+            valgrind: detected(&Scheme::Valgrind, bug.source),
+            mudflap: detected(&Scheme::Mudflap, bug.source),
+            store_only: detected(
+                &Scheme::SoftBound(SoftBoundConfig::store_only_shadow()),
+                bug.source,
+            ),
+            full: detected(&Scheme::SoftBound(SoftBoundConfig::full_shadow()), bug.source),
+            bug,
+        })
+        .collect()
+}
+
+/// Renders Table 4 (measured, with paper expectation check).
+pub fn render(rows: &[Row]) -> String {
+    let yn = |b: bool| if b { "yes" } else { "no" };
+    let mut out = String::new();
+    out.push_str("Table 4: BugBench detection efficacy\n\n");
+    out.push_str(&format!(
+        "{:<11}{:>9}{:>9}{:>7}{:>6}   {}\n",
+        "Benchmark", "Valgrind", "Mudflap", "Store", "Full", "matches paper?"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<11}{:>9}{:>9}{:>7}{:>6}   {}\n",
+            r.bug.name,
+            yn(r.valgrind),
+            yn(r.mudflap),
+            yn(r.store_only),
+            yn(r.full),
+            if r.matches_paper() { "yes" } else { "NO" },
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_matches_paper_exactly() {
+        for r in run() {
+            assert!(
+                r.matches_paper(),
+                "{}: measured (vg={}, mf={}, store={}, full={}) expected {:?}",
+                r.bug.name,
+                r.valgrind,
+                r.mudflap,
+                r.store_only,
+                r.full,
+                r.bug.expected
+            );
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Untyped abstract syntax tree produced by the parser.
+//!
+//! Types in the AST are *syntactic* ([`TypeExpr`]); they are resolved against
+//! the struct registry during type checking.
+
+use crate::error::Pos;
+
+/// A syntactic type as written in the source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypeExpr {
+    /// `void`
+    Void,
+    /// `char` / `unsigned char`
+    Char { unsigned: bool },
+    /// `short` / `unsigned short`
+    Short { unsigned: bool },
+    /// `int` / `unsigned int`
+    Int { unsigned: bool },
+    /// `long` / `unsigned long`
+    Long { unsigned: bool },
+    /// `struct TAG` or `union TAG`
+    Named { tag: String, is_union: bool },
+    /// `T*`
+    Ptr(Box<TypeExpr>),
+    /// `T[N]` (size must be a constant expression)
+    Array(Box<TypeExpr>, Box<Expr>),
+    /// Function type: used for function-pointer declarators
+    /// `ret (*name)(params)`.
+    Func { ret: Box<TypeExpr>, params: Vec<TypeExpr>, vararg: bool },
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-e`
+    Neg,
+    /// `!e`
+    Not,
+    /// `~e`
+    BitNot,
+    /// `*e`
+    Deref,
+    /// `&e`
+    AddrOf,
+}
+
+/// Binary operators (excluding assignment and short-circuit forms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+impl BinOp {
+    /// True for the six comparison operators.
+    pub fn is_cmp(self) -> bool {
+        matches!(self, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+    }
+}
+
+/// An expression with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// Expression node.
+    pub kind: ExprKind,
+    /// Source position for diagnostics.
+    pub pos: Pos,
+}
+
+/// Expression node kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    IntLit(i64),
+    /// Character literal (type `char`).
+    CharLit(u8),
+    /// String literal (type `char*`, points at static storage).
+    StrLit(Vec<u8>),
+    /// `NULL` (type `void*`, value 0).
+    Null,
+    /// Variable or function reference.
+    Ident(String),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// `e++` / `e--` / `++e` / `--e`; `post` selects the returned value.
+    IncDec { target: Box<Expr>, inc: bool, post: bool },
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Short-circuit `&&` / `||`.
+    Logical { and: bool, lhs: Box<Expr>, rhs: Box<Expr> },
+    /// `cond ? then : else`
+    Cond(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Assignment; `op` is `None` for `=`, or the compound operator.
+    Assign { op: Option<BinOp>, lhs: Box<Expr>, rhs: Box<Expr> },
+    /// Function call; the callee is an arbitrary expression (identifier or
+    /// function pointer value).
+    Call { callee: Box<Expr>, args: Vec<Expr> },
+    /// `base[index]`
+    Index(Box<Expr>, Box<Expr>),
+    /// `base.field`
+    Member(Box<Expr>, String),
+    /// `base->field`
+    Arrow(Box<Expr>, String),
+    /// `(T)e`
+    Cast(TypeExpr, Box<Expr>),
+    /// `sizeof(T)`
+    SizeofTy(TypeExpr),
+    /// `sizeof e`
+    SizeofExpr(Box<Expr>),
+}
+
+/// Initializers for declarations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Init {
+    /// Scalar initializer expression.
+    Expr(Expr),
+    /// Brace-enclosed list (arrays and structs), possibly nested.
+    List(Vec<Init>),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// Statement node.
+    pub kind: StmtKind,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// Statement node kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// Local declaration.
+    Decl { name: String, ty: TypeExpr, init: Option<Init> },
+    /// Expression statement.
+    Expr(Expr),
+    /// `if (cond) then else els`
+    If { cond: Expr, then: Box<Stmt>, els: Option<Box<Stmt>> },
+    /// `while (cond) body`
+    While { cond: Expr, body: Box<Stmt> },
+    /// `do body while (cond);`
+    DoWhile { cond: Expr, body: Box<Stmt> },
+    /// `for (init; cond; step) body` (each part optional)
+    For {
+        init: Option<Box<Stmt>>,
+        cond: Option<Expr>,
+        step: Option<Expr>,
+        body: Box<Stmt>,
+    },
+    /// `return e;` / `return;`
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// `{ ... }`
+    Block(Vec<Stmt>),
+    /// Empty statement `;`
+    Empty,
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name (may be empty in prototypes).
+    pub name: String,
+    /// Syntactic type.
+    pub ty: TypeExpr,
+}
+
+/// A top-level declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decl {
+    /// Struct or union definition.
+    Struct { tag: String, is_union: bool, fields: Vec<(String, TypeExpr)>, pos: Pos },
+    /// Global variable.
+    Global { name: String, ty: TypeExpr, init: Option<Init>, pos: Pos },
+    /// Function definition (with body) or prototype (body `None`).
+    Func {
+        name: String,
+        ret: TypeExpr,
+        params: Vec<Param>,
+        vararg: bool,
+        body: Option<Vec<Stmt>>,
+        pos: Pos,
+    },
+}
+
+/// A parsed translation unit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Unit {
+    /// Top-level declarations in source order.
+    pub decls: Vec<Decl>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_is_cmp() {
+        assert!(BinOp::Lt.is_cmp());
+        assert!(BinOp::Ne.is_cmp());
+        assert!(!BinOp::Add.is_cmp());
+        assert!(!BinOp::Shl.is_cmp());
+    }
+}

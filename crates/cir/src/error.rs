@@ -1,0 +1,97 @@
+//! Compile-time diagnostics for the CIR-C frontend.
+
+use std::error::Error;
+use std::fmt;
+
+/// A source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Pos {
+    /// 1-based line number; 0 means "unknown".
+    pub line: u32,
+    /// 1-based column number; 0 means "unknown".
+    pub col: u32,
+}
+
+impl Pos {
+    /// Creates a position from a line and column.
+    pub fn new(line: u32, col: u32) -> Self {
+        Pos { line, col }
+    }
+
+    /// A sentinel position used for synthesized nodes.
+    pub fn none() -> Self {
+        Pos { line: 0, col: 0 }
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "<unknown>")
+        } else {
+            write!(f, "{}:{}", self.line, self.col)
+        }
+    }
+}
+
+/// An error produced while lexing, parsing or type checking a CIR-C
+/// translation unit.
+///
+/// The message is lowercase without trailing punctuation, per Rust error
+/// conventions; the position points at the offending token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    msg: String,
+    pos: Pos,
+}
+
+impl CompileError {
+    /// Creates an error at a given position.
+    pub fn new(msg: impl Into<String>, pos: Pos) -> Self {
+        CompileError { msg: msg.into(), pos }
+    }
+
+    /// The human-readable message (no position prefix).
+    pub fn message(&self) -> &str {
+        &self.msg
+    }
+
+    /// Position of the offending token.
+    pub fn pos(&self) -> Pos {
+        self.pos
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.pos, self.msg)
+    }
+}
+
+impl Error for CompileError {}
+
+/// Convenience alias for frontend results.
+pub type Result<T> = std::result::Result<T, CompileError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = CompileError::new("unexpected token", Pos::new(3, 7));
+        assert_eq!(e.to_string(), "3:7: unexpected token");
+    }
+
+    #[test]
+    fn unknown_position_displays_placeholder() {
+        let e = CompileError::new("oops", Pos::none());
+        assert_eq!(e.to_string(), "<unknown>: oops");
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn Error> = Box::new(CompileError::new("x", Pos::new(1, 1)));
+        assert!(e.to_string().contains('x'));
+    }
+}

@@ -1,0 +1,527 @@
+//! Hand-rolled lexer for CIR-C.
+//!
+//! Produces a flat token stream with positions. Handles `//` and `/* */`
+//! comments, decimal/hex/octal integer literals with optional `u`/`l`
+//! suffixes, character and string literals with the usual C escapes, and
+//! adjacent string literal concatenation (`"a" "b"` → `"ab"`).
+
+use crate::error::{CompileError, Pos, Result};
+use crate::token::{Tok, Token};
+
+/// Lexes a full source string into tokens, ending with [`Tok::Eof`].
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on malformed literals, unterminated comments
+/// or characters outside the CIR-C alphabet.
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    i: usize,
+    line: u32,
+    col: u32,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { bytes: src.as_bytes(), i: 0, line: 1, col: 1, out: Vec::new() }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos::new(self.line, self.col)
+    }
+
+    fn peek(&self) -> u8 {
+        *self.bytes.get(self.i).unwrap_or(&0)
+    }
+
+    fn peek2(&self) -> u8 {
+        *self.bytes.get(self.i + 1).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek();
+        self.i += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        c
+    }
+
+    fn push(&mut self, tok: Tok, pos: Pos) {
+        self.out.push(Token { tok, pos });
+    }
+
+    fn run(mut self) -> Result<Vec<Token>> {
+        loop {
+            self.skip_ws_and_comments()?;
+            let pos = self.pos();
+            let c = self.peek();
+            if c == 0 {
+                self.push(Tok::Eof, pos);
+                return Ok(self.out);
+            }
+            match c {
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident(pos),
+                b'0'..=b'9' => self.number(pos)?,
+                b'\'' => self.char_lit(pos)?,
+                b'"' => self.string_lit(pos)?,
+                _ => self.punct(pos)?,
+            }
+        }
+    }
+
+    fn skip_ws_and_comments(&mut self) -> Result<()> {
+        loop {
+            let c = self.peek();
+            if c == b' ' || c == b'\t' || c == b'\r' || c == b'\n' {
+                self.bump();
+            } else if c == b'/' && self.peek2() == b'/' {
+                while self.peek() != b'\n' && self.peek() != 0 {
+                    self.bump();
+                }
+            } else if c == b'/' && self.peek2() == b'*' {
+                let start = self.pos();
+                self.bump();
+                self.bump();
+                loop {
+                    if self.peek() == 0 {
+                        return Err(CompileError::new("unterminated block comment", start));
+                    }
+                    if self.peek() == b'*' && self.peek2() == b'/' {
+                        self.bump();
+                        self.bump();
+                        break;
+                    }
+                    self.bump();
+                }
+            } else if c == b'#' {
+                // Preprocessor-style lines (e.g. `#include`) are ignored so
+                // that realistic-looking sources can be pasted in.
+                while self.peek() != b'\n' && self.peek() != 0 {
+                    self.bump();
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn ident(&mut self, pos: Pos) {
+        let start = self.i;
+        while matches!(self.peek(), b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_') {
+            self.bump();
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.i]).expect("ascii ident");
+        let tok = match s {
+            "int" => Tok::KwInt,
+            "char" => Tok::KwChar,
+            "long" => Tok::KwLong,
+            "short" => Tok::KwShort,
+            "void" => Tok::KwVoid,
+            "unsigned" => Tok::KwUnsigned,
+            "signed" => Tok::KwSigned,
+            "struct" => Tok::KwStruct,
+            "union" => Tok::KwUnion,
+            "if" => Tok::KwIf,
+            "else" => Tok::KwElse,
+            "while" => Tok::KwWhile,
+            "for" => Tok::KwFor,
+            "do" => Tok::KwDo,
+            "return" => Tok::KwReturn,
+            "break" => Tok::KwBreak,
+            "continue" => Tok::KwContinue,
+            "sizeof" => Tok::KwSizeof,
+            "static" => Tok::KwStatic,
+            "const" => Tok::KwConst,
+            "extern" => Tok::KwExtern,
+            "switch" => Tok::KwSwitch,
+            "case" => Tok::KwCase,
+            "default" => Tok::KwDefault,
+            "goto" => Tok::KwGoto,
+            "NULL" => Tok::KwNull,
+            _ => Tok::Ident(s.to_owned()),
+        };
+        self.push(tok, pos);
+    }
+
+    fn number(&mut self, pos: Pos) -> Result<()> {
+        let mut value: i64 = 0;
+        if self.peek() == b'0' && (self.peek2() == b'x' || self.peek2() == b'X') {
+            self.bump();
+            self.bump();
+            let mut any = false;
+            loop {
+                let c = self.peek();
+                let d = match c {
+                    b'0'..=b'9' => (c - b'0') as i64,
+                    b'a'..=b'f' => (c - b'a' + 10) as i64,
+                    b'A'..=b'F' => (c - b'A' + 10) as i64,
+                    _ => break,
+                };
+                value = value.wrapping_mul(16).wrapping_add(d);
+                any = true;
+                self.bump();
+            }
+            if !any {
+                return Err(CompileError::new("hex literal needs at least one digit", pos));
+            }
+        } else if self.peek() == b'0' && matches!(self.peek2(), b'0'..=b'7') {
+            self.bump();
+            while matches!(self.peek(), b'0'..=b'7') {
+                value = value.wrapping_mul(8).wrapping_add((self.bump() - b'0') as i64);
+            }
+        } else {
+            while matches!(self.peek(), b'0'..=b'9') {
+                value = value.wrapping_mul(10).wrapping_add((self.bump() - b'0') as i64);
+            }
+        }
+        // Eat integer suffixes; the value itself is position-independent.
+        while matches!(self.peek(), b'u' | b'U' | b'l' | b'L') {
+            self.bump();
+        }
+        if matches!(self.peek(), b'a'..=b'z' | b'A'..=b'Z' | b'_' | b'.') {
+            return Err(CompileError::new("malformed numeric literal", pos));
+        }
+        self.push(Tok::IntLit(value), pos);
+        Ok(())
+    }
+
+    fn escape(&mut self, pos: Pos) -> Result<u8> {
+        let c = self.bump();
+        Ok(match c {
+            b'n' => b'\n',
+            b't' => b'\t',
+            b'r' => b'\r',
+            b'0' => 0,
+            b'\\' => b'\\',
+            b'\'' => b'\'',
+            b'"' => b'"',
+            b'a' => 7,
+            b'b' => 8,
+            b'f' => 12,
+            b'v' => 11,
+            b'x' => {
+                let mut v: u32 = 0;
+                let mut any = false;
+                loop {
+                    let h = self.peek();
+                    let d = match h {
+                        b'0'..=b'9' => (h - b'0') as u32,
+                        b'a'..=b'f' => (h - b'a' + 10) as u32,
+                        b'A'..=b'F' => (h - b'A' + 10) as u32,
+                        _ => break,
+                    };
+                    v = v * 16 + d;
+                    any = true;
+                    self.bump();
+                }
+                if !any {
+                    return Err(CompileError::new("\\x escape needs hex digits", pos));
+                }
+                (v & 0xff) as u8
+            }
+            _ => return Err(CompileError::new("unknown escape sequence", pos)),
+        })
+    }
+
+    fn char_lit(&mut self, pos: Pos) -> Result<()> {
+        self.bump(); // opening quote
+        let c = self.bump();
+        let value = if c == b'\\' { self.escape(pos)? } else { c };
+        if self.bump() != b'\'' {
+            return Err(CompileError::new("unterminated char literal", pos));
+        }
+        self.push(Tok::CharLit(value), pos);
+        Ok(())
+    }
+
+    fn string_lit(&mut self, pos: Pos) -> Result<()> {
+        let mut buf = Vec::new();
+        loop {
+            self.bump(); // opening quote
+            loop {
+                let c = self.bump();
+                match c {
+                    b'"' => break,
+                    0 => return Err(CompileError::new("unterminated string literal", pos)),
+                    b'\\' => buf.push(self.escape(pos)?),
+                    _ => buf.push(c),
+                }
+            }
+            // Adjacent string literals concatenate, as in C.
+            let save = (self.i, self.line, self.col);
+            self.skip_ws_and_comments()?;
+            if self.peek() == b'"' {
+                continue;
+            }
+            self.i = save.0;
+            self.line = save.1;
+            self.col = save.2;
+            break;
+        }
+        self.push(Tok::StrLit(buf), pos);
+        Ok(())
+    }
+
+    fn punct(&mut self, pos: Pos) -> Result<()> {
+        let c = self.bump();
+        let n = self.peek();
+        let n2 = self.peek2();
+        let tok = match (c, n, n2) {
+            (b'.', b'.', b'.') => {
+                self.bump();
+                self.bump();
+                Tok::Ellipsis
+            }
+            (b'<', b'<', b'=') => {
+                self.bump();
+                self.bump();
+                Tok::ShlAssign
+            }
+            (b'>', b'>', b'=') => {
+                self.bump();
+                self.bump();
+                Tok::ShrAssign
+            }
+            (b'-', b'>', _) => {
+                self.bump();
+                Tok::Arrow
+            }
+            (b'+', b'+', _) => {
+                self.bump();
+                Tok::PlusPlus
+            }
+            (b'-', b'-', _) => {
+                self.bump();
+                Tok::MinusMinus
+            }
+            (b'<', b'<', _) => {
+                self.bump();
+                Tok::Shl
+            }
+            (b'>', b'>', _) => {
+                self.bump();
+                Tok::Shr
+            }
+            (b'<', b'=', _) => {
+                self.bump();
+                Tok::Le
+            }
+            (b'>', b'=', _) => {
+                self.bump();
+                Tok::Ge
+            }
+            (b'=', b'=', _) => {
+                self.bump();
+                Tok::EqEq
+            }
+            (b'!', b'=', _) => {
+                self.bump();
+                Tok::BangEq
+            }
+            (b'&', b'&', _) => {
+                self.bump();
+                Tok::AmpAmp
+            }
+            (b'|', b'|', _) => {
+                self.bump();
+                Tok::PipePipe
+            }
+            (b'+', b'=', _) => {
+                self.bump();
+                Tok::PlusAssign
+            }
+            (b'-', b'=', _) => {
+                self.bump();
+                Tok::MinusAssign
+            }
+            (b'*', b'=', _) => {
+                self.bump();
+                Tok::StarAssign
+            }
+            (b'/', b'=', _) => {
+                self.bump();
+                Tok::SlashAssign
+            }
+            (b'%', b'=', _) => {
+                self.bump();
+                Tok::PercentAssign
+            }
+            (b'&', b'=', _) => {
+                self.bump();
+                Tok::AmpAssign
+            }
+            (b'|', b'=', _) => {
+                self.bump();
+                Tok::PipeAssign
+            }
+            (b'^', b'=', _) => {
+                self.bump();
+                Tok::CaretAssign
+            }
+            (b'(', ..) => Tok::LParen,
+            (b')', ..) => Tok::RParen,
+            (b'{', ..) => Tok::LBrace,
+            (b'}', ..) => Tok::RBrace,
+            (b'[', ..) => Tok::LBracket,
+            (b']', ..) => Tok::RBracket,
+            (b';', ..) => Tok::Semi,
+            (b',', ..) => Tok::Comma,
+            (b':', ..) => Tok::Colon,
+            (b'?', ..) => Tok::Question,
+            (b'.', ..) => Tok::Dot,
+            (b'+', ..) => Tok::Plus,
+            (b'-', ..) => Tok::Minus,
+            (b'*', ..) => Tok::Star,
+            (b'/', ..) => Tok::Slash,
+            (b'%', ..) => Tok::Percent,
+            (b'&', ..) => Tok::Amp,
+            (b'|', ..) => Tok::Pipe,
+            (b'^', ..) => Tok::Caret,
+            (b'~', ..) => Tok::Tilde,
+            (b'!', ..) => Tok::Bang,
+            (b'<', ..) => Tok::Lt,
+            (b'>', ..) => Tok::Gt,
+            (b'=', ..) => Tok::Assign,
+            _ => {
+                return Err(CompileError::new(
+                    format!("unexpected character `{}`", c as char),
+                    pos,
+                ))
+            }
+        };
+        self.push(tok, pos);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lex_simple_decl() {
+        assert_eq!(
+            kinds("int x = 42;"),
+            vec![
+                Tok::KwInt,
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::IntLit(42),
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_hex_and_octal() {
+        assert_eq!(kinds("0xff 0x10 017 0"), vec![
+            Tok::IntLit(255),
+            Tok::IntLit(16),
+            Tok::IntLit(15),
+            Tok::IntLit(0),
+            Tok::Eof
+        ]);
+    }
+
+    #[test]
+    fn lex_suffixes() {
+        assert_eq!(kinds("10UL 3l"), vec![Tok::IntLit(10), Tok::IntLit(3), Tok::Eof]);
+    }
+
+    #[test]
+    fn lex_operators_longest_match() {
+        assert_eq!(
+            kinds("a <<= b >> c <= d -> e ... ++"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::ShlAssign,
+                Tok::Ident("b".into()),
+                Tok::Shr,
+                Tok::Ident("c".into()),
+                Tok::Le,
+                Tok::Ident("d".into()),
+                Tok::Arrow,
+                Tok::Ident("e".into()),
+                Tok::Ellipsis,
+                Tok::PlusPlus,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_comments_and_preprocessor() {
+        assert_eq!(
+            kinds("#include <stdio.h>\n// line\nint /* block\n comment */ y;"),
+            vec![Tok::KwInt, Tok::Ident("y".into()), Tok::Semi, Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn lex_char_escapes() {
+        assert_eq!(
+            kinds(r"'a' '\n' '\0' '\x41'"),
+            vec![
+                Tok::CharLit(b'a'),
+                Tok::CharLit(b'\n'),
+                Tok::CharLit(0),
+                Tok::CharLit(b'A'),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_string_concat() {
+        assert_eq!(
+            kinds(r#""ab" "cd""#),
+            vec![Tok::StrLit(b"abcd".to_vec()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn lex_string_escapes() {
+        assert_eq!(kinds(r#""a\tb\0""#), vec![Tok::StrLit(vec![b'a', 9, b'b', 0]), Tok::Eof]);
+    }
+
+    #[test]
+    fn lex_positions() {
+        let toks = lex("int\n  x;").unwrap();
+        assert_eq!(toks[0].pos, Pos::new(1, 1));
+        assert_eq!(toks[1].pos, Pos::new(2, 3));
+    }
+
+    #[test]
+    fn unterminated_comment_is_error() {
+        assert!(lex("/* never ends").is_err());
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(lex("\"abc").is_err());
+    }
+
+    #[test]
+    fn bad_character_is_error() {
+        assert!(lex("int $x;").is_err());
+    }
+
+    #[test]
+    fn null_keyword() {
+        assert_eq!(kinds("NULL"), vec![Tok::KwNull, Tok::Eof]);
+    }
+}

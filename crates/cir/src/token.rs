@@ -1,0 +1,242 @@
+//! Token definitions for the CIR-C lexer.
+
+use crate::error::Pos;
+use std::fmt;
+
+/// A lexical token kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier (variable, function, struct tag…).
+    Ident(String),
+    /// Integer literal (value already parsed; suffixes `u`/`l` are consumed).
+    IntLit(i64),
+    /// Character literal, as its byte value.
+    CharLit(u8),
+    /// String literal with escapes resolved (no trailing NUL; one is added
+    /// when the literal is materialized in memory).
+    StrLit(Vec<u8>),
+
+    // Keywords.
+    KwInt,
+    KwChar,
+    KwLong,
+    KwShort,
+    KwVoid,
+    KwUnsigned,
+    KwSigned,
+    KwStruct,
+    KwUnion,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwFor,
+    KwDo,
+    KwReturn,
+    KwBreak,
+    KwContinue,
+    KwSizeof,
+    KwStatic,
+    KwConst,
+    KwExtern,
+    KwSwitch,
+    KwCase,
+    KwDefault,
+    KwGoto,
+    KwNull,
+
+    // Punctuation and operators.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Colon,
+    Question,
+    Dot,
+    Arrow,
+    Ellipsis,
+
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Shl,
+    Shr,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    BangEq,
+    AmpAmp,
+    PipePipe,
+    PlusPlus,
+    MinusMinus,
+
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PercentAssign,
+    AmpAssign,
+    PipeAssign,
+    CaretAssign,
+    ShlAssign,
+    ShrAssign,
+
+    /// End of input.
+    Eof,
+}
+
+impl Tok {
+    /// True if this token can begin a type name (used to disambiguate casts
+    /// from parenthesized expressions).
+    pub fn starts_type(&self) -> bool {
+        matches!(
+            self,
+            Tok::KwInt
+                | Tok::KwChar
+                | Tok::KwLong
+                | Tok::KwShort
+                | Tok::KwVoid
+                | Tok::KwUnsigned
+                | Tok::KwSigned
+                | Tok::KwStruct
+                | Tok::KwUnion
+                | Tok::KwConst
+        )
+    }
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::IntLit(v) => write!(f, "integer literal `{v}`"),
+            Tok::CharLit(c) => write!(f, "char literal `{}`", *c as char),
+            Tok::StrLit(_) => write!(f, "string literal"),
+            Tok::Eof => write!(f, "end of input"),
+            other => write!(f, "`{}`", other.spelling()),
+        }
+    }
+}
+
+impl Tok {
+    /// Canonical source spelling for fixed tokens (empty for literals).
+    pub fn spelling(&self) -> &'static str {
+        match self {
+            Tok::KwInt => "int",
+            Tok::KwChar => "char",
+            Tok::KwLong => "long",
+            Tok::KwShort => "short",
+            Tok::KwVoid => "void",
+            Tok::KwUnsigned => "unsigned",
+            Tok::KwSigned => "signed",
+            Tok::KwStruct => "struct",
+            Tok::KwUnion => "union",
+            Tok::KwIf => "if",
+            Tok::KwElse => "else",
+            Tok::KwWhile => "while",
+            Tok::KwFor => "for",
+            Tok::KwDo => "do",
+            Tok::KwReturn => "return",
+            Tok::KwBreak => "break",
+            Tok::KwContinue => "continue",
+            Tok::KwSizeof => "sizeof",
+            Tok::KwStatic => "static",
+            Tok::KwConst => "const",
+            Tok::KwExtern => "extern",
+            Tok::KwSwitch => "switch",
+            Tok::KwCase => "case",
+            Tok::KwDefault => "default",
+            Tok::KwGoto => "goto",
+            Tok::KwNull => "NULL",
+            Tok::LParen => "(",
+            Tok::RParen => ")",
+            Tok::LBrace => "{",
+            Tok::RBrace => "}",
+            Tok::LBracket => "[",
+            Tok::RBracket => "]",
+            Tok::Semi => ";",
+            Tok::Comma => ",",
+            Tok::Colon => ":",
+            Tok::Question => "?",
+            Tok::Dot => ".",
+            Tok::Arrow => "->",
+            Tok::Ellipsis => "...",
+            Tok::Plus => "+",
+            Tok::Minus => "-",
+            Tok::Star => "*",
+            Tok::Slash => "/",
+            Tok::Percent => "%",
+            Tok::Amp => "&",
+            Tok::Pipe => "|",
+            Tok::Caret => "^",
+            Tok::Tilde => "~",
+            Tok::Bang => "!",
+            Tok::Shl => "<<",
+            Tok::Shr => ">>",
+            Tok::Lt => "<",
+            Tok::Gt => ">",
+            Tok::Le => "<=",
+            Tok::Ge => ">=",
+            Tok::EqEq => "==",
+            Tok::BangEq => "!=",
+            Tok::AmpAmp => "&&",
+            Tok::PipePipe => "||",
+            Tok::PlusPlus => "++",
+            Tok::MinusMinus => "--",
+            Tok::Assign => "=",
+            Tok::PlusAssign => "+=",
+            Tok::MinusAssign => "-=",
+            Tok::StarAssign => "*=",
+            Tok::SlashAssign => "/=",
+            Tok::PercentAssign => "%=",
+            Tok::AmpAssign => "&=",
+            Tok::PipeAssign => "|=",
+            Tok::CaretAssign => "^=",
+            Tok::ShlAssign => "<<=",
+            Tok::ShrAssign => ">>=",
+            Tok::Ident(_) | Tok::IntLit(_) | Tok::CharLit(_) | Tok::StrLit(_) | Tok::Eof => "",
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind/payload.
+    pub tok: Tok,
+    /// Where it begins in the source.
+    pub pos: Pos,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_starters() {
+        assert!(Tok::KwInt.starts_type());
+        assert!(Tok::KwStruct.starts_type());
+        assert!(Tok::KwUnsigned.starts_type());
+        assert!(!Tok::KwIf.starts_type());
+        assert!(!Tok::Ident("x".into()).starts_type());
+    }
+
+    #[test]
+    fn display_fixed_tokens() {
+        assert_eq!(Tok::Arrow.to_string(), "`->`");
+        assert_eq!(Tok::KwReturn.to_string(), "`return`");
+    }
+}

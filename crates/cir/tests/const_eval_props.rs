@@ -1,0 +1,80 @@
+//! Property tests for the frontend: integer-kind semantics and the
+//! constant-expression evaluator against native Rust arithmetic.
+
+use proptest::prelude::*;
+use sb_cir::IntKind;
+
+fn kinds() -> impl Strategy<Value = IntKind> {
+    prop::sample::select(vec![
+        IntKind::I8,
+        IntKind::U8,
+        IntKind::I16,
+        IntKind::U16,
+        IntKind::I32,
+        IntKind::U32,
+        IntKind::I64,
+        IntKind::U64,
+    ])
+}
+
+proptest! {
+    /// `wrap` is idempotent and lands in the kind's value range.
+    #[test]
+    fn wrap_idempotent_and_in_range(k in kinds(), v in any::<i64>()) {
+        let w = k.wrap(v);
+        prop_assert_eq!(k.wrap(w), w, "wrap must be idempotent");
+        match k {
+            IntKind::I8 => prop_assert!((i8::MIN as i64..=i8::MAX as i64).contains(&w)),
+            IntKind::U8 => prop_assert!((0..=u8::MAX as i64).contains(&w)),
+            IntKind::I16 => prop_assert!((i16::MIN as i64..=i16::MAX as i64).contains(&w)),
+            IntKind::U16 => prop_assert!((0..=u16::MAX as i64).contains(&w)),
+            IntKind::I32 => prop_assert!((i32::MIN as i64..=i32::MAX as i64).contains(&w)),
+            IntKind::U32 => prop_assert!((0..=u32::MAX as i64).contains(&w)),
+            _ => {}
+        }
+    }
+
+    /// Usual arithmetic conversions are commutative and at least as wide
+    /// as both operands (after promotion).
+    #[test]
+    fn usual_arith_commutative_and_widening(a in kinds(), b in kinds()) {
+        let ab = a.usual_arith(b);
+        let ba = b.usual_arith(a);
+        prop_assert_eq!(ab, ba);
+        prop_assert!(ab.size() >= a.promoted().size().min(b.promoted().size()));
+        prop_assert!(ab.size() >= 4, "promotion yields at least int");
+    }
+
+    /// The constant evaluator agrees with wrapped native arithmetic for
+    /// random binary expressions over int literals.
+    #[test]
+    fn const_eval_matches_native(a in -2000i64..2000, b in -2000i64..2000, op in 0u8..8) {
+        let (sym, native): (&str, Option<i64>) = match op {
+            0 => ("+", Some(a.wrapping_add(b))),
+            1 => ("-", Some(a.wrapping_sub(b))),
+            2 => ("*", Some(a.wrapping_mul(b))),
+            3 => ("/", (b != 0).then(|| a.wrapping_div(b))),
+            4 => ("%", (b != 0).then(|| a.wrapping_rem(b))),
+            5 => ("&", Some(a & b)),
+            6 => ("|", Some(a | b)),
+            _ => ("^", Some(a ^ b)),
+        };
+        let Some(expected) = native else { return Ok(()); };
+        // Array sizes must be positive: bias via an outer max trick by
+        // embedding the expression in a global initializer instead.
+        let src = format!("long result = ({a}l) {sym} ({b}l);");
+        let prog = sb_cir::compile(&src).expect("compiles");
+        let g = prog.global("result").expect("exists");
+        let sb_cir::hir::ConstItem::Int { value, .. } = g.init[0].1 else {
+            panic!("expected int initializer");
+        };
+        prop_assert_eq!(value, expected, "{}", src);
+    }
+
+    /// Lexer → parser → typecheck never panics on arbitrary ASCII input
+    /// (errors are fine; crashes are not).
+    #[test]
+    fn frontend_total_on_garbage(s in "[ -~\n\t]{0,200}") {
+        let _ = sb_cir::compile(&s);
+    }
+}

@@ -1,0 +1,121 @@
+//! Configuration of the SoftBound transformation and runtime.
+
+/// Which dereferences are checked (§1, §6.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CheckMode {
+    /// Check every load and store: complete spatial-violation detection
+    /// (79% average overhead in the paper with the shadow space).
+    #[default]
+    Full,
+    /// Check stores only; metadata is still fully propagated. Sufficient
+    /// to stop essentially all security attacks (Table 3) at 32% average
+    /// overhead.
+    StoreOnly,
+}
+
+/// Which metadata organization backs the disjoint metadata space (§5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Facility {
+    /// Tag-less direct map; ~5 instructions per access.
+    #[default]
+    ShadowSpace,
+    /// Open-hashing table; ~9 instructions plus probes.
+    HashTable,
+}
+
+/// SoftBound configuration.
+#[derive(Debug, Clone)]
+pub struct SoftBoundConfig {
+    /// Checking mode.
+    pub mode: CheckMode,
+    /// Metadata organization.
+    pub facility: Facility,
+    /// log2 of hash-table buckets (ignored for the shadow space).
+    pub hash_log2_buckets: u32,
+    /// Use the §5.2 type heuristic to skip metadata copies for memcpy
+    /// calls whose operands cannot contain pointers.
+    pub memcpy_heuristic: bool,
+    /// Clear metadata of freed heap blocks whose static type suggests
+    /// pointers (§5.2 "memory reuse and stale metadata").
+    pub clear_on_free: bool,
+    /// Clear metadata of pointer-bearing stack slots on function return
+    /// (§5.2).
+    pub clear_on_return: bool,
+    /// Insert function-pointer checks at indirect calls (§5.2).
+    pub check_fn_ptrs: bool,
+}
+
+impl Default for SoftBoundConfig {
+    fn default() -> Self {
+        SoftBoundConfig {
+            mode: CheckMode::Full,
+            facility: Facility::ShadowSpace,
+            hash_log2_buckets: 20,
+            memcpy_heuristic: true,
+            clear_on_free: true,
+            clear_on_return: true,
+            check_fn_ptrs: true,
+        }
+    }
+}
+
+impl SoftBoundConfig {
+    /// Full checking over the shadow space (the paper's headline config).
+    pub fn full_shadow() -> Self {
+        Self::default()
+    }
+
+    /// Full checking over the hash table.
+    pub fn full_hash() -> Self {
+        SoftBoundConfig { facility: Facility::HashTable, ..Self::default() }
+    }
+
+    /// Store-only checking over the shadow space (the production config).
+    pub fn store_only_shadow() -> Self {
+        SoftBoundConfig { mode: CheckMode::StoreOnly, ..Self::default() }
+    }
+
+    /// Store-only checking over the hash table.
+    pub fn store_only_hash() -> Self {
+        SoftBoundConfig {
+            mode: CheckMode::StoreOnly,
+            facility: Facility::HashTable,
+            ..Self::default()
+        }
+    }
+
+    /// A short label like `"ShadowSpace-Complete"`, matching Figure 2's
+    /// legend.
+    pub fn label(&self) -> String {
+        let fac = match self.facility {
+            Facility::ShadowSpace => "ShadowSpace",
+            Facility::HashTable => "HashTable",
+        };
+        let mode = match self.mode {
+            CheckMode::Full => "Complete",
+            CheckMode::StoreOnly => "Stores",
+        };
+        format!("{fac}-{mode}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_figure2_legend() {
+        assert_eq!(SoftBoundConfig::full_shadow().label(), "ShadowSpace-Complete");
+        assert_eq!(SoftBoundConfig::full_hash().label(), "HashTable-Complete");
+        assert_eq!(SoftBoundConfig::store_only_shadow().label(), "ShadowSpace-Stores");
+        assert_eq!(SoftBoundConfig::store_only_hash().label(), "HashTable-Stores");
+    }
+
+    #[test]
+    fn default_is_full_shadow() {
+        let c = SoftBoundConfig::default();
+        assert_eq!(c.mode, CheckMode::Full);
+        assert_eq!(c.facility, Facility::ShadowSpace);
+        assert!(c.clear_on_free && c.clear_on_return && c.check_fn_ptrs);
+    }
+}

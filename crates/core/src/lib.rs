@@ -1,0 +1,109 @@
+//! # softbound — the paper's primary contribution
+//!
+//! A reproduction of *SoftBound: Highly Compatible and Complete Spatial
+//! Memory Safety for C* (Nagarakatte, Zhao, Martin, Zdancewic; PLDI 2009).
+//!
+//! SoftBound associates `(base, bound)` metadata with every pointer, kept
+//! in a **disjoint metadata space** keyed by the *location* of each
+//! pointer in memory. Because the metadata is disjoint, program stores —
+//! even through wildly cast pointers — cannot corrupt it, which yields
+//! complete spatial safety with **no source changes and no memory-layout
+//! changes**. This crate provides:
+//!
+//! * [`instrument`] — the compile-time [transformation](transform) over
+//!   `sb-ir` modules (checks, metadata propagation, `_sb_` function
+//!   renaming, bound shrinking, wrappers, lifecycle clearing);
+//! * the two [metadata facilities](metadata) of §5.1 (open-hash table and
+//!   tag-less shadow space) with the paper's instruction costs;
+//! * the [runtime](runtime) that plugs into the `sb-vm` machine;
+//! * a one-call [pipeline](fn@protect) for compile → lower → optimize →
+//!   instrument → re-optimize → run.
+//!
+//! # Examples
+//!
+//! Catching the paper's §2.1 motivating sub-object overflow:
+//!
+//! ```
+//! use softbound::{protect, SoftBoundConfig};
+//! use sb_vm::Outcome;
+//!
+//! let src = r#"
+//!     struct node { char str[8]; void (*func)(void); };
+//!     void noop(void) { }
+//!     int main() {
+//!         struct node n;
+//!         n.func = noop;
+//!         char* ptr = n.str;
+//!         strcpy(ptr, "overflow...");  // silently clobbers n.func in plain C
+//!         return 0;
+//!     }
+//! "#;
+//! let result = protect(src, &SoftBoundConfig::default(), "main", &[]).unwrap();
+//! assert!(result.outcome.is_spatial_violation());
+//! ```
+
+pub mod config;
+pub mod metadata;
+pub mod runtime;
+pub mod transform;
+
+pub use config::{CheckMode, Facility, SoftBoundConfig};
+pub use metadata::{HashTableFacility, Meta, MetadataFacility, ShadowSpaceFacility};
+pub use runtime::SoftBoundRuntime;
+pub use transform::{instrument, instrument_flavored, Flavor, GLOBALS_INIT_PREFIX, SB_PREFIX};
+
+use sb_ir::Module;
+use sb_vm::{Machine, MachineConfig, RunResult, RuntimeHooks};
+
+/// Builds the runtime described by `cfg`, boxed for the VM.
+pub fn runtime_for(cfg: &SoftBoundConfig) -> Box<dyn RuntimeHooks> {
+    Box::new(SoftBoundRuntime::new(cfg))
+}
+
+/// Compiles CIR-C source through the full paper pipeline (§6.1): lower,
+/// optimize, instrument, re-run the optimizer, verify.
+///
+/// # Errors
+///
+/// Returns frontend errors as boxed errors; verifier failures panic (they
+/// indicate a pass bug, not a user error).
+pub fn compile_protected(
+    src: &str,
+    cfg: &SoftBoundConfig,
+) -> Result<Module, sb_cir::CompileError> {
+    let prog = sb_cir::compile(src)?;
+    let mut module = sb_ir::lower(&prog, "program");
+    sb_ir::optimize(&mut module, sb_ir::OptLevel::PreInstrument);
+    let mut module = instrument(&module, cfg);
+    sb_ir::optimize(&mut module, sb_ir::OptLevel::PostInstrument);
+    sb_ir::verify(&module).expect("instrumented module must verify");
+    Ok(module)
+}
+
+/// Compiles and runs a program under SoftBound protection.
+///
+/// # Errors
+///
+/// Returns frontend compile errors.
+pub fn protect(
+    src: &str,
+    cfg: &SoftBoundConfig,
+    entry: &str,
+    args: &[i64],
+) -> Result<RunResult, sb_cir::CompileError> {
+    let module = compile_protected(src, cfg)?;
+    let mut machine = Machine::new(&module, MachineConfig::default(), runtime_for(cfg));
+    Ok(machine.run(entry, args))
+}
+
+/// Runs an already instrumented module under the matching runtime.
+pub fn run_instrumented(
+    module: &Module,
+    cfg: &SoftBoundConfig,
+    machine_cfg: MachineConfig,
+    entry: &str,
+    args: &[i64],
+) -> RunResult {
+    let mut machine = Machine::new(module, machine_cfg, runtime_for(cfg));
+    machine.run(entry, args)
+}

@@ -1,0 +1,241 @@
+//! The SoftBound runtime: dereference checks, metadata propagation
+//! helpers, and the §5.2 lifecycle behaviours (metadata clearing on free
+//! and frame exit), implemented over a pluggable [`MetadataFacility`] and
+//! exposed to the VM as [`RuntimeHooks`].
+
+use crate::config::{Facility, SoftBoundConfig};
+use crate::metadata::{HashTableFacility, Meta, MetadataFacility, ShadowSpaceFacility};
+use sb_vm::{Mem, RtCtx, RtVals, RuntimeHooks, Trap};
+use sb_ir::RtFn;
+
+/// Cost of the bounds check itself (two compares + branch, §3.1).
+pub const CHECK_COST: u64 = 3;
+
+/// The SoftBound runtime.
+pub struct SoftBoundRuntime {
+    facility: Box<dyn MetadataFacility>,
+    clear_on_free: bool,
+    /// Checks executed.
+    pub check_count: u64,
+    /// Violations would-have-fired (always 0 on safe programs).
+    pub violation_count: u64,
+}
+
+impl SoftBoundRuntime {
+    /// Builds the runtime described by a config.
+    pub fn new(cfg: &SoftBoundConfig) -> Self {
+        let facility: Box<dyn MetadataFacility> = match cfg.facility {
+            Facility::ShadowSpace => Box::new(ShadowSpaceFacility::new()),
+            Facility::HashTable => Box::new(HashTableFacility::new(cfg.hash_log2_buckets)),
+        };
+        SoftBoundRuntime {
+            facility,
+            clear_on_free: cfg.clear_on_free,
+            check_count: 0,
+            violation_count: 0,
+        }
+    }
+
+    /// Live metadata entries (memory-overhead statistics).
+    pub fn live_entries(&self) -> usize {
+        self.facility.live_entries()
+    }
+
+    fn check(&mut self, ptr: u64, base: u64, bound: u64, size: u64, write: bool) -> Result<(), Trap> {
+        self.check_count += 1;
+        if ptr < base || ptr.wrapping_add(size) > bound || base == 0 {
+            self.violation_count += 1;
+            Err(Trap::SpatialViolation { scheme: "softbound", addr: ptr, write })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl RuntimeHooks for SoftBoundRuntime {
+    fn name(&self) -> &'static str {
+        "softbound"
+    }
+
+    fn rt_call(
+        &mut self,
+        rt: RtFn,
+        args: &[i64],
+        _mem: &mut Mem,
+        ctx: &mut RtCtx,
+    ) -> Result<RtVals, Trap> {
+        match rt {
+            RtFn::SbCheck { is_store } => {
+                ctx.cost += CHECK_COST;
+                self.check(args[0] as u64, args[1] as u64, args[2] as u64, args[3] as u64, is_store)?;
+                Ok([0, 0])
+            }
+            RtFn::SbMetaLoad => {
+                let m = self.facility.load(args[0] as u64, &mut ctx.cost, &mut ctx.touched);
+                Ok([m.base as i64, m.bound as i64])
+            }
+            RtFn::SbMetaStore => {
+                let m = Meta { base: args[1] as u64, bound: args[2] as u64 };
+                self.facility.store(args[0] as u64, m, &mut ctx.cost, &mut ctx.touched);
+                Ok([0, 0])
+            }
+            RtFn::SbFnCheck => {
+                ctx.cost += CHECK_COST;
+                self.check_count += 1;
+                let (ptr, base, bound) = (args[0] as u64, args[1] as u64, args[2] as u64);
+                // Function pointers are encoded base == bound == ptr (§5.2):
+                // a zero-sized "object" no data pointer can carry.
+                if ptr != 0 && base == ptr && bound == ptr {
+                    Ok([0, 0])
+                } else {
+                    self.violation_count += 1;
+                    Err(Trap::SpatialViolation { scheme: "softbound", addr: ptr, write: false })
+                }
+            }
+            RtFn::SbMetaClear => {
+                self.facility.clear_range(
+                    args[0] as u64,
+                    args[1] as u64,
+                    &mut ctx.cost,
+                    &mut ctx.touched,
+                );
+                Ok([0, 0])
+            }
+            RtFn::SbMemcpyMeta => {
+                self.facility.copy_range(
+                    args[0] as u64,
+                    args[1] as u64,
+                    args[2] as u64,
+                    &mut ctx.cost,
+                    &mut ctx.touched,
+                );
+                Ok([0, 0])
+            }
+            RtFn::SbVaCheck => {
+                ctx.cost += 2;
+                let idx = args[0];
+                if idx < 0 || idx as u64 >= ctx.vararg_count {
+                    Err(Trap::SpatialViolation {
+                        scheme: "softbound",
+                        addr: idx as u64,
+                        write: false,
+                    })
+                } else {
+                    Ok([0, 0])
+                }
+            }
+            other => panic!("softbound runtime received foreign rt call {other:?}"),
+        }
+    }
+
+    fn on_free(&mut self, addr: u64, size: u64, ptr_hint: bool, ctx: &mut RtCtx) {
+        // §5.2 "memory reuse and stale metadata": clear metadata for freed
+        // blocks whose static type suggests they held pointers.
+        if self.clear_on_free && ptr_hint {
+            self.facility.clear_range(addr, size, &mut ctx.cost, &mut ctx.touched);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CheckMode;
+
+    fn runtime(facility: Facility) -> SoftBoundRuntime {
+        SoftBoundRuntime::new(&SoftBoundConfig {
+            facility,
+            mode: CheckMode::Full,
+            ..SoftBoundConfig::default()
+        })
+    }
+
+    fn call(rt: &mut SoftBoundRuntime, f: RtFn, args: &[i64]) -> Result<RtVals, Trap> {
+        let mut mem = Mem::new();
+        let mut ctx = RtCtx::default();
+        rt.rt_call(f, args, &mut mem, &mut ctx)
+    }
+
+    #[test]
+    fn in_bounds_check_passes() {
+        let mut rt = runtime(Facility::ShadowSpace);
+        assert!(call(&mut rt, RtFn::SbCheck { is_store: false }, &[0x1000, 0x1000, 0x1040, 8]).is_ok());
+        assert!(call(&mut rt, RtFn::SbCheck { is_store: true }, &[0x1038, 0x1000, 0x1040, 8]).is_ok());
+    }
+
+    #[test]
+    fn out_of_bounds_check_aborts() {
+        let mut rt = runtime(Facility::ShadowSpace);
+        // One byte past the end.
+        let e = call(&mut rt, RtFn::SbCheck { is_store: true }, &[0x1039, 0x1000, 0x1040, 8]);
+        assert!(matches!(e, Err(Trap::SpatialViolation { scheme: "softbound", .. })));
+        // Below base.
+        assert!(call(&mut rt, RtFn::SbCheck { is_store: false }, &[0xfff, 0x1000, 0x1040, 1]).is_err());
+        // NULL bounds (int-to-pointer cast, §5.2).
+        assert!(call(&mut rt, RtFn::SbCheck { is_store: false }, &[0x1000, 0, 0, 1]).is_err());
+        assert_eq!(rt.violation_count, 3);
+    }
+
+    #[test]
+    fn access_size_matters() {
+        // The paper's example: char* cast to int* at the last byte.
+        let mut rt = runtime(Facility::ShadowSpace);
+        assert!(call(&mut rt, RtFn::SbCheck { is_store: false }, &[0x103f, 0x1000, 0x1040, 1]).is_ok());
+        assert!(call(&mut rt, RtFn::SbCheck { is_store: false }, &[0x103f, 0x1000, 0x1040, 4]).is_err());
+    }
+
+    #[test]
+    fn metadata_roundtrip_through_rt() {
+        for fac in [Facility::ShadowSpace, Facility::HashTable] {
+            let mut rt = runtime(fac);
+            call(&mut rt, RtFn::SbMetaStore, &[0x7000, 0x5000, 0x5100]).expect("store ok");
+            let v = call(&mut rt, RtFn::SbMetaLoad, &[0x7000]).expect("load ok");
+            assert_eq!(v, [0x5000, 0x5100]);
+            let missing = call(&mut rt, RtFn::SbMetaLoad, &[0x7008]).expect("load ok");
+            assert_eq!(missing, [0, 0], "unknown slots have NULL bounds");
+        }
+    }
+
+    #[test]
+    fn fn_check_accepts_only_zero_sized_encoding() {
+        let mut rt = runtime(Facility::ShadowSpace);
+        let f = 0x4000_0000_0000i64;
+        assert!(call(&mut rt, RtFn::SbFnCheck, &[f, f, f]).is_ok());
+        // Data pointer flowing into an indirect call: bound != ptr.
+        assert!(call(&mut rt, RtFn::SbFnCheck, &[0x1000, 0x1000, 0x1040]).is_err());
+        // Forged integer: NULL bounds.
+        assert!(call(&mut rt, RtFn::SbFnCheck, &[f, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn free_clears_metadata_with_hint() {
+        let mut rt = runtime(Facility::ShadowSpace);
+        call(&mut rt, RtFn::SbMetaStore, &[0x9000, 1, 2]).expect("store");
+        call(&mut rt, RtFn::SbMetaStore, &[0x9008, 3, 4]).expect("store");
+        let mut ctx = RtCtx::default();
+        rt.on_free(0x9000, 16, true, &mut ctx);
+        assert_eq!(rt.live_entries(), 0);
+        // Without the hint, metadata stays (heuristic skips scalar blocks).
+        call(&mut rt, RtFn::SbMetaStore, &[0x9000, 1, 2]).expect("store");
+        rt.on_free(0x9000, 16, false, &mut ctx);
+        assert_eq!(rt.live_entries(), 1);
+    }
+
+    #[test]
+    fn va_check_respects_count() {
+        let mut rt = runtime(Facility::ShadowSpace);
+        let mut mem = Mem::new();
+        let mut ctx = RtCtx::default();
+        ctx.vararg_count = 3;
+        assert!(rt.rt_call(RtFn::SbVaCheck, &[2], &mut mem, &mut ctx).is_ok());
+        assert!(rt.rt_call(RtFn::SbVaCheck, &[3], &mut mem, &mut ctx).is_err());
+    }
+
+    #[test]
+    fn memcpy_meta_copies() {
+        let mut rt = runtime(Facility::HashTable);
+        call(&mut rt, RtFn::SbMetaStore, &[0x2000, 0x10, 0x20]).expect("store");
+        call(&mut rt, RtFn::SbMemcpyMeta, &[0x3000, 0x2000, 8]).expect("copy");
+        assert_eq!(call(&mut rt, RtFn::SbMetaLoad, &[0x3000]).expect("load"), [0x10, 0x20]);
+    }
+}

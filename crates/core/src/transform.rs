@@ -1,0 +1,745 @@
+//! The SoftBound compile-time transformation (§3, §5).
+//!
+//! An intra-procedural IR→IR pass. For every pointer-kind register `r` it
+//! maintains two shadow registers `r_base`/`r_bound` (the paper's
+//! per-pointer intermediate values) and rewrites:
+//!
+//! * **dereferences** — a spatial check before every load/store (loads
+//!   skipped in store-only mode);
+//! * **pointer loads/stores** — a disjoint-metadata table access keyed by
+//!   the *location* of the pointer (§3.2);
+//! * **bound creation** — `malloc` results, `alloca`s and global addresses
+//!   get their statically known bounds; field GEPs *shrink* bounds to the
+//!   sub-object (§3.1); int-to-pointer casts get NULL bounds (§5.2);
+//! * **calls** — functions are renamed `_sb_<name>` and pointer arguments/
+//!   returns travel with base/bound (extra parameters and multi-value
+//!   returns, §3.3); indirect calls check the `base == bound == ptr`
+//!   function-pointer encoding (§5.2); builtin ("library") calls become
+//!   checked wrappers; `setbound` is compiled away into explicit bounds;
+//! * **lifecycle** — metadata cleared for pointer-bearing stack slots on
+//!   return and (via runtime hooks) for freed heap blocks (§5.2), and a
+//!   synthesized `__sb_globals_init.<module>` seeds metadata for
+//!   pointer-valued global initializers (§5.2).
+//!
+//! The pass is purely local — no whole-program analysis — which is what
+//! makes separate compilation work (Table 1).
+
+use crate::config::{CheckMode, SoftBoundConfig};
+use sb_cir::hir::Builtin;
+use sb_ir::{
+    ArithOp, Callee, Function, GInit, Global, Inst, IntKind, Module, RegId, RegKind, RtFn, Value,
+};
+
+/// Prefix applied to transformed function names (§3.3).
+pub const SB_PREFIX: &str = "_sb_";
+/// Name prefix of the synthesized global-metadata initializer. The `__ctor.`
+/// prefix is the VM's constructor convention — such functions run before
+/// the entry point, which is exactly the hook the paper says it uses ("the
+/// same hooks C++ uses to run code for constructing global objects",
+/// §5.2). It also makes global metadata initialization compose with
+/// separate compilation: after linking, every module's constructor runs.
+pub const GLOBALS_INIT_PREFIX: &str = "__ctor.sb_globals";
+
+/// A pointer-based-transformation *flavor*: the knobs that differ between
+/// SoftBound and the MSCC-like baseline (§2.2, §6.5). SoftBound's flavor
+/// shrinks bounds at field GEPs and gives forged (int-to-pointer) values
+/// NULL bounds; MSCC's fast configuration keeps whole-object bounds (so
+/// sub-object overflows are missed) and cannot handle wild casts (forged
+/// pointers become unbounded, i.e. unchecked).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flavor {
+    /// Function-name prefix (`"_sb_"` for SoftBound).
+    pub prefix: &'static str,
+    /// Shrink bounds at field GEPs (§3.1). Off for MSCC.
+    pub shrink_fields: bool,
+    /// Int-to-pointer casts get `[0, u64::MAX)` instead of NULL bounds —
+    /// models schemes that cannot handle arbitrary casts safely.
+    pub unbounded_int_to_ptr: bool,
+    /// Emit `Mscc*` runtime calls instead of `Sb*`.
+    pub mscc_rt: bool,
+}
+
+impl Flavor {
+    /// The SoftBound flavor (the default).
+    pub fn softbound() -> Self {
+        Flavor { prefix: SB_PREFIX, shrink_fields: true, unbounded_int_to_ptr: false, mscc_rt: false }
+    }
+
+    /// The MSCC-like flavor (fast configuration of [34]).
+    pub fn mscc() -> Self {
+        Flavor { prefix: "_mscc_", shrink_fields: false, unbounded_int_to_ptr: true, mscc_rt: true }
+    }
+
+    fn check(&self, is_store: bool) -> RtFn {
+        if self.mscc_rt {
+            RtFn::MsccCheck { is_store }
+        } else {
+            RtFn::SbCheck { is_store }
+        }
+    }
+
+    fn meta_load(&self) -> RtFn {
+        if self.mscc_rt {
+            RtFn::MsccMetaLoad
+        } else {
+            RtFn::SbMetaLoad
+        }
+    }
+
+    fn meta_store(&self) -> RtFn {
+        if self.mscc_rt {
+            RtFn::MsccMetaStore
+        } else {
+            RtFn::SbMetaStore
+        }
+    }
+
+    fn va_check(&self) -> RtFn {
+        if self.mscc_rt {
+            RtFn::MsccVaCheck
+        } else {
+            RtFn::SbVaCheck
+        }
+    }
+}
+
+/// Applies the SoftBound transformation to a module, returning the
+/// instrumented module. The input is not modified.
+pub fn instrument(module: &Module, cfg: &SoftBoundConfig) -> Module {
+    instrument_flavored(module, cfg, Flavor::softbound())
+}
+
+/// Applies the pointer-based transformation with an explicit [`Flavor`]
+/// (used by the MSCC-like baseline).
+pub fn instrument_flavored(module: &Module, cfg: &SoftBoundConfig, flavor: Flavor) -> Module {
+    let mut m = module.clone();
+
+    // Snapshot the *original* signatures: call-site rewriting consults the
+    // callee's pre-transformation pointer parameters/returns.
+    let orig_params: Vec<Vec<RegKind>> = m.funcs.iter().map(|f| f.param_kinds.clone()).collect();
+    let orig_rets: Vec<Vec<RegKind>> = m.funcs.iter().map(|f| f.ret_kinds.clone()).collect();
+    let global_sizes: Vec<u64> = m.globals.iter().map(|g| g.size).collect();
+
+    for f in &mut m.funcs {
+        transform_fn(f, &orig_params, &orig_rets, &global_sizes, cfg, flavor);
+    }
+
+    // Synthesize the global metadata initializer; the VM's constructor
+    // convention runs it before the entry point.
+    let init = build_globals_init(&m.globals, &m.name, flavor);
+    m.funcs.push(init);
+    m
+}
+
+/// Builds `__sb_globals_init.<module>`: one metadata store per
+/// pointer-valued global initializer (§5.2 "Global variables"). The VM
+/// runs every function with this prefix before `main`, which keeps
+/// separately compiled modules working after linking.
+fn build_globals_init(globals: &[Global], module_name: &str, flavor: Flavor) -> Function {
+    let mut f = Function {
+        name: format!("__ctor.{}globals.{module_name}", flavor.prefix.trim_start_matches('_')),
+        params: vec![],
+        param_kinds: vec![],
+        ret_kinds: vec![],
+        reg_kinds: vec![],
+        blocks: vec![],
+        vararg: false,
+        defined: true,
+    };
+    let b = f.new_block();
+    for (gi, g) in globals.iter().enumerate() {
+        for (off, init) in &g.init {
+            if g.ptr_slots.binary_search(off).is_err() {
+                continue;
+            }
+            let (base, bound) = match init {
+                GInit::GlobalAddr { id, .. } => (
+                    Value::GlobalAddr { id: *id, offset: 0 },
+                    Value::GlobalAddr { id: *id, offset: globals[id.0 as usize].size },
+                ),
+                GInit::FuncAddr(fid) => (Value::FuncAddr(*fid), Value::FuncAddr(*fid)),
+                GInit::Bytes(_) => continue, // zero/integer patterns: NULL bounds
+            };
+            f.blocks[b.0 as usize].insts.push(Inst::Rt {
+                dsts: vec![],
+                rt: flavor.meta_store(),
+                args: vec![
+                    Value::GlobalAddr { id: sb_ir::GlobalId(gi as u32), offset: *off },
+                    base,
+                    bound,
+                ],
+            });
+        }
+    }
+    f.blocks[b.0 as usize].insts.push(Inst::Ret { vals: vec![] });
+    f
+}
+
+struct Cx<'a> {
+    shadows: Vec<Option<(RegId, RegId)>>,
+    orig_params: &'a [Vec<RegKind>],
+    orig_rets: &'a [Vec<RegKind>],
+    global_sizes: &'a [u64],
+    cfg: &'a SoftBoundConfig,
+    flavor: Flavor,
+    /// Allocas with pointer slots, for return-time metadata clearing.
+    ptr_allocas: Vec<(RegId, u64)>,
+    ret_was_ptr: bool,
+}
+
+impl Cx<'_> {
+    /// `(base, bound)` metadata values for an operand (§3.1):
+    /// registers use their shadows, global addresses have compile-time
+    /// constant bounds, function addresses use the zero-sized encoding,
+    /// and raw integers get NULL bounds.
+    fn meta_of(&self, v: &Value) -> (Value, Value) {
+        match v {
+            Value::Reg(r) => self.shadows[r.0 as usize]
+                .map(|(b, e)| (Value::Reg(b), Value::Reg(e)))
+                .unwrap_or((Value::Const(0), Value::Const(0))),
+            Value::Const(_) => (Value::Const(0), Value::Const(0)),
+            Value::GlobalAddr { id, .. } => (
+                Value::GlobalAddr { id: *id, offset: 0 },
+                Value::GlobalAddr { id: *id, offset: self.global_sizes[id.0 as usize] },
+            ),
+            Value::FuncAddr(f) => (Value::FuncAddr(*f), Value::FuncAddr(*f)),
+        }
+    }
+
+    fn shadow(&self, r: RegId) -> (RegId, RegId) {
+        self.shadows[r.0 as usize].expect("pointer register has shadows")
+    }
+
+    fn is_ptr_value(&self, f: &Function, v: &Value) -> bool {
+        match v {
+            Value::Reg(r) => f.reg_kind(*r) == RegKind::Ptr,
+            Value::GlobalAddr { .. } | Value::FuncAddr(_) => true,
+            Value::Const(_) => false,
+        }
+    }
+}
+
+fn transform_fn(
+    f: &mut Function,
+    orig_params: &[Vec<RegKind>],
+    orig_rets: &[Vec<RegKind>],
+    global_sizes: &[u64],
+    cfg: &SoftBoundConfig,
+    flavor: Flavor,
+) {
+    if f.name.starts_with(flavor.prefix) {
+        return; // already transformed
+    }
+    let nregs = f.reg_kinds.len();
+    let mut cx = Cx {
+        shadows: vec![None; nregs],
+        orig_params,
+        orig_rets,
+        global_sizes,
+        cfg,
+        flavor,
+        ptr_allocas: Vec::new(),
+        ret_was_ptr: f.ret_kinds == [RegKind::Ptr],
+    };
+
+    // Extend the signature: pointer parameters gain trailing (base, bound)
+    // parameters — their shadow registers are exactly those parameters, so
+    // incoming metadata flows with no extra moves (§3.3).
+    let orig_param_regs: Vec<(usize, RegId)> = f
+        .params
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| f.param_kinds[*i] == RegKind::Ptr)
+        .map(|(i, r)| (i, *r))
+        .collect();
+    for (_, preg) in &orig_param_regs {
+        let b = f.new_reg(RegKind::Int);
+        let e = f.new_reg(RegKind::Int);
+        f.params.push(b);
+        f.params.push(e);
+        f.param_kinds.push(RegKind::Int);
+        f.param_kinds.push(RegKind::Int);
+        cx.shadows[preg.0 as usize] = Some((b, e));
+    }
+    if cx.ret_was_ptr {
+        f.ret_kinds = vec![RegKind::Ptr, RegKind::Int, RegKind::Int];
+    }
+    f.name = format!("{}{}", flavor.prefix, f.name);
+    if !f.defined {
+        return;
+    }
+
+    // Shadows for every other pointer register.
+    for r in 0..nregs {
+        if f.reg_kinds[r] == RegKind::Ptr && cx.shadows[r].is_none() {
+            let b = f.new_reg(RegKind::Int);
+            let e = f.new_reg(RegKind::Int);
+            cx.shadows[r] = Some((b, e));
+        }
+    }
+
+    // Collect pointer-bearing allocas (for §5.2 return-time clearing).
+    for inst in &f.blocks[0].insts {
+        if let Inst::Alloca { dst, info } = inst {
+            if !info.ptr_slots.is_empty() {
+                cx.ptr_allocas.push((*dst, info.size));
+            }
+        }
+    }
+
+    for bi in 0..f.blocks.len() {
+        let insts = std::mem::take(&mut f.blocks[bi].insts);
+        let mut out = Vec::with_capacity(insts.len() * 2);
+        for inst in insts {
+            rewrite(inst, f, &cx, &mut out);
+        }
+        f.blocks[bi].insts = out;
+    }
+}
+
+fn rewrite(inst: Inst, f: &Function, cx: &Cx<'_>, out: &mut Vec<Inst>) {
+    let cfg = cx.cfg;
+    match inst {
+        Inst::Load { dst, mem, addr } => {
+            if cfg.mode == CheckMode::Full {
+                let (b, e) = cx.meta_of(&addr);
+                out.push(Inst::Rt {
+                    dsts: vec![],
+                    rt: cx.flavor.check(false),
+                    args: vec![addr, b, e, Value::Const(mem.size() as i64)],
+                });
+            }
+            // Metadata lookup first: `addr` may be clobbered by the load
+            // itself when dst == addr (e.g. `p = *p`).
+            if mem.is_ptr() {
+                let (db, de) = cx.shadow(dst);
+                out.push(Inst::Rt { dsts: vec![db, de], rt: cx.flavor.meta_load(), args: vec![addr] });
+            }
+            out.push(Inst::Load { dst, mem, addr });
+        }
+        Inst::Store { mem, addr, value } => {
+            let (b, e) = cx.meta_of(&addr);
+            out.push(Inst::Rt {
+                dsts: vec![],
+                rt: cx.flavor.check(true),
+                args: vec![addr, b, e, Value::Const(mem.size() as i64)],
+            });
+            out.push(Inst::Store { mem, addr, value });
+            if mem.is_ptr() {
+                let (vb, ve) = cx.meta_of(&value);
+                out.push(Inst::Rt {
+                    dsts: vec![],
+                    rt: cx.flavor.meta_store(),
+                    args: vec![addr, vb, ve],
+                });
+            }
+        }
+        Inst::Alloca { dst, info } => {
+            let size = info.size;
+            out.push(Inst::Alloca { dst, info });
+            let (db, de) = cx.shadow(dst);
+            out.push(Inst::Mov { dst: db, src: Value::Reg(dst) });
+            out.push(Inst::Bin {
+                dst: de,
+                op: ArithOp::Add,
+                k: IntKind::I64,
+                lhs: Value::Reg(dst),
+                rhs: Value::Const(size as i64),
+            });
+        }
+        Inst::Gep { dst, base, index, scale, offset, field_size } => {
+            out.push(Inst::Gep { dst, base, index, scale, offset, field_size });
+            let (db, de) = cx.shadow(dst);
+            match field_size.filter(|_| cx.flavor.shrink_fields) {
+                Some(sz) => {
+                    // Shrink to the sub-object (§3.1): base = &field,
+                    // bound = &field + sizeof(field).
+                    out.push(Inst::Mov { dst: db, src: Value::Reg(dst) });
+                    out.push(Inst::Bin {
+                        dst: de,
+                        op: ArithOp::Add,
+                        k: IntKind::I64,
+                        lhs: Value::Reg(dst),
+                        rhs: Value::Const(sz as i64),
+                    });
+                }
+                None => {
+                    // Pointer arithmetic inherits bounds; no check here —
+                    // out-of-bounds pointers are legal until dereferenced.
+                    let (bb, be) = cx.meta_of(&base);
+                    out.push(Inst::Mov { dst: db, src: bb });
+                    out.push(Inst::Mov { dst: de, src: be });
+                }
+            }
+        }
+        Inst::Mov { dst, src } => {
+            out.push(Inst::Mov { dst, src });
+            if f.reg_kind(dst) == RegKind::Ptr {
+                // An integer *register* flowing into a pointer register is
+                // an int-to-pointer cast (§5.2): NULL bounds for SoftBound;
+                // unbounded (unchecked) for schemes that cannot handle
+                // arbitrary casts.
+                let int_to_ptr =
+                    matches!(src, Value::Reg(r) if f.reg_kind(r) == RegKind::Int);
+                let (sb, se) = if int_to_ptr && cx.flavor.unbounded_int_to_ptr {
+                    (Value::Const(0), Value::Const(-1))
+                } else {
+                    cx.meta_of(&src)
+                };
+                let (db, de) = cx.shadow(dst);
+                out.push(Inst::Mov { dst: db, src: sb });
+                out.push(Inst::Mov { dst: de, src: se });
+            }
+        }
+        Inst::Ret { mut vals } => {
+            if cfg.clear_on_return && !cx.flavor.mscc_rt {
+                for &(areg, size) in &cx.ptr_allocas {
+                    out.push(Inst::Rt {
+                        dsts: vec![],
+                        rt: RtFn::SbMetaClear,
+                        args: vec![Value::Reg(areg), Value::Const(size as i64)],
+                    });
+                }
+            }
+            if cx.ret_was_ptr {
+                let (b, e) = cx.meta_of(&vals[0]);
+                vals.push(b);
+                vals.push(e);
+            }
+            out.push(Inst::Ret { vals });
+        }
+        Inst::Call { dsts, callee, args, ptr_hint, .. } => {
+            rewrite_call(dsts, callee, args, ptr_hint, f, cx, out);
+        }
+        Inst::Rt { .. } => panic!("module already contains runtime calls"),
+        other => out.push(other),
+    }
+}
+
+fn rewrite_call(
+    mut dsts: Vec<RegId>,
+    callee: Callee,
+    args: Vec<Value>,
+    ptr_hint: bool,
+    f: &Function,
+    cx: &Cx<'_>,
+    out: &mut Vec<Inst>,
+) {
+    let cfg = cx.cfg;
+    match callee {
+        Callee::Direct(fid) => {
+            let pkinds = &cx.orig_params[fid.0 as usize];
+            // Insert (base, bound) for each pointer parameter *between*
+            // the fixed arguments and any variadic tail, matching the
+            // extended parameter list of the transformed callee.
+            let mut metas = Vec::new();
+            for (i, k) in pkinds.iter().enumerate() {
+                if *k == RegKind::Ptr {
+                    let (b, e) = cx.meta_of(args.get(i).unwrap_or(&Value::Const(0)));
+                    metas.push(b);
+                    metas.push(e);
+                }
+            }
+            let mut new_args = Vec::with_capacity(args.len() + metas.len());
+            let fixed = pkinds.len().min(args.len());
+            new_args.extend_from_slice(&args[..fixed]);
+            new_args.extend(metas);
+            new_args.extend_from_slice(&args[fixed..]);
+            if cx.orig_rets[fid.0 as usize] == [RegKind::Ptr] && !dsts.is_empty() {
+                let (db, de) = cx.shadow(dsts[0]);
+                dsts.push(db);
+                dsts.push(de);
+            }
+            out.push(Inst::Call { dsts, callee: Callee::Direct(fid), args: new_args, ptr_hint, wrapped: false });
+        }
+        Callee::Indirect(target) => {
+            if cfg.check_fn_ptrs && !cx.flavor.mscc_rt {
+                let (tb, te) = cx.meta_of(&target);
+                out.push(Inst::Rt {
+                    dsts: vec![],
+                    rt: RtFn::SbFnCheck,
+                    args: vec![target, tb, te],
+                });
+            }
+            // Pointer-ness of arguments is judged by value kind; the
+            // callee was transformed from matching parameter types.
+            let mut new_args = args.clone();
+            for a in &args {
+                if cx.is_ptr_value(f, a) {
+                    let (b, e) = cx.meta_of(a);
+                    new_args.push(b);
+                    new_args.push(e);
+                }
+            }
+            if dsts.first().map(|d| f.reg_kind(*d)) == Some(RegKind::Ptr) {
+                let (db, de) = cx.shadow(dsts[0]);
+                dsts.push(db);
+                dsts.push(de);
+            }
+            out.push(Inst::Call { dsts, callee: Callee::Indirect(target), args: new_args, ptr_hint, wrapped: false });
+        }
+        Callee::Builtin(b) => rewrite_builtin(b, dsts, args, ptr_hint, cx, out),
+    }
+}
+
+fn rewrite_builtin(
+    b: Builtin,
+    mut dsts: Vec<RegId>,
+    args: Vec<Value>,
+    ptr_hint: bool,
+    cx: &Cx<'_>,
+    out: &mut Vec<Inst>,
+) {
+    let cfg = cx.cfg;
+    // `setbound(p, size)` compiles away entirely: the result is p with the
+    // explicit bounds [p, p+size) (§5.2 "Creating pointers from integers").
+    if b == Builtin::Setbound {
+        if let Some(&d) = dsts.first() {
+            let (db, de) = cx.shadow(d);
+            out.push(Inst::Mov { dst: d, src: args[0] });
+            out.push(Inst::Mov { dst: db, src: args[0] });
+            out.push(Inst::Bin {
+                dst: de,
+                op: ArithOp::Add,
+                k: IntKind::I64,
+                lhs: args[0],
+                rhs: args[1],
+            });
+        }
+        return;
+    }
+    // Variadic decode checks (§5.2 "Variable argument functions").
+    if matches!(b, Builtin::VaArgLong | Builtin::VaArgPtr) {
+        out.push(Inst::Rt { dsts: vec![], rt: cx.flavor.va_check(), args: vec![args[0]] });
+    }
+    // Library-wrapper behaviour (§5.2): append (base, bound) for each
+    // pointer parameter, in declaration order, after all arguments. The VM
+    // builtins read them positionally and perform the wrapper checks.
+    let sig = b.sig();
+    let mut new_args = args.clone();
+    for (i, pty) in sig.params.iter().enumerate() {
+        if pty.is_ptr() {
+            let (mb, me) = cx.meta_of(args.get(i).unwrap_or(&Value::Const(0)));
+            new_args.push(mb);
+            new_args.push(me);
+        }
+    }
+    if sig.ret.is_ptr() && !dsts.is_empty() {
+        let (db, de) = cx.shadow(dsts[0]);
+        dsts.push(db);
+        dsts.push(de);
+    }
+    let memcpy_args = (b == Builtin::Memcpy).then(|| (args[0], args[1], args[2]));
+    out.push(Inst::Call { dsts, callee: Callee::Builtin(b), args: new_args, ptr_hint, wrapped: true });
+    // memcpy metadata handling (§5.2): copy pointer metadata unless the
+    // type heuristic proves the buffers hold no pointers.
+    if let Some((d, s, n)) = memcpy_args {
+        if !cfg.memcpy_heuristic || ptr_hint {
+            out.push(Inst::Rt { dsts: vec![], rt: RtFn::SbMemcpyMeta, args: vec![d, s, n] });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SoftBoundConfig;
+
+    fn instrumented(src: &str, cfg: &SoftBoundConfig) -> Module {
+        let prog = sb_cir::compile(src).expect("compiles");
+        let mut m = sb_ir::lower(&prog, "t");
+        sb_ir::optimize(&mut m, sb_ir::OptLevel::PreInstrument);
+        let m2 = instrument(&m, cfg);
+        sb_ir::verify(&m2).unwrap_or_else(|e| panic!("instrumented module invalid: {e}\n{m2}"));
+        m2
+    }
+
+    fn count_rt(m: &Module, pred: impl Fn(&RtFn) -> bool) -> usize {
+        m.funcs
+            .iter()
+            .flat_map(|f| f.blocks.iter().flat_map(|b| &b.insts))
+            .filter(|i| matches!(i, Inst::Rt { rt, .. } if pred(rt)))
+            .count()
+    }
+
+    #[test]
+    fn functions_renamed_with_prefix() {
+        let m = instrumented("int main() { return 0; }", &SoftBoundConfig::default());
+        assert!(m.func("_sb_main").is_some());
+        assert!(m.func("main").is_none());
+    }
+
+    #[test]
+    fn pointer_params_gain_base_and_bound() {
+        let m = instrumented("int f(int* p, int n) { return n; } int main() { return 0; }", &SoftBoundConfig::default());
+        let f = m.func("_sb_f").expect("exists");
+        assert_eq!(f.params.len(), 4, "p, n, p_base, p_bound");
+    }
+
+    #[test]
+    fn pointer_returns_become_three_values() {
+        let m = instrumented("char* id(char* p) { return p; } int main() { return 0; }", &SoftBoundConfig::default());
+        let f = m.func("_sb_id").expect("exists");
+        assert_eq!(f.ret_kinds.len(), 3);
+        let rets: Vec<usize> = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter_map(|i| match i {
+                Inst::Ret { vals } => Some(vals.len()),
+                _ => None,
+            })
+            .collect();
+        assert!(rets.iter().all(|&n| n == 3));
+    }
+
+    #[test]
+    fn full_mode_checks_loads_and_stores() {
+        let src = "int g; int main() { g = 5; return g; }";
+        let full = instrumented(src, &SoftBoundConfig::full_shadow());
+        let store_only = instrumented(src, &SoftBoundConfig::store_only_shadow());
+        let full_load_checks = count_rt(&full, |rt| matches!(rt, RtFn::SbCheck { is_store: false }));
+        let full_store_checks = count_rt(&full, |rt| matches!(rt, RtFn::SbCheck { is_store: true }));
+        assert!(full_load_checks >= 1);
+        assert!(full_store_checks >= 1);
+        assert_eq!(
+            count_rt(&store_only, |rt| matches!(rt, RtFn::SbCheck { is_store: false })),
+            0,
+            "store-only mode must not check loads"
+        );
+        assert!(count_rt(&store_only, |rt| matches!(rt, RtFn::SbCheck { is_store: true })) >= 1);
+    }
+
+    #[test]
+    fn store_only_still_propagates_metadata() {
+        let src = "int* g; int main() { int* p = g; g = p; return 0; }";
+        let m = instrumented(src, &SoftBoundConfig::store_only_shadow());
+        assert!(count_rt(&m, |rt| matches!(rt, RtFn::SbMetaLoad)) >= 1, "metadata loads kept:\n{m}");
+        assert!(count_rt(&m, |rt| matches!(rt, RtFn::SbMetaStore)) >= 1, "metadata stores kept");
+    }
+
+    #[test]
+    fn pointer_loads_get_meta_loads() {
+        let m = instrumented("int* f(int** pp) { return *pp; } int main() { return 0; }", &SoftBoundConfig::default());
+        assert_eq!(count_rt(&m, |rt| matches!(rt, RtFn::SbMetaLoad)), 1);
+    }
+
+    #[test]
+    fn indirect_calls_check_function_pointers() {
+        let m = instrumented(
+            "int apply(int (*f)(int), int v) { return f(v); } int main() { return 0; }",
+            &SoftBoundConfig::default(),
+        );
+        assert_eq!(count_rt(&m, |rt| matches!(rt, RtFn::SbFnCheck)), 1);
+    }
+
+    #[test]
+    fn globals_init_synthesized_and_called() {
+        let m = instrumented(
+            "int x; int* px = &x; int main() { return *px; }",
+            &SoftBoundConfig::default(),
+        );
+        let init = m
+            .funcs
+            .iter()
+            .find(|f| f.name.starts_with(GLOBALS_INIT_PREFIX))
+            .expect("init function exists");
+        let meta_stores = init
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, Inst::Rt { rt: RtFn::SbMetaStore, .. }))
+            .count();
+        assert_eq!(meta_stores, 1, "px gets its metadata seeded");
+        assert!(init.name.starts_with("__ctor."), "runs via the VM constructor convention");
+    }
+
+    #[test]
+    fn setbound_compiles_away() {
+        let m = instrumented(
+            r#"int main() { char* p = (char*)setbound((void*)4096, 64); return p != 0; }"#,
+            &SoftBoundConfig::default(),
+        );
+        let setbound_calls = m
+            .funcs
+            .iter()
+            .flat_map(|f| f.blocks.iter().flat_map(|b| &b.insts))
+            .filter(|i| matches!(i, Inst::Call { callee: Callee::Builtin(Builtin::Setbound), .. }))
+            .count();
+        assert_eq!(setbound_calls, 0, "setbound becomes explicit bound moves");
+    }
+
+    #[test]
+    fn memcpy_heuristic_controls_meta_copy() {
+        let with_ptrs = r#"
+            struct holder { char* p; };
+            int main() {
+                struct holder a; struct holder b;
+                a.p = (char*)&a;
+                memcpy(&b, &a, sizeof(struct holder));
+                return 0;
+            }"#;
+        let no_ptrs = r#"
+            int main() {
+                char a[8]; char b[8];
+                memcpy(b, a, 8);
+                return 0;
+            }"#;
+        let cfg = SoftBoundConfig::default();
+        assert_eq!(count_rt(&instrumented(with_ptrs, &cfg), |rt| matches!(rt, RtFn::SbMemcpyMeta)), 1);
+        assert_eq!(count_rt(&instrumented(no_ptrs, &cfg), |rt| matches!(rt, RtFn::SbMemcpyMeta)), 0);
+        // With the heuristic off, metadata is always copied (safe default).
+        let cfg_off = SoftBoundConfig { memcpy_heuristic: false, ..SoftBoundConfig::default() };
+        assert_eq!(count_rt(&instrumented(no_ptrs, &cfg_off), |rt| matches!(rt, RtFn::SbMemcpyMeta)), 1);
+    }
+
+    #[test]
+    fn frame_clearing_emitted_for_pointer_locals() {
+        let m = instrumented(
+            "int main() { char* arr[4]; arr[0] = (char*)arr; return arr[0] != 0; }",
+            &SoftBoundConfig::default(),
+        );
+        assert!(count_rt(&m, |rt| matches!(rt, RtFn::SbMetaClear)) >= 1);
+        let off = instrumented(
+            "int main() { char* arr[4]; arr[0] = (char*)arr; return arr[0] != 0; }",
+            &SoftBoundConfig { clear_on_return: false, ..SoftBoundConfig::default() },
+        );
+        assert_eq!(count_rt(&off, |rt| matches!(rt, RtFn::SbMetaClear)), 0);
+    }
+
+    #[test]
+    fn builtin_calls_are_wrapped() {
+        let m = instrumented(
+            r#"int main() { char b[8]; strcpy(b, "hi"); return 0; }"#,
+            &SoftBoundConfig::default(),
+        );
+        let wrapped = m
+            .funcs
+            .iter()
+            .flat_map(|f| f.blocks.iter().flat_map(|b| &b.insts))
+            .filter_map(|i| match i {
+                Inst::Call { callee: Callee::Builtin(Builtin::Strcpy), args, wrapped, .. } => {
+                    Some((args.len(), *wrapped))
+                }
+                _ => None,
+            })
+            .next()
+            .expect("strcpy call present");
+        assert_eq!(wrapped, (6, true), "dst, src + 2×(base,bound), wrapped flag");
+    }
+
+    #[test]
+    fn instrumentation_survives_post_optimization() {
+        // §6.1: the full optimizer re-runs after instrumentation.
+        let src = r#"
+            int sum(int* xs, int n) { int s = 0; for (int i = 0; i < n; i++) s += xs[i]; return s; }
+            int main() { int a[4]; a[0] = 1; return sum(a, 4); }
+        "#;
+        let mut m = instrumented(src, &SoftBoundConfig::default());
+        let checks_before = count_rt(&m, |rt| matches!(rt, RtFn::SbCheck { .. }));
+        sb_ir::optimize(&mut m, sb_ir::OptLevel::PostInstrument);
+        sb_ir::verify(&m).expect("still valid");
+        let checks_after = count_rt(&m, |rt| matches!(rt, RtFn::SbCheck { .. }));
+        assert_eq!(checks_before, checks_after, "post-instrument opt must keep checks");
+    }
+}

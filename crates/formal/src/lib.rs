@@ -1,0 +1,27 @@
+//! # sb-formal — executable formalization of SoftBound's §4
+//!
+//! The paper mechanizes a safety proof in Coq for a straight-line C
+//! fragment: a partial operational semantics that is *undefined* on
+//! spatial violations, an instrumented semantics that propagates
+//! `(base, bound)` metadata and asserts bounds at dereferences, a
+//! well-formedness invariant over environments and memories, and
+//! Preservation/Progress theorems culminating in Corollary 4.1 ("if the
+//! instrumented run succeeds, the original C program has no memory
+//! violation").
+//!
+//! This crate is the executable counterpart: the same [syntax](syntax),
+//! the same [two-layer semantics and invariants](semantics), and the
+//! theorems as *checkable properties* ([`check_preservation`],
+//! [`check_progress`], [`check_corollary`]) that the test suite verifies
+//! over thousands of [randomly generated well-typed programs](gen) —
+//! including wild casts and forged pointers.
+
+pub mod gen;
+pub mod semantics;
+pub mod syntax;
+
+pub use semantics::{
+    check_corollary, check_preservation, check_progress, eval_instrumented, eval_plain,
+    typecheck_cmd, wf_data, wf_env, wf_mem, CResult, Env, MVal, Memory, Out, MAX_ADDR, MIN_ADDR,
+};
+pub use syntax::{AtomicTy, Cmd, Lhs, PointerTy, Rhs, StructDef, TypeEnv};

@@ -1,0 +1,656 @@
+//! Operational semantics of the §4 fragment, in two layers:
+//!
+//! 1. [`eval_plain`] — the *partial* semantics of C: undefined (stuck)
+//!    whenever a program would commit a spatial violation. This is the
+//!    specification the safety theorem quantifies over.
+//! 2. [`eval_instrumented`] — the SoftBound-augmented semantics: values
+//!    carry `(base, bound)` metadata (`v_(b,e)` in the paper), metadata is
+//!    propagated by every rule, and dereferences perform the bounds
+//!    assertion, aborting on failure. This layer is *total* for
+//!    well-typed programs: [Preservation](check_preservation) and
+//!    [Progress](check_progress) are machine-checked over randomized
+//!    programs in this crate's test suite.
+//!
+//! The memory primitives (`read`, `write`, `malloc` — Table 2) are
+//! implemented with exactly the axiomatized behaviours: reads/writes fail
+//! on unallocated locations; malloc returns fresh, disjoint regions and
+//! fails when space is exhausted.
+
+use crate::syntax::*;
+use std::collections::BTreeMap;
+
+/// Lowest valid address (the paper's `minAddr`; 0 is the null region).
+pub const MIN_ADDR: u64 = 8;
+/// One past the highest valid address (`maxAddr`).
+pub const MAX_ADDR: u64 = 1 << 16;
+
+/// A value with its metadata: the paper's `v_(b,e)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MVal {
+    /// The underlying word.
+    pub v: i64,
+    /// Base metadata (0 = NULL bounds).
+    pub b: u64,
+    /// Bound metadata.
+    pub e: u64,
+}
+
+impl MVal {
+    /// An integer (NULL metadata).
+    pub fn int(v: i64) -> Self {
+        MVal { v, b: 0, e: 0 }
+    }
+}
+
+/// Word-addressed memory implementing the Table 2 primitives.
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    cells: BTreeMap<u64, MVal>,
+    next_alloc: u64,
+}
+
+impl Memory {
+    /// Creates an empty memory allocating from `MIN_ADDR`.
+    pub fn new() -> Self {
+        Memory { cells: BTreeMap::new(), next_alloc: MIN_ADDR }
+    }
+
+    /// Table 2 `read M l`: `Some(data)` iff `l` is accessible.
+    pub fn read(&self, l: u64) -> Option<MVal> {
+        self.cells.get(&l).copied()
+    }
+
+    /// Table 2 `write M l d`: succeeds iff `l` is accessible.
+    pub fn write(&mut self, l: u64, d: MVal) -> Option<()> {
+        match self.cells.get_mut(&l) {
+            Some(c) => {
+                *c = d;
+                Some(())
+            }
+            None => None,
+        }
+    }
+
+    /// Table 2 `malloc M i`: a fresh block of `i` accessible cells, zero
+    /// initialized with NULL metadata; `None` when space is exhausted.
+    /// Freshness and non-interference (the paper's malloc axioms) hold by
+    /// construction: the allocator only moves forward.
+    pub fn malloc(&mut self, i: u64) -> Option<u64> {
+        if i == 0 || self.next_alloc.checked_add(i)? >= MAX_ADDR {
+            return None;
+        }
+        let l = self.next_alloc;
+        for k in 0..i {
+            self.cells.insert(l + k, MVal::int(0));
+        }
+        self.next_alloc += i;
+        Some(l)
+    }
+
+    /// The `val M i` predicate: is location `i` allocated?
+    pub fn val(&self, i: u64) -> bool {
+        self.cells.contains_key(&i)
+    }
+
+    /// Allocated cells (for well-formedness checking).
+    pub fn cells(&self) -> impl Iterator<Item = (u64, MVal)> + '_ {
+        self.cells.iter().map(|(k, v)| (*k, *v))
+    }
+}
+
+/// The environment `E = (S, M)`: a stack frame mapping variables to
+/// addresses and atomic types, plus memory.
+#[derive(Debug, Clone, Default)]
+pub struct Env {
+    /// Stack frame.
+    pub stack: BTreeMap<String, (u64, AtomicTy)>,
+    /// Memory.
+    pub mem: Memory,
+}
+
+impl Env {
+    /// Creates an environment with the given frame variables, allocating
+    /// a memory cell for each.
+    pub fn with_vars(vars: &[(&str, AtomicTy)]) -> Option<Env> {
+        let mut env = Env { stack: BTreeMap::new(), mem: Memory::new() };
+        for (name, ty) in vars {
+            let addr = env.mem.malloc(1)?;
+            env.stack.insert((*name).to_owned(), (addr, ty.clone()));
+        }
+        Some(env)
+    }
+}
+
+/// Evaluation results: the paper's `r` ranges over values, `Abort` and
+/// `OutOfMem`; `Stuck` marks rule failure — Progress asserts it never
+/// occurs for well-typed programs under the instrumented semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Out<T> {
+    /// A result.
+    Val(T),
+    /// Bounds assertion failed (instrumented semantics only).
+    Abort,
+    /// `malloc` failed.
+    OutOfMem,
+    /// No rule applies.
+    Stuck,
+}
+
+use Out::{Abort, OutOfMem, Stuck, Val};
+
+/// Command results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CResult {
+    /// The paper's `OK`.
+    Ok,
+    /// Aborted on a failed assertion.
+    Abort,
+    /// Out of memory.
+    OutOfMem,
+    /// Stuck (plain semantics: an undetected spatial violation;
+    /// instrumented semantics: must be unreachable for typed programs).
+    Stuck,
+}
+
+macro_rules! bubble {
+    ($e:expr) => {
+        match $e {
+            Val(x) => x,
+            Abort => return Abort,
+            OutOfMem => return OutOfMem,
+            Stuck => return Stuck,
+        }
+    };
+}
+
+/// Whether dereference assertions are performed (instrumented) or
+/// dereferences of out-of-bounds pointers are simply *undefined* (plain).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Plain,
+    Instrumented,
+}
+
+struct Interp<'a> {
+    tenv: &'a TypeEnv,
+    mode: Mode,
+}
+
+impl Interp<'_> {
+    /// `(E, lhs) ⇒l r : a` — evaluates an lhs to an address and type.
+    fn lhs(&self, env: &Env, lhs: &Lhs) -> Out<(u64, AtomicTy)> {
+        match lhs {
+            Lhs::Var(x) => match env.stack.get(x) {
+                Some((l, a)) => Val((*l, a.clone())),
+                None => Stuck,
+            },
+            Lhs::Deref(inner) => {
+                // The paper's two dereference rules: read the pointer and
+                // either check (instrumented) or demand in-bounds-ness
+                // implicitly (plain: stuck when the access would fault —
+                // and "fault" for the specification means *outside the
+                // pointed-to object*, which metadata lets us decide).
+                let (l, a) = bubble!(self.lhs(env, inner));
+                let AtomicTy::Ptr(p) = a else { return Stuck };
+                let PointerTy::Atomic(target) = *p else { return Stuck };
+                let Some(d) = env.mem.read(l) else { return Stuck };
+                let size = size_of_atomic(&target);
+                let ok = d.b != 0
+                    && d.b <= d.v as u64
+                    && (d.v as u64).checked_add(size).map(|hi| hi <= d.e).unwrap_or(false);
+                match (self.mode, ok) {
+                    (Mode::Instrumented, true) => Val((d.v as u64, target)),
+                    (Mode::Instrumented, false) => Abort,
+                    (Mode::Plain, true) => Val((d.v as u64, target)),
+                    (Mode::Plain, false) => Stuck, // undefined behaviour
+                }
+            }
+            Lhs::Field(inner, f) => {
+                let (l, a) = bubble!(self.lhs(env, inner));
+                // `lhs.f` requires lhs to *be* a struct lvalue; in the
+                // fragment structs are always accessed through pointers,
+                // so the base must have struct pointer type... the paper
+                // permits `lhs.id` where lhs has struct type: we model
+                // struct lvalues as Deref of struct pointers.
+                let _ = (l, a, f);
+                Stuck
+            }
+            Lhs::Arrow(inner, f) => {
+                let (l, a) = bubble!(self.lhs(env, inner));
+                let AtomicTy::Ptr(p) = a else { return Stuck };
+                let Some(sdef) = self.tenv.as_struct(&p) else { return Stuck };
+                let Some((off, fty)) = sdef.field(f) else { return Stuck };
+                let Some(d) = env.mem.read(l) else { return Stuck };
+                let target = (d.v as u64).wrapping_add(off);
+                let ok = d.b != 0
+                    && d.b <= target
+                    && target.checked_add(1).map(|hi| hi <= d.e).unwrap_or(false);
+                match (self.mode, ok) {
+                    (Mode::Instrumented, true) => Val((target, fty.clone())),
+                    (Mode::Instrumented, false) => Abort,
+                    (Mode::Plain, true) => Val((target, fty.clone())),
+                    (Mode::Plain, false) => Stuck,
+                }
+            }
+        }
+    }
+
+    /// `(E, rhs) ⇒r (r : a, E')`.
+    fn rhs(&self, env: &mut Env, rhs: &Rhs) -> Out<(MVal, AtomicTy)> {
+        match rhs {
+            Rhs::Int(i) => Val((MVal::int(*i), AtomicTy::Int)),
+            Rhs::Add(x, y) => {
+                let (a, ta) = bubble!(self.rhs(env, x));
+                let (b, tb) = bubble!(self.rhs(env, y));
+                if ta != AtomicTy::Int || tb != AtomicTy::Int {
+                    return Stuck;
+                }
+                Val((MVal::int(a.v.wrapping_add(b.v)), AtomicTy::Int))
+            }
+            Rhs::Read(lhs) => {
+                let (l, a) = bubble!(self.lhs(env, lhs));
+                match env.mem.read(l) {
+                    Some(d) => Val((d, a)),
+                    None => Stuck,
+                }
+            }
+            Rhs::AddrOf(lhs) => {
+                let (l, a) = bubble!(self.lhs(env, lhs));
+                let size = size_of_atomic(&a);
+                // &lhs: pointer to the object with its exact bounds.
+                Val((
+                    MVal { v: l as i64, b: l, e: l + size },
+                    AtomicTy::Ptr(Box::new(PointerTy::Atomic(a))),
+                ))
+            }
+            Rhs::Cast(to, inner) => {
+                let (d, from) = bubble!(self.rhs(env, inner));
+                let meta_ok = matches!(from, AtomicTy::Ptr(_)) && matches!(to, AtomicTy::Ptr(_));
+                let d2 = if meta_ok {
+                    d // pointer-to-pointer casts retain metadata (§3.4)
+                } else if matches!(to, AtomicTy::Ptr(_)) {
+                    MVal { v: d.v, b: 0, e: 0 } // int-to-pointer: NULL bounds
+                } else {
+                    MVal::int(d.v)
+                };
+                Val((d2, to.clone()))
+            }
+            Rhs::SizeOf(a) => Val((MVal::int(size_of_atomic(a) as i64), AtomicTy::Int)),
+            Rhs::Malloc(sz) => {
+                let (n, t) = bubble!(self.rhs(env, sz));
+                if t != AtomicTy::Int || n.v <= 0 {
+                    return Stuck;
+                }
+                match env.mem.malloc(n.v as u64) {
+                    Some(l) => Val((
+                        MVal { v: l as i64, b: l, e: l + n.v as u64 },
+                        AtomicTy::Ptr(Box::new(PointerTy::Void)),
+                    )),
+                    None => OutOfMem,
+                }
+            }
+        }
+    }
+
+    /// `(E, c) ⇒c (r, E')`.
+    fn cmd(&self, env: &mut Env, c: &Cmd) -> CResult {
+        match c {
+            Cmd::Seq(a, b) => match self.cmd(env, a) {
+                CResult::Ok => self.cmd(env, b),
+                other => other,
+            },
+            Cmd::Assign(lhs, rhs) => {
+                let (d, _ty) = match self.rhs(env, rhs) {
+                    Val(x) => x,
+                    Abort => return CResult::Abort,
+                    OutOfMem => return CResult::OutOfMem,
+                    Stuck => return CResult::Stuck,
+                };
+                let (l, _a) = match self.lhs(env, lhs) {
+                    Val(x) => x,
+                    Abort => return CResult::Abort,
+                    OutOfMem => return CResult::OutOfMem,
+                    Stuck => return CResult::Stuck,
+                };
+                match env.mem.write(l, d) {
+                    Some(()) => CResult::Ok,
+                    None => CResult::Stuck,
+                }
+            }
+        }
+    }
+}
+
+/// Runs a command under the plain (partial) semantics. `Stuck` marks
+/// undefined behaviour (a spatial violation the language does not define).
+pub fn eval_plain(tenv: &TypeEnv, env: &mut Env, c: &Cmd) -> CResult {
+    Interp { tenv, mode: Mode::Plain }.cmd(env, c)
+}
+
+/// Runs a command under the SoftBound-instrumented semantics: metadata is
+/// propagated and dereference assertions abort on violation.
+pub fn eval_instrumented(tenv: &TypeEnv, env: &mut Env, c: &Cmd) -> CResult {
+    Interp { tenv, mode: Mode::Instrumented }.cmd(env, c)
+}
+
+// ---------------------------------------------------------------- typing
+
+/// `S ⊢c c` — standard C typing of commands against the frame.
+pub fn typecheck_cmd(tenv: &TypeEnv, env: &Env, c: &Cmd) -> bool {
+    match c {
+        Cmd::Seq(a, b) => typecheck_cmd(tenv, env, a) && typecheck_cmd(tenv, env, b),
+        Cmd::Assign(l, r) => match (type_lhs(tenv, env, l), type_rhs(tenv, env, r)) {
+            (Some(tl), Some(tr)) => assignable(&tl, &tr),
+            _ => false,
+        },
+    }
+}
+
+fn assignable(to: &AtomicTy, from: &AtomicTy) -> bool {
+    match (to, from) {
+        (AtomicTy::Int, AtomicTy::Int) => true,
+        // void* converts to any pointer (covers malloc results).
+        (AtomicTy::Ptr(_), AtomicTy::Ptr(p)) if **p == PointerTy::Void => true,
+        (AtomicTy::Ptr(a), AtomicTy::Ptr(b)) => a == b,
+        _ => false,
+    }
+}
+
+/// Type of an lhs.
+pub fn type_lhs(tenv: &TypeEnv, env: &Env, l: &Lhs) -> Option<AtomicTy> {
+    match l {
+        Lhs::Var(x) => env.stack.get(x).map(|(_, a)| a.clone()),
+        Lhs::Deref(inner) => match type_lhs(tenv, env, inner)? {
+            AtomicTy::Ptr(p) => match *p {
+                PointerTy::Atomic(a) => Some(a),
+                _ => None,
+            },
+            AtomicTy::Int => None,
+        },
+        Lhs::Field(..) => None, // struct lvalues are accessed via Arrow
+        Lhs::Arrow(inner, f) => match type_lhs(tenv, env, inner)? {
+            AtomicTy::Ptr(p) => {
+                let s = tenv.as_struct(&p)?;
+                s.field(f).map(|(_, t)| t.clone())
+            }
+            AtomicTy::Int => None,
+        },
+    }
+}
+
+/// Type of an rhs.
+pub fn type_rhs(tenv: &TypeEnv, env: &Env, r: &Rhs) -> Option<AtomicTy> {
+    match r {
+        Rhs::Int(_) | Rhs::SizeOf(_) => Some(AtomicTy::Int),
+        Rhs::Add(a, b) => {
+            (type_rhs(tenv, env, a)? == AtomicTy::Int && type_rhs(tenv, env, b)? == AtomicTy::Int)
+                .then_some(AtomicTy::Int)
+        }
+        Rhs::Read(l) => type_lhs(tenv, env, l),
+        Rhs::AddrOf(l) => {
+            let a = type_lhs(tenv, env, l)?;
+            Some(AtomicTy::Ptr(Box::new(PointerTy::Atomic(a))))
+        }
+        Rhs::Cast(to, inner) => {
+            type_rhs(tenv, env, inner)?;
+            Some(to.clone())
+        }
+        Rhs::Malloc(sz) => (type_rhs(tenv, env, sz)? == AtomicTy::Int)
+            .then_some(AtomicTy::Ptr(Box::new(PointerTy::Void))),
+    }
+}
+
+// ------------------------------------------------------- well-formedness
+
+/// `M ⊢D d_(b,e)` — the per-datum invariant: NULL bounds, or a non-empty
+/// valid range of allocated cells within [minAddr, maxAddr).
+pub fn wf_data(mem: &Memory, d: MVal) -> bool {
+    if d.b == 0 {
+        return true;
+    }
+    MIN_ADDR <= d.b
+        && d.b <= d.e
+        && d.e < MAX_ADDR
+        && (d.b..d.e).all(|i| mem.val(i))
+}
+
+/// `⊢M M` — every allocated cell's metadata is well formed.
+pub fn wf_mem(mem: &Memory) -> bool {
+    mem.cells().all(|(_, d)| wf_data(mem, d))
+}
+
+/// `⊢E E` — the frame maps variables to allocated cells and the memory is
+/// well formed.
+pub fn wf_env(env: &Env) -> bool {
+    env.stack.values().all(|(l, _)| env.mem.val(*l)) && wf_mem(&env.mem)
+}
+
+// ------------------------------------------------------------- theorems
+
+/// Theorem 4.1 (Preservation), executably: from a well-formed environment
+/// and well-typed command, the instrumented semantics preserves
+/// well-formedness. Returns an error description on violation.
+pub fn check_preservation(tenv: &TypeEnv, env: &Env, c: &Cmd) -> Result<(), String> {
+    if !wf_env(env) {
+        return Err("precondition ⊢E E failed".into());
+    }
+    if !typecheck_cmd(tenv, env, c) {
+        return Err("precondition S ⊢c c failed".into());
+    }
+    let mut e2 = env.clone();
+    let _ = eval_instrumented(tenv, &mut e2, c);
+    if wf_env(&e2) {
+        Ok(())
+    } else {
+        Err(format!("⊢E E' violated after {c:?}"))
+    }
+}
+
+/// Theorem 4.2 (Progress), executably: from a well-formed environment and
+/// well-typed command, the instrumented semantics terminates with OK,
+/// OutOfMem or Abort — never Stuck.
+pub fn check_progress(tenv: &TypeEnv, env: &Env, c: &Cmd) -> Result<CResult, String> {
+    if !wf_env(env) || !typecheck_cmd(tenv, env, c) {
+        return Err("preconditions failed".into());
+    }
+    let mut e2 = env.clone();
+    match eval_instrumented(tenv, &mut e2, c) {
+        CResult::Stuck => Err(format!("instrumented semantics stuck on {c:?}")),
+        r => Ok(r),
+    }
+}
+
+/// Corollary 4.1, executably: if the instrumented run says OK, the plain
+/// C semantics also runs to completion without a memory violation (i.e.
+/// is not undefined) and computes the same final memory.
+pub fn check_corollary(tenv: &TypeEnv, env: &Env, c: &Cmd) -> Result<(), String> {
+    let mut inst = env.clone();
+    if eval_instrumented(tenv, &mut inst, c) != CResult::Ok {
+        return Ok(()); // corollary's hypothesis not met
+    }
+    let mut plain = env.clone();
+    match eval_plain(tenv, &mut plain, c) {
+        CResult::Ok => {
+            // Same observable memory (metadata aside, values must agree).
+            let a: Vec<(u64, i64)> = inst.mem.cells().map(|(l, d)| (l, d.v)).collect();
+            let b: Vec<(u64, i64)> = plain.mem.cells().map(|(l, d)| (l, d.v)).collect();
+            if a == b {
+                Ok(())
+            } else {
+                Err("instrumented and plain memories diverged".into())
+            }
+        }
+        other => Err(format!("plain semantics did not complete: {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ptr_int() -> AtomicTy {
+        AtomicTy::Ptr(Box::new(PointerTy::Atomic(AtomicTy::Int)))
+    }
+
+    fn base_env() -> Env {
+        Env::with_vars(&[("x", AtomicTy::Int), ("y", AtomicTy::Int), ("p", ptr_int())])
+            .expect("allocates")
+    }
+
+    #[test]
+    fn assign_and_read() {
+        let tenv = TypeEnv::default();
+        let mut env = base_env();
+        let c = Cmd::Seq(
+            Box::new(Cmd::Assign(Lhs::Var("x".into()), Rhs::Int(41))),
+            Box::new(Cmd::Assign(
+                Lhs::Var("y".into()),
+                Rhs::Add(Box::new(Rhs::Read(Lhs::Var("x".into()))), Box::new(Rhs::Int(1))),
+            )),
+        );
+        assert!(typecheck_cmd(&tenv, &env, &c));
+        assert_eq!(eval_instrumented(&tenv, &mut env, &c), CResult::Ok);
+        let (ly, _) = env.stack["y"];
+        assert_eq!(env.mem.read(ly).map(|d| d.v), Some(42));
+    }
+
+    #[test]
+    fn deref_through_addrof_is_checked_and_ok() {
+        let tenv = TypeEnv::default();
+        let mut env = base_env();
+        // p = &x; *p = 7; y = *p;
+        let c = Cmd::Seq(
+            Box::new(Cmd::Assign(Lhs::Var("p".into()), Rhs::AddrOf(Lhs::Var("x".into())))),
+            Box::new(Cmd::Seq(
+                Box::new(Cmd::Assign(Lhs::Deref(Box::new(Lhs::Var("p".into()))), Rhs::Int(7))),
+                Box::new(Cmd::Assign(Lhs::Var("y".into()), Rhs::Read(Lhs::Deref(Box::new(Lhs::Var("p".into())))))),
+            )),
+        );
+        assert!(typecheck_cmd(&tenv, &env, &c));
+        assert_eq!(eval_instrumented(&tenv, &mut env, &c), CResult::Ok);
+    }
+
+    #[test]
+    fn forged_pointer_aborts_instrumented_stuck_plain() {
+        let tenv = TypeEnv::default();
+        // p = (int*) 12345; x = *p;
+        let c = Cmd::Seq(
+            Box::new(Cmd::Assign(
+                Lhs::Var("p".into()),
+                Rhs::Cast(ptr_int(), Box::new(Rhs::Int(12345))),
+            )),
+            Box::new(Cmd::Assign(
+                Lhs::Var("x".into()),
+                Rhs::Read(Lhs::Deref(Box::new(Lhs::Var("p".into())))),
+            )),
+        );
+        let mut e1 = base_env();
+        assert_eq!(eval_instrumented(&tenv, &mut e1, &c), CResult::Abort);
+        let mut e2 = base_env();
+        assert_eq!(eval_plain(&tenv, &mut e2, &c), CResult::Stuck, "plain C is undefined here");
+    }
+
+    #[test]
+    fn malloc_gives_bounds() {
+        let tenv = TypeEnv::default();
+        let mut env = base_env();
+        // p = (int*) malloc(4); *p = 9;
+        let c = Cmd::Seq(
+            Box::new(Cmd::Assign(
+                Lhs::Var("p".into()),
+                Rhs::Cast(ptr_int(), Box::new(Rhs::Malloc(Box::new(Rhs::Int(4))))),
+            )),
+            Box::new(Cmd::Assign(Lhs::Deref(Box::new(Lhs::Var("p".into()))), Rhs::Int(9))),
+        );
+        assert!(typecheck_cmd(&tenv, &env, &c));
+        assert_eq!(eval_instrumented(&tenv, &mut env, &c), CResult::Ok);
+    }
+
+    #[test]
+    fn out_of_memory_reachable() {
+        let tenv = TypeEnv::default();
+        let mut env = base_env();
+        let c = Cmd::Assign(
+            Lhs::Var("p".into()),
+            Rhs::Cast(ptr_int(), Box::new(Rhs::Malloc(Box::new(Rhs::Int((MAX_ADDR + 10) as i64))))),
+        );
+        assert_eq!(eval_instrumented(&tenv, &mut env, &c), CResult::OutOfMem);
+    }
+
+    #[test]
+    fn arrow_fields_with_recursive_struct() {
+        // struct list { int v; struct list* next; }
+        let mut tenv = TypeEnv::default();
+        tenv.structs.push(StructDef {
+            fields: vec![
+                ("v".into(), AtomicTy::Int),
+                ("next".into(), AtomicTy::Ptr(Box::new(PointerTy::Named(0)))),
+            ],
+        });
+        let list_ptr = AtomicTy::Ptr(Box::new(PointerTy::Named(0)));
+        let mut env = Env::with_vars(&[("l", list_ptr.clone()), ("x", AtomicTy::Int)]).expect("allocates");
+        // l = (list*) malloc(2); l->v = 5; l->next = (list*) 0 cast...; x = l->v;
+        let c = Cmd::Seq(
+            Box::new(Cmd::Assign(
+                Lhs::Var("l".into()),
+                Rhs::Cast(list_ptr.clone(), Box::new(Rhs::Malloc(Box::new(Rhs::Int(2))))),
+            )),
+            Box::new(Cmd::Seq(
+                Box::new(Cmd::Assign(Lhs::Arrow(Box::new(Lhs::Var("l".into())), "v".into()), Rhs::Int(5))),
+                Box::new(Cmd::Assign(
+                    Lhs::Var("x".into()),
+                    Rhs::Read(Lhs::Arrow(Box::new(Lhs::Var("l".into())), "v".into())),
+                )),
+            )),
+        );
+        assert!(typecheck_cmd(&tenv, &env, &c));
+        assert_eq!(eval_instrumented(&tenv, &mut env, &c), CResult::Ok);
+        let (lx, _) = env.stack["x"];
+        assert_eq!(env.mem.read(lx).map(|d| d.v), Some(5));
+    }
+
+    #[test]
+    fn preservation_progress_corollary_on_examples() {
+        let tenv = TypeEnv::default();
+        let env = base_env();
+        let cases = vec![
+            Cmd::Assign(Lhs::Var("x".into()), Rhs::Int(1)),
+            Cmd::Assign(Lhs::Var("p".into()), Rhs::AddrOf(Lhs::Var("x".into()))),
+            Cmd::Seq(
+                Box::new(Cmd::Assign(Lhs::Var("p".into()), Rhs::AddrOf(Lhs::Var("y".into())))),
+                Box::new(Cmd::Assign(Lhs::Deref(Box::new(Lhs::Var("p".into()))), Rhs::Int(3))),
+            ),
+            // A program that aborts (forged pointer) still satisfies both
+            // theorems: Abort is an allowed outcome.
+            Cmd::Seq(
+                Box::new(Cmd::Assign(
+                    Lhs::Var("p".into()),
+                    Rhs::Cast(ptr_int(), Box::new(Rhs::Int(999))),
+                )),
+                Box::new(Cmd::Assign(Lhs::Deref(Box::new(Lhs::Var("p".into()))), Rhs::Int(1))),
+            ),
+        ];
+        for c in cases {
+            check_preservation(&tenv, &env, &c).expect("preservation");
+            check_progress(&tenv, &env, &c).expect("progress");
+            check_corollary(&tenv, &env, &c).expect("corollary");
+        }
+    }
+
+    #[test]
+    fn memory_axioms() {
+        let mut m = Memory::new();
+        // read-after-write, write-to-unallocated fails, malloc freshness.
+        assert_eq!(m.read(100), None);
+        assert_eq!(m.write(100, MVal::int(1)), None);
+        let a = m.malloc(4).expect("alloc");
+        let b = m.malloc(2).expect("alloc");
+        assert!(a + 4 <= b, "malloc returns fresh disjoint regions");
+        m.write(a, MVal::int(7)).expect("allocated");
+        assert_eq!(m.read(a).map(|d| d.v), Some(7));
+        assert_eq!(m.read(a + 1).map(|d| d.v), Some(0), "zero initialized");
+        // Writing one block does not affect the other (non-interference).
+        m.write(b, MVal::int(9)).expect("allocated");
+        assert_eq!(m.read(a).map(|d| d.v), Some(7));
+    }
+}

@@ -1,0 +1,215 @@
+//! Syntax of the §4.1 C fragment.
+//!
+//! Straight-line commands over atomic types (int and pointers), pointer
+//! types (atomic, anonymous/named structs, void), with the address-of
+//! operator, malloc, casts and sizeof — exactly the grammar in the paper:
+//!
+//! ```text
+//! a   ::= int | p*
+//! p   ::= a | s | n | void
+//! s   ::= struct { ...; id_i : a_i; ... }
+//! lhs ::= x | *lhs | lhs.id | lhs->id
+//! rhs ::= i | rhs + rhs | lhs | &lhs | (a) rhs | sizeof(a) | malloc(rhs)
+//! c   ::= c ; c | lhs = rhs
+//! ```
+//!
+//! Named structs (`n`) index a [`TypeEnv`] table, permitting recursive
+//! data structures.
+
+use std::fmt;
+
+/// Id of a named struct in a [`TypeEnv`].
+pub type StructName = usize;
+
+/// Atomic types: what variables and struct fields hold.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AtomicTy {
+    /// `int`
+    Int,
+    /// `p*` — pointer to a pointer type.
+    Ptr(Box<PointerTy>),
+}
+
+/// Pointer types (what can appear behind a `*`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PointerTy {
+    /// An atomic type.
+    Atomic(AtomicTy),
+    /// An anonymous struct.
+    Struct(StructDef),
+    /// A named struct (enables recursion).
+    Named(StructName),
+    /// `void`
+    Void,
+}
+
+/// A struct definition: ordered fields of atomic type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructDef {
+    /// Field names and types.
+    pub fields: Vec<(String, AtomicTy)>,
+}
+
+impl StructDef {
+    /// Word offset of a field, with its type.
+    pub fn field(&self, name: &str) -> Option<(u64, &AtomicTy)> {
+        let mut off = 0;
+        for (f, ty) in &self.fields {
+            if f == name {
+                return Some((off, ty));
+            }
+            off += 1; // every atomic occupies one word in the fragment
+        }
+        None
+    }
+
+    /// Size in words.
+    pub fn size(&self) -> u64 {
+        self.fields.len() as u64
+    }
+}
+
+/// The named-struct table.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TypeEnv {
+    /// Definitions, indexed by [`StructName`].
+    pub structs: Vec<StructDef>,
+}
+
+impl TypeEnv {
+    /// Size of a pointer type in words (`None` for void / functions —
+    /// not dereferenceable by value).
+    pub fn size_of_pointer_ty(&self, p: &PointerTy) -> Option<u64> {
+        match p {
+            PointerTy::Atomic(_) => Some(1),
+            PointerTy::Struct(s) => Some(s.size()),
+            PointerTy::Named(n) => self.structs.get(*n).map(StructDef::size),
+            PointerTy::Void => None,
+        }
+    }
+
+    /// Resolves a pointer type to a struct definition if it is one.
+    pub fn as_struct<'a>(&'a self, p: &'a PointerTy) -> Option<&'a StructDef> {
+        match p {
+            PointerTy::Struct(s) => Some(s),
+            PointerTy::Named(n) => self.structs.get(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Size of an atomic type in words (always 1 in the fragment).
+pub fn size_of_atomic(_a: &AtomicTy) -> u64 {
+    1
+}
+
+/// Left-hand sides.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lhs {
+    /// A variable.
+    Var(String),
+    /// `*lhs`
+    Deref(Box<Lhs>),
+    /// `lhs.id` — field of a struct lvalue.
+    Field(Box<Lhs>, String),
+    /// `lhs->id` — field through a struct pointer.
+    Arrow(Box<Lhs>, String),
+}
+
+/// Right-hand sides.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rhs {
+    /// Integer literal.
+    Int(i64),
+    /// Integer addition.
+    Add(Box<Rhs>, Box<Rhs>),
+    /// Read an lvalue.
+    Read(Lhs),
+    /// `&lhs`
+    AddrOf(Lhs),
+    /// `(a) rhs`
+    Cast(AtomicTy, Box<Rhs>),
+    /// `sizeof(a)`
+    SizeOf(AtomicTy),
+    /// `malloc(rhs)`
+    Malloc(Box<Rhs>),
+}
+
+/// Commands: sequences of assignments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Cmd {
+    /// `c ; c`
+    Seq(Box<Cmd>, Box<Cmd>),
+    /// `lhs = rhs`
+    Assign(Lhs, Rhs),
+}
+
+impl Cmd {
+    /// Flattens to the list of assignments, in order.
+    pub fn assignments(&self) -> Vec<(&Lhs, &Rhs)> {
+        match self {
+            Cmd::Seq(a, b) => {
+                let mut v = a.assignments();
+                v.extend(b.assignments());
+                v
+            }
+            Cmd::Assign(l, r) => vec![(l, r)],
+        }
+    }
+}
+
+impl fmt::Display for AtomicTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AtomicTy::Int => write!(f, "int"),
+            AtomicTy::Ptr(p) => write!(f, "{p:?}*"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn struct_field_offsets() {
+        let s = StructDef {
+            fields: vec![
+                ("a".into(), AtomicTy::Int),
+                ("p".into(), AtomicTy::Ptr(Box::new(PointerTy::Void))),
+                ("b".into(), AtomicTy::Int),
+            ],
+        };
+        assert_eq!(s.field("a").map(|(o, _)| o), Some(0));
+        assert_eq!(s.field("p").map(|(o, _)| o), Some(1));
+        assert_eq!(s.field("b").map(|(o, _)| o), Some(2));
+        assert_eq!(s.field("zz"), None);
+        assert_eq!(s.size(), 3);
+    }
+
+    #[test]
+    fn recursive_named_struct_sizes() {
+        // struct list { int v; struct list* next; }
+        let mut env = TypeEnv::default();
+        env.structs.push(StructDef {
+            fields: vec![
+                ("v".into(), AtomicTy::Int),
+                ("next".into(), AtomicTy::Ptr(Box::new(PointerTy::Named(0)))),
+            ],
+        });
+        assert_eq!(env.size_of_pointer_ty(&PointerTy::Named(0)), Some(2));
+        assert_eq!(env.size_of_pointer_ty(&PointerTy::Void), None);
+    }
+
+    #[test]
+    fn command_flattening() {
+        let c = Cmd::Seq(
+            Box::new(Cmd::Assign(Lhs::Var("x".into()), Rhs::Int(1))),
+            Box::new(Cmd::Seq(
+                Box::new(Cmd::Assign(Lhs::Var("y".into()), Rhs::Int(2))),
+                Box::new(Cmd::Assign(Lhs::Var("z".into()), Rhs::Int(3))),
+            )),
+        );
+        assert_eq!(c.assignments().len(), 3);
+    }
+}

@@ -1,0 +1,59 @@
+//! Machine-checking of the §4 theorems over randomized well-typed
+//! programs — the executable substitute for the paper's Coq proofs.
+
+use proptest::prelude::*;
+use sb_formal::gen::{gen_cmd, universe, Rng};
+use sb_formal::{
+    check_corollary, check_preservation, check_progress, eval_instrumented, eval_plain, wf_env,
+    CResult,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Theorem 4.1 (Preservation): ⊢E E ∧ S ⊢c c ∧ (E,c) ⇒c (r,E') → ⊢E E'.
+    #[test]
+    fn preservation(seed in any::<u64>(), len in 1u32..8) {
+        let (tenv, env) = universe();
+        let c = gen_cmd(&mut Rng(seed), &tenv, &env, len);
+        prop_assert!(check_preservation(&tenv, &env, &c).is_ok());
+    }
+
+    /// Theorem 4.2 (Progress): well-typed commands end in OK, OutOfMem or
+    /// Abort — the instrumented semantics never gets stuck.
+    #[test]
+    fn progress(seed in any::<u64>(), len in 1u32..8) {
+        let (tenv, env) = universe();
+        let c = gen_cmd(&mut Rng(seed), &tenv, &env, len);
+        let r = check_progress(&tenv, &env, &c);
+        prop_assert!(r.is_ok(), "{:?}", r);
+    }
+
+    /// Corollary 4.1: an OK instrumented run implies the plain C program
+    /// commits no memory violation (and computes the same memory).
+    #[test]
+    fn corollary(seed in any::<u64>(), len in 1u32..8) {
+        let (tenv, env) = universe();
+        let c = gen_cmd(&mut Rng(seed), &tenv, &env, len);
+        prop_assert!(check_corollary(&tenv, &env, &c).is_ok());
+    }
+
+    /// Soundness direction: whenever the *plain* semantics is undefined
+    /// (stuck on a spatial violation), the instrumented semantics aborted
+    /// at or before that point — it never silently runs past a violation
+    /// into Ok.
+    #[test]
+    fn no_silent_violations(seed in any::<u64>(), len in 1u32..8) {
+        let (tenv, env) = universe();
+        let c = gen_cmd(&mut Rng(seed), &tenv, &env, len);
+        let mut p = env.clone();
+        let plain = eval_plain(&tenv, &mut p, &c);
+        let mut i = env.clone();
+        let inst = eval_instrumented(&tenv, &mut i, &c);
+        if plain == CResult::Stuck {
+            prop_assert_ne!(inst, CResult::Ok, "violation ran to completion under SoftBound");
+            prop_assert_ne!(inst, CResult::Stuck);
+        }
+        prop_assert!(wf_env(&i), "final environment ill-formed");
+    }
+}

@@ -1,0 +1,463 @@
+//! A small optimizer pipeline.
+//!
+//! The paper applies SoftBound *after* LLVM's optimizations and re-runs
+//! them afterwards (§6.1). We mirror that pipeline shape:
+//!
+//! * [`OptLevel::PreInstrument`] — run on freshly lowered IR: constant
+//!   folding, block-local copy propagation, dead-code elimination
+//!   (including side-effect-free loads), and CFG cleanup.
+//! * [`OptLevel::PostInstrument`] — run after an instrumentation pass:
+//!   the same, except loads and runtime calls are never removed (checks
+//!   must stay, and instrumented loads can trap).
+
+use crate::ir::*;
+use sb_cir::hir::{ArithOp, CmpOp};
+use sb_cir::types::IntKind;
+use std::collections::{HashMap, HashSet};
+
+/// Pipeline placement, which constrains what may be deleted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptLevel {
+    /// Before instrumentation: loads are removable dead code.
+    PreInstrument,
+    /// After instrumentation: loads and `Rt` calls are pinned.
+    PostInstrument,
+}
+
+/// Optimizes every function in the module in place. Returns the number of
+/// instructions removed (for pass statistics).
+pub fn optimize(m: &mut Module, level: OptLevel) -> usize {
+    let before = m.inst_count();
+    for f in &mut m.funcs {
+        if !f.defined {
+            continue;
+        }
+        // A few rounds to a fixpoint (bounded for predictability).
+        for _ in 0..4 {
+            let mut changed = false;
+            changed |= const_fold(f);
+            changed |= copy_propagate(f);
+            changed |= dce(f, level);
+            changed |= simplify_cfg(f);
+            if !changed {
+                break;
+            }
+        }
+    }
+    before.saturating_sub(m.inst_count())
+}
+
+/// Evaluates a binary op on constants with kind `k` (the same semantics
+/// the VM uses).
+pub fn eval_bin(op: ArithOp, k: IntKind, a: i64, b: i64) -> Option<i64> {
+    let (a, b) = (k.wrap(a), k.wrap(b));
+    let v = match op {
+        ArithOp::Add => a.wrapping_add(b),
+        ArithOp::Sub => a.wrapping_sub(b),
+        ArithOp::Mul => a.wrapping_mul(b),
+        ArithOp::Div => {
+            if b == 0 {
+                return None;
+            }
+            if k.is_signed() {
+                a.wrapping_div(b)
+            } else {
+                ((a as u64).wrapping_div(b as u64)) as i64
+            }
+        }
+        ArithOp::Rem => {
+            if b == 0 {
+                return None;
+            }
+            if k.is_signed() {
+                a.wrapping_rem(b)
+            } else {
+                ((a as u64).wrapping_rem(b as u64)) as i64
+            }
+        }
+        ArithOp::And => a & b,
+        ArithOp::Or => a | b,
+        ArithOp::Xor => a ^ b,
+        ArithOp::Shl => a.wrapping_shl((b & 63) as u32),
+        ArithOp::Shr => {
+            if k.is_signed() {
+                a.wrapping_shr((b & 63) as u32)
+            } else {
+                (((a as u64) & mask(k)).wrapping_shr((b & 63) as u32)) as i64
+            }
+        }
+    };
+    Some(k.wrap(v))
+}
+
+fn mask(k: IntKind) -> u64 {
+    match k.size() {
+        1 => 0xff,
+        2 => 0xffff,
+        4 => 0xffff_ffff,
+        _ => u64::MAX,
+    }
+}
+
+/// Evaluates a comparison on constants with kind `k`.
+pub fn eval_cmp(op: CmpOp, k: IntKind, a: i64, b: i64) -> i64 {
+    let (a, b) = (k.wrap(a), k.wrap(b));
+    let r = if k.is_signed() {
+        match op {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    } else {
+        let (a, b) = (a as u64 & mask(k), b as u64 & mask(k));
+        match op {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    };
+    r as i64
+}
+
+fn const_fold(f: &mut Function) -> bool {
+    let mut changed = false;
+    for b in &mut f.blocks {
+        for inst in &mut b.insts {
+            let replacement = match inst {
+                Inst::Bin { dst, op, k, lhs: Value::Const(a), rhs: Value::Const(c) } => {
+                    eval_bin(*op, *k, *a, *c).map(|v| Inst::Mov { dst: *dst, src: Value::Const(v) })
+                }
+                Inst::Cmp { dst, op, k, lhs: Value::Const(a), rhs: Value::Const(c) } => {
+                    Some(Inst::Mov { dst: *dst, src: Value::Const(eval_cmp(*op, *k, *a, *c)) })
+                }
+                Inst::Cast { dst, k, src: Value::Const(a) } => {
+                    Some(Inst::Mov { dst: *dst, src: Value::Const(k.wrap(*a)) })
+                }
+                Inst::Gep {
+                    dst,
+                    base: Value::Const(a),
+                    index: Value::Const(i),
+                    scale,
+                    offset,
+                    ..
+                } => Some(Inst::Mov {
+                    dst: *dst,
+                    src: Value::Const(
+                        a.wrapping_add(i.wrapping_mul(*scale as i64)).wrapping_add(*offset),
+                    ),
+                }),
+                Inst::Gep {
+                    dst,
+                    base,
+                    index: Value::Const(0),
+                    offset: 0,
+                    field_size: None,
+                    ..
+                } => Some(Inst::Mov { dst: *dst, src: *base }),
+                // x+0, x*1-style identities (common after lowering).
+                Inst::Bin { dst, op: ArithOp::Add, lhs, rhs: Value::Const(0), k }
+                    if *k == IntKind::I64 || *k == IntKind::U64 =>
+                {
+                    Some(Inst::Mov { dst: *dst, src: *lhs })
+                }
+                _ => None,
+            };
+            if let Some(r) = replacement {
+                if *inst != r {
+                    *inst = r;
+                    changed = true;
+                }
+            }
+        }
+        // Fold constant branches into jumps.
+        if let Some(Inst::Br { cond: Value::Const(c), then_to, else_to }) = b.insts.last().cloned()
+        {
+            let to = if c != 0 { then_to } else { else_to };
+            *b.insts.last_mut().expect("non-empty") = Inst::Jmp { to };
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Block-local copy propagation. Safe with mutable registers because the
+/// mapping is invalidated whenever either side is redefined, and never
+/// crosses block boundaries. Constants are never propagated into
+/// pointer-kind registers' uses: instrumentation passes identify pointer
+/// call arguments by register kind, and folding `Mov ptr_reg, 0` away
+/// would change that classification.
+fn copy_propagate(f: &mut Function) -> bool {
+    let mut changed = false;
+    let reg_kinds = f.reg_kinds.clone();
+    for b in &mut f.blocks {
+        let mut map: HashMap<RegId, Value> = HashMap::new();
+        for inst in &mut b.insts {
+            // Rewrite uses first.
+            inst.for_each_use_mut(|v| {
+                if let Value::Reg(r) = v {
+                    if let Some(repl) = map.get(r) {
+                        *v = *repl;
+                        changed = true;
+                    }
+                }
+            });
+            // Kill mappings clobbered by this instruction's defs.
+            for d in inst.defs() {
+                map.remove(&d);
+                map.retain(|_, v| *v != Value::Reg(d));
+            }
+            // Record new copies (but keep pointer registers symbolic).
+            if let Inst::Mov { dst, src } = inst {
+                let ptr_const = matches!(src, Value::Const(_))
+                    && reg_kinds[dst.0 as usize] == crate::ir::RegKind::Ptr;
+                if *src != Value::Reg(*dst) && !ptr_const {
+                    map.insert(*dst, *src);
+                }
+            }
+        }
+    }
+    changed
+}
+
+fn has_side_effect(inst: &Inst, level: OptLevel) -> bool {
+    match inst {
+        Inst::Store { .. }
+        | Inst::Call { .. }
+        | Inst::Rt { .. }
+        | Inst::Ret { .. }
+        | Inst::Jmp { .. }
+        | Inst::Br { .. }
+        | Inst::Unreachable
+        | Inst::Alloca { .. } => true,
+        Inst::Load { .. } => level == OptLevel::PostInstrument,
+        _ => false,
+    }
+}
+
+fn dce(f: &mut Function, level: OptLevel) -> bool {
+    // A register is live if it appears in any use position (registers are
+    // mutable, so this is a whole-function property).
+    let mut used: HashSet<RegId> = HashSet::new();
+    for b in &f.blocks {
+        for inst in &b.insts {
+            inst.for_each_use(|v| {
+                if let Value::Reg(r) = v {
+                    used.insert(*r);
+                }
+            });
+        }
+    }
+    let mut changed = false;
+    for b in &mut f.blocks {
+        let before = b.insts.len();
+        b.insts.retain(|inst| {
+            if has_side_effect(inst, level) {
+                return true;
+            }
+            let defs = inst.defs();
+            defs.is_empty() || defs.iter().any(|d| used.contains(d))
+        });
+        changed |= b.insts.len() != before;
+    }
+    changed
+}
+
+/// Removes unreachable blocks and threads trivial jump chains.
+fn simplify_cfg(f: &mut Function) -> bool {
+    let mut changed = false;
+
+    // Thread jumps through blocks that are a single `Jmp`.
+    let trampoline: Vec<Option<BlockId>> = f
+        .blocks
+        .iter()
+        .map(|b| match b.insts.as_slice() {
+            [Inst::Jmp { to }] => Some(*to),
+            _ => None,
+        })
+        .collect();
+    let nblocks = f.blocks.len();
+    let resolve = move |mut t: BlockId| -> BlockId {
+        // Bounded chase to tolerate (degenerate) jump cycles.
+        for _ in 0..nblocks {
+            match trampoline[t.0 as usize] {
+                Some(next) if next != t => t = next,
+                _ => break,
+            }
+        }
+        t
+    };
+    for b in &mut f.blocks {
+        if let Some(last) = b.insts.last_mut() {
+            match last {
+                Inst::Jmp { to } => {
+                    let r = resolve(*to);
+                    if r != *to {
+                        *to = r;
+                        changed = true;
+                    }
+                }
+                Inst::Br { then_to, else_to, .. } => {
+                    let rt_ = resolve(*then_to);
+                    let re = resolve(*else_to);
+                    if rt_ != *then_to || re != *else_to {
+                        *then_to = rt_;
+                        *else_to = re;
+                        changed = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Drop unreachable blocks (and remap ids).
+    let mut reachable = vec![false; f.blocks.len()];
+    let mut stack = vec![BlockId(0)];
+    while let Some(b) = stack.pop() {
+        if std::mem::replace(&mut reachable[b.0 as usize], true) {
+            continue;
+        }
+        if let Some(last) = f.blocks[b.0 as usize].insts.last() {
+            match last {
+                Inst::Jmp { to } => stack.push(*to),
+                Inst::Br { then_to, else_to, .. } => {
+                    stack.push(*then_to);
+                    stack.push(*else_to);
+                }
+                _ => {}
+            }
+        }
+    }
+    if reachable.iter().all(|&r| r) {
+        return changed;
+    }
+    let mut remap = vec![BlockId(0); f.blocks.len()];
+    let mut kept = Vec::with_capacity(f.blocks.len());
+    for (i, b) in f.blocks.drain(..).enumerate() {
+        if reachable[i] {
+            remap[i] = BlockId(kept.len() as u32);
+            kept.push(b);
+        }
+    }
+    for b in &mut kept {
+        if let Some(last) = b.insts.last_mut() {
+            match last {
+                Inst::Jmp { to } => *to = remap[to.0 as usize],
+                Inst::Br { then_to, else_to, .. } => {
+                    *then_to = remap[then_to.0 as usize];
+                    *else_to = remap[else_to.0 as usize];
+                }
+                _ => {}
+            }
+        }
+    }
+    f.blocks = kept;
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use crate::verify::verify;
+
+    fn module(src: &str) -> Module {
+        lower(&sb_cir::compile(src).expect("compiles"), "t")
+    }
+
+    #[test]
+    fn optimized_modules_still_verify() {
+        let srcs = [
+            "int main() { return 2 + 3 * 4; }",
+            "int f(int n) { int s = 0; for (int i = 0; i < n; i++) s += i; return s; }",
+            r#"
+            struct node { int v; struct node* next; };
+            int sum(struct node* l) { int s = 0; while (l) { s += l->v; l = l->next; } return s; }
+            int main() { return sum(0); }
+            "#,
+        ];
+        for src in srcs {
+            let mut m = module(src);
+            optimize(&mut m, OptLevel::PreInstrument);
+            verify(&m).unwrap_or_else(|e| panic!("verify after opt: {e}\n{m}"));
+        }
+    }
+
+    #[test]
+    fn const_folding_shrinks_code() {
+        let mut m = module("int main() { return (3 + 4) * (10 - 2); }");
+        let before = m.inst_count();
+        let removed = optimize(&mut m, OptLevel::PreInstrument);
+        assert!(removed > 0, "expected folding to remove instructions (before={before})");
+        // The function should now return a constant.
+        let f = m.func("main").expect("main");
+        let has_const_ret = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .any(|i| matches!(i, Inst::Ret { vals } if vals == &vec![Value::Const(56)]));
+        assert!(has_const_ret, "expected `ret 56`:\n{m}");
+    }
+
+    #[test]
+    fn eval_bin_semantics() {
+        assert_eq!(eval_bin(ArithOp::Add, IntKind::I32, i32::MAX as i64, 1), Some(i32::MIN as i64));
+        assert_eq!(eval_bin(ArithOp::Div, IntKind::I32, -7, 2), Some(-3));
+        assert_eq!(eval_bin(ArithOp::Div, IntKind::U32, -7i64, 2), Some(((-7i64 as u32) / 2) as i64));
+        assert_eq!(eval_bin(ArithOp::Div, IntKind::I32, 1, 0), None);
+        assert_eq!(eval_bin(ArithOp::Shr, IntKind::I32, -8, 1), Some(-4));
+        assert_eq!(eval_bin(ArithOp::Shr, IntKind::U32, -8i64, 1), Some((((-8i64 as u32) >> 1)) as i64));
+    }
+
+    #[test]
+    fn eval_cmp_signedness() {
+        assert_eq!(eval_cmp(CmpOp::Lt, IntKind::I32, -1, 1), 1);
+        assert_eq!(eval_cmp(CmpOp::Lt, IntKind::U32, -1i64, 1), 0, "-1 as u32 is huge");
+        assert_eq!(eval_cmp(CmpOp::Ge, IntKind::U64, -1i64, 1), 1);
+    }
+
+    #[test]
+    fn dead_loads_removed_pre_instrument_only() {
+        let src = "int g; int main() { int x = g; return 0; }";
+        let mut pre = module(src);
+        optimize(&mut pre, OptLevel::PreInstrument);
+        let pre_loads = pre
+            .funcs
+            .iter()
+            .flat_map(|f| f.blocks.iter().flat_map(|b| &b.insts))
+            .filter(|i| matches!(i, Inst::Load { .. }))
+            .count();
+        assert_eq!(pre_loads, 0);
+
+        let mut post = module(src);
+        optimize(&mut post, OptLevel::PostInstrument);
+        let post_loads = post
+            .funcs
+            .iter()
+            .flat_map(|f| f.blocks.iter().flat_map(|b| &b.insts))
+            .filter(|i| matches!(i, Inst::Load { .. }))
+            .count();
+        assert_eq!(post_loads, 1, "post-instrument DCE must keep loads");
+    }
+
+    #[test]
+    fn unreachable_blocks_removed() {
+        let mut m = module("int main() { if (0) { return 1; } return 2; }");
+        optimize(&mut m, OptLevel::PreInstrument);
+        verify(&m).expect("verifies");
+        let f = m.func("main").expect("main");
+        // `if (0)` arm should be gone after folding + CFG cleanup.
+        let has_ret1 = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .any(|i| matches!(i, Inst::Ret { vals } if vals == &vec![Value::Const(1)]));
+        assert!(!has_ret1, "dead branch should be removed:\n{m}");
+    }
+}

@@ -1,0 +1,1511 @@
+//! The IR interpreter ("the machine").
+//!
+//! Executes one [`Module`] against simulated memory with an x86-style
+//! instruction-count cost model, an optional L1 cache model, and an
+//! installed [`RuntimeHooks`] safety runtime.
+//!
+//! ## Control-flow realism
+//!
+//! To make the Wilander & Kamkar attack suite (paper Table 3) genuinely
+//! executable, each frame spills two words *into simulated memory* above
+//! its locals, like a real calling convention:
+//!
+//! ```text
+//!   frame_base → [allocas, declaration order ...]
+//!                [saved frame pointer]  (8 bytes)
+//!                [return token]         (8 bytes)
+//!   frame_top  →
+//! ```
+//!
+//! On return the machine validates both words. A corrupted return token
+//! that decodes to a function address transfers control there — the run
+//! ends as [`Outcome::Hijacked`], the attack-succeeded state. Likewise for
+//! corrupted saved frame pointers (via a fake frame) and `longjmp`
+//! buffers. Uninstrumented runs therefore demonstrate real control-flow
+//! hijacks; SoftBound-instrumented runs abort at the out-of-bounds store
+//! instead.
+
+use crate::mem::{decode_fn_addr, fn_addr, Heap, Mem, FN_BASE, GLOBAL_BASE, STACK_BASE};
+use crate::rt::{
+    CacheConfig, CacheSim, CostModel, ExecStats, NoRuntime, Outcome, RtCtx, RuntimeHooks, Trap,
+};
+use sb_cir::hir::Builtin;
+use sb_ir::opt::{eval_bin, eval_cmp};
+use sb_ir::{Callee, FuncId, Inst, MemTy, Module, RegId, RtFn, Value};
+
+/// Machine configuration.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Per-instruction costs.
+    pub cost: CostModel,
+    /// Optional L1 model (None = flat memory).
+    pub cache: Option<CacheConfig>,
+    /// Heap redzone bytes (used by the Valgrind-like baseline; 0 normally).
+    pub redzone: u64,
+    /// Dynamic instruction budget (runaway guard).
+    pub fuel: u64,
+    /// Maximum captured program output in bytes.
+    pub output_limit: usize,
+    /// Maximum call depth.
+    pub max_depth: usize,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            cost: CostModel::default(),
+            cache: None,
+            redzone: 0,
+            fuel: 2_000_000_000,
+            output_limit: 1 << 20,
+            max_depth: 100_000,
+        }
+    }
+}
+
+/// The result of one execution.
+#[derive(Debug)]
+pub struct RunResult {
+    /// How it ended.
+    pub outcome: Outcome,
+    /// Dynamic statistics (instructions, cycles, pointer memory ops…).
+    pub stats: ExecStats,
+    /// Captured `printf`/`puts` output.
+    pub output: String,
+}
+
+impl RunResult {
+    /// Convenience: the integer return value if the run finished normally.
+    pub fn ret(&self) -> Option<i64> {
+        match self.outcome {
+            Outcome::Finished { ret } => Some(ret),
+            _ => None,
+        }
+    }
+}
+
+const RET_TOKEN_BASE: u64 = 0x5245_5400_0000_0000;
+const SETJMP_TOKEN_BASE: u64 = 0x534A_0000_0000_0000;
+
+struct FramePlan {
+    /// (dst register, frame offset, alloca info index into the entry block)
+    allocas: Vec<(RegId, u64, usize)>,
+    /// Offset of the saved-frame-pointer slot.
+    fp_slot: u64,
+    /// Offset of the return-token slot.
+    token_slot: u64,
+    /// Total frame bytes (16-aligned).
+    size: u64,
+}
+
+struct Frame {
+    func: usize,
+    block: u32,
+    idx: usize,
+    regs: Vec<i64>,
+    ret_dsts: Vec<RegId>,
+    frame_base: u64,
+    expected_token: u64,
+    serial: u64,
+    allocas: Vec<(u64, u64)>,
+    varargs: Vec<i64>,
+}
+
+struct JumpPoint {
+    depth: usize,
+    serial: u64,
+    func: usize,
+    block: u32,
+    idx: usize,
+    dst: Option<RegId>,
+}
+
+enum Flow {
+    Continue,
+    Finished(i64),
+    Exited(i64),
+    Hijacked(String),
+}
+
+/// An executing machine bound to a module.
+pub struct Machine<'m> {
+    module: &'m Module,
+    /// Simulated memory (public for tests and runtimes).
+    pub mem: Mem,
+    /// The heap allocator.
+    pub heap: Heap,
+    global_addrs: Vec<u64>,
+    plans: Vec<FramePlan>,
+    cfg: MachineConfig,
+    hooks: Box<dyn RuntimeHooks>,
+    cache: Option<CacheSim>,
+    /// Execution statistics.
+    pub stats: ExecStats,
+    output: Vec<u8>,
+    rng: u64,
+    stack_top: u64,
+    frames: Vec<Frame>,
+    setjmps: Vec<JumpPoint>,
+    ctx: RtCtx,
+    fuel: u64,
+    frame_serial: u64,
+}
+
+impl<'m> Machine<'m> {
+    /// Creates a machine with an installed safety runtime.
+    pub fn new(module: &'m Module, cfg: MachineConfig, hooks: Box<dyn RuntimeHooks>) -> Self {
+        let cache = cfg.cache.map(CacheSim::new);
+        let heap = Heap::new(cfg.redzone);
+        let fuel = cfg.fuel;
+        let mut m = Machine {
+            module,
+            mem: Mem::new(),
+            heap,
+            global_addrs: Vec::new(),
+            plans: Vec::new(),
+            cfg,
+            hooks,
+            cache,
+            stats: ExecStats::default(),
+            output: Vec::new(),
+            rng: 0x2545_F491_4F6C_DD1D,
+            stack_top: STACK_BASE,
+            frames: Vec::new(),
+            setjmps: Vec::new(),
+            ctx: RtCtx::default(),
+            fuel,
+            frame_serial: 0,
+        };
+        m.layout_globals();
+        m.build_plans();
+        m
+    }
+
+    /// Creates an uninstrumented machine (no safety runtime).
+    pub fn uninstrumented(module: &'m Module) -> Self {
+        Machine::new(module, MachineConfig::default(), Box::new(NoRuntime))
+    }
+
+    /// Address of a named global (for tests and attack drivers).
+    pub fn global_addr(&self, name: &str) -> Option<u64> {
+        let id = self.module.global_id(name)?;
+        Some(self.global_addrs[id.0 as usize])
+    }
+
+    fn layout_globals(&mut self) {
+        let mut next = GLOBAL_BASE;
+        for g in &self.module.globals {
+            let align = g.align.max(1);
+            next = next.div_ceil(align) * align;
+            self.global_addrs.push(next);
+            next += g.size.max(1);
+        }
+        self.mem.map_range(GLOBAL_BASE, next - GLOBAL_BASE + 1);
+        for (i, g) in self.module.globals.iter().enumerate() {
+            let base = self.global_addrs[i];
+            for (off, init) in &g.init {
+                match init {
+                    sb_ir::GInit::Bytes(b) => {
+                        self.mem.write(base + off, b).expect("global segment mapped");
+                    }
+                    sb_ir::GInit::GlobalAddr { id, offset } => {
+                        let v = self.global_addrs[id.0 as usize] + offset;
+                        self.mem.write_uint(base + off, 8, v).expect("global segment mapped");
+                    }
+                    sb_ir::GInit::FuncAddr(fid) => {
+                        self.mem
+                            .write_uint(base + off, 8, fn_addr(fid.0))
+                            .expect("global segment mapped");
+                    }
+                }
+            }
+        }
+        // Lifecycle events after everything is laid out.
+        for (i, g) in self.module.globals.iter().enumerate() {
+            self.ctx.reset(0);
+            self.hooks.on_global(self.global_addrs[i], g.size, &mut self.ctx);
+        }
+    }
+
+    fn build_plans(&mut self) {
+        for f in &self.module.funcs {
+            let mut allocas = Vec::new();
+            let mut off: u64 = 0;
+            if f.defined {
+                for (ii, inst) in f.blocks[0].insts.iter().enumerate() {
+                    if let Inst::Alloca { dst, info } = inst {
+                        let a = info.align.max(1);
+                        off = off.div_ceil(a) * a;
+                        allocas.push((*dst, off, ii));
+                        off += info.size.max(1);
+                    }
+                }
+            }
+            let fp_slot = off.div_ceil(8) * 8;
+            let token_slot = fp_slot + 8;
+            let size = (token_slot + 8).div_ceil(16) * 16;
+            self.plans.push(FramePlan { allocas, fp_slot, token_slot, size });
+        }
+    }
+
+    /// Runs `entry` (falling back to `_sb_<entry>` for transformed
+    /// modules) with the given integer arguments.
+    ///
+    /// Functions whose name starts with `__ctor.` run first, in module
+    /// order — the C++-global-constructor convention instrumentation
+    /// passes use to seed global metadata (paper §5.2).
+    pub fn run(&mut self, entry: &str, args: &[i64]) -> RunResult {
+        // Transformed modules rename functions with a scheme prefix
+        // (`_sb_`, `_fat_`, `_mscc_`, …); fall back to any such renaming.
+        let fid = self.module.func_id(entry).or_else(|| {
+            self.module
+                .funcs
+                .iter()
+                .position(|f| {
+                    f.defined
+                        && f.name.starts_with('_')
+                        && f.name.ends_with(entry)
+                        && f.name.len() > entry.len()
+                        && f.name.as_bytes()[f.name.len() - entry.len() - 1] == b'_'
+                })
+                .map(|i| FuncId(i as u32))
+        });
+        let Some(fid) = fid else {
+            return RunResult {
+                outcome: Outcome::Trapped(Trap::UndefinedFunction(entry.to_owned())),
+                stats: std::mem::take(&mut self.stats),
+                output: String::new(),
+            };
+        };
+        let ctors: Vec<FuncId> = (0..self.module.funcs.len() as u32)
+            .map(FuncId)
+            .filter(|f| {
+                let func = &self.module.funcs[f.0 as usize];
+                func.defined && func.name.starts_with("__ctor.")
+            })
+            .collect();
+        let mut outcome = None;
+        for ctor in ctors {
+            match self.invoke(ctor, &[]) {
+                Outcome::Finished { .. } => {}
+                other => {
+                    outcome = Some(other);
+                    break;
+                }
+            }
+        }
+        let outcome = outcome.unwrap_or_else(|| self.invoke(fid, args));
+        self.stats.cache = self.cache.as_ref().map(|c| c.stats).unwrap_or_default();
+        RunResult {
+            outcome,
+            stats: self.stats.clone(),
+            output: String::from_utf8_lossy(&self.output).into_owned(),
+        }
+    }
+
+    /// Pushes a frame for `fid` and steps it to completion.
+    fn invoke(&mut self, fid: FuncId, args: &[i64]) -> Outcome {
+        match self.push_frame(fid, args, Vec::new()) {
+            Err(t) => Outcome::Trapped(t),
+            Ok(()) => loop {
+                match self.step() {
+                    Ok(Flow::Continue) => {}
+                    Ok(Flow::Finished(v)) => break Outcome::Finished { ret: v },
+                    Ok(Flow::Exited(c)) => break Outcome::Exited { code: c },
+                    Ok(Flow::Hijacked(t)) => break Outcome::Hijacked { target: t },
+                    Err(t) => break Outcome::Trapped(t),
+                }
+            },
+        }
+    }
+
+    // ------------------------------------------------------------- frames
+
+    fn push_frame(&mut self, fid: FuncId, args: &[i64], ret_dsts: Vec<RegId>) -> Result<(), Trap> {
+        let module: &'m Module = self.module;
+        let f = &module.funcs[fid.0 as usize];
+        if !f.defined {
+            return Err(Trap::UndefinedFunction(f.name.clone()));
+        }
+        if self.frames.len() >= self.cfg.max_depth {
+            return Err(Trap::OutOfMemory);
+        }
+        let plan = &self.plans[fid.0 as usize];
+        let (plan_size, fp_slot, token_slot) = (plan.size, plan.fp_slot, plan.token_slot);
+        let plan_allocas = plan.allocas.clone();
+        let frame_base = self.stack_top.div_ceil(16) * 16;
+        self.mem.map_range(frame_base, plan_size);
+        self.stack_top = frame_base + plan_size;
+
+        self.frame_serial += 1;
+        let serial = self.frame_serial;
+        let expected_token = RET_TOKEN_BASE | serial;
+        self.mem
+            .write_uint(frame_base + fp_slot, 8, frame_base)
+            .expect("frame mapped");
+        self.mem
+            .write_uint(frame_base + token_slot, 8, expected_token)
+            .expect("frame mapped");
+
+        let mut regs = vec![0i64; f.reg_kinds.len()];
+        let nparams = f.params.len();
+        for (i, &p) in f.params.iter().enumerate() {
+            regs[p.0 as usize] = args.get(i).copied().unwrap_or(0);
+        }
+        let varargs: Vec<i64> = args.get(nparams..).unwrap_or(&[]).to_vec();
+
+        // Materialize allocas now (the Alloca instructions become cheap
+        // moves) and fire lifecycle events.
+        let mut allocas = Vec::with_capacity(plan_allocas.len());
+        for &(dst, off, ii) in &plan_allocas {
+            let addr = frame_base + off;
+            regs[dst.0 as usize] = addr as i64;
+            let Inst::Alloca { info, .. } = &f.blocks[0].insts[ii] else {
+                unreachable!("plan indexes an alloca");
+            };
+            allocas.push((addr, info.size));
+            self.ctx.reset(varargs.len() as u64);
+            self.hooks.on_alloca(addr, info, &mut self.ctx);
+            self.charge_ctx();
+        }
+
+        self.stats.calls += 1;
+        self.stats.max_depth = self.stats.max_depth.max(self.frames.len() as u64 + 1);
+        self.stats.cycles += self.cfg.cost.call + self.cfg.cost.call_arg * args.len() as u64;
+        self.frames.push(Frame {
+            func: fid.0 as usize,
+            block: 0,
+            idx: 0,
+            regs,
+            ret_dsts,
+            frame_base,
+            expected_token,
+            serial,
+            allocas,
+            varargs,
+        });
+        Ok(())
+    }
+
+    /// Validates the spilled return token and saved frame pointer, then
+    /// pops the frame. Returns a hijack target if the attacker won.
+    fn pop_frame(&mut self, vals: &[i64]) -> Result<Option<Flow>, Trap> {
+        let frame = self.frames.last().expect("frame exists");
+        let fid = frame.func;
+        let plan = &self.plans[fid];
+        let token = self.mem.read_uint(frame.frame_base + plan.token_slot, 8)?;
+        if token != frame.expected_token {
+            if let Some(t) = decode_fn_addr(token) {
+                if (t as usize) < self.module.funcs.len() {
+                    let name = self.module.funcs[t as usize].name.clone();
+                    return Ok(Some(Flow::Hijacked(name)));
+                }
+            }
+            return Err(Trap::CorruptedReturn);
+        }
+        let fp = self.mem.read_uint(frame.frame_base + plan.fp_slot, 8)?;
+        if fp != frame.frame_base {
+            // Fake-frame attack: the attacker repoints the saved FP at a
+            // crafted frame whose "return token" slot redirects control.
+            if let Ok(fake_ret) = self.mem.read_uint(fp.wrapping_add(8), 8) {
+                if let Some(t) = decode_fn_addr(fake_ret) {
+                    if (t as usize) < self.module.funcs.len() {
+                        let name = self.module.funcs[t as usize].name.clone();
+                        return Ok(Some(Flow::Hijacked(name)));
+                    }
+                }
+            }
+            return Err(Trap::CorruptedFrame);
+        }
+
+        let frame = self.frames.pop().expect("frame exists");
+        self.ctx.reset(0);
+        self.hooks.on_frame_exit(&frame.allocas, &mut self.ctx);
+        self.charge_ctx();
+        self.stack_top = frame.frame_base;
+        // setjmp targets in dead frames are detected via their serial at
+        // longjmp time (entries stay so token indices remain stable).
+        self.stats.cycles += self.cfg.cost.ret;
+
+        if self.frames.is_empty() {
+            return Ok(Some(Flow::Finished(vals.first().copied().unwrap_or(0))));
+        }
+        let caller = self.frames.last_mut().expect("caller exists");
+        for (i, dst) in frame.ret_dsts.iter().enumerate() {
+            caller.regs[dst.0 as usize] = vals.get(i).copied().unwrap_or(0);
+        }
+        Ok(None)
+    }
+
+    // ------------------------------------------------------------ stepping
+
+    fn charge_ctx(&mut self) {
+        self.stats.cycles += self.ctx.cost;
+        self.stats.rt_cycles += self.ctx.cost;
+        if let Some(c) = self.cache.as_mut() {
+            // Drain without holding a borrow on self.ctx across the loop.
+            for i in 0..self.ctx.touched.len() {
+                let pen = c.access(self.ctx.touched[i]);
+                self.stats.cycles += pen;
+                self.stats.rt_cycles += pen;
+            }
+        }
+        self.ctx.touched.clear();
+    }
+
+    fn touch(&mut self, addr: u64) {
+        if let Some(c) = self.cache.as_mut() {
+            self.stats.cycles += c.access(addr);
+        }
+    }
+
+    fn val(&self, v: &Value) -> i64 {
+        match v {
+            Value::Reg(r) => self.frames.last().expect("frame").regs[r.0 as usize],
+            Value::Const(c) => *c,
+            Value::GlobalAddr { id, offset } => {
+                (self.global_addrs[id.0 as usize] + offset) as i64
+            }
+            Value::FuncAddr(f) => fn_addr(f.0) as i64,
+        }
+    }
+
+    fn set_reg(&mut self, r: RegId, v: i64) {
+        self.frames.last_mut().expect("frame").regs[r.0 as usize] = v;
+    }
+
+    fn step(&mut self) -> Result<Flow, Trap> {
+        if self.fuel == 0 {
+            return Err(Trap::FuelExhausted);
+        }
+        self.fuel -= 1;
+        self.stats.insts += 1;
+
+        let module: &'m Module = self.module;
+        let frame = self.frames.last().expect("frame");
+        let (fidx, bidx, iidx) = (frame.func, frame.block, frame.idx);
+        let inst = &module.funcs[fidx].blocks[bidx as usize].insts[iidx];
+        // Default: advance to the next instruction.
+        self.frames.last_mut().expect("frame").idx += 1;
+
+        let cost = &self.cfg.cost;
+        match inst {
+            Inst::Bin { dst, op, k, lhs, rhs } => {
+                let a = self.val(lhs);
+                let b = self.val(rhs);
+                let v = eval_bin(*op, *k, a, b).ok_or(Trap::DivByZero)?;
+                self.stats.cycles += match op {
+                    sb_ir::ArithOp::Mul => cost.mul,
+                    sb_ir::ArithOp::Div | sb_ir::ArithOp::Rem => cost.div,
+                    _ => cost.alu,
+                };
+                self.set_reg(*dst, v);
+            }
+            Inst::Cmp { dst, op, k, lhs, rhs } => {
+                let a = self.val(lhs);
+                let b = self.val(rhs);
+                self.stats.cycles += cost.cmp;
+                self.set_reg(*dst, eval_cmp(*op, *k, a, b));
+            }
+            Inst::Cast { dst, k, src } => {
+                let v = k.wrap(self.val(src));
+                self.stats.cycles += cost.cast;
+                self.set_reg(*dst, v);
+            }
+            Inst::Mov { dst, src } => {
+                let v = self.val(src);
+                self.stats.cycles += cost.mov;
+                self.set_reg(*dst, v);
+            }
+            Inst::Alloca { dst, .. } => {
+                // Address precomputed at frame entry; ensure it is set (it
+                // is — push_frame wrote it), cost folded into call.
+                let cur = self.frames.last().expect("frame").regs[dst.0 as usize];
+                debug_assert_ne!(cur, 0, "alloca address must be precomputed");
+            }
+            Inst::Load { dst, mem, addr } => {
+                let a = self.val(addr) as u64;
+                let size = mem.size();
+                let raw = self.mem.read_uint(a, size)?;
+                let v = extend(raw, *mem);
+                self.stats.loads += 1;
+                if mem.is_ptr() {
+                    self.stats.ptr_mem_ops += 1;
+                }
+                self.stats.cycles += cost.load;
+                self.touch(a);
+                self.set_reg(*dst, v);
+            }
+            Inst::Store { mem, addr, value } => {
+                let a = self.val(addr) as u64;
+                let v = self.val(value);
+                self.mem.write_uint(a, mem.size(), v as u64)?;
+                self.stats.stores += 1;
+                if mem.is_ptr() {
+                    self.stats.ptr_mem_ops += 1;
+                }
+                self.stats.cycles += cost.store;
+                self.touch(a);
+            }
+            Inst::Gep { dst, base, index, scale, offset, .. } => {
+                let b = self.val(base);
+                let i = self.val(index);
+                let v = b
+                    .wrapping_add(i.wrapping_mul(*scale as i64))
+                    .wrapping_add(*offset);
+                self.stats.cycles += cost.gep;
+                self.set_reg(*dst, v);
+            }
+            Inst::Jmp { to } => {
+                self.stats.cycles += cost.jmp;
+                let f = self.frames.last_mut().expect("frame");
+                f.block = to.0;
+                f.idx = 0;
+            }
+            Inst::Br { cond, then_to, else_to } => {
+                let c = self.val(cond);
+                self.stats.cycles += cost.branch;
+                let to = if c != 0 { *then_to } else { *else_to };
+                let f = self.frames.last_mut().expect("frame");
+                f.block = to.0;
+                f.idx = 0;
+            }
+            Inst::Ret { vals } => {
+                let vs: Vec<i64> = vals.iter().map(|v| self.val(v)).collect();
+                if let Some(flow) = self.pop_frame(&vs)? {
+                    return Ok(flow);
+                }
+            }
+            Inst::Unreachable => return Err(Trap::Unreachable),
+            Inst::Rt { dsts, rt, args } => {
+                let avs: Vec<i64> = args.iter().map(|v| self.val(v)).collect();
+                let va = self.frames.last().expect("frame").varargs.len() as u64;
+                self.ctx.reset(va);
+                self.stats.rt_calls += 1;
+                match rt {
+                    RtFn::SbCheck { .. } | RtFn::ObjCheckDeref { .. } | RtFn::VgCheck { .. }
+                    | RtFn::MsccCheck { .. } | RtFn::ObjCheckArith | RtFn::SbFnCheck => {
+                        self.stats.checks += 1;
+                    }
+                    RtFn::SbMetaLoad | RtFn::MsccMetaLoad => self.stats.meta_loads += 1,
+                    RtFn::SbMetaStore | RtFn::MsccMetaStore => self.stats.meta_stores += 1,
+                    _ => {}
+                }
+                let res = self.hooks.rt_call(*rt, &avs, &mut self.mem, &mut self.ctx);
+                self.charge_ctx();
+                let vals = res?;
+                for (i, d) in dsts.iter().enumerate() {
+                    self.set_reg(*d, vals[i]);
+                }
+            }
+            Inst::Call { dsts, callee, args, ptr_hint, wrapped } => {
+                let avs: Vec<i64> = args.iter().map(|v| self.val(v)).collect();
+                match callee {
+                    Callee::Direct(fid) => {
+                        self.push_frame(*fid, &avs, dsts.clone())?;
+                    }
+                    Callee::Indirect(v) => {
+                        let target = self.val(v) as u64;
+                        let Some(fi) = decode_fn_addr(target) else {
+                            return Err(Trap::BadIndirectCall { addr: target });
+                        };
+                        if fi as usize >= module.funcs.len() {
+                            return Err(Trap::BadIndirectCall { addr: target });
+                        }
+                        self.push_frame(FuncId(fi), &avs, dsts.clone())?;
+                    }
+                    Callee::Builtin(b) => {
+                        let flow =
+                            self.builtin(*b, dsts, &avs, *ptr_hint, *wrapped)?;
+                        if !matches!(flow, Flow::Continue) {
+                            return Ok(flow);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(Flow::Continue)
+    }
+
+    // ------------------------------------------------------------ builtins
+
+    #[allow(clippy::too_many_lines)]
+    fn builtin(
+        &mut self,
+        b: Builtin,
+        dsts: &[RegId],
+        args: &[i64],
+        ptr_hint: bool,
+        wrapped: bool,
+    ) -> Result<Flow, Trap> {
+        let cost = self.cfg.cost;
+        let set = |m: &mut Self, i: usize, v: i64| {
+            if let Some(&d) = dsts.get(i) {
+                m.set_reg(d, v);
+            }
+        };
+        // Helper for wrapper-mode range checks (the paper's library
+        // wrappers, §5.2): `base <= lo && hi <= bound`.
+        let check_range = |lo: u64, len: u64, base: i64, bound: i64| -> Result<(), Trap> {
+            let (base, bound) = (base as u64, bound as u64);
+            if lo < base || lo + len > bound {
+                Err(Trap::SpatialViolation { scheme: "softbound-wrapper", addr: lo, write: true })
+            } else {
+                Ok(())
+            }
+        };
+        match b {
+            Builtin::Malloc | Builtin::Calloc => {
+                let size = if b == Builtin::Calloc {
+                    (args[0].max(0) as u64).saturating_mul(args[1].max(0) as u64)
+                } else {
+                    args[0].max(0) as u64
+                };
+                self.stats.mallocs += 1;
+                self.stats.cycles += 30 + size / 64;
+                match self.heap.alloc(&mut self.mem, size) {
+                    Some(p) => {
+                        self.ctx.reset(0);
+                        self.hooks.on_malloc(p, size, &mut self.ctx);
+                        self.charge_ctx();
+                        set(self, 0, p as i64);
+                        if wrapped {
+                            set(self, 1, p as i64);
+                            set(self, 2, (p + size) as i64);
+                        }
+                    }
+                    None => {
+                        set(self, 0, 0);
+                        if wrapped {
+                            set(self, 1, 0);
+                            set(self, 2, 0);
+                        }
+                    }
+                }
+            }
+            Builtin::Free => {
+                let p = args[0] as u64;
+                self.stats.frees += 1;
+                self.stats.cycles += 15;
+                if p != 0 {
+                    let size = self.heap.dealloc(p).ok_or(Trap::BadFree { addr: p })?;
+                    self.ctx.reset(0);
+                    self.hooks.on_free(p, size, ptr_hint, &mut self.ctx);
+                    self.charge_ctx();
+                }
+            }
+            Builtin::Memcpy => {
+                let (d, s, n) = (args[0] as u64, args[1] as u64, args[2].max(0) as u64);
+                if wrapped {
+                    // One check per buffer, at the start (§5.2).
+                    check_range(s, n, args[3 + 2], args[3 + 3])?; // src bounds
+                    check_range(d, n, args[3], args[3 + 1])?; // dst bounds
+                    self.stats.checks += 2;
+                    self.stats.cycles += 6;
+                }
+                self.hook_range(s, n, false)?;
+                self.hook_range(d, n, true)?;
+                self.copy_bytes(d, s, n)?;
+                self.stats.cycles += 4 + n / 8;
+                set(self, 0, d as i64);
+                if wrapped {
+                    set(self, 1, args[3]);
+                    set(self, 2, args[4]);
+                }
+            }
+            Builtin::Memset => {
+                let (d, c, n) = (args[0] as u64, args[1] as u8, args[2].max(0) as u64);
+                if wrapped {
+                    check_range(d, n, args[3], args[4])?;
+                    self.stats.checks += 1;
+                    self.stats.cycles += 3;
+                }
+                self.hook_range(d, n, true)?;
+                let chunk = vec![c; 256];
+                let mut off = 0;
+                while off < n {
+                    let len = (n - off).min(256);
+                    self.mem.write(d + off, &chunk[..len as usize])?;
+                    off += len;
+                }
+                self.stats.cycles += 4 + n / 8;
+                set(self, 0, d as i64);
+                if wrapped {
+                    set(self, 1, args[3]);
+                    set(self, 2, args[4]);
+                }
+            }
+            Builtin::Strcpy | Builtin::Strcat => {
+                let (d, s) = (args[0] as u64, args[1] as u64);
+                let sv = self.mem.read_cstr(s, 1 << 20)?;
+                let dlen = if b == Builtin::Strcat {
+                    self.mem.read_cstr(d, 1 << 20)?.len() as u64
+                } else {
+                    0
+                };
+                let n = sv.len() as u64 + 1;
+                if wrapped {
+                    check_range(s, n, args[4], args[5])?;
+                    check_range(d + dlen, n, args[2], args[3])?;
+                    self.stats.checks += 2;
+                    self.stats.cycles += 6;
+                }
+                self.hook_range(s, n, false)?;
+                self.hook_range(d + dlen, n, true)?;
+                self.mem.write(d + dlen, &sv)?;
+                self.mem.write_uint(d + dlen + sv.len() as u64, 1, 0)?;
+                self.stats.cycles += 4 + n;
+                set(self, 0, d as i64);
+                if wrapped {
+                    set(self, 1, args[2]);
+                    set(self, 2, args[3]);
+                }
+            }
+            Builtin::Strncpy => {
+                let (d, s, n) = (args[0] as u64, args[1] as u64, args[2].max(0) as u64);
+                let sv = self.mem.read_cstr(s, n)?;
+                if wrapped {
+                    check_range(d, n, args[3], args[4])?;
+                    check_range(s, (sv.len() as u64 + 1).min(n), args[5], args[6])?;
+                    self.stats.checks += 2;
+                    self.stats.cycles += 6;
+                }
+                self.hook_range(s, (sv.len() as u64 + 1).min(n), false)?;
+                self.hook_range(d, n, true)?;
+                let mut buf = sv.clone();
+                buf.resize(n as usize, 0);
+                self.mem.write(d, &buf)?;
+                self.stats.cycles += 4 + n;
+                set(self, 0, d as i64);
+                if wrapped {
+                    set(self, 1, args[3]);
+                    set(self, 2, args[4]);
+                }
+            }
+            Builtin::Strlen => {
+                let s = args[0] as u64;
+                let sv = self.mem.read_cstr(s, 1 << 20)?;
+                if wrapped {
+                    check_range(s, sv.len() as u64 + 1, args[1], args[2])?;
+                    self.stats.checks += 1;
+                    self.stats.cycles += 3;
+                }
+                self.hook_range(s, sv.len() as u64 + 1, false)?;
+                self.stats.cycles += 2 + sv.len() as u64;
+                set(self, 0, sv.len() as i64);
+            }
+            Builtin::Strcmp | Builtin::Strncmp => {
+                let a = self.mem.read_cstr(args[0] as u64, 1 << 20)?;
+                let c = self.mem.read_cstr(args[1] as u64, 1 << 20)?;
+                let (a, c) = if b == Builtin::Strncmp {
+                    let n = args[2].max(0) as usize;
+                    (a[..a.len().min(n)].to_vec(), c[..c.len().min(n)].to_vec())
+                } else {
+                    (a, c)
+                };
+                self.hook_range(args[0] as u64, a.len() as u64 + 1, false)?;
+                self.hook_range(args[1] as u64, c.len() as u64 + 1, false)?;
+                self.stats.cycles += 2 + a.len().min(c.len()) as u64;
+                set(self, 0, match a.cmp(&c) {
+                    std::cmp::Ordering::Less => -1,
+                    std::cmp::Ordering::Equal => 0,
+                    std::cmp::Ordering::Greater => 1,
+                });
+            }
+            Builtin::Printf => {
+                let n = self.printf(args, wrapped)?;
+                set(self, 0, n);
+            }
+            Builtin::Puts => {
+                let s = self.mem.read_cstr(args[0] as u64, 1 << 20)?;
+                if wrapped {
+                    check_range(args[0] as u64, s.len() as u64 + 1, args[1], args[2])?;
+                    self.stats.checks += 1;
+                }
+                self.hook_range(args[0] as u64, s.len() as u64 + 1, false)?;
+                self.stats.cycles += 2 + s.len() as u64;
+                self.emit_out(&s);
+                self.emit_out(b"\n");
+                set(self, 0, 0);
+            }
+            Builtin::Putchar => {
+                self.emit_out(&[args[0] as u8]);
+                self.stats.cycles += 2;
+                set(self, 0, args[0]);
+            }
+            Builtin::Abort => return Err(Trap::Abort),
+            Builtin::Exit => return Ok(Flow::Exited(*args.first().unwrap_or(&0))),
+            Builtin::Assert => {
+                if args[0] == 0 {
+                    return Err(Trap::AssertFail);
+                }
+                self.stats.cycles += 1;
+            }
+            Builtin::Setjmp => {
+                let buf = args[0] as u64;
+                if wrapped {
+                    check_range(buf, 8, args[1], args[2])?;
+                    self.stats.checks += 1;
+                }
+                let frame = self.frames.last().expect("frame");
+                let jp = JumpPoint {
+                    depth: self.frames.len() - 1,
+                    serial: frame.serial,
+                    func: frame.func,
+                    block: frame.block,
+                    idx: frame.idx, // already advanced past the call
+                    dst: dsts.first().copied(),
+                };
+                let token = SETJMP_TOKEN_BASE | self.setjmps.len() as u64;
+                self.setjmps.push(jp);
+                self.mem.write_uint(buf, 8, token)?;
+                self.stats.cycles += 6;
+                set(self, 0, 0);
+            }
+            Builtin::Longjmp => {
+                let buf = args[0] as u64;
+                let v = *args.get(1).unwrap_or(&1);
+                let token = self.mem.read_uint(buf, 8)?;
+                self.stats.cycles += 8;
+                if token & 0xFFFF_0000_0000_0000 == SETJMP_TOKEN_BASE {
+                    let idx = (token & 0xFFFF_FFFF) as usize;
+                    if idx >= self.setjmps.len() {
+                        return Err(Trap::CorruptedJmpBuf);
+                    }
+                    let jp = &self.setjmps[idx];
+                    if jp.depth >= self.frames.len()
+                        || self.frames[jp.depth].serial != jp.serial
+                    {
+                        return Err(Trap::DeadJmpBuf);
+                    }
+                    // Unwind to the setjmp frame.
+                    let (depth, func, block, idx_r, dst) =
+                        (jp.depth, jp.func, jp.block, jp.idx, jp.dst);
+                    while self.frames.len() > depth + 1 {
+                        let dead = self.frames.pop().expect("frame");
+                        self.ctx.reset(0);
+                        self.hooks.on_frame_exit(&dead.allocas, &mut self.ctx);
+                        self.charge_ctx();
+                        self.stack_top = dead.frame_base;
+                    }
+                    let f = self.frames.last_mut().expect("frame");
+                    debug_assert_eq!(f.func, func);
+                    f.block = block;
+                    f.idx = idx_r;
+                    if let Some(d) = dst {
+                        f.regs[d.0 as usize] = if v == 0 { 1 } else { v };
+                    }
+                } else if let Some(t) = decode_fn_addr(token) {
+                    // Corrupted jmp_buf pointing at attacker code.
+                    if (t as usize) < self.module.funcs.len() {
+                        return Ok(Flow::Hijacked(self.module.funcs[t as usize].name.clone()));
+                    }
+                    return Err(Trap::CorruptedJmpBuf);
+                } else {
+                    return Err(Trap::CorruptedJmpBuf);
+                }
+            }
+            Builtin::Rand => {
+                self.rng = self
+                    .rng
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                self.stats.cycles += 4;
+                set(self, 0, ((self.rng >> 33) & 0x7fff_ffff) as i64);
+            }
+            Builtin::Srand => {
+                self.rng = (args[0] as u64) ^ 0x9E37_79B9_7F4A_7C15;
+                self.stats.cycles += 1;
+            }
+            Builtin::Setbound => {
+                // Identity at runtime; the SoftBound pass gives the result
+                // the explicit bounds [p, p+size) (§5.2).
+                set(self, 0, args[0]);
+                if wrapped {
+                    set(self, 1, args[0]);
+                    set(self, 2, args[0].wrapping_add(args[1]));
+                }
+                self.stats.cycles += 1;
+            }
+            Builtin::VaCount => {
+                let n = self.frames.last().expect("frame").varargs.len();
+                set(self, 0, n as i64);
+                self.stats.cycles += 1;
+            }
+            Builtin::VaArgLong | Builtin::VaArgPtr => {
+                let i = args[0].max(0) as usize;
+                let frame = self.frames.last().expect("frame");
+                let v = frame.varargs.get(i).copied().unwrap_or(0);
+                set(self, 0, v);
+                if wrapped && b == Builtin::VaArgPtr {
+                    // Pointers decoded from varargs get NULL bounds — the
+                    // safe default of §5.2 (any dereference traps).
+                    set(self, 1, 0);
+                    set(self, 2, 0);
+                }
+                self.stats.cycles += 2;
+            }
+        }
+        let _ = cost;
+        Ok(Flow::Continue)
+    }
+
+    /// Reports a builtin-touched buffer to the installed runtime (the
+    /// libc-interposition point used by object-table and addressability
+    /// schemes).
+    fn hook_range(&mut self, ptr: u64, len: u64, is_store: bool) -> Result<(), Trap> {
+        let va = self.frames.last().map(|f| f.varargs.len() as u64).unwrap_or(0);
+        self.ctx.reset(va);
+        let r = self.hooks.check_builtin_range(ptr, len, is_store, &mut self.ctx);
+        self.charge_ctx();
+        r
+    }
+
+    fn copy_bytes(&mut self, dst: u64, src: u64, n: u64) -> Result<(), Trap> {
+        let mut buf = vec![0u8; 256];
+        let mut off = 0;
+        while off < n {
+            let len = (n - off).min(256) as usize;
+            self.mem.read(src + off, &mut buf[..len])?;
+            self.mem.write(dst + off, &buf[..len])?;
+            off += len as u64;
+        }
+        Ok(())
+    }
+
+    fn emit_out(&mut self, bytes: &[u8]) {
+        if self.output.len() + bytes.len() <= self.cfg.output_limit {
+            self.output.extend_from_slice(bytes);
+        }
+    }
+
+    /// Minimal printf: `%d %u %ld %lu %x %c %s %p %%` with optional `-`,
+    /// `0` flags and width. Returns the number of bytes written.
+    fn printf(&mut self, args: &[i64], wrapped: bool) -> Result<i64, Trap> {
+        let fmt_ptr = args[0] as u64;
+        let fmt = self.mem.read_cstr(fmt_ptr, 1 << 16)?;
+        // In wrapper mode the last two args are the fmt bounds.
+        let va_end = if wrapped { args.len().saturating_sub(2) } else { args.len() };
+        if wrapped {
+            let (base, bound) = (args[va_end] as u64, args[va_end + 1] as u64);
+            let lo = fmt_ptr;
+            if lo < base || lo + fmt.len() as u64 + 1 > bound {
+                return Err(Trap::SpatialViolation {
+                    scheme: "softbound-wrapper",
+                    addr: lo,
+                    write: false,
+                });
+            }
+            self.stats.checks += 1;
+        }
+        let varargs = &args[1..va_end];
+        let mut ai = 0usize;
+        let mut out: Vec<u8> = Vec::with_capacity(fmt.len() + 16);
+        let mut i = 0usize;
+        while i < fmt.len() {
+            let c = fmt[i];
+            if c != b'%' {
+                out.push(c);
+                i += 1;
+                continue;
+            }
+            i += 1;
+            if i >= fmt.len() {
+                break;
+            }
+            // Flags and width.
+            let mut left = false;
+            let mut zero = false;
+            let mut width = 0usize;
+            while i < fmt.len() && (fmt[i] == b'-' || fmt[i] == b'0') {
+                if fmt[i] == b'-' {
+                    left = true;
+                } else {
+                    zero = true;
+                }
+                i += 1;
+            }
+            while i < fmt.len() && fmt[i].is_ascii_digit() {
+                width = width * 10 + (fmt[i] - b'0') as usize;
+                i += 1;
+            }
+            while i < fmt.len() && fmt[i] == b'l' {
+                i += 1;
+            }
+            if i >= fmt.len() {
+                break;
+            }
+            let conv = fmt[i];
+            i += 1;
+            let mut next = || {
+                let v = varargs.get(ai).copied().unwrap_or(0);
+                ai += 1;
+                v
+            };
+            let piece: Vec<u8> = match conv {
+                b'%' => vec![b'%'],
+                b'd' | b'i' => next().to_string().into_bytes(),
+                b'u' => (next() as u64).to_string().into_bytes(),
+                b'x' => format!("{:x}", next() as u64).into_bytes(),
+                b'p' => format!("{:#x}", next() as u64).into_bytes(),
+                b'c' => vec![next() as u8],
+                b's' => {
+                    let p = next() as u64;
+                    self.mem.read_cstr(p, 1 << 16)?
+                }
+                other => vec![b'%', other],
+            };
+            let pad = width.saturating_sub(piece.len());
+            if pad > 0 && !left {
+                let fill = if zero { b'0' } else { b' ' };
+                out.extend(std::iter::repeat(fill).take(pad));
+            }
+            out.extend_from_slice(&piece);
+            if pad > 0 && left {
+                out.extend(std::iter::repeat(b' ').take(pad));
+            }
+        }
+        self.stats.cycles += 10 + out.len() as u64;
+        let n = out.len() as i64;
+        self.emit_out(&out);
+        Ok(n)
+    }
+}
+
+fn extend(raw: u64, mem: MemTy) -> i64 {
+    match mem {
+        MemTy::I8 => raw as u8 as i8 as i64,
+        MemTy::U8 => raw as u8 as i64,
+        MemTy::I16 => raw as u16 as i16 as i64,
+        MemTy::U16 => raw as u16 as i64,
+        MemTy::I32 => raw as u32 as i32 as i64,
+        MemTy::U32 => raw as u32 as i64,
+        MemTy::I64 | MemTy::Ptr => raw as i64,
+    }
+}
+
+/// Compiles, lowers, optimizes and runs a CIR-C source uninstrumented:
+/// the one-call helper used across tests and examples.
+///
+/// # Panics
+///
+/// Panics if the source does not compile (tests pass known-good sources).
+pub fn run_source(src: &str, entry: &str, args: &[i64]) -> RunResult {
+    let prog = sb_cir::compile(src).expect("source compiles");
+    let mut module = sb_ir::lower(&prog, "run");
+    sb_ir::optimize(&mut module, sb_ir::OptLevel::PreInstrument);
+    sb_ir::verify(&module).expect("module verifies");
+    let mut m = Machine::uninstrumented(&module);
+    m.run(entry, args)
+}
+
+/// True if `addr` is in the synthetic code segment.
+pub fn is_code_addr(addr: u64) -> bool {
+    addr >= FN_BASE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> RunResult {
+        run_source(src, "main", &[])
+    }
+
+    fn ret(src: &str) -> i64 {
+        let r = run(src);
+        match r.outcome {
+            Outcome::Finished { ret } => ret,
+            other => panic!("expected normal finish, got {other:?}; output: {}", r.output),
+        }
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(ret("int main() { return 2 + 3 * 4 - 6 / 2; }"), 11);
+        assert_eq!(ret("int main() { int x = -7; return x % 3; }"), -1);
+        assert_eq!(ret("int main() { unsigned int x = 0 - 1; return x > 100; }"), 1);
+    }
+
+    #[test]
+    fn int_wrapping() {
+        assert_eq!(ret("int main() { int x = 2147483647; return x + 1 < 0; }"), 1);
+        assert_eq!(ret("int main() { char c = 200; return c < 0; }"), 1);
+        assert_eq!(ret("int main() { unsigned char c = 200; return c > 0; }"), 1);
+    }
+
+    #[test]
+    fn loops_and_conditionals() {
+        assert_eq!(
+            ret("int main() { int s = 0; for (int i = 1; i <= 10; i++) s += i; return s; }"),
+            55
+        );
+        assert_eq!(
+            ret("int main() { int n = 0; int i = 100; while (i > 1) { i /= 2; n++; } return n; }"),
+            6
+        );
+        assert_eq!(ret("int main() { return 3 > 2 ? 10 : 20; }"), 10);
+    }
+
+    #[test]
+    fn pointers_and_arrays() {
+        assert_eq!(
+            ret(r#"
+            int main() {
+                int a[5];
+                for (int i = 0; i < 5; i++) a[i] = i * i;
+                int* p = &a[1];
+                return p[2] + *(a + 4); // 9 + 16
+            }"#),
+            25
+        );
+    }
+
+    #[test]
+    fn structs_and_lists() {
+        assert_eq!(
+            ret(r#"
+            struct node { int v; struct node* next; };
+            int main() {
+                struct node* head = NULL;
+                for (int i = 1; i <= 4; i++) {
+                    struct node* n = (struct node*)malloc(sizeof(struct node));
+                    n->v = i;
+                    n->next = head;
+                    head = n;
+                }
+                int s = 0;
+                while (head) { s = s * 10 + head->v; head = head->next; }
+                return s; // 4321
+            }"#),
+            4321
+        );
+    }
+
+    #[test]
+    fn recursion() {
+        assert_eq!(
+            ret("int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); } int main() { return fib(12); }"),
+            144
+        );
+    }
+
+    #[test]
+    fn function_pointers_work() {
+        assert_eq!(
+            ret(r#"
+            int dbl(int x) { return 2 * x; }
+            int neg(int x) { return -x; }
+            int apply(int (*f)(int), int v) { return f(v); }
+            int main() { return apply(dbl, 10) + apply(neg, 3); }
+        "#),
+            17
+        );
+    }
+
+    #[test]
+    fn global_initializers_visible() {
+        assert_eq!(
+            ret("int table[4] = {10, 20, 30, 40}; int main() { return table[2]; }"),
+            30
+        );
+        assert_eq!(
+            ret("int x = 5; int* px = &x; int main() { return *px; }"),
+            5
+        );
+    }
+
+    #[test]
+    fn strings_and_builtins() {
+        let r = run(r#"
+            int main() {
+                char buf[16];
+                strcpy(buf, "hello");
+                strcat(buf, " vm");
+                printf("%s/%d\n", buf, (int)strlen(buf));
+                return strcmp(buf, "hello vm") == 0;
+            }
+        "#);
+        assert_eq!(r.ret(), Some(1));
+        assert_eq!(r.output, "hello vm/8\n");
+    }
+
+    #[test]
+    fn printf_formats() {
+        let r = run(r#"
+            int main() {
+                printf("%d %u %x %c %s %% %p", -5, 300, 255, 'A', "ok", (void*)16);
+                return 0;
+            }
+        "#);
+        assert_eq!(r.output, "-5 300 ff A ok % 0x10");
+    }
+
+    #[test]
+    fn printf_width() {
+        let r = run(r#"int main() { printf("[%5d][%-4d][%04x]", 42, 7, 11); return 0; }"#);
+        assert_eq!(r.output, "[   42][7   ][000b]");
+    }
+
+    #[test]
+    fn heap_roundtrip_and_free() {
+        assert_eq!(
+            ret(r#"
+            int main() {
+                int* p = (int*)malloc(10 * sizeof(int));
+                for (int i = 0; i < 10; i++) p[i] = i;
+                int s = 0;
+                for (int i = 0; i < 10; i++) s += p[i];
+                free(p);
+                return s;
+            }"#),
+            45
+        );
+    }
+
+    #[test]
+    fn memcpy_memset() {
+        assert_eq!(
+            ret(r#"
+            int main() {
+                char a[8]; char b[8];
+                memset(a, 7, 8);
+                memcpy(b, a, 8);
+                return b[0] + b[7];
+            }"#),
+            14
+        );
+    }
+
+    #[test]
+    fn silent_intra_page_overflow_is_silent() {
+        // The raison d'être of SoftBound: an uninstrumented overflow into
+        // an adjacent global silently corrupts it.
+        assert_eq!(
+            ret(r#"
+            char buf[8];
+            char victim[8];
+            int main() {
+                for (int i = 0; i < 12; i++) buf[i] = 'X';
+                return victim[0] == 'X'; // corrupted neighbour
+            }"#),
+            1
+        );
+    }
+
+    #[test]
+    fn wild_unmapped_store_faults() {
+        let r = run("int main() { *(int*)123456789 = 1; return 0; }");
+        assert!(matches!(r.outcome, Outcome::Trapped(Trap::MemFault { .. })), "{:?}", r.outcome);
+    }
+
+    #[test]
+    fn division_by_zero_traps() {
+        let r = run("int main() { int z = 0; return 5 / z; }");
+        assert!(matches!(r.outcome, Outcome::Trapped(Trap::DivByZero)));
+    }
+
+    #[test]
+    fn abort_exit_assert() {
+        assert!(matches!(run("int main() { abort(); return 0; }").outcome, Outcome::Trapped(Trap::Abort)));
+        assert!(matches!(run("int main() { exit(42); return 0; }").outcome, Outcome::Exited { code: 42 }));
+        assert!(matches!(
+            run("int main() { assert(1 == 2); return 0; }").outcome,
+            Outcome::Trapped(Trap::AssertFail)
+        ));
+    }
+
+    #[test]
+    fn setjmp_longjmp_roundtrip() {
+        assert_eq!(
+            ret(r#"
+            long jb[8];
+            int depth(int n) {
+                if (n == 0) { longjmp(jb, 7); }
+                return depth(n - 1);
+            }
+            int main() {
+                int r = setjmp(jb);
+                if (r == 0) { depth(5); return -1; }
+                return r;
+            }"#),
+            7
+        );
+    }
+
+    #[test]
+    fn longjmp_dead_frame_traps() {
+        let r = run(r#"
+            long jb[8];
+            int setter() { return setjmp(jb); }
+            int main() { setter(); longjmp(jb, 1); return 0; }
+        "#);
+        assert!(matches!(r.outcome, Outcome::Trapped(Trap::DeadJmpBuf)), "{:?}", r.outcome);
+    }
+
+    #[test]
+    fn return_token_overflow_hijacks() {
+        // Classic stack smash: overflow a local buffer upward into the
+        // spilled return token, redirecting control to `evil`.
+        let r = run(r#"
+            void evil(void) { exit(66); }
+            void vulnerable(long target) {
+                long buf[2];
+                long* p = buf;
+                // Overwrite saved fp (buf+2... padding) and the token.
+                for (int i = 0; i < 6; i++) p[i] = target;
+            }
+            int main() {
+                vulnerable((long)&evil);
+                return 0;
+            }
+        "#);
+        assert!(
+            matches!(&r.outcome, Outcome::Hijacked { target } if target == "evil"),
+            "{:?}",
+            r.outcome
+        );
+    }
+
+    #[test]
+    fn return_token_garbage_crashes() {
+        let r = run(r#"
+            void vulnerable(void) {
+                long buf[2];
+                long* p = buf;
+                for (int i = 0; i < 6; i++) p[i] = 0x4141414141414141l;
+            }
+            int main() { vulnerable(); return 0; }
+        "#);
+        assert!(matches!(r.outcome, Outcome::Trapped(Trap::CorruptedReturn)), "{:?}", r.outcome);
+    }
+
+    #[test]
+    fn corrupted_fnptr_in_global_hijack_via_exit() {
+        // Data-pointer attack: overflow a global buffer into an adjacent
+        // function pointer; the program then calls it "legitimately".
+        let r = run(r#"
+            void evil(void) { exit(66); }
+            void good(void) { }
+            char buf[8];
+            void (*handler)(void) = good;
+            int main() {
+                long* p = (long*)buf;
+                p[1] = (long)&evil; // overflow into handler
+                handler();
+                return 0;
+            }
+        "#);
+        assert!(matches!(r.outcome, Outcome::Exited { code: 66 }), "{:?}", r.outcome);
+    }
+
+    #[test]
+    fn vararg_builtins() {
+        assert_eq!(
+            ret(r#"
+            int sum_all(int n, ...) {
+                int s = 0;
+                for (int i = 0; i < n; i++) s += (int)va_arg_long(i);
+                return s;
+            }
+            int main() { return sum_all(4, 10, 20, 30, 40) + va_helper(); }
+            int va_helper() { return 0; }
+        "#),
+            100
+        );
+    }
+
+    #[test]
+    fn stats_count_pointer_memops() {
+        let r = run(r#"
+            struct node { int v; struct node* next; };
+            int main() {
+                struct node* head = NULL;
+                for (int i = 0; i < 50; i++) {
+                    struct node* n = (struct node*)malloc(sizeof(struct node));
+                    n->v = i; n->next = head; head = n;
+                }
+                int s = 0;
+                while (head) { s += head->v; head = head->next; }
+                return s;
+            }
+        "#);
+        assert_eq!(r.ret(), Some(1225));
+        assert!(r.stats.ptr_mem_ops > 0, "pointer loads/stores must be counted");
+        assert!(r.stats.ptr_mem_fraction() > 0.2, "list walk is pointer-heavy: {}", r.stats.ptr_mem_fraction());
+        assert!(r.stats.mallocs == 50);
+    }
+
+    #[test]
+    fn fuel_guard() {
+        let prog = sb_cir::compile("int main() { while (1) { } return 0; }").expect("compiles");
+        let module = sb_ir::lower(&prog, "t");
+        let cfg = MachineConfig { fuel: 10_000, ..MachineConfig::default() };
+        let mut m = Machine::new(&module, cfg, Box::new(NoRuntime));
+        let r = m.run("main", &[]);
+        assert!(matches!(r.outcome, Outcome::Trapped(Trap::FuelExhausted)));
+    }
+
+    #[test]
+    fn rand_is_deterministic() {
+        let a = run("int main() { srand(7); return rand() % 1000; }");
+        let b = run("int main() { srand(7); return rand() % 1000; }");
+        assert_eq!(a.ret(), b.ret());
+    }
+
+    #[test]
+    fn cache_model_counts() {
+        let prog = sb_cir::compile(
+            "int a[4096]; int main() { int s = 0; for (int i = 0; i < 4096; i++) s += a[i]; return s>=0; }",
+        )
+        .expect("compiles");
+        let mut module = sb_ir::lower(&prog, "t");
+        sb_ir::optimize(&mut module, sb_ir::OptLevel::PreInstrument);
+        let cfg = MachineConfig { cache: Some(CacheConfig::default()), ..MachineConfig::default() };
+        let mut m = Machine::new(&module, cfg, Box::new(NoRuntime));
+        let r = m.run("main", &[]);
+        assert_eq!(r.ret(), Some(1));
+        assert!(r.stats.cache.accesses >= 4096);
+        // Sequential scan of 16 KiB: roughly one miss per 64B line.
+        let misses = r.stats.cache.misses;
+        assert!((200..=400).contains(&misses), "misses={misses}");
+    }
+
+    #[test]
+    fn multidim_array_sum() {
+        assert_eq!(
+            ret(r#"
+            int g[4][8];
+            int main() {
+                for (int i = 0; i < 4; i++)
+                    for (int j = 0; j < 8; j++)
+                        g[i][j] = i * j;
+                int s = 0;
+                for (int i = 0; i < 4; i++) s += g[i][7];
+                return s; // 7*(0+1+2+3)
+            }"#),
+            42
+        );
+    }
+
+    #[test]
+    fn union_type_punning() {
+        assert_eq!(
+            ret(r#"
+            union conv { long l; char bytes[8]; };
+            int main() {
+                union conv c;
+                c.l = 0x4142;
+                return c.bytes[0] == 0x42 && c.bytes[1] == 0x41;
+            }"#),
+            1
+        );
+    }
+
+    #[test]
+    fn null_free_is_noop_and_bad_free_traps() {
+        assert_eq!(ret("int main() { free(NULL); return 1; }"), 1);
+        let r = run("int main() { int x; free(&x); return 0; }");
+        assert!(matches!(r.outcome, Outcome::Trapped(Trap::BadFree { .. })), "{:?}", r.outcome);
+    }
+}

@@ -1,0 +1,420 @@
+//! Byte-accurate simulated 64-bit memory and the heap allocator.
+//!
+//! Memory is a sparse map of 4 KiB pages. Segments mirror a conventional
+//! process image so that spatial bugs behave realistically:
+//!
+//! * **globals** at [`GLOBAL_BASE`] — laid out contiguously in declaration
+//!   order, so an overflowing global buffer silently corrupts its neighbor
+//!   (the BugBench `compress` bug class);
+//! * **heap** at [`HEAP_BASE`] — bump-with-free-list allocator, optional
+//!   redzones (used by the Valgrind-like baseline);
+//! * **stack** at [`STACK_BASE`], growing upward; frames carry spilled
+//!   return tokens and saved frame pointers (see `interp`);
+//! * **code** at [`FN_BASE`] — function "addresses" are synthesized, not
+//!   backed by pages, so data accesses to code fault.
+//!
+//! Accesses to unmapped pages return [`MemFault`], the analogue of a
+//! segfault; accesses *within* a mapped page but outside any object are
+//! silent corruption — exactly the behaviour that makes spatial bugs
+//! dangerous and bounds checking worthwhile.
+
+use std::collections::HashMap;
+
+/// Page size in bytes.
+pub const PAGE_SIZE: u64 = 4096;
+/// Base address of the global/data segment.
+pub const GLOBAL_BASE: u64 = 0x0000_0000_0001_0000;
+/// Base address of the heap segment.
+pub const HEAP_BASE: u64 = 0x0000_2000_0000_0000;
+/// Base address of the stack segment (grows upward).
+pub const STACK_BASE: u64 = 0x0000_7F00_0000_0000;
+/// Base "address" of the code segment (function pointers).
+pub const FN_BASE: u64 = 0x0000_4000_0000_0000;
+/// Byte stride between synthesized function addresses.
+pub const FN_STRIDE: u64 = 16;
+
+/// Encodes a function id as a code address.
+pub fn fn_addr(index: u32) -> u64 {
+    FN_BASE + index as u64 * FN_STRIDE
+}
+
+/// Decodes a code address back to a function index, if well-formed.
+pub fn decode_fn_addr(addr: u64) -> Option<u32> {
+    if addr >= FN_BASE && (addr - FN_BASE) % FN_STRIDE == 0 {
+        let idx = (addr - FN_BASE) / FN_STRIDE;
+        u32::try_from(idx).ok()
+    } else {
+        None
+    }
+}
+
+/// An out-of-segment access (the simulated SIGSEGV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemFault {
+    /// The faulting address.
+    pub addr: u64,
+    /// True if the access was a write.
+    pub write: bool,
+}
+
+/// Sparse paged memory.
+#[derive(Debug, Default)]
+pub struct Mem {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+    /// Total bytes read/written (for statistics).
+    pub bytes_read: u64,
+    /// Total bytes written.
+    pub bytes_written: u64,
+}
+
+impl Mem {
+    /// Creates empty memory.
+    pub fn new() -> Self {
+        Mem::default()
+    }
+
+    /// Maps (zero-filled) every page overlapping `[addr, addr+len)`.
+    pub fn map_range(&mut self, addr: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let first = addr / PAGE_SIZE;
+        let last = (addr + len - 1) / PAGE_SIZE;
+        for p in first..=last {
+            self.pages.entry(p).or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]));
+        }
+    }
+
+    /// True if `addr` is on a mapped page.
+    pub fn is_mapped(&self, addr: u64) -> bool {
+        self.pages.contains_key(&(addr / PAGE_SIZE))
+    }
+
+    /// Number of mapped pages (memory-overhead statistics).
+    pub fn mapped_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Reads `buf.len()` bytes from `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault`] if any byte is on an unmapped page.
+    pub fn read(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), MemFault> {
+        self.bytes_read += buf.len() as u64;
+        let mut off = 0usize;
+        while off < buf.len() {
+            let a = addr + off as u64;
+            let page = a / PAGE_SIZE;
+            let in_page = (a % PAGE_SIZE) as usize;
+            let n = ((PAGE_SIZE as usize) - in_page).min(buf.len() - off);
+            match self.pages.get(&page) {
+                Some(p) => buf[off..off + n].copy_from_slice(&p[in_page..in_page + n]),
+                None => return Err(MemFault { addr: a, write: false }),
+            }
+            off += n;
+        }
+        Ok(())
+    }
+
+    /// Writes `buf` to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault`] if any byte is on an unmapped page.
+    pub fn write(&mut self, addr: u64, buf: &[u8]) -> Result<(), MemFault> {
+        self.bytes_written += buf.len() as u64;
+        let mut off = 0usize;
+        while off < buf.len() {
+            let a = addr + off as u64;
+            let page = a / PAGE_SIZE;
+            let in_page = (a % PAGE_SIZE) as usize;
+            let n = ((PAGE_SIZE as usize) - in_page).min(buf.len() - off);
+            match self.pages.get_mut(&page) {
+                Some(p) => p[in_page..in_page + n].copy_from_slice(&buf[off..off + n]),
+                None => return Err(MemFault { addr: a, write: true }),
+            }
+            off += n;
+        }
+        Ok(())
+    }
+
+    /// Reads an unsigned little-endian integer of `size` ∈ {1,2,4,8} bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault`] on unmapped access.
+    pub fn read_uint(&mut self, addr: u64, size: u64) -> Result<u64, MemFault> {
+        let mut b = [0u8; 8];
+        self.read(addr, &mut b[..size as usize])?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Writes the low `size` bytes of `v`, little-endian.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault`] on unmapped access.
+    pub fn write_uint(&mut self, addr: u64, size: u64, v: u64) -> Result<(), MemFault> {
+        let b = v.to_le_bytes();
+        self.write(addr, &b[..size as usize])
+    }
+
+    /// Reads a NUL-terminated C string (bounded by `max` bytes).
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault`] if the string runs onto an unmapped page before a NUL.
+    pub fn read_cstr(&mut self, addr: u64, max: u64) -> Result<Vec<u8>, MemFault> {
+        let mut out = Vec::new();
+        for i in 0..max {
+            let c = self.read_uint(addr + i, 1)? as u8;
+            if c == 0 {
+                break;
+            }
+            out.push(c);
+        }
+        Ok(out)
+    }
+}
+
+/// One live heap allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeapBlock {
+    /// User address.
+    pub addr: u64,
+    /// User-visible size.
+    pub size: u64,
+}
+
+/// Bump allocator with size-class free lists and optional redzones.
+///
+/// Redzones (`redzone > 0`) pad each allocation on both sides; the
+/// Valgrind-like baseline marks them unaddressable to catch heap
+/// overflows. SoftBound itself needs no redzones.
+#[derive(Debug)]
+pub struct Heap {
+    next: u64,
+    limit: u64,
+    redzone: u64,
+    free: HashMap<u64, Vec<u64>>, // rounded size -> addresses
+    live: HashMap<u64, u64>,      // addr -> user size
+    /// Number of successful allocations.
+    pub alloc_count: u64,
+    /// Number of frees.
+    pub free_count: u64,
+    /// High-water mark of live bytes.
+    pub peak_live: u64,
+    live_bytes: u64,
+}
+
+impl Heap {
+    /// Creates a heap with the given redzone padding (0 for none).
+    pub fn new(redzone: u64) -> Self {
+        Heap {
+            next: HEAP_BASE,
+            limit: HEAP_BASE + (64 << 30), // 64 GiB of address space
+            redzone,
+            free: HashMap::new(),
+            live: HashMap::new(),
+            alloc_count: 0,
+            free_count: 0,
+            peak_live: 0,
+            live_bytes: 0,
+        }
+    }
+
+    /// The configured redzone size.
+    pub fn redzone(&self) -> u64 {
+        self.redzone
+    }
+
+    fn class_of(size: u64) -> u64 {
+        size.next_power_of_two().max(16)
+    }
+
+    /// Allocates `size` bytes (16-aligned), mapping pages in `mem`.
+    /// Returns `None` when address space is exhausted.
+    pub fn alloc(&mut self, mem: &mut Mem, size: u64) -> Option<u64> {
+        let user = size.max(1);
+        let class = Self::class_of(user);
+        self.alloc_count += 1;
+        let addr = if let Some(list) = self.free.get_mut(&class) {
+            list.pop()
+        } else {
+            None
+        };
+        let addr = match addr {
+            Some(a) => a,
+            None => {
+                let total = class + 2 * self.redzone;
+                let base = self.next;
+                if base + total > self.limit {
+                    return None;
+                }
+                self.next = (base + total + 15) & !15;
+                base + self.redzone
+            }
+        };
+        mem.map_range(addr, class);
+        // Zero the block (reused blocks keep stale contents otherwise;
+        // zeroing keeps runs deterministic while reuse of *addresses* —
+        // what SoftBound's metadata clearing is about — still happens).
+        let zeros = vec![0u8; user.min(class) as usize];
+        let _ = mem.write(addr, &zeros);
+        self.live.insert(addr, user);
+        self.live_bytes += user;
+        self.peak_live = self.peak_live.max(self.live_bytes);
+        Some(addr)
+    }
+
+    /// Frees a block; returns its user size, or `None` for a bad pointer
+    /// (double free / wild free).
+    pub fn dealloc(&mut self, addr: u64) -> Option<u64> {
+        let size = self.live.remove(&addr)?;
+        self.free_count += 1;
+        self.live_bytes -= size;
+        self.free.entry(Self::class_of(size)).or_default().push(addr);
+        Some(size)
+    }
+
+    /// User size of a live block.
+    pub fn size_of(&self, addr: u64) -> Option<u64> {
+        self.live.get(&addr).copied()
+    }
+
+    /// Iterates over live blocks.
+    pub fn live_blocks(&self) -> impl Iterator<Item = HeapBlock> + '_ {
+        self.live.iter().map(|(&addr, &size)| HeapBlock { addr, size })
+    }
+
+    /// True if `addr` falls inside a live user block (used by the
+    /// Valgrind-like baseline's addressability map).
+    pub fn find_block(&self, addr: u64) -> Option<HeapBlock> {
+        // Linear probe over live blocks; fine for workload-scale heaps and
+        // only used by baselines that model their own lookup cost anyway.
+        self.live
+            .iter()
+            .find(|(&a, &s)| addr >= a && addr < a + s)
+            .map(|(&a, &s)| HeapBlock { addr: a, size: s })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rw_roundtrip() {
+        let mut m = Mem::new();
+        m.map_range(0x1000, 64);
+        m.write_uint(0x1008, 8, 0xdead_beef_cafe_f00d).expect("write");
+        assert_eq!(m.read_uint(0x1008, 8).expect("read"), 0xdead_beef_cafe_f00d);
+        assert_eq!(m.read_uint(0x1008, 4).expect("read"), 0xcafe_f00d);
+        assert_eq!(m.read_uint(0x1008, 1).expect("read"), 0x0d);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = Mem::new();
+        m.map_range(PAGE_SIZE - 4, 8);
+        m.write_uint(PAGE_SIZE - 4, 8, u64::MAX).expect("write spans pages");
+        assert_eq!(m.read_uint(PAGE_SIZE - 4, 8).expect("read"), u64::MAX);
+    }
+
+    #[test]
+    fn unmapped_access_faults() {
+        let mut m = Mem::new();
+        assert_eq!(
+            m.read_uint(0x5000, 8),
+            Err(MemFault { addr: 0x5000, write: false })
+        );
+        assert_eq!(m.write_uint(0x5000, 8, 1), Err(MemFault { addr: 0x5000, write: true }));
+    }
+
+    #[test]
+    fn partial_cross_page_fault_reports_address() {
+        let mut m = Mem::new();
+        m.map_range(0, PAGE_SIZE); // only page 0
+        let e = m.write_uint(PAGE_SIZE - 2, 4, 0).expect_err("faults on page 1");
+        assert_eq!(e.addr, PAGE_SIZE);
+        assert!(e.write);
+    }
+
+    #[test]
+    fn cstr_reading() {
+        let mut m = Mem::new();
+        m.map_range(0x2000, 16);
+        m.write(0x2000, b"hi\0junk").expect("write");
+        assert_eq!(m.read_cstr(0x2000, 16).expect("read"), b"hi");
+    }
+
+    #[test]
+    fn fn_addr_roundtrip() {
+        assert_eq!(decode_fn_addr(fn_addr(0)), Some(0));
+        assert_eq!(decode_fn_addr(fn_addr(99)), Some(99));
+        assert_eq!(decode_fn_addr(fn_addr(7) + 1), None);
+        assert_eq!(decode_fn_addr(0x1234), None);
+    }
+
+    #[test]
+    fn heap_alloc_and_free() {
+        let mut mem = Mem::new();
+        let mut h = Heap::new(0);
+        let a = h.alloc(&mut mem, 100).expect("alloc");
+        assert!(a >= HEAP_BASE);
+        assert!(mem.is_mapped(a));
+        assert_eq!(h.size_of(a), Some(100));
+        assert_eq!(h.dealloc(a), Some(100));
+        assert_eq!(h.dealloc(a), None, "double free detected");
+    }
+
+    #[test]
+    fn heap_reuses_freed_blocks() {
+        let mut mem = Mem::new();
+        let mut h = Heap::new(0);
+        let a = h.alloc(&mut mem, 64).expect("alloc");
+        h.dealloc(a);
+        let b = h.alloc(&mut mem, 64).expect("alloc");
+        assert_eq!(a, b, "address reuse is what makes stale metadata dangerous");
+    }
+
+    #[test]
+    fn heap_reuse_zeroes_contents() {
+        let mut mem = Mem::new();
+        let mut h = Heap::new(0);
+        let a = h.alloc(&mut mem, 32).expect("alloc");
+        mem.write_uint(a, 8, 0x1234).expect("write");
+        h.dealloc(a);
+        let b = h.alloc(&mut mem, 32).expect("alloc");
+        assert_eq!(mem.read_uint(b, 8).expect("read"), 0);
+    }
+
+    #[test]
+    fn heap_redzones_separate_blocks() {
+        let mut mem = Mem::new();
+        let mut h = Heap::new(16);
+        let a = h.alloc(&mut mem, 32).expect("alloc");
+        let b = h.alloc(&mut mem, 32).expect("alloc");
+        assert!(b >= a + 32 + 32, "redzones keep blocks apart (a={a:#x}, b={b:#x})");
+    }
+
+    #[test]
+    fn find_block_contains() {
+        let mut mem = Mem::new();
+        let mut h = Heap::new(0);
+        let a = h.alloc(&mut mem, 40).expect("alloc");
+        assert_eq!(h.find_block(a + 39).map(|b| b.addr), Some(a));
+        assert_eq!(h.find_block(a + 40), None);
+    }
+
+    #[test]
+    fn peak_live_tracking() {
+        let mut mem = Mem::new();
+        let mut h = Heap::new(0);
+        let a = h.alloc(&mut mem, 100).expect("a");
+        let _b = h.alloc(&mut mem, 200).expect("b");
+        h.dealloc(a);
+        assert_eq!(h.peak_live, 300);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests: the paged memory against a flat reference model, and
+//! the heap allocator's invariants.
+
+use proptest::prelude::*;
+use sb_vm::{Heap, Mem};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Map { addr: u64, len: u64 },
+    Write { addr: u64, size: u8, val: u64 },
+    Read { addr: u64, size: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..0x8000, 1u64..256).prop_map(|(addr, len)| Op::Map { addr, len }),
+        (0u64..0x8400, prop::sample::select(vec![1u8, 2, 4, 8]), any::<u64>())
+            .prop_map(|(addr, size, val)| Op::Write { addr, size, val }),
+        (0u64..0x8400, prop::sample::select(vec![1u8, 2, 4, 8]))
+            .prop_map(|(addr, size)| Op::Read { addr, size }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Byte-level equivalence with a flat HashMap model, including the
+    /// fault behaviour on unmapped pages.
+    #[test]
+    fn mem_matches_reference_model(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let mut mem = Mem::new();
+        let mut model: HashMap<u64, u8> = HashMap::new();
+        let mapped = |model: &HashMap<u64, u8>, addr: u64| model.contains_key(&addr);
+        for op in ops {
+            match op {
+                Op::Map { addr, len } => {
+                    mem.map_range(addr, len);
+                    // Model maps whole pages, like the real thing.
+                    let first = addr / 4096;
+                    let last = (addr + len - 1) / 4096;
+                    for p in first..=last {
+                        for b in 0..4096u64 {
+                            model.entry(p * 4096 + b).or_insert(0);
+                        }
+                    }
+                }
+                Op::Write { addr, size, val } => {
+                    let ok = (0..size as u64).all(|i| mapped(&model, addr + i));
+                    let r = mem.write_uint(addr, size as u64, val);
+                    prop_assert_eq!(r.is_ok(), ok, "write fault mismatch at {:#x}", addr);
+                    if ok {
+                        for (i, b) in val.to_le_bytes()[..size as usize].iter().enumerate() {
+                            model.insert(addr + i as u64, *b);
+                        }
+                    }
+                }
+                Op::Read { addr, size } => {
+                    let ok = (0..size as u64).all(|i| mapped(&model, addr + i));
+                    let r = mem.read_uint(addr, size as u64);
+                    prop_assert_eq!(r.is_ok(), ok, "read fault mismatch at {:#x}", addr);
+                    if let Ok(v) = r {
+                        let mut bytes = [0u8; 8];
+                        for i in 0..size as usize {
+                            bytes[i] = model[&(addr + i as u64)];
+                        }
+                        prop_assert_eq!(v, u64::from_le_bytes(bytes));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Heap invariants: live blocks never overlap, double frees are
+    /// rejected, size queries agree, and reuse only happens after free.
+    #[test]
+    fn heap_invariants(sizes in prop::collection::vec(1u64..512, 1..60), frees in prop::collection::vec(any::<usize>(), 0..40)) {
+        let mut mem = Mem::new();
+        let mut heap = Heap::new(0);
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        for &s in &sizes {
+            let addr = heap.alloc(&mut mem, s).expect("space available");
+            // No overlap with any live block.
+            for &(a, sz) in &live {
+                prop_assert!(addr + s <= a || a + sz <= addr,
+                    "overlap: new [{:#x},{:#x}) vs live [{:#x},{:#x})", addr, addr + s, a, a + sz);
+            }
+            prop_assert_eq!(heap.size_of(addr), Some(s));
+            live.push((addr, s));
+        }
+        for &f in &frees {
+            if live.is_empty() { break; }
+            let (addr, s) = live.remove(f % live.len());
+            prop_assert_eq!(heap.dealloc(addr), Some(s));
+            prop_assert_eq!(heap.dealloc(addr), None, "double free must fail");
+        }
+    }
+}

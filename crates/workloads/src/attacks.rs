@@ -1,0 +1,423 @@
+//! The Wilander & Kamkar synthetic attack suite (Table 3).
+//!
+//! Eighteen buffer-overflow attacks organized exactly as the paper's
+//! Table 3: {direct overflow, overflow-a-pointer-then-redirect} ×
+//! {stack, heap/BSS/data} × {return address, old base pointer, function
+//! pointer (variable/parameter), longjmp buffer (variable/parameter)}.
+//!
+//! Because the VM spills return tokens and saved frame pointers into
+//! simulated memory (and `setjmp` writes live jump tokens), these attacks
+//! *really divert control* when no protection is installed: the attacker
+//! payload runs and the outcome is `Hijacked` or `Exited(66)`. Under
+//! SoftBound — full or store-only — every one of them aborts at the
+//! out-of-bounds store, reproducing the all-"yes" column of Table 3.
+//!
+//! Frame-layout facts the attack sources rely on (see `sb-vm`):
+//! allocas in declaration order from the frame base (plain locals first,
+//! then spilled parameters), then the saved frame pointer (8 bytes,
+//! 8-aligned) and the return token (8 bytes).
+
+/// Overflow technique.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Technique {
+    /// Contiguous overflow all the way to the target.
+    Direct,
+    /// Overflow a data pointer, then write through it to the target.
+    PointerRedirect,
+}
+
+/// Where the overflowed buffer lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Location {
+    /// Stack frame.
+    Stack,
+    /// Heap, BSS or data segment.
+    HeapBssData,
+}
+
+/// What the attack corrupts to seize control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// The spilled return token ("return address").
+    ReturnAddr,
+    /// The saved frame pointer ("old base pointer").
+    BasePtr,
+    /// A function-pointer local variable.
+    FnPtrVar,
+    /// A function-pointer parameter.
+    FnPtrParam,
+    /// A longjmp buffer local/global variable.
+    JmpBufVar,
+    /// A longjmp buffer function parameter.
+    JmpBufParam,
+}
+
+impl Target {
+    /// Table 3 row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Target::ReturnAddr => "Return address",
+            Target::BasePtr => "Old base pointer",
+            Target::FnPtrVar => "Function ptr local variable",
+            Target::FnPtrParam => "Function ptr parameter",
+            Target::JmpBufVar => "Longjmp buffer local variable",
+            Target::JmpBufParam => "Longjmp buffer function parameter",
+        }
+    }
+}
+
+/// One attack program.
+#[derive(Debug, Clone, Copy)]
+pub struct Attack {
+    /// Index (1-based, Table 3 order).
+    pub id: usize,
+    /// Technique.
+    pub technique: Technique,
+    /// Buffer location.
+    pub location: Location,
+    /// Attack target.
+    pub target: Target,
+    /// CIR-C source; `main` runs the attack.
+    pub source: &'static str,
+}
+
+/// All 18 attacks in Table 3 order.
+pub fn all() -> Vec<Attack> {
+    use Location::*;
+    use Target::*;
+    use Technique::*;
+    let mut v = Vec::new();
+    let mut add = |technique, location, target, source| {
+        v.push(Attack { id: v.len() + 1, technique, location, target, source });
+    };
+    // Buffer overflow on stack all the way to the target.
+    add(Direct, Stack, ReturnAddr, S1_RET);
+    add(Direct, Stack, BasePtr, S2_BP);
+    add(Direct, Stack, FnPtrVar, S3_FNVAR);
+    add(Direct, Stack, FnPtrParam, S4_FNPARAM);
+    add(Direct, Stack, JmpBufVar, S5_JBVAR);
+    add(Direct, Stack, JmpBufParam, S6_JBPARAM);
+    // Buffer overflow on heap/BSS/data all the way to the target.
+    add(Direct, HeapBssData, FnPtrVar, H7_FNPTR);
+    add(Direct, HeapBssData, JmpBufVar, H8_JB);
+    // Buffer overflow of a pointer on stack, then pointing at the target.
+    add(PointerRedirect, Stack, ReturnAddr, P9_RET);
+    add(PointerRedirect, Stack, BasePtr, P10_BP);
+    add(PointerRedirect, Stack, FnPtrVar, P11_FNVAR);
+    add(PointerRedirect, Stack, FnPtrParam, P12_FNPARAM);
+    add(PointerRedirect, Stack, JmpBufVar, P13_JBVAR);
+    add(PointerRedirect, Stack, JmpBufParam, P14_JBPARAM);
+    // Buffer overflow of a pointer on heap/BSS, then pointing at the target.
+    add(PointerRedirect, HeapBssData, ReturnAddr, P15_RET);
+    add(PointerRedirect, HeapBssData, BasePtr, P16_BP);
+    add(PointerRedirect, HeapBssData, FnPtrVar, P17_FNPTR);
+    add(PointerRedirect, HeapBssData, JmpBufVar, P18_JB);
+    v
+}
+
+const S1_RET: &str = r#"
+void attacker(void) { exit(66); }
+void vulnerable(long target) {
+    long buf[2];
+    // frame: buf@0..16, saved fp@16, ret token@24
+    long* p = buf;
+    for (int i = 0; i < 4; i++) p[i] = target;
+}
+int main() { vulnerable((long)&attacker); return 0; }
+"#;
+
+const S2_BP: &str = r#"
+void attacker(void) { exit(66); }
+void vulnerable(long target) {
+    long buf[4];
+    // frame: buf@0..32, saved fp@32, ret token@40
+    buf[1] = 0;              // fake frame: [fake fp][fake ret]
+    buf[2] = target;
+    long* p = buf;
+    p[4] = (long)&buf[1];    // overwrite saved fp -> fake frame
+}
+int main() { vulnerable((long)&attacker); return 0; }
+"#;
+
+const S3_FNVAR: &str = r#"
+void attacker(void) { exit(66); }
+void safe(void) { }
+void vulnerable(long target) {
+    char buf[16];
+    void (*handler)(void) = safe;
+    void (**force)(void) = &handler;   // keep handler in memory
+    long* p = (long*)buf;
+    p[2] = target;                      // buf@0..16, handler@16
+    handler();
+}
+int main() { vulnerable((long)&attacker); return 0; }
+"#;
+
+const S4_FNPARAM: &str = r#"
+void attacker(void) { exit(66); }
+void safe(void) { }
+void vulnerable(void (*handler)(void), long target) {
+    char buf[16];
+    void (**force)(void) = &handler;   // spill the parameter
+    long* p = (long*)buf;
+    p[2] = target;                      // buf@0..16, handler spill@16
+    handler();
+}
+int main() { vulnerable(safe, (long)&attacker); return 0; }
+"#;
+
+const S5_JBVAR: &str = r#"
+void attacker(void) { exit(66); }
+void vulnerable(long target) {
+    char buf[8];
+    long jb[8];
+    if (setjmp(jb) != 0) { return; }
+    long* p = (long*)buf;
+    p[1] = target;                      // buf@0..8, jb[0]@8
+    longjmp(jb, 1);
+}
+int main() { vulnerable((long)&attacker); return 0; }
+"#;
+
+const S6_JBPARAM: &str = r#"
+void attacker(void) { exit(66); }
+long fakebuf[8];
+void vulnerable(long* jb, long target) {
+    char buf[16];
+    long** force = &jb;                 // spill the parameter
+    fakebuf[0] = target;
+    long* p = (long*)buf;
+    p[2] = (long)fakebuf;               // jb spill@16 := fake buffer
+    longjmp(jb, 1);
+}
+int main() {
+    long jb[8];
+    if (setjmp(jb) != 0) return 0;
+    vulnerable(jb, (long)&attacker);
+    return 0;
+}
+"#;
+
+const H7_FNPTR: &str = r#"
+void attacker(void) { exit(66); }
+void safe(void) { }
+char gbuf[16];
+void (*ghandler)(void) = safe;
+int main() {
+    long* p = (long*)gbuf;
+    p[2] = (long)&attacker;             // gbuf@G..16, ghandler@G+16
+    ghandler();
+    return 0;
+}
+"#;
+
+const H8_JB: &str = r#"
+void attacker(void) { exit(66); }
+char gbuf[8];
+long gjb[8];
+int main() {
+    if (setjmp(gjb) != 0) return 0;
+    long* p = (long*)gbuf;
+    p[1] = (long)&attacker;             // gbuf@G..8, gjb[0]@G+8
+    longjmp(gjb, 1);
+    return 0;
+}
+"#;
+
+const P9_RET: &str = r#"
+void attacker(void) { exit(66); }
+void vulnerable(long target) {
+    long buf[2];
+    long* victim[1];
+    // frame: buf@0..16, victim@16..24, fp@24, token@32
+    victim[0] = (long*)&buf[0];
+    long* p = buf;
+    p[2] = (long)&buf[0] + 32;          // victim := &ret token
+    *victim[0] = target;
+}
+int main() { vulnerable((long)&attacker); return 0; }
+"#;
+
+const P10_BP: &str = r#"
+void attacker(void) { exit(66); }
+void vulnerable(long target) {
+    long buf[2];
+    long* victim[1];
+    long fake[2];
+    // frame: buf@0..16, victim@16..24, fake@24..40, fp@40, token@48
+    victim[0] = (long*)&buf[0];
+    fake[0] = 0;
+    fake[1] = target;
+    long* p = buf;
+    p[2] = (long)&buf[0] + 40;          // victim := &saved fp
+    *victim[0] = (long)&fake[0];
+}
+int main() { vulnerable((long)&attacker); return 0; }
+"#;
+
+const P11_FNVAR: &str = r#"
+void attacker(void) { exit(66); }
+void safe(void) { }
+void vulnerable(long target) {
+    long buf[2];
+    long* victim[1];
+    void (*handler)(void) = safe;
+    void (**force)(void) = &handler;
+    // frame: buf@0..16, victim@16..24, handler@24..32
+    victim[0] = (long*)&buf[0];
+    long* p = buf;
+    p[2] = (long)&buf[0] + 24;          // victim := &handler
+    *victim[0] = target;
+    handler();
+}
+int main() { vulnerable((long)&attacker); return 0; }
+"#;
+
+const P12_FNPARAM: &str = r#"
+void attacker(void) { exit(66); }
+void safe(void) { }
+void vulnerable(void (*handler)(void), long target) {
+    long buf[2];
+    long* victim[1];
+    void (**force)(void) = &handler;
+    // frame: buf@0..16, victim@16..24, handler spill@24..32
+    victim[0] = (long*)&buf[0];
+    long* p = buf;
+    p[2] = (long)&buf[0] + 24;          // victim := &handler spill
+    *victim[0] = target;
+    handler();
+}
+int main() { vulnerable(safe, (long)&attacker); return 0; }
+"#;
+
+const P13_JBVAR: &str = r#"
+void attacker(void) { exit(66); }
+void vulnerable(long target) {
+    long buf[2];
+    long* victim[1];
+    long jb[8];
+    // frame: buf@0..16, victim@16..24, jb@24..88
+    if (setjmp(jb) != 0) return;
+    victim[0] = (long*)&buf[0];
+    long* p = buf;
+    p[2] = (long)&buf[0] + 24;          // victim := &jb[0]
+    *victim[0] = target;
+    longjmp(jb, 1);
+}
+int main() { vulnerable((long)&attacker); return 0; }
+"#;
+
+const P14_JBPARAM: &str = r#"
+void attacker(void) { exit(66); }
+long fakebuf[8];
+void vulnerable(long* jb, long target) {
+    long buf[2];
+    long* victim[1];
+    long** force = &jb;
+    // frame: buf@0..16, victim@16..24, jb spill@24..32
+    fakebuf[0] = target;
+    victim[0] = (long*)&buf[0];
+    long* p = buf;
+    p[2] = (long)&buf[0] + 24;          // victim := &jb spill
+    *victim[0] = (long)fakebuf;
+    longjmp(jb, 1);
+}
+int main() {
+    long jb[8];
+    if (setjmp(jb) != 0) return 0;
+    vulnerable(jb, (long)&attacker);
+    return 0;
+}
+"#;
+
+const P15_RET: &str = r#"
+void attacker(void) { exit(66); }
+struct chunk { char data[16]; long* fwd; };
+void vulnerable(long target) {
+    long anchor[1];
+    // frame: anchor@0..8, fp@8, token@16
+    struct chunk* c = (struct chunk*)malloc(sizeof(struct chunk));
+    c->fwd = (long*)&anchor[0];
+    long* p = (long*)c->data;
+    p[2] = (long)&anchor[0] + 16;       // heap overflow: fwd := &token
+    *(c->fwd) = target;
+}
+int main() { vulnerable((long)&attacker); return 0; }
+"#;
+
+const P16_BP: &str = r#"
+void attacker(void) { exit(66); }
+long fake[2];
+struct chunk { char data[16]; long* fwd; };
+void vulnerable(long target) {
+    long anchor[1];
+    // frame: anchor@0..8, fp@8, token@16
+    struct chunk* c = (struct chunk*)malloc(sizeof(struct chunk));
+    c->fwd = (long*)&anchor[0];
+    fake[0] = 0;
+    fake[1] = target;
+    long* p = (long*)c->data;
+    p[2] = (long)&anchor[0] + 8;        // heap overflow: fwd := &saved fp
+    *(c->fwd) = (long)&fake[0];
+}
+int main() { vulnerable((long)&attacker); return 0; }
+"#;
+
+const P17_FNPTR: &str = r#"
+void attacker(void) { exit(66); }
+void safe(void) { }
+char gbuf[16];
+long* gptr;
+void (*ghandler)(void) = safe;
+int main() {
+    gptr = (long*)gbuf;
+    long* p = (long*)gbuf;
+    // globals: gbuf@G..16, gptr@G+16..24, ghandler@G+24..32
+    p[2] = (long)gbuf + 24;             // overflow gbuf: gptr := &ghandler
+    *gptr = (long)&attacker;
+    ghandler();
+    return 0;
+}
+"#;
+
+const P18_JB: &str = r#"
+void attacker(void) { exit(66); }
+long gjb[8];
+struct chunk { char data[16]; long* fwd; };
+int main() {
+    if (setjmp(gjb) != 0) return 0;
+    struct chunk* c = (struct chunk*)malloc(sizeof(struct chunk));
+    c->fwd = (long*)&gjb[1];
+    long* p = (long*)c->data;
+    p[2] = (long)&gjb[0];               // heap overflow: fwd := &gjb[0]
+    *(c->fwd) = (long)&attacker;        // forge the jump token
+    longjmp(gjb, 1);
+    return 0;
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eighteen_attacks_grouped_like_table3() {
+        let attacks = all();
+        assert_eq!(attacks.len(), 18);
+        let count = |t: Technique, l: Location| {
+            attacks.iter().filter(|a| a.technique == t && a.location == l).count()
+        };
+        assert_eq!(count(Technique::Direct, Location::Stack), 6);
+        assert_eq!(count(Technique::Direct, Location::HeapBssData), 2);
+        assert_eq!(count(Technique::PointerRedirect, Location::Stack), 6);
+        assert_eq!(count(Technique::PointerRedirect, Location::HeapBssData), 4);
+    }
+
+    #[test]
+    fn sources_compile() {
+        for a in all() {
+            sb_cir::compile(a.source)
+                .unwrap_or_else(|e| panic!("attack {} does not compile: {e}", a.id));
+        }
+    }
+}

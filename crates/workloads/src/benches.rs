@@ -1,0 +1,919 @@
+//! The 15 evaluation benchmarks (Figure 1 / Figure 2).
+//!
+//! Structurally equivalent CIR-C kernels named after the paper's SPEC CPU
+//! and Olden selections. Each kernel reproduces the *memory behaviour* of
+//! its namesake — array codes for the SPEC side (go, lbm, hmmer, compress,
+//! ijpeg, libquantum), pointer-chasing dynamic data structures for the
+//! Olden side (bh, tsp, perimeter, health, bisort, mst, em3d, treeadd, and
+//! the lisp interpreter li) — so the fraction of memory operations that
+//! move pointers spans the same range the paper reports (near 0% on the
+//! left of Figure 1 to well over 50% on the right).
+//!
+//! Floating-point originals (lbm, bh) are fixed-point integer versions:
+//! the metadata frequency that drives the paper's results is unaffected.
+//!
+//! Every kernel's `main(n)` takes a scale parameter (0 = default) and
+//! returns a checksum, so differential testing can compare protected and
+//! unprotected runs.
+
+/// One benchmark program.
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    /// Paper benchmark name.
+    pub name: &'static str,
+    /// CIR-C source.
+    pub source: &'static str,
+    /// Default scale argument (passed to `main`).
+    pub default_arg: i64,
+    /// True for SPEC-suite namesakes (the dark bars in Figure 1).
+    pub spec: bool,
+    /// One-line description of the kernel.
+    pub description: &'static str,
+}
+
+/// All benchmarks in Figure 1's sorted order.
+pub fn all() -> Vec<Workload> {
+    vec![
+        Workload { name: "go", source: GO, default_arg: 0, spec: true, description: "Go board liberty counting with flood fill over int arrays" },
+        Workload { name: "lbm", source: LBM, default_arg: 0, spec: true, description: "fixed-point lattice-Boltzmann streaming/collision over arrays" },
+        Workload { name: "hmmer", source: HMMER, default_arg: 0, spec: true, description: "Viterbi-style dynamic programming over int matrices" },
+        Workload { name: "compress", source: COMPRESS, default_arg: 0, spec: true, description: "LZW-style compression with array hash tables" },
+        Workload { name: "ijpeg", source: IJPEG, default_arg: 0, spec: true, description: "8x8 integer DCT-like block transforms with quantization" },
+        Workload { name: "bh", source: BH, default_arg: 0, spec: false, description: "Barnes-Hut-style quadtree n-body (fixed point)" },
+        Workload { name: "tsp", source: TSP, default_arg: 0, spec: false, description: "nearest-neighbour tour over a linked list of cities" },
+        Workload { name: "libquantum", source: LIBQUANTUM, default_arg: 0, spec: true, description: "sparse quantum register as a linked amplitude list" },
+        Workload { name: "perimeter", source: PERIMETER, default_arg: 0, spec: false, description: "quadtree perimeter computation" },
+        Workload { name: "health", source: HEALTH, default_arg: 0, spec: false, description: "hospital patient queues (linked lists) simulation" },
+        Workload { name: "bisort", source: BISORT, default_arg: 0, spec: false, description: "binary-tree sort with subtree swaps" },
+        Workload { name: "mst", source: MST, default_arg: 0, spec: false, description: "Prim MST over adjacency linked lists" },
+        Workload { name: "li", source: LI, default_arg: 0, spec: true, description: "cons-cell s-expression interpreter" },
+        Workload { name: "em3d", source: EM3D, default_arg: 0, spec: false, description: "electromagnetic propagation over bipartite node graph" },
+        Workload { name: "treeadd", source: TREEADD, default_arg: 0, spec: false, description: "recursive binary-tree accumulation" },
+    ]
+}
+
+/// Looks up a benchmark by name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+const GO: &str = r#"
+// go: 19x19 board, group/liberty counting with explicit-stack flood fill.
+int board[361];
+int mark[361];
+int stack_[361];
+
+int liberties(int pos) {
+    int color = board[pos];
+    int sp = 0;
+    int libs = 0;
+    for (int i = 0; i < 361; i++) mark[i] = 0;
+    stack_[sp] = pos; sp++;
+    mark[pos] = 1;
+    while (sp > 0) {
+        sp--;
+        int p = stack_[sp];
+        int row = p / 19;
+        int col = p % 19;
+        for (int d = 0; d < 4; d++) {
+            int r = row; int c = col;
+            if (d == 0) r--;
+            if (d == 1) r++;
+            if (d == 2) c--;
+            if (d == 3) c++;
+            if (r < 0 || r >= 19 || c < 0 || c >= 19) continue;
+            int q = r * 19 + c;
+            if (mark[q]) continue;
+            mark[q] = 1;
+            if (board[q] == 0) { libs++; }
+            else if (board[q] == color) { stack_[sp] = q; sp++; }
+        }
+    }
+    return libs;
+}
+
+int main(int n) {
+    if (n == 0) n = 6;
+    srand(42);
+    long checksum = 0;
+    for (int game = 0; game < n; game++) {
+        for (int i = 0; i < 361; i++) board[i] = rand() % 3;
+        for (int p = 0; p < 361; p++) {
+            if (board[p] != 0) checksum += liberties(p);
+        }
+    }
+    return (int)(checksum % 100000);
+}
+"#;
+
+const LBM: &str = r#"
+// lbm: 1D lattice Boltzmann in 16.16 fixed point, 3 velocity channels.
+long f0[2048]; long f1[2048]; long f2[2048];
+long t0[2048]; long t1[2048]; long t2[2048];
+
+int main(int n) {
+    if (n == 0) n = 12;
+    int size = 2048;
+    for (int i = 0; i < size; i++) {
+        f0[i] = (4 << 16) / 9;
+        f1[i] = (1 << 16) / 9;
+        f2[i] = (1 << 16) / 9;
+    }
+    for (int step = 0; step < n; step++) {
+        // Streaming.
+        for (int i = 0; i < size; i++) {
+            int left = i == 0 ? size - 1 : i - 1;
+            int right = i == size - 1 ? 0 : i + 1;
+            t0[i] = f0[i];
+            t1[i] = f1[left];
+            t2[i] = f2[right];
+        }
+        // Collision (BGK relaxation, omega = 1/2 in fixed point).
+        for (int i = 0; i < size; i++) {
+            long rho = t0[i] + t1[i] + t2[i];
+            long u = t1[i] - t2[i];
+            long eq0 = rho * 4 / 9;
+            long eq1 = rho / 9 + u / 3;
+            long eq2 = rho / 9 - u / 3;
+            f0[i] = t0[i] + (eq0 - t0[i]) / 2;
+            f1[i] = t1[i] + (eq1 - t1[i]) / 2;
+            f2[i] = t2[i] + (eq2 - t2[i]) / 2;
+        }
+    }
+    long sum = 0;
+    for (int i = 0; i < size; i++) sum += f0[i] + f1[i] + f2[i];
+    return (int)(sum % 100000);
+}
+"#;
+
+const HMMER: &str = r#"
+// hmmer: profile-HMM Viterbi over integer score matrices.
+int match_[64][32];
+int insert_[64][32];
+int vmat[65][32];
+int vins[65][32];
+
+int main(int n) {
+    if (n == 0) n = 40;
+    srand(7);
+    int states = 32;
+    int len = 64;
+    for (int i = 0; i < len; i++)
+        for (int s = 0; s < states; s++) {
+            match_[i][s] = rand() % 100 - 50;
+            insert_[i][s] = rand() % 60 - 40;
+        }
+    long best_total = 0;
+    for (int seq = 0; seq < n; seq++) {
+        for (int s = 0; s < states; s++) { vmat[0][s] = 0; vins[0][s] = -1000; }
+        for (int i = 1; i <= len; i++) {
+            for (int s = 0; s < states; s++) {
+                int prev = s == 0 ? states - 1 : s - 1;
+                int a = vmat[i-1][prev] + match_[i-1][s];
+                int b = vins[i-1][s] + insert_[i-1][s];
+                vmat[i][s] = a > b ? a : b;
+                int c = vmat[i-1][s] - 3;
+                int d = vins[i-1][s] - 1;
+                vins[i][s] = c > d ? c : d;
+            }
+        }
+        int best = -1000000;
+        for (int s = 0; s < states; s++) if (vmat[len][s] > best) best = vmat[len][s];
+        best_total += best + seq;
+    }
+    return (int)(best_total % 100000);
+}
+"#;
+
+const COMPRESS: &str = r#"
+// compress: LZW-style coder with open-addressed code table in arrays.
+unsigned char input[4096];
+int table_prefix[8192];
+int table_suffix[8192];
+int table_code[8192];
+
+int main(int n) {
+    if (n == 0) n = 6;
+    srand(12345);
+    int len = 4096;
+    long out_checksum = 0;
+    for (int round = 0; round < n; round++) {
+        for (int i = 0; i < len; i++) input[i] = (unsigned char)(rand() % 17 + 'a');
+        for (int i = 0; i < 8192; i++) { table_prefix[i] = -1; table_code[i] = -1; }
+        int next_code = 256;
+        int w = input[0];
+        for (int i = 1; i < len; i++) {
+            int k = input[i];
+            // Hash probe for (w, k).
+            int h = ((w << 5) ^ k) & 8191;
+            int found = -1;
+            while (table_prefix[h] != -1) {
+                if (table_prefix[h] == w && table_suffix[h] == k) { found = table_code[h]; break; }
+                h = (h + 1) & 8191;
+            }
+            if (found != -1) {
+                w = found;
+            } else {
+                out_checksum = out_checksum * 31 + w;
+                if (next_code < 8192) {
+                    table_prefix[h] = w;
+                    table_suffix[h] = k;
+                    table_code[h] = next_code;
+                    next_code++;
+                }
+                w = k;
+            }
+        }
+        out_checksum = out_checksum * 31 + w;
+    }
+    return (int)(out_checksum % 100000);
+}
+"#;
+
+const IJPEG: &str = r#"
+// ijpeg: integer DCT-ish transform + quantization over 8x8 blocks.
+int image[64 * 64];
+int quant[64];
+int block[64];
+int coef[64];
+
+int main(int n) {
+    if (n == 0) n = 10;
+    srand(99);
+    for (int i = 0; i < 64 * 64; i++) image[i] = rand() % 256;
+    for (int i = 0; i < 64; i++) quant[i] = 1 + (i / 8) + (i % 8);
+    long checksum = 0;
+    for (int pass = 0; pass < n; pass++) {
+        for (int by = 0; by < 8; by++) {
+            for (int bx = 0; bx < 8; bx++) {
+                for (int y = 0; y < 8; y++)
+                    for (int x = 0; x < 8; x++)
+                        block[y * 8 + x] = image[(by * 8 + y) * 64 + bx * 8 + x] - 128;
+                // Row pass: butterfly-style transform.
+                for (int y = 0; y < 8; y++) {
+                    for (int u = 0; u < 8; u++) {
+                        int acc = 0;
+                        for (int x = 0; x < 8; x++) {
+                            int c = ((u * (2 * x + 1)) % 32) - 16;
+                            acc += block[y * 8 + x] * c;
+                        }
+                        coef[y * 8 + u] = acc >> 4;
+                    }
+                    for (int u = 0; u < 8; u++) block[y * 8 + u] = coef[y * 8 + u];
+                }
+                // Quantize.
+                for (int i = 0; i < 64; i++) checksum += block[i] / quant[i];
+            }
+        }
+    }
+    return (int)(checksum % 100000);
+}
+"#;
+
+const BH: &str = r#"
+// bh: Barnes-Hut-style quadtree gravity, 16.16 fixed point.
+struct body { long x; long y; long mass; long fx; long fy; };
+struct cell {
+    long cx; long cy; long mass; long size;
+    struct cell* child[4];
+    struct body* leaf;
+};
+struct body bodies[128];
+
+struct cell* new_cell(long cx, long cy, long size) {
+    struct cell* c = (struct cell*)malloc(sizeof(struct cell));
+    c->cx = cx; c->cy = cy; c->mass = 0; c->size = size;
+    for (int i = 0; i < 4; i++) c->child[i] = NULL;
+    c->leaf = NULL;
+    return c;
+}
+
+void insert(struct cell* c, struct body* b) {
+    c->mass += b->mass;
+    if (c->size <= 2) {
+        c->leaf = b; // bucket of one; collisions overwrite (toy model)
+        return;
+    }
+    int q = 0;
+    long half = c->size / 2;
+    long nx = c->cx - half / 2;
+    long ny = c->cy - half / 2;
+    if (b->x >= c->cx) { q += 1; nx = c->cx + half / 2; }
+    if (b->y >= c->cy) { q += 2; ny = c->cy + half / 2; }
+    if (c->child[q] == NULL) c->child[q] = new_cell(nx, ny, half);
+    insert(c->child[q], b);
+}
+
+long force(struct cell* c, struct body* b) {
+    if (c == NULL || c->mass == 0) return 0;
+    long dx = c->cx - b->x;
+    long dy = c->cy - b->y;
+    long dist2 = dx * dx + dy * dy + 16;
+    if (c->size <= 2 || c->size * c->size * 4 < dist2) {
+        return (c->mass * 256) / dist2;
+    }
+    long f = 0;
+    for (int i = 0; i < 4; i++) f += force(c->child[i], b);
+    return f;
+}
+
+int main(int n) {
+    if (n == 0) n = 6;
+    srand(5);
+    int nb = 128;
+    for (int i = 0; i < nb; i++) {
+        bodies[i].x = rand() % 1024;
+        bodies[i].y = rand() % 1024;
+        bodies[i].mass = 1 + rand() % 15;
+    }
+    long checksum = 0;
+    for (int step = 0; step < n; step++) {
+        struct cell* root = new_cell(512, 512, 1024);
+        for (int i = 0; i < nb; i++) insert(root, &bodies[i]);
+        for (int i = 0; i < nb; i++) {
+            long f = force(root, &bodies[i]);
+            bodies[i].x = (bodies[i].x + f) % 1024;
+            checksum += f;
+        }
+    }
+    return (int)(checksum % 100000);
+}
+"#;
+
+const TSP: &str = r#"
+// tsp: nearest-neighbour tour over a linked list of cities.
+struct city { long x; long y; int visited; struct city* next; };
+
+int main(int n) {
+    if (n == 0) n = 180;
+    srand(17);
+    struct city* head = NULL;
+    for (int i = 0; i < n; i++) {
+        struct city* c = (struct city*)malloc(sizeof(struct city));
+        c->x = rand() % 10000;
+        c->y = rand() % 10000;
+        c->visited = 0;
+        c->next = head;
+        head = c;
+    }
+    struct city* cur = head;
+    cur->visited = 1;
+    long tour = 0;
+    for (int step = 1; step < n; step++) {
+        struct city* best = NULL;
+        long best_d = 0x7fffffffffffffffl;
+        for (struct city* p = head; p != NULL; p = p->next) {
+            if (p->visited) continue;
+            long dx = p->x - cur->x;
+            long dy = p->y - cur->y;
+            long d = dx * dx + dy * dy;
+            if (d < best_d) { best_d = d; best = p; }
+        }
+        best->visited = 1;
+        tour += best_d % 1000;
+        cur = best;
+    }
+    return (int)(tour % 100000);
+}
+"#;
+
+const LIBQUANTUM: &str = r#"
+// libquantum: sparse quantum register as a linked list of nonzero
+// amplitudes (16.16 fixed point), Hadamard-like and phase gates.
+struct amp { long re; long im; int basis; struct amp* next; };
+
+struct amp* new_amp(long re, long im, int basis, struct amp* next) {
+    struct amp* a = (struct amp*)malloc(sizeof(struct amp));
+    a->re = re; a->im = im; a->basis = basis; a->next = next;
+    return a;
+}
+
+struct amp* find(struct amp* reg, int basis) {
+    for (struct amp* p = reg; p != NULL; p = p->next)
+        if (p->basis == basis) return p;
+    return NULL;
+}
+
+long hist[64];
+
+int main(int n) {
+    if (n == 0) n = 7;
+    int qubits = 6;
+    struct amp* reg = new_amp(1 << 16, 0, 0, NULL);
+    long checksum = 0;
+    for (int round = 0; round < n; round++) {
+        for (int q = 0; q < qubits; q++) {
+            // "Hadamard" on qubit q: split every amplitude.
+            struct amp* nreg = NULL;
+            for (struct amp* p = reg; p != NULL; p = p->next) {
+                int flipped = p->basis ^ (1 << q);
+                long hre = p->re * 46341 >> 16; // 1/sqrt2 in 16.16
+                long him = p->im * 46341 >> 16;
+                struct amp* t = find(nreg, p->basis);
+                if (t == NULL) { nreg = new_amp(0, 0, p->basis, nreg); t = nreg; }
+                int sign = (p->basis & (1 << q)) ? -1 : 1;
+                t->re += sign * hre; t->im += sign * him;
+                t = find(nreg, flipped);
+                if (t == NULL) { nreg = new_amp(0, 0, flipped, nreg); t = nreg; }
+                t->re += hre; t->im += him;
+            }
+            // Free the old register and prune zeros.
+            while (reg != NULL) { struct amp* d = reg; reg = reg->next; free(d); }
+            struct amp* pruned = NULL;
+            while (nreg != NULL) {
+                struct amp* next = nreg->next;
+                if (nreg->re != 0 || nreg->im != 0) { nreg->next = pruned; pruned = nreg; }
+                else free(nreg);
+                nreg = next;
+            }
+            reg = pruned;
+        }
+        for (struct amp* p = reg; p != NULL; p = p->next) {
+            long prob = (p->re * p->re + p->im * p->im) >> 16;
+            checksum += prob;
+            hist[p->basis & 63] += prob;
+            hist[(p->basis >> 2) & 63] += 1;
+        }
+        for (int i = 0; i < 64; i++) checksum = (checksum + hist[i]) % 1000003;
+    }
+    return (int)(checksum % 100000);
+}
+"#;
+
+const PERIMETER: &str = r#"
+// perimeter: quadtree over a synthetic image; perimeter of the black
+// region, computed by recursive edge accounting.
+struct quad { int color; long x; long y; long size; long area; struct quad* child[4]; };
+int lut[256];
+
+struct quad* build(int depth, long x, long y, long size, int seed) {
+    struct quad* q = (struct quad*)malloc(sizeof(struct quad));
+    for (int i = 0; i < 4; i++) q->child[i] = NULL;
+    q->x = x; q->y = y; q->size = size; q->area = size * size;
+    if (depth == 0) {
+        // Pseudo-pattern: blobby circle-ish region.
+        long cx = x + size / 2 - 512;
+        long cy = y + size / 2 - 512;
+        long r2 = cx * cx + cy * cy;
+        int bias = lut[(cx & 15) * 16 + (cy & 15)] + lut[(int)(r2 & 255)] + lut[(int)(size & 255)];
+        q->color = r2 < 200000 + (seed % 7) * 9000 + bias % 3 ? 1 : 0;
+        return q;
+    }
+    long half = size / 2;
+    q->child[0] = build(depth - 1, x, y, half, seed + 1);
+    q->child[1] = build(depth - 1, x + half, y, half, seed + 2);
+    q->child[2] = build(depth - 1, x, y + half, half, seed + 3);
+    q->child[3] = build(depth - 1, x + half, y + half, half, seed + 5);
+    // Merge uniform children.
+    int c0 = q->child[0]->color;
+    int uniform = 1;
+    for (int i = 0; i < 4; i++) {
+        struct quad* k = q->child[i];
+        if (k->child[0] != NULL || k->color != c0) uniform = 0;
+    }
+    if (uniform) {
+        for (int i = 0; i < 4; i++) { free(q->child[i]); q->child[i] = NULL; }
+        q->color = c0;
+    } else {
+        q->color = 2; // grey
+    }
+    return q;
+}
+
+// Count black leaves and exposed edges along one axis by sampling.
+long edges(struct quad* q, long size) {
+    if (q->child[0] == NULL) {
+        // Geometric bookkeeping: int fields keep the memory mix realistic.
+        long contrib = q->color == 1 ? q->size * 4 : 0;
+        if (q->x == 0 || q->y == 0) contrib += q->size;
+        if (q->area < 64) contrib -= q->size / 2;
+        contrib += lut[(int)(q->x & 255)] - lut[(int)(q->y & 255)];
+        return contrib;
+    }
+    long p = 0;
+    for (int i = 0; i < 4; i++) p += edges(q->child[i], size / 2);
+    // Shared internal edges between black siblings cancel (approximation
+    // faithful to the pointer behaviour, not the exact geometry).
+    struct quad* a = q->child[0];
+    struct quad* b = q->child[1];
+    struct quad* c = q->child[2];
+    struct quad* d = q->child[3];
+    if (a->color == 1 && b->color == 1) p -= size;
+    if (c->color == 1 && d->color == 1) p -= size;
+    if (a->color == 1 && c->color == 1) p -= size;
+    if (b->color == 1 && d->color == 1) p -= size;
+    p += (a->area + d->area - b->area - c->area) / 4096;
+    p += (q->x ^ q->y) % 3;
+    p -= q->size % 3;
+    p += q->area % 2;
+    return p;
+}
+
+void destroy(struct quad* q) {
+    if (q == NULL) return;
+    for (int i = 0; i < 4; i++) destroy(q->child[i]);
+    free(q);
+}
+
+int main(int n) {
+    if (n == 0) n = 10;
+    for (int i = 0; i < 256; i++) lut[i] = (i * 7 + 3) % 5;
+    long checksum = 0;
+    for (int i = 0; i < n; i++) {
+        struct quad* root = build(5, 0, 0, 1024, i);
+        checksum += edges(root, 1024);
+        destroy(root);
+    }
+    return (int)(checksum % 100000);
+}
+"#;
+
+const HEALTH: &str = r#"
+// health: hierarchy of villages with patient queues (linked lists).
+struct patient { int id; int time; int hops; struct patient* next; };
+struct village {
+    struct village* parent;
+    struct village* kids[4];
+    struct patient* waiting;
+    struct patient* treated;
+    int level;
+    int seed;
+    int arrivals;
+    int referrals;
+    int treated_count;
+};
+
+struct village* build(int level, struct village* parent, int seed) {
+    struct village* v = (struct village*)malloc(sizeof(struct village));
+    v->parent = parent;
+    v->waiting = NULL;
+    v->treated = NULL;
+    v->level = level;
+    v->seed = seed;
+    v->arrivals = 0;
+    v->referrals = 0;
+    v->treated_count = 0;
+    for (int i = 0; i < 4; i++)
+        v->kids[i] = level > 0 ? build(level - 1, v, seed * 4 + i + 1) : NULL;
+    return v;
+}
+
+int next_id = 0;
+
+void step(struct village* v) {
+    if (v == NULL) return;
+    for (int i = 0; i < 4; i++) step(v->kids[i]);
+    // New patients arrive at leaves.
+    if (v->level == 0 && (rand() % 3) == 0) {
+        struct patient* p = (struct patient*)malloc(sizeof(struct patient));
+        p->id = next_id++;
+        p->time = 0;
+        p->hops = 0;
+        p->next = v->waiting;
+        v->waiting = p;
+        v->arrivals++;
+    }
+    // Treat or refer the head of the queue.
+    struct patient* p = v->waiting;
+    if (p != NULL) {
+        v->waiting = p->next;
+        p->time += v->level + 1;
+        if (rand() % 10 < 7 || v->parent == NULL) {
+            p->next = v->treated;
+            v->treated = p;
+            v->treated_count++;
+        } else {
+            p->hops++;
+            p->next = v->parent->waiting;
+            v->parent->waiting = p;
+            v->referrals++;
+        }
+    }
+    v->seed = v->seed * 1103515245 + 12345;
+}
+
+long tally(struct village* v) {
+    if (v == NULL) return 0;
+    long s = v->arrivals * 3 + v->referrals * 5 + v->treated_count;
+    for (int i = 0; i < 4; i++) s += tally(v->kids[i]);
+    for (struct patient* p = v->treated; p != NULL; p = p->next)
+        s += p->time + p->hops * 10 + (p->id & 7);
+    return s;
+}
+
+int main(int n) {
+    if (n == 0) n = 30;
+    srand(1234);
+    struct village* root = build(3, NULL, 1);
+    for (int t = 0; t < n; t++) step(root);
+    return (int)(tally(root) % 100000);
+}
+"#;
+
+const BISORT: &str = r#"
+// bisort: binary tree sort with recursive subtree value swaps.
+struct tnode { int v; int weight; struct tnode* l; struct tnode* r; };
+
+struct tnode* insert_node(struct tnode* t, int v) {
+    if (t == NULL) {
+        struct tnode* n = (struct tnode*)malloc(sizeof(struct tnode));
+        n->v = v; n->weight = v % 13; n->l = NULL; n->r = NULL;
+        return n;
+    }
+    if (v < t->v) t->l = insert_node(t->l, v);
+    else t->r = insert_node(t->r, v);
+    return t;
+}
+
+// Bitonic-flavoured swap: exchange min/max along the spine.
+int swap_dirs(struct tnode* t, int dir) {
+    if (t == NULL) return 0;
+    int count = 0;
+    struct tnode* l = t->l;
+    struct tnode* r = t->r;
+    if (l != NULL && r != NULL) {
+        int lv = l->v;
+        int rv = r->v;
+        if ((dir == 0 && lv > rv) || (dir == 1 && lv < rv)) {
+            l->v = rv;
+            r->v = lv;
+            int w = l->weight;
+            l->weight = r->weight;
+            r->weight = w;
+            count++;
+        }
+    }
+    count += swap_dirs(l, dir);
+    count += swap_dirs(r, 1 - dir);
+    return count;
+}
+
+long inorder(struct tnode* t, long acc) {
+    if (t == NULL) return acc;
+    acc = inorder(t->l, acc);
+    acc = acc * 2 + (t->v % 7) + t->weight;
+    acc = acc % 1000003;
+    return inorder(t->r, acc);
+}
+
+int main(int n) {
+    if (n == 0) n = 300;
+    srand(3);
+    struct tnode* root = NULL;
+    for (int i = 0; i < n; i++) root = insert_node(root, rand() % 10000);
+    long checksum = 0;
+    for (int pass = 0; pass < 6; pass++) {
+        checksum += swap_dirs(root, pass % 2);
+        checksum += inorder(root, 0);
+    }
+    return (int)(checksum % 100000);
+}
+"#;
+
+const MST: &str = r#"
+// mst: Prim's algorithm over linked vertices and adjacency lists of
+// vertex pointers (the Olden version keys hash tables by node pointer).
+struct vertex;
+struct edge { struct vertex* to; int w; struct edge* next; };
+struct vertex { struct edge* adj; struct vertex* next; int in_tree; int key; };
+
+struct vertex* vlist = NULL;
+
+void add_edge(struct vertex* a, struct vertex* b, int w) {
+    struct edge* e = (struct edge*)malloc(sizeof(struct edge));
+    e->to = b; e->w = w; e->next = a->adj; a->adj = e;
+    struct edge* f = (struct edge*)malloc(sizeof(struct edge));
+    f->to = a; f->w = w; f->next = b->adj; b->adj = f;
+}
+
+struct vertex* pick(int idx) {
+    struct vertex* v = vlist;
+    while (idx > 0) { v = v->next; idx--; }
+    return v;
+}
+
+int main(int n) {
+    if (n == 0) n = 120;
+    srand(21);
+    for (int i = 0; i < n; i++) {
+        struct vertex* v = (struct vertex*)malloc(sizeof(struct vertex));
+        v->adj = NULL; v->in_tree = 0; v->key = 1000000;
+        v->next = vlist; vlist = v;
+    }
+    for (int i = 1; i < n; i++) {
+        struct vertex* a = pick(i);
+        add_edge(a, pick(rand() % i), 1 + rand() % 100);   // spanning backbone
+        add_edge(a, pick(rand() % n), 1 + rand() % 100);   // extra edges
+    }
+    vlist->key = 0;
+    long total = 0;
+    for (int it = 0; it < n; it++) {
+        struct vertex* best = NULL;
+        for (struct vertex* v = vlist; v != NULL; v = v->next)
+            if (!v->in_tree && (best == NULL || v->key < best->key)) best = v;
+        best->in_tree = 1;
+        total += best->key;
+        for (struct edge* e = best->adj; e != NULL; e = e->next) {
+            struct vertex* t = e->to;
+            if (!t->in_tree && e->w < t->key) t->key = e->w;
+        }
+    }
+    return (int)(total % 100000);
+}
+"#;
+
+const LI: &str = r#"
+// li: a miniature lisp — cons cells, arithmetic s-expressions, recursive
+// evaluation, mark-free arena reuse via explicit free lists.
+struct cell { int tag; long num; struct cell* car; struct cell* cdr; };
+// tag: 0 = number, 1 = cons, 2 = op-add, 3 = op-mul, 4 = op-sub
+
+struct cell* freelist = NULL;
+
+struct cell* alloc_cell(void) {
+    if (freelist != NULL) {
+        struct cell* c = freelist;
+        freelist = c->cdr;
+        return c;
+    }
+    return (struct cell*)malloc(sizeof(struct cell));
+}
+
+void release(struct cell* c) {
+    if (c == NULL) return;
+    if (c->tag != 0) { release(c->car); release(c->cdr); }
+    c->cdr = freelist;
+    c->tag = 1;
+    freelist = c;
+}
+
+struct cell* num(long v) {
+    struct cell* c = alloc_cell();
+    c->tag = 0; c->num = v; c->car = NULL; c->cdr = NULL;
+    return c;
+}
+
+struct cell* op(int tag, struct cell* a, struct cell* b) {
+    struct cell* c = alloc_cell();
+    c->tag = tag; c->num = 0; c->car = a; c->cdr = b;
+    return c;
+}
+
+// Build a random expression tree of the given depth.
+struct cell* gen(int depth) {
+    if (depth == 0) return num(rand() % 10 + 1);
+    int t = 2 + rand() % 3;
+    return op(t, gen(depth - 1), gen(depth - 1));
+}
+
+long opcount[8];
+
+long eval(struct cell* c) {
+    if (c->tag == 0) return c->num;
+    long a = eval(c->car);
+    long b = eval(c->cdr);
+    opcount[c->tag]++;
+    if (c->tag == 2) return (a + b) % 1000003;
+    if (c->tag == 3) return (a * b) % 1000003;
+    return (a - b) % 1000003;
+}
+
+int main(int n) {
+    if (n == 0) n = 60;
+    srand(8);
+    long checksum = 0;
+    for (int i = 0; i < n; i++) {
+        struct cell* e = gen(7);
+        checksum = (checksum * 31 + eval(e)) % 1000003;
+        release(e);
+    }
+    for (int i = 0; i < 8; i++) checksum += opcount[i] % 97;
+    return (int)(checksum % 100000);
+}
+"#;
+
+const EM3D: &str = r#"
+// em3d: bipartite E/H node graph; each node holds a pointer array to its
+// dependencies and updates its value from theirs.
+struct enode {
+    long value;
+    struct enode* next;
+    struct enode** deps;
+    long* coeffs;
+    int degree;
+};
+
+struct enode* make_list(int n, int seed) {
+    struct enode* head = NULL;
+    for (int i = 0; i < n; i++) {
+        struct enode* e = (struct enode*)malloc(sizeof(struct enode));
+        e->value = (seed * 37 + i * 11) % 1000;
+        e->next = head;
+        e->deps = NULL;
+        e->coeffs = NULL;
+        e->degree = 0;
+        head = e;
+    }
+    return head;
+}
+
+struct enode* nth(struct enode* l, int i) {
+    while (i > 0) { l = l->next; i--; }
+    return l;
+}
+
+void wire(struct enode* from, struct enode* to_list, int count, int degree) {
+    for (struct enode* e = from; e != NULL; e = e->next) {
+        e->degree = degree;
+        e->deps = (struct enode**)malloc(degree * sizeof(struct enode*));
+        e->coeffs = (long*)malloc(degree * sizeof(long));
+        for (int d = 0; d < degree; d++) {
+            e->deps[d] = nth(to_list, rand() % count);
+            e->coeffs[d] = rand() % 7 + 1;
+        }
+    }
+}
+
+void relax(struct enode* list) {
+    for (struct enode* e = list; e != NULL; e = e->next) {
+        long acc = e->value;
+        for (int d = 0; d < e->degree; d++)
+            acc -= (e->deps[d]->value * e->coeffs[d]) / 8;
+        e->value = acc % 100000;
+    }
+}
+
+int main(int n) {
+    if (n == 0) n = 12;
+    srand(31);
+    int count = 64;
+    struct enode* enodes = make_list(count, 1);
+    struct enode* hnodes = make_list(count, 2);
+    wire(enodes, hnodes, count, 4);
+    wire(hnodes, enodes, count, 4);
+    for (int t = 0; t < n; t++) { relax(enodes); relax(hnodes); }
+    long checksum = 0;
+    for (struct enode* e = enodes; e != NULL; e = e->next) checksum += e->value;
+    if (checksum < 0) checksum = -checksum;
+    return (int)(checksum % 100000);
+}
+"#;
+
+const TREEADD: &str = r#"
+// treeadd: recursive binary-tree accumulation (the canonical Olden
+// pointer benchmark).
+struct tree { int val; struct tree* left; struct tree* right; };
+
+struct tree* build(int depth) {
+    struct tree* t = (struct tree*)malloc(sizeof(struct tree));
+    t->val = 1;
+    if (depth <= 1) { t->left = NULL; t->right = NULL; return t; }
+    t->left = build(depth - 1);
+    t->right = build(depth - 1);
+    return t;
+}
+
+int sum(struct tree* t) {
+    if (t == NULL) return 0;
+    return t->val + sum(t->left) + sum(t->right);
+}
+
+int main(int n) {
+    if (n == 0) n = 11;
+    struct tree* root = build(n);
+    int total = 0;
+    for (int i = 0; i < 8; i++) total = sum(root);
+    return total; // 2^n - 1
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifteen_benchmarks_in_figure1_order() {
+        let names: Vec<&str> = all().iter().map(|w| w.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "go", "lbm", "hmmer", "compress", "ijpeg", "bh", "tsp", "libquantum",
+                "perimeter", "health", "bisort", "mst", "li", "em3d", "treeadd"
+            ]
+        );
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("treeadd").is_some());
+        assert!(by_name("nonesuch").is_none());
+    }
+
+    #[test]
+    fn all_sources_compile() {
+        for w in all() {
+            sb_cir::compile(w.source)
+                .unwrap_or_else(|e| panic!("benchmark {} does not compile: {e}", w.name));
+        }
+    }
+}

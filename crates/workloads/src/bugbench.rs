@@ -1,0 +1,169 @@
+//! BugBench-style buggy programs (Table 4).
+//!
+//! Four programs reproducing the *bug classes* of the BugBench entries
+//! the paper evaluates (go, compress, polymorph, gzip). Each triggers a
+//! real overflow when run; the class determines which tools can see it:
+//!
+//! | program   | bug class                          | Valgrind | Mudflap | SB-store | SB-full |
+//! |-----------|------------------------------------|----------|---------|----------|---------|
+//! | go        | sub-object *read* overflow (stack) | no       | no      | no       | yes     |
+//! | compress  | global array *write* overflow      | no       | yes     | yes      | yes     |
+//! | polymorph | heap *write* overflow (strcpy)     | yes      | yes     | yes      | yes     |
+//! | gzip      | heap *write* overflow (loop)       | yes      | yes     | yes      | yes     |
+//!
+//! This is exactly the detection matrix of the paper's Table 4.
+
+/// Expected detection outcomes for one tool row of Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Expected {
+    /// Valgrind/Memcheck-like.
+    pub valgrind: bool,
+    /// Mudflap-like object database.
+    pub mudflap: bool,
+    /// SoftBound store-only.
+    pub store_only: bool,
+    /// SoftBound full.
+    pub full: bool,
+}
+
+/// One buggy program.
+#[derive(Debug, Clone, Copy)]
+pub struct BugProgram {
+    /// BugBench-style name.
+    pub name: &'static str,
+    /// CIR-C source (running `main` triggers the bug).
+    pub source: &'static str,
+    /// Bug class description.
+    pub description: &'static str,
+    /// Paper's Table 4 row.
+    pub expected: Expected,
+}
+
+/// The four Table 4 programs.
+pub fn all() -> Vec<BugProgram> {
+    vec![
+        BugProgram {
+            name: "go",
+            source: GO_BUG,
+            description: "sub-object read overflow: board evaluation reads past an array \
+                          nested inside a stack struct (whole-object tools and store-only \
+                          checking are blind to it)",
+            expected: Expected { valgrind: false, mudflap: false, store_only: false, full: true },
+        },
+        BugProgram {
+            name: "compress",
+            source: COMPRESS_BUG,
+            description: "global write overflow: the code table writer runs one slot past \
+                          a global array (no heap redzones there, so Valgrind misses it)",
+            expected: Expected { valgrind: false, mudflap: true, store_only: true, full: true },
+        },
+        BugProgram {
+            name: "polymorph",
+            source: POLYMORPH_BUG,
+            description: "heap strcpy overflow: a long filename is copied into a \
+                          fixed-size heap buffer",
+            expected: Expected { valgrind: true, mudflap: true, store_only: true, full: true },
+        },
+        BugProgram {
+            name: "gzip",
+            source: GZIP_BUG,
+            description: "heap loop write overflow: the output window writer exceeds the \
+                          allocated buffer",
+            expected: Expected { valgrind: true, mudflap: true, store_only: true, full: true },
+        },
+    ]
+}
+
+/// Looks up a bug program by name.
+pub fn by_name(name: &str) -> Option<BugProgram> {
+    all().into_iter().find(|b| b.name == name)
+}
+
+const GO_BUG: &str = r#"
+// go (BugBench): evaluation struct holds a pattern array next to weights;
+// the scan loop reads one entry past the pattern — a sub-object *read*
+// overflow inside one stack object.
+struct eval { int pattern[8]; int weights[8]; };
+
+int score(struct eval* e, int n) {
+    int s = 0;
+    for (int i = 0; i <= n; i++) {   // off-by-one: i == n reads weights[0]
+        s += e->pattern[i];
+    }
+    return s;
+}
+
+int main() {
+    struct eval e;
+    for (int i = 0; i < 8; i++) { e.pattern[i] = i; e.weights[i] = 1000 + i; }
+    int s = score(&e, 8);
+    // The corrupted read silently folds weights[0] into the score.
+    return s == 28 + 1000 ? 1 : 2;
+}
+"#;
+
+const COMPRESS_BUG: &str = r#"
+// compress (BugBench): code table in the data segment; the writer loop
+// runs past the end, through the adjacent global and beyond.
+int codes[256];
+int magic = 42;
+
+int main() {
+    for (int i = 0; i <= 260; i++) {   // loop bound bug
+        codes[i] = i;
+    }
+    return magic == 42 ? 0 : 1;        // magic is clobbered silently
+}
+"#;
+
+const POLYMORPH_BUG: &str = r#"
+// polymorph (BugBench): filename normalizer copies an attacker-length
+// name into a fixed heap buffer.
+int main() {
+    char* target = (char*)malloc(16);
+    char name[64];
+    strcpy(name, "this_filename_is_way_too_long_for_the_buffer.txt");
+    strcpy(target, name);              // heap write overflow
+    return (int)strlen(target);
+}
+"#;
+
+const GZIP_BUG: &str = r#"
+// gzip (BugBench): the output window is allocated too small and the
+// writer loop exceeds it.
+int main() {
+    int window_size = 32;
+    char* window = (char*)malloc(window_size);
+    for (int i = 0; i < window_size + 8; i++) {  // loop bound bug
+        window[i] = (char)(i & 127);
+    }
+    return window[0];
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_bugbench_programs() {
+        let names: Vec<&str> = all().iter().map(|b| b.name).collect();
+        assert_eq!(names, vec!["go", "compress", "polymorph", "gzip"]);
+    }
+
+    #[test]
+    fn sources_compile() {
+        for b in all() {
+            sb_cir::compile(b.source).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        }
+    }
+
+    #[test]
+    fn go_row_matches_paper() {
+        let go = by_name("go").expect("exists");
+        assert_eq!(
+            go.expected,
+            Expected { valgrind: false, mudflap: false, store_only: false, full: true }
+        );
+    }
+}

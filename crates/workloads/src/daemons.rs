@@ -1,0 +1,421 @@
+//! The §6.4 source-compatibility case studies: two network daemons,
+//! patterned on the paper's tinyftp-0.2 and NullLogic nhttpd-0.5.1.
+//!
+//! Each daemon is an ordinary pointer-and-string C program — command
+//! parsing, path normalization, an in-memory filesystem of linked
+//! structures, session state — driven by a synthetic request stream baked
+//! into the program (the VM has no sockets; what §6.4 measures is that
+//! SoftBound "successfully transformed these network applications without
+//! requiring any source code modifications and no false positives during
+//! program execution", which is exactly what the harness asserts).
+//!
+//! Both daemons return a positive response checksum on success.
+
+/// A daemon case study.
+#[derive(Debug, Clone, Copy)]
+pub struct Daemon {
+    /// Name (paper counterpart).
+    pub name: &'static str,
+    /// CIR-C source.
+    pub source: &'static str,
+    /// What it models.
+    pub description: &'static str,
+}
+
+/// Both daemons.
+pub fn all() -> Vec<Daemon> {
+    vec![
+        Daemon {
+            name: "tinyftp",
+            source: TINYFTP,
+            description: "FTP-like command processor (USER/PASS/CWD/PWD/MKD/STOR/RETR/LIST/DELE/QUIT) over an in-memory tree filesystem",
+        },
+        Daemon {
+            name: "nhttpd",
+            source: NHTTPD,
+            description: "HTTP-like request handler (request line, headers, query strings, routing, static pages, 404s) over multiple connections",
+        },
+    ]
+}
+
+const TINYFTP: &str = r#"
+// tinyftp: a miniature FTP server core. Commands arrive as lines; the
+// server maintains a session (auth state, cwd) and an in-memory
+// filesystem (tree of nodes with linked-list children).
+
+struct fsnode {
+    char name[32];
+    int is_dir;
+    char data[64];
+    int size;
+    struct fsnode* child;    // first child (dirs)
+    struct fsnode* sibling;  // next entry in parent
+};
+
+struct session {
+    int authed;
+    char user[32];
+    struct fsnode* cwd;
+    int replies;
+    long checksum;
+};
+
+struct fsnode* fs_root;
+
+struct fsnode* node_new(char* name, int is_dir) {
+    struct fsnode* n = (struct fsnode*)malloc(sizeof(struct fsnode));
+    strncpy(n->name, name, 31);
+    n->name[31] = 0;
+    n->is_dir = is_dir;
+    n->data[0] = 0;
+    n->size = 0;
+    n->child = NULL;
+    n->sibling = NULL;
+    return n;
+}
+
+void node_attach(struct fsnode* dir, struct fsnode* n) {
+    n->sibling = dir->child;
+    dir->child = n;
+}
+
+struct fsnode* node_find(struct fsnode* dir, char* name) {
+    for (struct fsnode* c = dir->child; c != NULL; c = c->sibling) {
+        if (strcmp(c->name, name) == 0) return c;
+    }
+    return NULL;
+}
+
+void fs_init(void) {
+    fs_root = node_new("/", 1);
+    struct fsnode* pub = node_new("pub", 1);
+    node_attach(fs_root, pub);
+    struct fsnode* readme = node_new("readme.txt", 0);
+    strcpy(readme->data, "welcome to tinyftp");
+    readme->size = (int)strlen(readme->data);
+    node_attach(pub, readme);
+    struct fsnode* etc = node_new("etc", 1);
+    node_attach(fs_root, etc);
+}
+
+void reply(struct session* s, int code, char* text) {
+    s->replies++;
+    s->checksum = (s->checksum * 131 + code + strlen(text)) % 1000000007;
+}
+
+// Split "CMD arg" into command (upper-cased) and argument.
+int split(char* line, char* cmd, char* arg) {
+    int i = 0;
+    while (line[i] != 0 && line[i] != ' ' && i < 15) {
+        char c = line[i];
+        if (c >= 'a' && c <= 'z') c = (char)(c - 32);
+        cmd[i] = c;
+        i++;
+    }
+    cmd[i] = 0;
+    int j = 0;
+    if (line[i] == ' ') {
+        i++;
+        while (line[i] != 0 && j < 63) { arg[j] = line[i]; i++; j++; }
+    }
+    arg[j] = 0;
+    return j;
+}
+
+void handle(struct session* s, char* line) {
+    char cmd[16];
+    char arg[64];
+    split(line, cmd, arg);
+
+    if (strcmp(cmd, "USER") == 0) {
+        strncpy(s->user, arg, 31);
+        s->user[31] = 0;
+        reply(s, 331, "password required");
+        return;
+    }
+    if (strcmp(cmd, "PASS") == 0) {
+        if (strcmp(s->user, "anonymous") == 0 || strcmp(arg, "hunter2") == 0) {
+            s->authed = 1;
+            reply(s, 230, "logged in");
+        } else {
+            reply(s, 530, "login incorrect");
+        }
+        return;
+    }
+    if (!s->authed) { reply(s, 530, "not logged in"); return; }
+
+    if (strcmp(cmd, "PWD") == 0) { reply(s, 257, s->cwd->name); return; }
+    if (strcmp(cmd, "CWD") == 0) {
+        if (strcmp(arg, "/") == 0) { s->cwd = fs_root; reply(s, 250, "ok"); return; }
+        struct fsnode* d = node_find(s->cwd, arg);
+        if (d != NULL && d->is_dir) { s->cwd = d; reply(s, 250, "ok"); }
+        else reply(s, 550, "no such directory");
+        return;
+    }
+    if (strcmp(cmd, "MKD") == 0) {
+        if (node_find(s->cwd, arg) != NULL) { reply(s, 550, "exists"); return; }
+        node_attach(s->cwd, node_new(arg, 1));
+        reply(s, 257, "created");
+        return;
+    }
+    if (strcmp(cmd, "STOR") == 0) {
+        // "STOR name:contents"
+        char name[32];
+        int k = 0;
+        while (arg[k] != 0 && arg[k] != ':' && k < 31) { name[k] = arg[k]; k++; }
+        name[k] = 0;
+        struct fsnode* f = node_find(s->cwd, name);
+        if (f == NULL) { f = node_new(name, 0); node_attach(s->cwd, f); }
+        int m = 0;
+        if (arg[k] == ':') {
+            k++;
+            while (arg[k] != 0 && m < 63) { f->data[m] = arg[k]; k++; m++; }
+        }
+        f->data[m] = 0;
+        f->size = m;
+        reply(s, 226, "stored");
+        return;
+    }
+    if (strcmp(cmd, "RETR") == 0) {
+        struct fsnode* f = node_find(s->cwd, arg);
+        if (f != NULL && !f->is_dir) {
+            s->checksum = (s->checksum + strlen(f->data) * 7 + f->size) % 1000000007;
+            reply(s, 226, "transfer complete");
+        } else reply(s, 550, "no such file");
+        return;
+    }
+    if (strcmp(cmd, "LIST") == 0) {
+        int count = 0;
+        for (struct fsnode* c = s->cwd->child; c != NULL; c = c->sibling) {
+            count++;
+            s->checksum = (s->checksum + strlen(c->name) + c->is_dir) % 1000000007;
+        }
+        reply(s, 226, count > 0 ? "listed" : "empty");
+        return;
+    }
+    if (strcmp(cmd, "DELE") == 0) {
+        struct fsnode* prev = NULL;
+        for (struct fsnode* c = s->cwd->child; c != NULL; c = c->sibling) {
+            if (strcmp(c->name, arg) == 0 && !c->is_dir) {
+                if (prev == NULL) s->cwd->child = c->sibling;
+                else prev->sibling = c->sibling;
+                free(c);
+                reply(s, 250, "deleted");
+                return;
+            }
+            prev = c;
+        }
+        reply(s, 550, "not found");
+        return;
+    }
+    if (strcmp(cmd, "QUIT") == 0) { reply(s, 221, "bye"); return; }
+    reply(s, 502, "command not implemented");
+}
+
+char* script[32];
+
+int main(int n) {
+    if (n == 0) n = 3;
+    fs_init();
+    int ns = 0;
+    script[ns] = "USER anonymous"; ns++;
+    script[ns] = "PASS guest"; ns++;
+    script[ns] = "PWD"; ns++;
+    script[ns] = "CWD pub"; ns++;
+    script[ns] = "LIST"; ns++;
+    script[ns] = "RETR readme.txt"; ns++;
+    script[ns] = "CWD /"; ns++;
+    script[ns] = "MKD uploads"; ns++;
+    script[ns] = "CWD uploads"; ns++;
+    script[ns] = "STOR notes.txt:some notes about softbound"; ns++;
+    script[ns] = "RETR notes.txt"; ns++;
+    script[ns] = "STOR long.txt:0123456789012345678901234567890123456789012345678901234567890ab"; ns++;
+    script[ns] = "RETR long.txt"; ns++;
+    script[ns] = "DELE notes.txt"; ns++;
+    script[ns] = "LIST"; ns++;
+    script[ns] = "CWD nosuch"; ns++;
+    script[ns] = "NOOP"; ns++;
+    script[ns] = "QUIT"; ns++;
+
+    long total = 0;
+    for (int si = 0; si < n; si++) {
+        struct session s;
+        s.authed = 0;
+        s.user[0] = 0;
+        s.cwd = fs_root;
+        s.replies = 0;
+        s.checksum = si;
+        for (int i = 0; i < ns; i++) {
+            char line[96];
+            strncpy(line, script[i], 95);
+            line[95] = 0;
+            handle(&s, line);
+        }
+        total = (total + s.checksum + s.replies) % 1000000007;
+    }
+    return (int)(total % 100000) + 1;
+}
+"#;
+
+const NHTTPD: &str = r#"
+// nhttpd: a miniature HTTP server core — request-line parsing, header
+// scanning, query-string decoding, routing, and response generation.
+
+struct route {
+    char path[32];
+    int status;
+    char* body;
+    struct route* next;
+};
+
+struct route* routes;
+
+void add_route(char* path, int status, char* body) {
+    struct route* r = (struct route*)malloc(sizeof(struct route));
+    strncpy(r->path, path, 31);
+    r->path[31] = 0;
+    r->status = status;
+    r->body = body;
+    r->next = routes;
+    routes = r;
+}
+
+struct route* find_route(char* path) {
+    for (struct route* r = routes; r != NULL; r = r->next)
+        if (strcmp(r->path, path) == 0) return r;
+    return NULL;
+}
+
+// Parse "GET /path?k=v HTTP/1.0" into method and path; returns the sum of
+// numeric query values (for the checksum).
+long parse_request(char* line, char* method, char* path) {
+    int i = 0;
+    while (line[i] != 0 && line[i] != ' ' && i < 7) { method[i] = line[i]; i++; }
+    method[i] = 0;
+    while (line[i] == ' ') i++;
+    int j = 0;
+    long qsum = 0;
+    while (line[i] != 0 && line[i] != ' ' && line[i] != '?' && j < 31) {
+        path[j] = line[i];
+        i++; j++;
+    }
+    path[j] = 0;
+    if (line[i] == '?') {
+        i++;
+        while (line[i] != 0 && line[i] != ' ') {
+            long v = 0;
+            while (line[i] != 0 && line[i] != '=' && line[i] != ' ' && line[i] != '&') i++;
+            if (line[i] == '=') {
+                i++;
+                while (line[i] >= '0' && line[i] <= '9') { v = v * 10 + (line[i] - '0'); i++; }
+            }
+            qsum += v;
+            if (line[i] == '&') i++;
+        }
+    }
+    return qsum;
+}
+
+int header_value(char* headers, char* name, char* out, int cap) {
+    int i = 0;
+    int nlen = (int)strlen(name);
+    while (headers[i] != 0) {
+        if (strncmp(&headers[i], name, nlen) == 0 && headers[i + nlen] == ':') {
+            int k = i + nlen + 1;
+            while (headers[k] == ' ') k++;
+            int j = 0;
+            while (headers[k] != 0 && headers[k] != '\n' && j < cap - 1) {
+                out[j] = headers[k];
+                j++; k++;
+            }
+            out[j] = 0;
+            return 1;
+        }
+        while (headers[i] != 0 && headers[i] != '\n') i++;
+        if (headers[i] == '\n') i++;
+    }
+    out[0] = 0;
+    return 0;
+}
+
+long respond(char* reqline, char* headers) {
+    char method[8];
+    char path[32];
+    long qsum = parse_request(reqline, method, path);
+    char host[32];
+    header_value(headers, "Host", host, 32);
+    char agent[48];
+    header_value(headers, "User-Agent", agent, 48);
+
+    long checksum = qsum + strlen(host) + strlen(agent) * 3;
+    if (strcmp(method, "GET") != 0 && strcmp(method, "HEAD") != 0) {
+        return checksum + 405;
+    }
+    struct route* r = find_route(path);
+    if (r == NULL) {
+        return checksum + 404;
+    }
+    char body[128];
+    strncpy(body, r->body, 127);
+    body[127] = 0;
+    checksum += r->status + (long)strlen(body);
+    if (strcmp(method, "HEAD") == 0) checksum -= (long)strlen(body);
+    return checksum;
+}
+
+char* requests[16];
+char* headerset[16];
+
+int main(int n) {
+    if (n == 0) n = 5;
+    routes = NULL;
+    add_route("/", 200, "<html>index</html>");
+    add_route("/about", 200, "<html>about softbound reproduction</html>");
+    add_route("/cgi/stats", 200, "uptime=9999 connections=42");
+    add_route("/old", 301, "moved");
+
+    int nreq = 0;
+    requests[nreq] = "GET / HTTP/1.0"; nreq++;
+    requests[nreq] = "GET /about HTTP/1.0"; nreq++;
+    requests[nreq] = "GET /cgi/stats?width=100&height=50 HTTP/1.0"; nreq++;
+    requests[nreq] = "HEAD /about HTTP/1.0"; nreq++;
+    requests[nreq] = "GET /missing HTTP/1.0"; nreq++;
+    requests[nreq] = "POST / HTTP/1.0"; nreq++;
+    requests[nreq] = "GET /old?y=7 HTTP/1.0"; nreq++;
+
+    headerset[0] = "Host: example.test\nUser-Agent: repro-agent/1.0\nAccept: */*\n";
+    headerset[1] = "Host: other.test\nUser-Agent: curl\n";
+    headerset[2] = "User-Agent: noname\n";
+
+    long total = 0;
+    for (int conn = 0; conn < n; conn++) {
+        for (int i = 0; i < nreq; i++) {
+            char line[96];
+            char hdrs[128];
+            strncpy(line, requests[i], 95);
+            line[95] = 0;
+            strncpy(hdrs, headerset[(conn + i) % 3], 127);
+            hdrs[127] = 0;
+            total = (total + respond(line, hdrs)) % 1000000007;
+        }
+    }
+    return (int)(total % 100000) + 1;
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn daemons_compile() {
+        for d in all() {
+            sb_cir::compile(d.source).unwrap_or_else(|e| panic!("{}: {e}", d.name));
+        }
+    }
+
+    #[test]
+    fn two_daemons() {
+        assert_eq!(all().len(), 2);
+    }
+}

@@ -1,0 +1,14 @@
+//! # sb-workloads — programs the evaluation runs
+//!
+//! CIR-C sources for every program the paper's evaluation needs: the 15
+//! [benchmarks](benches) of Figures 1–2, the BugBench-style
+//! [buggy programs](bugbench) of Table 4, the Wilander & Kamkar
+//! [attack suite](attacks) of Table 3, and the two network
+//! [daemons](daemons) of the §6.4 compatibility case study.
+
+pub mod attacks;
+pub mod benches;
+pub mod bugbench;
+pub mod daemons;
+
+pub use benches::{all as all_benchmarks, by_name as benchmark_by_name, Workload};

@@ -1,0 +1,41 @@
+//! Quickstart: compile a C program, run it unprotected (watch the silent
+//! corruption), then run it under SoftBound and watch the overflow abort.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use softbound_repro::core::{protect, SoftBoundConfig};
+use softbound_repro::vm::run_source;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let src = r#"
+        int secret = 42;          // adjacent global, silently clobbered in plain C
+        int table[4];
+        int main() {
+            for (int i = 0; i <= 4; i++) {   // off-by-one
+                table[i] = 7;
+            }
+            printf("secret = %d\n", secret);
+            return secret;
+        }
+    "#;
+
+    println!("== plain C (uninstrumented) ==");
+    let plain = run_source(src, "main", &[]);
+    print!("{}", plain.output);
+    println!("outcome: {:?}", plain.outcome);
+    println!("(the overflow silently corrupted `secret`)\n");
+
+    println!("== under SoftBound (full checking, shadow space) ==");
+    let protected = protect(src, &SoftBoundConfig::default(), "main", &[])?;
+    println!("outcome: {:?}", protected.outcome);
+    println!(
+        "checks executed: {}, metadata ops: {}",
+        protected.stats.checks,
+        protected.stats.meta_loads + protected.stats.meta_stores
+    );
+    assert!(protected.outcome.is_spatial_violation());
+    println!("\nSoftBound aborted at the out-of-bounds store, as the paper promises.");
+    Ok(())
+}

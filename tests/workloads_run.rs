@@ -1,0 +1,101 @@
+//! Every benchmark kernel must execute cleanly, deterministically, and
+//! with the pointer-intensity character Figure 1 requires (SPEC-style
+//! array kernels at the low end, Olden-style pointer kernels at the high
+//! end). Protected runs must agree with unprotected runs (differential
+//! correctness: instrumentation must not change program results).
+
+use sb_vm::{Machine, MachineConfig, NoRuntime, Outcome};
+use sb_workloads::all_benchmarks;
+use softbound::SoftBoundConfig;
+
+fn run_plain(w: &sb_workloads::Workload) -> sb_vm::RunResult {
+    let prog = sb_cir::compile(w.source).expect("compiles");
+    let mut m = sb_ir::lower(&prog, w.name);
+    sb_ir::optimize(&mut m, sb_ir::OptLevel::PreInstrument);
+    let mut machine = Machine::new(&m, MachineConfig::default(), Box::new(NoRuntime));
+    machine.run("main", &[w.default_arg])
+}
+
+#[test]
+fn benchmarks_finish_and_are_deterministic() {
+    for w in all_benchmarks() {
+        let a = run_plain(&w);
+        let Outcome::Finished { ret } = a.outcome else {
+            panic!("{}: {:?} (output: {})", w.name, a.outcome, a.output);
+        };
+        let b = run_plain(&w);
+        assert_eq!(b.ret(), Some(ret), "{} must be deterministic", w.name);
+        assert!(
+            a.stats.insts > 10_000,
+            "{} too small to be meaningful ({} insts)",
+            w.name,
+            a.stats.insts
+        );
+        println!(
+            "{:<11} ret={:<8} insts={:<9} memops={:<8} ptr%={:.1}",
+            w.name,
+            ret,
+            a.stats.insts,
+            a.stats.mem_ops(),
+            100.0 * a.stats.ptr_mem_fraction()
+        );
+    }
+}
+
+#[test]
+fn pointer_intensity_spans_figure1_range() {
+    let fracs: Vec<(String, f64)> = all_benchmarks()
+        .iter()
+        .map(|w| (w.name.to_string(), run_plain(w).stats.ptr_mem_fraction()))
+        .collect();
+    let lookup = |n: &str| fracs.iter().find(|(name, _)| name == n).expect("exists").1;
+
+    // Left end of Figure 1: array codes with negligible pointer traffic.
+    for name in ["go", "lbm", "hmmer", "compress", "ijpeg"] {
+        assert!(lookup(name) < 0.05, "{name} should be <5% pointer ops, got {}", lookup(name));
+    }
+    // Right end: Olden pointer chasing with a majority of pointer ops.
+    for name in ["li", "em3d", "treeadd"] {
+        assert!(lookup(name) > 0.40, "{name} should be >40% pointer ops, got {}", lookup(name));
+    }
+    // The overall trend is increasing left-to-right (allow local noise of
+    // one position by comparing ends of a sliding window of 3).
+    for win in fracs.windows(4) {
+        let left = win[0].1;
+        let right = win[3].1;
+        assert!(
+            right + 0.02 >= left,
+            "ordering violated: {} ({:.2}) .. {} ({:.2})",
+            win[0].0,
+            left,
+            win[3].0,
+            right
+        );
+    }
+}
+
+#[test]
+fn protected_runs_agree_with_unprotected() {
+    // Differential testing over the real workloads: SoftBound must be
+    // transparent for correct programs (§6.4 — no false positives) and
+    // must not change results.
+    let cfgs = [SoftBoundConfig::full_shadow(), SoftBoundConfig::store_only_hash()];
+    for w in all_benchmarks() {
+        let plain = run_plain(&w);
+        let expected = plain.ret().expect("plain run finishes");
+        for cfg in &cfgs {
+            let module = softbound::compile_protected(w.source, cfg).expect("compiles");
+            let mut machine =
+                Machine::new(&module, MachineConfig::default(), softbound::runtime_for(cfg));
+            let r = machine.run("main", &[w.default_arg]);
+            assert_eq!(
+                r.ret(),
+                Some(expected),
+                "{} under {} diverged: {:?}",
+                w.name,
+                cfg.label(),
+                r.outcome
+            );
+        }
+    }
+}
