@@ -20,7 +20,7 @@ use sb_ir::{
     ArithOp, Callee, Function, GInit, Global, Inst, IntKind, MemTy, Module, RegId, RegKind, RtFn,
     Value,
 };
-use sb_vm::{Mem, RtCtx, RtVals, RuntimeHooks, Trap};
+use sb_vm::{AccessSink, Mem, RtCtx, RtVals, RuntimeHooks, Trap};
 
 /// Function prefix for the fat-pointer transformation.
 pub const FAT_PREFIX: &str = "_fat_";
@@ -74,20 +74,37 @@ fn build_globals_init(globals: &[Global], module_name: &str) -> Function {
             let (base, bound) = match init {
                 GInit::GlobalAddr { id, .. } => (
                     Value::GlobalAddr { id: *id, offset: 0 },
-                    Value::GlobalAddr { id: *id, offset: globals[id.0 as usize].size },
+                    Value::GlobalAddr {
+                        id: *id,
+                        offset: globals[id.0 as usize].size,
+                    },
                 ),
                 GInit::FuncAddr(fid) => (Value::FuncAddr(*fid), Value::FuncAddr(*fid)),
                 GInit::Bytes(_) => continue,
             };
-            let slot = Value::GlobalAddr { id: sb_ir::GlobalId(gi as u32), offset: off + 8 };
-            let slot2 = Value::GlobalAddr { id: sb_ir::GlobalId(gi as u32), offset: off + 16 };
-            f.blocks[b.0 as usize].insts.push(Inst::Store { mem: MemTy::I64, addr: slot, value: base });
-            f.blocks[b.0 as usize]
-                .insts
-                .push(Inst::Store { mem: MemTy::I64, addr: slot2, value: bound });
+            let slot = Value::GlobalAddr {
+                id: sb_ir::GlobalId(gi as u32),
+                offset: off + 8,
+            };
+            let slot2 = Value::GlobalAddr {
+                id: sb_ir::GlobalId(gi as u32),
+                offset: off + 16,
+            };
+            f.blocks[b.0 as usize].insts.push(Inst::Store {
+                mem: MemTy::I64,
+                addr: slot,
+                value: base,
+            });
+            f.blocks[b.0 as usize].insts.push(Inst::Store {
+                mem: MemTy::I64,
+                addr: slot2,
+                value: bound,
+            });
         }
     }
-    f.blocks[b.0 as usize].insts.push(Inst::Ret { vals: vec![] });
+    f.blocks[b.0 as usize]
+        .insts
+        .push(Inst::Ret { vals: vec![] });
     f
 }
 
@@ -108,7 +125,10 @@ impl Cx<'_> {
             Value::Const(_) => (Value::Const(0), Value::Const(0)),
             Value::GlobalAddr { id, .. } => (
                 Value::GlobalAddr { id: *id, offset: 0 },
-                Value::GlobalAddr { id: *id, offset: self.global_sizes[id.0 as usize] },
+                Value::GlobalAddr {
+                    id: *id,
+                    offset: self.global_sizes[id.0 as usize],
+                },
             ),
             Value::FuncAddr(f) => (Value::FuncAddr(*f), Value::FuncAddr(*f)),
         }
@@ -179,10 +199,23 @@ fn transform_fn(
 
 /// Helper: `tmp = addr + disp` into a fresh scratch register. Scratch
 /// registers are appended to the function (allowed — reg_kinds grows).
-fn addr_plus(f: &Function, out: &mut Vec<Inst>, scratch: &mut Vec<RegId>, addr: Value, disp: i64) -> Value {
+fn addr_plus(
+    f: &Function,
+    out: &mut Vec<Inst>,
+    scratch: &mut Vec<RegId>,
+    addr: Value,
+    disp: i64,
+) -> Value {
     let _ = f;
     let r = scratch.pop().expect("scratch preallocated");
-    out.push(Inst::Gep { dst: r, base: addr, index: Value::Const(0), scale: 0, offset: disp, field_size: None });
+    out.push(Inst::Gep {
+        dst: r,
+        base: addr,
+        index: Value::Const(0),
+        scale: 0,
+        offset: disp,
+        field_size: None,
+    });
     Value::Reg(r)
 }
 
@@ -201,9 +234,17 @@ fn rewrite(inst: Inst, f: &mut Function, cx: &mut Cx<'_>, out: &mut Vec<Inst>, _
                 let (db, de) = cx.shadow(dst);
                 let mut scratch = vec![f.new_reg(RegKind::Ptr), f.new_reg(RegKind::Ptr)];
                 let a8 = addr_plus(f, out, &mut scratch, addr, 8);
-                out.push(Inst::Load { dst: db, mem: MemTy::I64, addr: a8 });
+                out.push(Inst::Load {
+                    dst: db,
+                    mem: MemTy::I64,
+                    addr: a8,
+                });
                 let a16 = addr_plus(f, out, &mut scratch, addr, 16);
-                out.push(Inst::Load { dst: de, mem: MemTy::I64, addr: a16 });
+                out.push(Inst::Load {
+                    dst: de,
+                    mem: MemTy::I64,
+                    addr: a16,
+                });
             }
             out.push(Inst::Load { dst, mem, addr });
         }
@@ -219,16 +260,27 @@ fn rewrite(inst: Inst, f: &mut Function, cx: &mut Cx<'_>, out: &mut Vec<Inst>, _
                 let (vb, ve) = cx.meta_of(&value);
                 let mut scratch = vec![f.new_reg(RegKind::Ptr), f.new_reg(RegKind::Ptr)];
                 let a8 = addr_plus(f, out, &mut scratch, addr, 8);
-                out.push(Inst::Store { mem: MemTy::I64, addr: a8, value: vb });
+                out.push(Inst::Store {
+                    mem: MemTy::I64,
+                    addr: a8,
+                    value: vb,
+                });
                 let a16 = addr_plus(f, out, &mut scratch, addr, 16);
-                out.push(Inst::Store { mem: MemTy::I64, addr: a16, value: ve });
+                out.push(Inst::Store {
+                    mem: MemTy::I64,
+                    addr: a16,
+                    value: ve,
+                });
             }
         }
         Inst::Alloca { dst, info } => {
             let size = info.size;
             out.push(Inst::Alloca { dst, info });
             let (db, de) = cx.shadow(dst);
-            out.push(Inst::Mov { dst: db, src: Value::Reg(dst) });
+            out.push(Inst::Mov {
+                dst: db,
+                src: Value::Reg(dst),
+            });
             out.push(Inst::Bin {
                 dst: de,
                 op: ArithOp::Add,
@@ -237,12 +289,29 @@ fn rewrite(inst: Inst, f: &mut Function, cx: &mut Cx<'_>, out: &mut Vec<Inst>, _
                 rhs: Value::Const(size as i64),
             });
         }
-        Inst::Gep { dst, base, index, scale, offset, field_size } => {
-            out.push(Inst::Gep { dst, base, index, scale, offset, field_size });
+        Inst::Gep {
+            dst,
+            base,
+            index,
+            scale,
+            offset,
+            field_size,
+        } => {
+            out.push(Inst::Gep {
+                dst,
+                base,
+                index,
+                scale,
+                offset,
+                field_size,
+            });
             let (db, de) = cx.shadow(dst);
             match field_size {
                 Some(sz) => {
-                    out.push(Inst::Mov { dst: db, src: Value::Reg(dst) });
+                    out.push(Inst::Mov {
+                        dst: db,
+                        src: Value::Reg(dst),
+                    });
                     out.push(Inst::Bin {
                         dst: de,
                         op: ArithOp::Add,
@@ -275,7 +344,13 @@ fn rewrite(inst: Inst, f: &mut Function, cx: &mut Cx<'_>, out: &mut Vec<Inst>, _
             }
             out.push(Inst::Ret { vals });
         }
-        Inst::Call { mut dsts, callee, args, ptr_hint, .. } => match callee {
+        Inst::Call {
+            mut dsts,
+            callee,
+            args,
+            ptr_hint,
+            ..
+        } => match callee {
             Callee::Direct(fid) => {
                 let pkinds = &cx.orig_params[fid.0 as usize];
                 let mut metas = Vec::new();
@@ -296,7 +371,13 @@ fn rewrite(inst: Inst, f: &mut Function, cx: &mut Cx<'_>, out: &mut Vec<Inst>, _
                     dsts.push(db);
                     dsts.push(de);
                 }
-                out.push(Inst::Call { dsts, callee: Callee::Direct(fid), args: new_args, ptr_hint, wrapped: false });
+                out.push(Inst::Call {
+                    dsts,
+                    callee: Callee::Direct(fid),
+                    args: new_args,
+                    ptr_hint,
+                    wrapped: false,
+                });
             }
             Callee::Indirect(target) => {
                 let mut new_args = args.clone();
@@ -317,7 +398,13 @@ fn rewrite(inst: Inst, f: &mut Function, cx: &mut Cx<'_>, out: &mut Vec<Inst>, _
                     dsts.push(db);
                     dsts.push(de);
                 }
-                out.push(Inst::Call { dsts, callee: Callee::Indirect(target), args: new_args, ptr_hint, wrapped: false });
+                out.push(Inst::Call {
+                    dsts,
+                    callee: Callee::Indirect(target),
+                    args: new_args,
+                    ptr_hint,
+                    wrapped: false,
+                });
             }
             Callee::Builtin(b) => {
                 let sig = b.sig();
@@ -334,7 +421,13 @@ fn rewrite(inst: Inst, f: &mut Function, cx: &mut Cx<'_>, out: &mut Vec<Inst>, _
                     dsts.push(db);
                     dsts.push(de);
                 }
-                out.push(Inst::Call { dsts, callee: Callee::Builtin(b), args: new_args, ptr_hint, wrapped: true });
+                out.push(Inst::Call {
+                    dsts,
+                    callee: Callee::Builtin(b),
+                    args: new_args,
+                    ptr_hint,
+                    wrapped: true,
+                });
             }
         },
         Inst::Rt { .. } => panic!("module already instrumented"),
@@ -372,11 +465,19 @@ impl RuntimeHooks for FatPtrRuntime {
         match rt {
             RtFn::FatCheck { is_store } => {
                 self.check_count += 1;
-                ctx.cost += 3;
-                let (ptr, base, bound, size) =
-                    (args[0] as u64, args[1] as u64, args[2] as u64, args[3] as u64);
+                ctx.add_cost(3);
+                let (ptr, base, bound, size) = (
+                    args[0] as u64,
+                    args[1] as u64,
+                    args[2] as u64,
+                    args[3] as u64,
+                );
                 if base == 0 || ptr < base || ptr.wrapping_add(size) > bound {
-                    Err(Trap::SpatialViolation { scheme: "fatptr", addr: ptr, write: is_store })
+                    Err(Trap::SpatialViolation {
+                        scheme: "fatptr",
+                        addr: ptr,
+                        write: is_store,
+                    })
                 } else {
                     Ok([0, 0])
                 }
@@ -507,10 +608,8 @@ mod tests {
     #[test]
     fn metadata_is_plain_memory_traffic() {
         // No metadata runtime calls exist: only FatCheck.
-        let m = compile_fat_protected(
-            "int* g; int main() { int* p = g; g = p; return 0; }",
-        )
-        .expect("compiles");
+        let m = compile_fat_protected("int* g; int main() { int* p = g; g = p; return 0; }")
+            .expect("compiles");
         let rt_kinds: Vec<RtFn> = m
             .funcs
             .iter()
@@ -520,6 +619,11 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert!(rt_kinds.iter().all(|rt| matches!(rt, RtFn::FatCheck { .. })), "{rt_kinds:?}");
+        assert!(
+            rt_kinds
+                .iter()
+                .all(|rt| matches!(rt, RtFn::FatCheck { .. })),
+            "{rt_kinds:?}"
+        );
     }
 }

@@ -16,9 +16,9 @@
 //! [`softbound::instrument_flavored`]; only the flavor and the runtime
 //! cost profile differ.
 
-use softbound::{instrument_flavored, Flavor, Meta, SoftBoundConfig};
 use sb_ir::{Module, RtFn};
-use sb_vm::{Mem, RtCtx, RtVals, RuntimeHooks, Trap};
+use sb_vm::{AccessSink, Mem, RtCtx, RtVals, RuntimeHooks, Trap};
+use softbound::{instrument_flavored, Flavor, Meta, SoftBoundConfig};
 use std::collections::HashMap;
 
 /// Synthetic address region of MSCC's metadata structures.
@@ -32,7 +32,10 @@ pub const MSCC_CHECK_COST: u64 = 4;
 
 /// Instruments a module MSCC-style.
 pub fn instrument_mscc(module: &Module) -> Module {
-    let cfg = SoftBoundConfig { clear_on_return: false, ..SoftBoundConfig::default() };
+    let cfg = SoftBoundConfig {
+        clear_on_return: false,
+        ..SoftBoundConfig::default()
+    };
     instrument_flavored(module, &cfg, Flavor::mscc())
 }
 
@@ -68,27 +71,38 @@ impl RuntimeHooks for MsccRuntime {
         match rt {
             RtFn::MsccCheck { is_store } => {
                 self.check_count += 1;
-                ctx.cost += MSCC_CHECK_COST;
-                let (ptr, base, bound, size) =
-                    (args[0] as u64, args[1] as u64, args[2] as u64, args[3] as u64);
+                ctx.add_cost(MSCC_CHECK_COST);
+                let (ptr, base, bound, size) = (
+                    args[0] as u64,
+                    args[1] as u64,
+                    args[2] as u64,
+                    args[3] as u64,
+                );
                 if ptr < base || ptr.wrapping_add(size) > bound {
-                    Err(Trap::SpatialViolation { scheme: "mscc", addr: ptr, write: is_store })
+                    Err(Trap::SpatialViolation {
+                        scheme: "mscc",
+                        addr: ptr,
+                        write: is_store,
+                    })
                 } else {
                     Ok([0, 0])
                 }
             }
             RtFn::MsccMetaLoad => {
                 let slot = (args[0] as u64) >> 3;
-                ctx.cost += MSCC_META_COST;
-                ctx.touched.push(MSCC_META_BASE + slot * 16);
+                ctx.add_cost(MSCC_META_COST);
+                ctx.touch(MSCC_META_BASE + slot * 16);
                 let m = self.meta.get(&slot).copied().unwrap_or(Meta::NULL);
                 Ok([m.base as i64, m.bound as i64])
             }
             RtFn::MsccMetaStore => {
                 let slot = (args[0] as u64) >> 3;
-                ctx.cost += MSCC_META_COST;
-                ctx.touched.push(MSCC_META_BASE + slot * 16);
-                let m = Meta { base: args[1] as u64, bound: args[2] as u64 };
+                ctx.add_cost(MSCC_META_COST);
+                ctx.touch(MSCC_META_BASE + slot * 16);
+                let m = Meta {
+                    base: args[1] as u64,
+                    bound: args[2] as u64,
+                };
                 if m.is_null() {
                     self.meta.remove(&slot);
                 } else {
@@ -97,9 +111,13 @@ impl RuntimeHooks for MsccRuntime {
                 Ok([0, 0])
             }
             RtFn::MsccVaCheck => {
-                ctx.cost += 2;
+                ctx.add_cost(2);
                 if args[0] < 0 || args[0] as u64 >= ctx.vararg_count {
-                    Err(Trap::SpatialViolation { scheme: "mscc", addr: args[0] as u64, write: false })
+                    Err(Trap::SpatialViolation {
+                        scheme: "mscc",
+                        addr: args[0] as u64,
+                        write: false,
+                    })
                 } else {
                     Ok([0, 0])
                 }
@@ -110,8 +128,12 @@ impl RuntimeHooks for MsccRuntime {
                 let (dst, src, len) = (args[0] as u64, args[1] as u64, args[2] as u64);
                 let mut off = 0;
                 while off < len {
-                    ctx.cost += 2 * MSCC_META_COST;
-                    let m = self.meta.get(&((src + off) >> 3)).copied().unwrap_or(Meta::NULL);
+                    ctx.add_cost(2 * MSCC_META_COST);
+                    let m = self
+                        .meta
+                        .get(&((src + off) >> 3))
+                        .copied()
+                        .unwrap_or(Meta::NULL);
                     if m.is_null() {
                         self.meta.remove(&((dst + off) >> 3));
                     } else {
@@ -130,7 +152,7 @@ impl RuntimeHooks for MsccRuntime {
             let mut a = addr & !7;
             while a < addr + size {
                 self.meta.remove(&(a >> 3));
-                ctx.cost += 2;
+                ctx.add_cost(2);
                 a += 8;
             }
         }
@@ -142,7 +164,11 @@ impl RuntimeHooks for MsccRuntime {
 /// # Errors
 ///
 /// Frontend errors.
-pub fn run_mscc(src: &str, entry: &str, args: &[i64]) -> Result<sb_vm::RunResult, sb_cir::CompileError> {
+pub fn run_mscc(
+    src: &str,
+    entry: &str,
+    args: &[i64],
+) -> Result<sb_vm::RunResult, sb_cir::CompileError> {
     let prog = sb_cir::compile(src)?;
     let mut m = sb_ir::lower(&prog, "mscc");
     sb_ir::optimize(&mut m, sb_ir::OptLevel::PreInstrument);
@@ -175,8 +201,7 @@ mod tests {
 
     #[test]
     fn safe_program_runs() {
-        let r = run(
-            r#"
+        let r = run(r#"
             int main() {
                 int* p = (int*)malloc(8 * sizeof(int));
                 for (int i = 0; i < 8; i++) p[i] = i;
@@ -184,21 +209,18 @@ mod tests {
                 for (int i = 0; i < 8; i++) s += p[i];
                 free(p);
                 return s == 28;
-            }"#,
-        );
+            }"#);
         assert_eq!(r.ret(), Some(1), "{:?}", r.outcome);
     }
 
     #[test]
     fn whole_object_overflow_detected() {
-        let r = run(
-            r#"
+        let r = run(r#"
             int main() {
                 char* p = (char*)malloc(8);
                 p[8] = 'x';
                 return 0;
-            }"#,
-        );
+            }"#);
         assert!(r.outcome.is_spatial_violation(), "{:?}", r.outcome);
     }
 
@@ -207,8 +229,7 @@ mod tests {
         // MSCC's fast configuration keeps allocation-granularity bounds:
         // the intra-struct overflow corrupts the neighbour silently
         // (Table 1 "Complete (subfield access)": No).
-        let r = run(
-            r#"
+        let r = run(r#"
             struct node { char str[8]; long tag; };
             int main() {
                 struct node n;
@@ -216,9 +237,13 @@ mod tests {
                 char* p = n.str;
                 p[8] = 'x';
                 return n.tag == 7;
-            }"#,
+            }"#);
+        assert_eq!(
+            r.ret(),
+            Some(0),
+            "sub-object overflow must be missed: {:?}",
+            r.outcome
         );
-        assert_eq!(r.ret(), Some(0), "sub-object overflow must be missed: {:?}", r.outcome);
     }
 
     #[test]
@@ -237,9 +262,19 @@ mod tests {
             }
         "#;
         let mscc = run(src);
-        assert_eq!(mscc.ret(), Some(1), "mscc misses the forged overflow: {:?}", mscc.outcome);
-        let sb = softbound::protect(src, &SoftBoundConfig::default(), "main", &[]).expect("compiles");
-        assert!(sb.outcome.is_spatial_violation(), "softbound aborts: {:?}", sb.outcome);
+        assert_eq!(
+            mscc.ret(),
+            Some(1),
+            "mscc misses the forged overflow: {:?}",
+            mscc.outcome
+        );
+        let sb =
+            softbound::protect(src, &SoftBoundConfig::default(), "main", &[]).expect("compiles");
+        assert!(
+            sb.outcome.is_spatial_violation(),
+            "softbound aborts: {:?}",
+            sb.outcome
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@
 
 use crate::splay::SplayTree;
 use sb_ir::{Inst, MemTy, Module, RtFn, Value};
-use sb_vm::{Mem, RtCtx, RtVals, RuntimeHooks, Trap};
+use sb_vm::{AccessSink, Mem, RtCtx, RtVals, RuntimeHooks, Trap};
 
 /// Synthetic address region of the object table (for the cache model).
 pub const OBJTABLE_BASE: u64 = 0x0000_1C00_0000_0000;
@@ -98,7 +98,11 @@ pub struct ObjectTableRuntime {
 impl ObjectTableRuntime {
     /// Creates a runtime for the given scheme.
     pub fn new(scheme: ObjectScheme) -> Self {
-        ObjectTableRuntime { tree: SplayTree::new(), scheme, check_count: 0 }
+        ObjectTableRuntime {
+            tree: SplayTree::new(),
+            scheme,
+            check_count: 0,
+        }
     }
 
     /// Registered object count.
@@ -109,9 +113,9 @@ impl ObjectTableRuntime {
     fn charge(visited: u64, ctx: &mut RtCtx) {
         // ~6 instructions of fixed overhead per check plus ~3 per splay
         // node visited (compare + two pointer loads).
-        ctx.cost += 6 + 3 * visited;
+        ctx.add_cost(6 + 3 * visited);
         for i in 0..visited.min(8) {
-            ctx.touched.push(OBJTABLE_BASE + i * 64);
+            ctx.touch(OBJTABLE_BASE + i * 64);
         }
     }
 }
@@ -184,24 +188,24 @@ impl RuntimeHooks for ObjectTableRuntime {
 
     fn on_malloc(&mut self, addr: u64, size: u64, ctx: &mut RtCtx) {
         let visited = self.tree.insert(addr, size.max(1));
-        ctx.cost += 8 + 3 * visited;
+        ctx.add_cost(8 + 3 * visited);
     }
 
     fn on_free(&mut self, addr: u64, _size: u64, _ptr_hint: bool, ctx: &mut RtCtx) {
         if let Some(visited) = self.tree.remove(addr) {
-            ctx.cost += 6 + 3 * visited;
+            ctx.add_cost(6 + 3 * visited);
         }
     }
 
     fn on_alloca(&mut self, addr: u64, info: &sb_ir::AllocaInfo, ctx: &mut RtCtx) {
         let visited = self.tree.insert(addr, info.size.max(1));
-        ctx.cost += 8 + 3 * visited;
+        ctx.add_cost(8 + 3 * visited);
     }
 
     fn on_frame_exit(&mut self, allocas: &[(u64, u64)], ctx: &mut RtCtx) {
         for &(addr, _) in allocas {
             if let Some(visited) = self.tree.remove(addr) {
-                ctx.cost += 6 + 3 * visited;
+                ctx.add_cost(6 + 3 * visited);
             }
         }
     }
@@ -224,7 +228,11 @@ impl RuntimeHooks for ObjectTableRuntime {
         Self::charge(visited, ctx);
         match hit {
             Some((base, osize)) if ptr + len <= base + osize => Ok(()),
-            _ => Err(Trap::SpatialViolation { scheme: self.scheme.name(), addr: ptr, write: is_store }),
+            _ => Err(Trap::SpatialViolation {
+                scheme: self.scheme.name(),
+                addr: ptr,
+                write: is_store,
+            }),
         }
     }
 }
@@ -240,8 +248,11 @@ mod tests {
         sb_ir::optimize(&mut m, sb_ir::OptLevel::PreInstrument);
         let m = instrument_object_scheme(&m, scheme);
         sb_ir::verify(&m).expect("verifies");
-        let mut machine =
-            Machine::new(&m, MachineConfig::default(), Box::new(ObjectTableRuntime::new(scheme)));
+        let mut machine = Machine::new(
+            &m,
+            MachineConfig::default(),
+            Box::new(ObjectTableRuntime::new(scheme)),
+        );
         machine.run("main", &[])
     }
 
@@ -279,7 +290,11 @@ mod tests {
                 }"#,
                 scheme,
             );
-            assert!(r.outcome.is_spatial_violation(), "{scheme:?}: {:?}", r.outcome);
+            assert!(
+                r.outcome.is_spatial_violation(),
+                "{scheme:?}: {:?}",
+                r.outcome
+            );
         }
     }
 
@@ -290,12 +305,20 @@ mod tests {
                 "int main() { char b[8]; for (int i = 0; i <= 8; i++) b[i] = 1; return 0; }",
                 scheme,
             );
-            assert!(stack.outcome.is_spatial_violation(), "{scheme:?} stack: {:?}", stack.outcome);
+            assert!(
+                stack.outcome.is_spatial_violation(),
+                "{scheme:?} stack: {:?}",
+                stack.outcome
+            );
             let global = run_with(
                 "char g[8]; int main() { for (int i = 0; i <= 8; i++) g[i] = 1; return 0; }",
                 scheme,
             );
-            assert!(global.outcome.is_spatial_violation(), "{scheme:?} global: {:?}", global.outcome);
+            assert!(
+                global.outcome.is_spatial_violation(),
+                "{scheme:?} global: {:?}",
+                global.outcome
+            );
         }
     }
 
@@ -347,7 +370,12 @@ mod tests {
             jk.outcome
         );
         let mf = run_with(src, ObjectScheme::Mudflap);
-        assert_eq!(mf.ret(), Some(1), "Mudflap tolerates transient OOB pointers: {:?}", mf.outcome);
+        assert_eq!(
+            mf.ret(),
+            Some(1),
+            "Mudflap tolerates transient OOB pointers: {:?}",
+            mf.outcome
+        );
     }
 
     #[test]

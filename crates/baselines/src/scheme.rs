@@ -5,9 +5,9 @@ use crate::fatptr::{self, FatPtrRuntime};
 use crate::mscc::{instrument_mscc, MsccRuntime};
 use crate::object_table::{instrument_object_scheme, ObjectScheme, ObjectTableRuntime};
 use crate::valgrind::{instrument_valgrind, ValgrindRuntime, REDZONE};
-use softbound::SoftBoundConfig;
 use sb_ir::Module;
 use sb_vm::{Machine, MachineConfig, NoRuntime, RunResult, RuntimeHooks};
+use softbound::SoftBoundConfig;
 
 /// Every protection scheme the reproduction implements.
 #[derive(Debug, Clone)]
@@ -101,7 +101,12 @@ impl Scheme {
     /// # Errors
     ///
     /// Frontend errors.
-    pub fn run(&self, src: &str, entry: &str, args: &[i64]) -> Result<RunResult, sb_cir::CompileError> {
+    pub fn run(
+        &self,
+        src: &str,
+        entry: &str,
+        args: &[i64],
+    ) -> Result<RunResult, sb_cir::CompileError> {
         let module = self.compile(src)?;
         let mut machine = Machine::new(&module, self.machine_config(), self.runtime());
         Ok(machine.run(entry, args))

@@ -35,7 +35,13 @@ pub struct SplayTree {
 impl SplayTree {
     /// Creates an empty tree.
     pub fn new() -> Self {
-        SplayTree { nodes: Vec::new(), free: Vec::new(), root: NIL, len: 0, total_visited: 0 }
+        SplayTree {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: NIL,
+            len: 0,
+            total_visited: 0,
+        }
     }
 
     /// Number of registered objects.
@@ -50,10 +56,20 @@ impl SplayTree {
 
     fn alloc_node(&mut self, key: u64, size: u64) -> i32 {
         if let Some(i) = self.free.pop() {
-            self.nodes[i as usize] = Node { key, size, left: NIL, right: NIL };
+            self.nodes[i as usize] = Node {
+                key,
+                size,
+                left: NIL,
+                right: NIL,
+            };
             i
         } else {
-            self.nodes.push(Node { key, size, left: NIL, right: NIL });
+            self.nodes.push(Node {
+                key,
+                size,
+                left: NIL,
+                right: NIL,
+            });
             (self.nodes.len() - 1) as i32
         }
     }
@@ -180,7 +196,10 @@ impl SplayTree {
             return None;
         }
         let old = self.root;
-        let (l, r) = (self.nodes[old as usize].left, self.nodes[old as usize].right);
+        let (l, r) = (
+            self.nodes[old as usize].left,
+            self.nodes[old as usize].right,
+        );
         self.free.push(old);
         self.len -= 1;
         if l == NIL {
@@ -274,7 +293,10 @@ mod tests {
             total += v;
         }
         let avg = total as f64 / 1000.0;
-        assert!(avg <= 8.0, "hot accesses should be cheap (first={first}, avg={avg})");
+        assert!(
+            avg <= 8.0,
+            "hot accesses should be cheap (first={first}, avg={avg})"
+        );
     }
 
     #[test]
@@ -284,7 +306,9 @@ mod tests {
         let mut reference: Vec<(u64, u64)> = Vec::new();
         let mut state = 0xabcdefu64;
         let mut rnd = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 33
         };
         for _ in 0..3000 {

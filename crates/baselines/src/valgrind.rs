@@ -12,7 +12,7 @@
 use std::collections::BTreeMap;
 
 use sb_ir::{Inst, Module, RtFn, Value};
-use sb_vm::{Mem, RtCtx, RtVals, RuntimeHooks, Trap, HEAP_BASE, STACK_BASE};
+use sb_vm::{AccessSink, Mem, RtCtx, RtVals, RuntimeHooks, Trap, HEAP_BASE, STACK_BASE};
 
 /// Synthetic address of the addressability bitmap (for the cache model).
 pub const VBITS_BASE: u64 = 0x0000_1E00_0000_0000;
@@ -78,10 +78,16 @@ impl ValgrindRuntime {
         Self::default()
     }
 
-    fn heap_check(&mut self, ptr: u64, len: u64, is_store: bool, ctx: &mut RtCtx) -> Result<(), Trap> {
+    fn heap_check(
+        &mut self,
+        ptr: u64,
+        len: u64,
+        is_store: bool,
+        ctx: &mut RtCtx,
+    ) -> Result<(), Trap> {
         self.check_count += 1;
-        ctx.cost += DBI_CHECK_COST;
-        ctx.touched.push(VBITS_BASE + ptr / 8);
+        ctx.add_cost(DBI_CHECK_COST);
+        ctx.touch(VBITS_BASE + ptr / 8);
         if !(HEAP_BASE..STACK_BASE).contains(&ptr) {
             // Stack and globals are addressable wholesale: Memcheck's
             // blind spot for array overflows there (Table 4: go, compress).
@@ -89,7 +95,11 @@ impl ValgrindRuntime {
         }
         match self.live.range(..=ptr).next_back() {
             Some((&base, &size)) if ptr >= base && ptr + len <= base + size => Ok(()),
-            _ => Err(Trap::SpatialViolation { scheme: "valgrind", addr: ptr, write: is_store }),
+            _ => Err(Trap::SpatialViolation {
+                scheme: "valgrind",
+                addr: ptr,
+                write: is_store,
+            }),
         }
     }
 }
@@ -117,12 +127,12 @@ impl RuntimeHooks for ValgrindRuntime {
 
     fn on_malloc(&mut self, addr: u64, size: u64, ctx: &mut RtCtx) {
         self.live.insert(addr, size.max(1));
-        ctx.cost += 20; // redzone painting + bitmap updates
+        ctx.add_cost(20); // redzone painting + bitmap updates
     }
 
     fn on_free(&mut self, addr: u64, _size: u64, _ptr_hint: bool, ctx: &mut RtCtx) {
         self.live.remove(&addr);
-        ctx.cost += 15;
+        ctx.add_cost(15);
     }
 
     fn check_builtin_range(
@@ -147,7 +157,10 @@ mod tests {
         sb_ir::optimize(&mut m, sb_ir::OptLevel::PreInstrument);
         let m = instrument_valgrind(&m);
         sb_ir::verify(&m).expect("verifies");
-        let cfg = MachineConfig { redzone: REDZONE, ..MachineConfig::default() };
+        let cfg = MachineConfig {
+            redzone: REDZONE,
+            ..MachineConfig::default()
+        };
         let mut machine = Machine::new(&m, cfg, Box::new(ValgrindRuntime::new()));
         machine.run("main", &[])
     }
@@ -222,7 +235,12 @@ mod tests {
                 return (int)canary[0];
             }"#,
         );
-        assert_eq!(r.ret(), Some(99), "stack overflow silently corrupts: {:?}", r.outcome);
+        assert_eq!(
+            r.ret(),
+            Some(99),
+            "stack overflow silently corrupts: {:?}",
+            r.outcome
+        );
     }
 
     #[test]
@@ -236,7 +254,12 @@ mod tests {
                 return victim[0] == 'X';
             }"#,
         );
-        assert_eq!(r.ret(), Some(1), "global overflow silently corrupts: {:?}", r.outcome);
+        assert_eq!(
+            r.ret(),
+            Some(1),
+            "global overflow silently corrupts: {:?}",
+            r.outcome
+        );
     }
 
     #[test]

@@ -22,22 +22,29 @@ fn benches(c: &mut Criterion) {
         .collect();
     let total_insts: usize = modules.iter().map(|(_, m)| m.inst_count()).sum();
 
-    group.bench_function(format!("instrument_all_15_workloads_{total_insts}_insts"), |b| {
-        let cfg = SoftBoundConfig::full_shadow();
-        b.iter(|| {
-            for (_, m) in &modules {
-                black_box(softbound::instrument(m, &cfg));
-            }
-        });
-    });
+    group.bench_function(
+        format!("instrument_all_15_workloads_{total_insts}_insts"),
+        |b| {
+            let cfg = SoftBoundConfig::full_shadow();
+            b.iter(|| {
+                for (_, m) in &modules {
+                    black_box(softbound::instrument(m, &cfg));
+                }
+            });
+        },
+    );
 
     group.bench_function("frontend_compile_treeadd", |b| {
-        let src = sb_workloads::benchmark_by_name("treeadd").expect("exists").source;
+        let src = sb_workloads::benchmark_by_name("treeadd")
+            .expect("exists")
+            .source;
         b.iter(|| black_box(sb_cir::compile(src).expect("compiles")));
     });
 
     group.bench_function("lower_and_optimize_treeadd", |b| {
-        let src = sb_workloads::benchmark_by_name("treeadd").expect("exists").source;
+        let src = sb_workloads::benchmark_by_name("treeadd")
+            .expect("exists")
+            .source;
         let prog = sb_cir::compile(src).expect("compiles");
         b.iter(|| {
             let mut m = sb_ir::lower(&prog, "treeadd");

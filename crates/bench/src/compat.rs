@@ -45,8 +45,11 @@ pub fn run() -> Vec<Row> {
 
             let run_cfg = |cfg: &SoftBoundConfig| {
                 let module = softbound::compile_protected(d.source, cfg).expect("compiles");
-                let mut machine =
-                    Machine::new(&module, MachineConfig::default(), softbound::runtime_for(cfg));
+                let mut machine = Machine::new(
+                    &module,
+                    MachineConfig::default(),
+                    softbound::runtime_for(cfg),
+                );
                 machine.run("main", &[0])
             };
             let full = run_cfg(&SoftBoundConfig::full_shadow());
@@ -76,7 +79,11 @@ pub fn render(rows: &[Row]) -> String {
             r.full_ret,
             r.store_ret,
             r.full_checks,
-            if r.compatible() { "compatible, no false positives" } else { "INCOMPATIBLE" }
+            if r.compatible() {
+                "compatible, no false positives"
+            } else {
+                "INCOMPATIBLE"
+            }
         ));
     }
     out
@@ -89,8 +96,20 @@ mod tests {
     #[test]
     fn daemons_run_protected_without_false_positives() {
         for r in run() {
-            assert!(r.compatible(), "{}: full={:?} store={:?} plain={}", r.name, r.full_ret, r.store_ret, r.plain_ret);
-            assert!(r.full_checks > 1000, "{}: suspiciously few checks ({})", r.name, r.full_checks);
+            assert!(
+                r.compatible(),
+                "{}: full={:?} store={:?} plain={}",
+                r.name,
+                r.full_ret,
+                r.store_ret,
+                r.plain_ret
+            );
+            assert!(
+                r.full_checks > 1000,
+                "{}: suspiciously few checks ({})",
+                r.name,
+                r.full_checks
+            );
         }
     }
 }

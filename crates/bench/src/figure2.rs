@@ -23,6 +23,9 @@ pub struct Row {
     pub ss_store: f64,
     /// Baseline cost-model cycles.
     pub base_cycles: u64,
+    /// Static checks removed by post-instrument redundant-check
+    /// elimination under full checking (facility-independent).
+    pub checks_eliminated: usize,
 }
 
 /// The four configurations, in the figure's legend order.
@@ -59,7 +62,10 @@ pub fn run() -> Vec<Row> {
 
 /// Runs with an explicit cache configuration (None = flat memory).
 pub fn run_with_cache(cache: Option<CacheConfig>) -> Vec<Row> {
-    let machine_cfg = MachineConfig { cache, ..MachineConfig::default() };
+    let machine_cfg = MachineConfig {
+        cache,
+        ..MachineConfig::default()
+    };
     all_benchmarks()
         .iter()
         .map(|w| {
@@ -70,21 +76,41 @@ pub fn run_with_cache(cache: Option<CacheConfig>) -> Vec<Row> {
             let base = machine.run("main", &[w.default_arg]);
             assert!(matches!(base.outcome, sb_vm::Outcome::Finished { .. }));
             let expected = base.ret();
-            let get = |cfg: &SoftBoundConfig| {
+            let run = |cfg: &SoftBoundConfig, module: &sb_ir::Module| {
                 let scheme = Scheme::SoftBound(cfg.clone());
-                let module = scheme.compile(w.source).expect("compiles");
-                let r = scheme.run_module_with(&module, machine_cfg.clone(), "main", &[w.default_arg]);
-                assert_eq!(r.ret(), expected, "{} diverged under {}", w.name, cfg.label());
+                let r =
+                    scheme.run_module_with(module, machine_cfg.clone(), "main", &[w.default_arg]);
+                assert_eq!(
+                    r.ret(),
+                    expected,
+                    "{} diverged under {}",
+                    w.name,
+                    cfg.label()
+                );
                 overhead(base.stats.cycles, r.stats.cycles)
             };
+            let get = |cfg: &SoftBoundConfig| {
+                let module = Scheme::SoftBound(cfg.clone())
+                    .compile(w.source)
+                    .expect("compiles");
+                run(cfg, &module)
+            };
             let [ht_f, ss_f, ht_s, ss_s] = configs();
+            // The full-shadow pipeline is compiled via the stats entry
+            // point so the run shares one compile with the elimination
+            // count (which is a property of the instrumented IR, not of
+            // the runtime facility).
+            let (ss_full_module, pass_stats) =
+                softbound::compile_protected_with_stats(w.source, &ss_f)
+                    .expect("workload compiles");
             Row {
                 name: w.name.to_string(),
                 ht_full: get(&ht_f),
-                ss_full: get(&ss_f),
+                ss_full: run(&ss_f, &ss_full_module),
                 ht_store: get(&ht_s),
                 ss_store: get(&ss_s),
                 base_cycles: base.stats.cycles,
+                checks_eliminated: pass_stats.checks_eliminated,
             }
         })
         .collect()
@@ -106,31 +132,34 @@ pub fn render(rows: &[Row]) -> String {
     let mut out = String::new();
     out.push_str("Figure 2: Runtime overhead of SoftBound (percent over uninstrumented)\n\n");
     out.push_str(&format!(
-        "{:<12}{:>12}{:>14}{:>12}{:>14}\n",
-        "benchmark", "HashTable", "ShadowSpace", "HashTable", "ShadowSpace"
+        "{:<12}{:>12}{:>14}{:>12}{:>14}{:>8}\n",
+        "benchmark", "HashTable", "ShadowSpace", "HashTable", "ShadowSpace", "checks"
     ));
     out.push_str(&format!(
-        "{:<12}{:>12}{:>14}{:>12}{:>14}\n",
-        "", "-Complete", "-Complete", "-Stores", "-Stores"
+        "{:<12}{:>12}{:>14}{:>12}{:>14}{:>8}\n",
+        "", "-Complete", "-Complete", "-Stores", "-Stores", "elim'd"
     ));
     for r in rows {
         out.push_str(&format!(
-            "{:<12}{:>11.0}%{:>13.0}%{:>11.0}%{:>13.0}%\n",
+            "{:<12}{:>11.0}%{:>13.0}%{:>11.0}%{:>13.0}%{:>8}\n",
             r.name,
             100.0 * r.ht_full,
             100.0 * r.ss_full,
             100.0 * r.ht_store,
-            100.0 * r.ss_store
+            100.0 * r.ss_store,
+            r.checks_eliminated
         ));
     }
     let (a, b, c, d) = averages(rows);
+    let total_elim: usize = rows.iter().map(|r| r.checks_eliminated).sum();
     out.push_str(&format!(
-        "{:<12}{:>11.0}%{:>13.0}%{:>11.0}%{:>13.0}%\n",
+        "{:<12}{:>11.0}%{:>13.0}%{:>11.0}%{:>13.0}%{:>8}\n",
         "average",
         100.0 * a,
         100.0 * b,
         100.0 * c,
-        100.0 * d
+        100.0 * d,
+        total_elim
     ));
     out.push_str(&format!(
         "\npaper:      {:>11.0}%{:>13.0}%{:>12}{:>13.0}%\n",
@@ -155,8 +184,18 @@ mod tests {
         for r in &rows {
             // Hash table costs at least as much as the shadow space, and
             // full checking at least as much as store-only (§6.3).
-            assert!(r.ht_full >= r.ss_full - 1e-9, "{}: ht {} < ss {}", r.name, r.ht_full, r.ss_full);
-            assert!(r.ss_full >= r.ss_store - 1e-9, "{}: full < store-only", r.name);
+            assert!(
+                r.ht_full >= r.ss_full - 1e-9,
+                "{}: ht {} < ss {}",
+                r.name,
+                r.ht_full,
+                r.ss_full
+            );
+            assert!(
+                r.ss_full >= r.ss_store - 1e-9,
+                "{}: full < store-only",
+                r.name
+            );
             assert!(r.ht_store >= r.ss_store - 1e-9, "{}", r.name);
             assert!(r.ss_store >= 0.0, "{}: negative overhead", r.name);
         }
@@ -178,6 +217,15 @@ mod tests {
         assert!(
             ss_s < 0.6 * ss_f,
             "store-only ({ss_s}) should be well under full checking ({ss_f})"
+        );
+        // The post-instrument redundant-check-elimination pass must fire
+        // on at least one real workload.
+        assert!(
+            rows.iter().any(|r| r.checks_eliminated > 0),
+            "no workload had a redundant check eliminated: {:?}",
+            rows.iter()
+                .map(|r| (&r.name, r.checks_eliminated))
+                .collect::<Vec<_>>()
         );
     }
 }

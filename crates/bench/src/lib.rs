@@ -50,3 +50,72 @@ pub fn overhead(base: u64, cycles: u64) -> f64 {
         cycles as f64 / base as f64 - 1.0
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use softbound::{Meta, MetadataFacility, NoopSink, ShadowHashMapFacility, ShadowPages};
+    use std::time::Instant;
+
+    /// One round of the pointer-dense access pattern (the
+    /// `metadata/store_load_1k_slots` microbenchmark's loop body).
+    /// Generic, so each facility is measured under static dispatch.
+    fn pointer_dense_round<F: MetadataFacility>(fac: &mut F) -> u64 {
+        let mut sink = NoopSink;
+        let mut acc = 0u64;
+        for i in 0..1000u64 {
+            let addr = 0x10000 + (i % 512) * 8;
+            fac.store(
+                addr,
+                Meta {
+                    base: addr,
+                    bound: addr + 64,
+                },
+                &mut sink,
+            );
+            acc = acc.wrapping_add(fac.load(addr, &mut sink).bound);
+        }
+        acc
+    }
+
+    fn best_ns<F: MetadataFacility>(fac: &mut F) -> u128 {
+        // Warm up (materializes pages / hash buckets), then best-of-7.
+        std::hint::black_box(pointer_dense_round(fac));
+        (0..7)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..20 {
+                    std::hint::black_box(pointer_dense_round(fac));
+                }
+                t.elapsed().as_nanos()
+            })
+            .min()
+            .expect("non-empty")
+    }
+
+    /// §5.1's performance claim, at the host level: the paged shadow
+    /// space's constant-offset direct map beats the old HashMap-backed
+    /// lookup by at least 2× on the pointer-dense pattern. Wall-clock
+    /// assertions in a test suite are noise-prone on loaded runners, so
+    /// this takes best-of-N per attempt and passes if *any* of a few
+    /// attempts clears the bar (scheduler noise can only slow the paged
+    /// side down, never speed the HashMap side up); the release-mode
+    /// margin in `benches/metadata.rs` is ~3×.
+    #[test]
+    fn paged_shadow_at_least_2x_faster_than_hashmap_shadow() {
+        let mut worst = (0u128, 0u128);
+        for _ in 0..3 {
+            let mut paged = ShadowPages::new();
+            let mut hashed = ShadowHashMapFacility::new();
+            let paged_ns = best_ns(&mut paged);
+            let hashed_ns = best_ns(&mut hashed);
+            if hashed_ns >= 2 * paged_ns {
+                return;
+            }
+            worst = (paged_ns, hashed_ns);
+        }
+        panic!(
+            "paged shadow not ≥2× faster in any attempt: paged {} ns vs hashmap {} ns",
+            worst.0, worst.1
+        );
+    }
+}

@@ -36,7 +36,12 @@ pub fn run() -> Vec<Row> {
                 let m = mscc.compile(w.source).expect("compiles");
                 mscc.run_module(&m, "main", &[w.default_arg])
             };
-            assert_eq!(sb_r.ret(), base.ret(), "{} diverged under softbound", w.name);
+            assert_eq!(
+                sb_r.ret(),
+                base.ret(),
+                "{} diverged under softbound",
+                w.name
+            );
             assert_eq!(mscc_r.ret(), base.ret(), "{} diverged under mscc", w.name);
             Row {
                 name: w.name.to_string(),
@@ -51,7 +56,10 @@ pub fn run() -> Vec<Row> {
 pub fn render(rows: &[Row]) -> String {
     let mut out = String::new();
     out.push_str("§6.5: SoftBound vs MSCC-like overhead (percent over uninstrumented)\n\n");
-    out.push_str(&format!("{:<12}{:>11}{:>9}\n", "benchmark", "SoftBound", "MSCC"));
+    out.push_str(&format!(
+        "{:<12}{:>11}{:>9}\n",
+        "benchmark", "SoftBound", "MSCC"
+    ));
     for r in rows {
         out.push_str(&format!(
             "{:<12}{:>10.0}%{:>8.0}%\n",
@@ -69,7 +77,9 @@ pub fn render(rows: &[Row]) -> String {
         100.0 * avg_sb,
         100.0 * avg_mscc
     ));
-    out.push_str("\npaper: MSCC spatial-only 17%..185% (avg 68%); go: MSCC 144% vs SoftBound 55%\n");
+    out.push_str(
+        "\npaper: MSCC spatial-only 17%..185% (avg 68%); go: MSCC 144% vs SoftBound 55%\n",
+    );
     out
 }
 

@@ -22,7 +22,10 @@ pub struct Row {
 }
 
 fn attack_succeeded(outcome: &Outcome) -> bool {
-    matches!(outcome, Outcome::Hijacked { .. } | Outcome::Exited { code: 66 })
+    matches!(
+        outcome,
+        Outcome::Hijacked { .. } | Outcome::Exited { code: 66 }
+    )
 }
 
 /// Runs all 18 attacks under {unprotected, full, store-only}.
@@ -49,7 +52,10 @@ pub fn run() -> Vec<Row> {
 pub fn render(rows: &[Row]) -> String {
     let mut out = String::new();
     out.push_str("Table 3: Wilander attack suite — SoftBound detection\n\n");
-    out.push_str(&format!("{:<44}{:>6}{:>7}\n", "Attack and target", "Full", "Store"));
+    out.push_str(&format!(
+        "{:<44}{:>6}{:>7}\n",
+        "Attack and target", "Full", "Store"
+    ));
     let mut group = "";
     for r in rows {
         let g = match (r.attack.technique, r.attack.location) {
@@ -81,7 +87,11 @@ pub fn render(rows: &[Row]) -> String {
     out.push_str(&format!(
         "\n(all {} attacks take control when unprotected: {})\n",
         rows.len(),
-        if all_work { "confirmed" } else { "NOT CONFIRMED" }
+        if all_work {
+            "confirmed"
+        } else {
+            "NOT CONFIRMED"
+        }
     ));
     out
 }
@@ -96,8 +106,16 @@ mod tests {
         assert_eq!(rows.len(), 18);
         for r in &rows {
             assert!(r.succeeded_unprotected, "attack {} is inert", r.attack.id);
-            assert!(r.detected_full, "attack {} missed by full checking", r.attack.id);
-            assert!(r.detected_store_only, "attack {} missed by store-only", r.attack.id);
+            assert!(
+                r.detected_full,
+                "attack {} missed by full checking",
+                r.attack.id
+            );
+            assert!(
+                r.detected_store_only,
+                "attack {} missed by store-only",
+                r.attack.id
+            );
         }
     }
 }

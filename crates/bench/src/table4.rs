@@ -49,7 +49,10 @@ pub fn run() -> Vec<Row> {
                 &Scheme::SoftBound(SoftBoundConfig::store_only_shadow()),
                 bug.source,
             ),
-            full: detected(&Scheme::SoftBound(SoftBoundConfig::full_shadow()), bug.source),
+            full: detected(
+                &Scheme::SoftBound(SoftBoundConfig::full_shadow()),
+                bug.source,
+            ),
             bug,
         })
         .collect()

@@ -26,7 +26,11 @@ pub enum TypeExpr {
     Array(Box<TypeExpr>, Box<Expr>),
     /// Function type: used for function-pointer declarators
     /// `ret (*name)(params)`.
-    Func { ret: Box<TypeExpr>, params: Vec<TypeExpr>, vararg: bool },
+    Func {
+        ret: Box<TypeExpr>,
+        params: Vec<TypeExpr>,
+        vararg: bool,
+    },
 }
 
 /// Unary operators.
@@ -68,7 +72,10 @@ pub enum BinOp {
 impl BinOp {
     /// True for the six comparison operators.
     pub fn is_cmp(self) -> bool {
-        matches!(self, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
     }
 }
 
@@ -97,15 +104,27 @@ pub enum ExprKind {
     /// Unary operation.
     Unary(UnOp, Box<Expr>),
     /// `e++` / `e--` / `++e` / `--e`; `post` selects the returned value.
-    IncDec { target: Box<Expr>, inc: bool, post: bool },
+    IncDec {
+        target: Box<Expr>,
+        inc: bool,
+        post: bool,
+    },
     /// Binary operation.
     Binary(BinOp, Box<Expr>, Box<Expr>),
     /// Short-circuit `&&` / `||`.
-    Logical { and: bool, lhs: Box<Expr>, rhs: Box<Expr> },
+    Logical {
+        and: bool,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
     /// `cond ? then : else`
     Cond(Box<Expr>, Box<Expr>, Box<Expr>),
     /// Assignment; `op` is `None` for `=`, or the compound operator.
-    Assign { op: Option<BinOp>, lhs: Box<Expr>, rhs: Box<Expr> },
+    Assign {
+        op: Option<BinOp>,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
     /// Function call; the callee is an arbitrary expression (identifier or
     /// function pointer value).
     Call { callee: Box<Expr>, args: Vec<Expr> },
@@ -145,11 +164,19 @@ pub struct Stmt {
 #[derive(Debug, Clone, PartialEq)]
 pub enum StmtKind {
     /// Local declaration.
-    Decl { name: String, ty: TypeExpr, init: Option<Init> },
+    Decl {
+        name: String,
+        ty: TypeExpr,
+        init: Option<Init>,
+    },
     /// Expression statement.
     Expr(Expr),
     /// `if (cond) then else els`
-    If { cond: Expr, then: Box<Stmt>, els: Option<Box<Stmt>> },
+    If {
+        cond: Expr,
+        then: Box<Stmt>,
+        els: Option<Box<Stmt>>,
+    },
     /// `while (cond) body`
     While { cond: Expr, body: Box<Stmt> },
     /// `do body while (cond);`
@@ -186,9 +213,19 @@ pub struct Param {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Decl {
     /// Struct or union definition.
-    Struct { tag: String, is_union: bool, fields: Vec<(String, TypeExpr)>, pos: Pos },
+    Struct {
+        tag: String,
+        is_union: bool,
+        fields: Vec<(String, TypeExpr)>,
+        pos: Pos,
+    },
     /// Global variable.
-    Global { name: String, ty: TypeExpr, init: Option<Init>, pos: Pos },
+    Global {
+        name: String,
+        ty: TypeExpr,
+        init: Option<Init>,
+        pos: Pos,
+    },
     /// Function definition (with body) or prototype (body `None`).
     Func {
         name: String,

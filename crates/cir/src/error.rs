@@ -48,7 +48,10 @@ pub struct CompileError {
 impl CompileError {
     /// Creates an error at a given position.
     pub fn new(msg: impl Into<String>, pos: Pos) -> Self {
-        CompileError { msg: msg.into(), pos }
+        CompileError {
+            msg: msg.into(),
+            pos,
+        }
     }
 
     /// The human-readable message (no position prefix).

@@ -170,7 +170,11 @@ impl Builtin {
             Builtin::VaArgLong => (Ty::long(), vec![Ty::int()], false),
             Builtin::VaArgPtr => (vp(), vec![Ty::int()], false),
         };
-        FuncSig { ret, params, vararg }
+        FuncSig {
+            ret,
+            params,
+            vararg,
+        }
     }
 }
 
@@ -184,10 +188,19 @@ pub enum Place {
     /// `*ptr`
     Deref { ptr: Box<Expr>, ty: Ty },
     /// `base[index]` where `base` is an *array* place (not pointer).
-    Index { base: Box<Place>, index: Box<Expr>, elem: Ty },
+    Index {
+        base: Box<Place>,
+        index: Box<Expr>,
+        elem: Ty,
+    },
     /// `base.field` (and `p->field` as `Field` over `Deref`). Carries the
     /// resolved byte offset and the struct id for diagnostics.
-    Field { base: Box<Place>, sid: StructId, offset: u64, ty: Ty },
+    Field {
+        base: Box<Place>,
+        sid: StructId,
+        offset: u64,
+        ty: Ty,
+    },
 }
 
 impl Place {
@@ -243,21 +256,52 @@ pub enum ExprKind {
     /// Integer unary op.
     Unary(UnaryOp, Box<Expr>),
     /// Integer binary op in kind `k` (operands already converted).
-    Binary { op: ArithOp, k: IntKind, lhs: Box<Expr>, rhs: Box<Expr> },
+    Binary {
+        op: ArithOp,
+        k: IntKind,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
     /// `ptr ± index` scaled by `elem_size`; bounds are inherited (§3.1).
-    PtrAdd { ptr: Box<Expr>, index: Box<Expr>, elem_size: u64 },
+    PtrAdd {
+        ptr: Box<Expr>,
+        index: Box<Expr>,
+        elem_size: u64,
+    },
     /// `(p - q) / elem_size`, type `long`.
-    PtrDiff { lhs: Box<Expr>, rhs: Box<Expr>, elem_size: u64 },
+    PtrDiff {
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+        elem_size: u64,
+    },
     /// Comparison yielding `int` 0/1; `signed` applies to the operand kind.
-    Cmp { op: CmpOp, signed: bool, lhs: Box<Expr>, rhs: Box<Expr> },
+    Cmp {
+        op: CmpOp,
+        signed: bool,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
     /// Short-circuit `&&`/`||` yielding `int` 0/1.
-    Logical { and: bool, lhs: Box<Expr>, rhs: Box<Expr> },
+    Logical {
+        and: bool,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
     /// `c ? t : e`
-    Cond { cond: Box<Expr>, then: Box<Expr>, els: Box<Expr> },
+    Cond {
+        cond: Box<Expr>,
+        then: Box<Expr>,
+        els: Box<Expr>,
+    },
     /// Assignment expression; value is the stored value.
     Assign { place: Box<Place>, value: Box<Expr> },
     /// `++`/`--` in all four forms. For pointers, steps by `elem_size`.
-    IncDec { place: Box<Place>, inc: bool, post: bool, elem_size: u64 },
+    IncDec {
+        place: Box<Place>,
+        inc: bool,
+        post: bool,
+        elem_size: u64,
+    },
     /// Function call.
     Call { target: CallTarget, args: Vec<Expr> },
     /// Conversion.
@@ -283,15 +327,27 @@ pub enum Stmt {
     Expr(Expr),
     /// Local declaration (slot exists from function entry; this runs the
     /// initializer at the declaration point).
-    DeclInit { id: LocalId, init: Option<LocalInit> },
+    DeclInit {
+        id: LocalId,
+        init: Option<LocalInit>,
+    },
     /// Two-armed conditional.
-    If { cond: Expr, then: Vec<Stmt>, els: Vec<Stmt> },
+    If {
+        cond: Expr,
+        then: Vec<Stmt>,
+        els: Vec<Stmt>,
+    },
     /// `while`
     While { cond: Expr, body: Vec<Stmt> },
     /// `do … while`
     DoWhile { cond: Expr, body: Vec<Stmt> },
     /// `for`, with `continue` targeting `step`.
-    For { init: Vec<Stmt>, cond: Option<Expr>, step: Option<Expr>, body: Vec<Stmt> },
+    For {
+        init: Vec<Stmt>,
+        cond: Option<Expr>,
+        step: Option<Expr>,
+        body: Vec<Stmt>,
+    },
     /// Return.
     Return(Option<Expr>),
     /// `break`
@@ -401,7 +457,10 @@ mod tests {
 
     #[test]
     fn place_ty() {
-        let p = Place::Var { id: LocalId(0), ty: Ty::int() };
+        let p = Place::Var {
+            id: LocalId(0),
+            ty: Ty::int(),
+        };
         assert_eq!(*p.ty(), Ty::int());
     }
 }

@@ -28,7 +28,13 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { bytes: src.as_bytes(), i: 0, line: 1, col: 1, out: Vec::new() }
+        Lexer {
+            bytes: src.as_bytes(),
+            i: 0,
+            line: 1,
+            col: 1,
+            out: Vec::new(),
+        }
     }
 
     fn pos(&self) -> Pos {
@@ -171,16 +177,23 @@ impl<'a> Lexer<'a> {
                 self.bump();
             }
             if !any {
-                return Err(CompileError::new("hex literal needs at least one digit", pos));
+                return Err(CompileError::new(
+                    "hex literal needs at least one digit",
+                    pos,
+                ));
             }
         } else if self.peek() == b'0' && matches!(self.peek2(), b'0'..=b'7') {
             self.bump();
             while matches!(self.peek(), b'0'..=b'7') {
-                value = value.wrapping_mul(8).wrapping_add((self.bump() - b'0') as i64);
+                value = value
+                    .wrapping_mul(8)
+                    .wrapping_add((self.bump() - b'0') as i64);
             }
         } else {
-            while matches!(self.peek(), b'0'..=b'9') {
-                value = value.wrapping_mul(10).wrapping_add((self.bump() - b'0') as i64);
+            while self.peek().is_ascii_digit() {
+                value = value
+                    .wrapping_mul(10)
+                    .wrapping_add((self.bump() - b'0') as i64);
             }
         }
         // Eat integer suffixes; the value itself is position-independent.
@@ -428,18 +441,24 @@ mod tests {
 
     #[test]
     fn lex_hex_and_octal() {
-        assert_eq!(kinds("0xff 0x10 017 0"), vec![
-            Tok::IntLit(255),
-            Tok::IntLit(16),
-            Tok::IntLit(15),
-            Tok::IntLit(0),
-            Tok::Eof
-        ]);
+        assert_eq!(
+            kinds("0xff 0x10 017 0"),
+            vec![
+                Tok::IntLit(255),
+                Tok::IntLit(16),
+                Tok::IntLit(15),
+                Tok::IntLit(0),
+                Tok::Eof
+            ]
+        );
     }
 
     #[test]
     fn lex_suffixes() {
-        assert_eq!(kinds("10UL 3l"), vec![Tok::IntLit(10), Tok::IntLit(3), Tok::Eof]);
+        assert_eq!(
+            kinds("10UL 3l"),
+            vec![Tok::IntLit(10), Tok::IntLit(3), Tok::Eof]
+        );
     }
 
     #[test]
@@ -495,7 +514,10 @@ mod tests {
 
     #[test]
     fn lex_string_escapes() {
-        assert_eq!(kinds(r#""a\tb\0""#), vec![Tok::StrLit(vec![b'a', 9, b'b', 0]), Tok::Eof]);
+        assert_eq!(
+            kinds(r#""a\tb\0""#),
+            vec![Tok::StrLit(vec![b'a', 9, b'b', 0]), Tok::Eof]
+        );
     }
 
     #[test]

@@ -78,7 +78,10 @@ impl Parser {
                 self.bump();
                 Ok(s)
             }
-            other => Err(CompileError::new(format!("expected identifier, found {other}"), self.pos())),
+            other => Err(CompileError::new(
+                format!("expected identifier, found {other}"),
+                self.pos(),
+            )),
         }
     }
 
@@ -120,7 +123,12 @@ impl Parser {
                 self.expect(&Tok::Semi)?;
             }
             self.expect(&Tok::Semi)?;
-            out.push(Decl::Struct { tag, is_union, fields, pos });
+            out.push(Decl::Struct {
+                tag,
+                is_union,
+                fields,
+                pos,
+            });
             return Ok(());
         }
 
@@ -136,11 +144,25 @@ impl Parser {
             // Function definition or prototype: `ret name(params) {body}`.
             let (params, vararg) = self.param_list()?;
             if self.eat(&Tok::Semi) {
-                out.push(Decl::Func { name, ret: ty, params, vararg, body: None, pos });
+                out.push(Decl::Func {
+                    name,
+                    ret: ty,
+                    params,
+                    vararg,
+                    body: None,
+                    pos,
+                });
             } else {
                 self.expect(&Tok::LBrace)?;
                 let body = self.block_body()?;
-                out.push(Decl::Func { name, ret: ty, params, vararg, body: Some(body), pos });
+                out.push(Decl::Func {
+                    name,
+                    ret: ty,
+                    params,
+                    vararg,
+                    body: Some(body),
+                    pos,
+                });
             }
             return Ok(());
         }
@@ -148,9 +170,18 @@ impl Parser {
         // Global variable(s), possibly a comma-separated declarator list.
         let mut pending = vec![(name, ty)];
         loop {
-            let init = if self.eat(&Tok::Assign) { Some(self.initializer()?) } else { None };
+            let init = if self.eat(&Tok::Assign) {
+                Some(self.initializer()?)
+            } else {
+                None
+            };
             let (name, ty) = pending.pop().expect("one pending declarator");
-            out.push(Decl::Global { name, ty, init, pos });
+            out.push(Decl::Global {
+                name,
+                ty,
+                init,
+                pos,
+            });
             if self.eat(&Tok::Comma) {
                 pending.push(self.declarator(base.clone())?);
                 continue;
@@ -238,7 +269,10 @@ impl Parser {
             }
             _ if explicit_sign => TypeExpr::Int { unsigned },
             other => {
-                return Err(CompileError::new(format!("expected type, found {other}"), pos))
+                return Err(CompileError::new(
+                    format!("expected type, found {other}"),
+                    pos,
+                ))
             }
         };
         while self.eat(&Tok::KwConst) {}
@@ -250,7 +284,10 @@ impl Parser {
     fn declarator(&mut self, base: TypeExpr) -> Result<(String, TypeExpr)> {
         let (name, ty) = self.declarator_opt_name(base)?;
         if name.is_empty() {
-            return Err(CompileError::new("expected a name in declarator", self.pos()));
+            return Err(CompileError::new(
+                "expected a name in declarator",
+                self.pos(),
+            ));
         }
         Ok((name, ty))
     }
@@ -270,7 +307,11 @@ impl Parser {
             while self.eat(&Tok::Star) {
                 extra += 1;
             }
-            let name = if matches!(self.peek(), Tok::Ident(_)) { self.ident()? } else { String::new() };
+            let name = if matches!(self.peek(), Tok::Ident(_)) {
+                self.ident()?
+            } else {
+                String::new()
+            };
             let mut dims = Vec::new();
             while self.eat(&Tok::LBracket) {
                 let e = self.expr()?;
@@ -292,7 +333,11 @@ impl Parser {
             }
             return Ok((name, fty));
         }
-        let name = if matches!(self.peek(), Tok::Ident(_)) { self.ident()? } else { String::new() };
+        let name = if matches!(self.peek(), Tok::Ident(_)) {
+            self.ident()?
+        } else {
+            String::new()
+        };
         // Array suffixes, outermost first in source order.
         let mut dims = Vec::new();
         while self.eat(&Tok::LBracket) {
@@ -306,7 +351,10 @@ impl Parser {
             }
         }
         for d in dims.into_iter().rev() {
-            let size = d.unwrap_or(Expr { kind: ExprKind::IntLit(0), pos: Pos::none() });
+            let size = d.unwrap_or(Expr {
+                kind: ExprKind::IntLit(0),
+                pos: Pos::none(),
+            });
             ty = TypeExpr::Array(Box::new(ty), Box::new(size));
         }
         Ok((name, ty))
@@ -346,7 +394,10 @@ impl Parser {
             Ok(v.pop().expect("one statement"))
         } else {
             let pos = v.first().map(|s| s.pos).unwrap_or_else(Pos::none);
-            Ok(Stmt { kind: StmtKind::Block(v), pos })
+            Ok(Stmt {
+                kind: StmtKind::Block(v),
+                pos,
+            })
         }
     }
 
@@ -358,11 +409,17 @@ impl Parser {
             Tok::LBrace => {
                 self.bump();
                 let body = self.block_body()?;
-                out.push(Stmt { kind: StmtKind::Block(body), pos });
+                out.push(Stmt {
+                    kind: StmtKind::Block(body),
+                    pos,
+                });
             }
             Tok::Semi => {
                 self.bump();
-                out.push(Stmt { kind: StmtKind::Empty, pos });
+                out.push(Stmt {
+                    kind: StmtKind::Empty,
+                    pos,
+                });
             }
             Tok::KwIf => {
                 self.bump();
@@ -370,8 +427,15 @@ impl Parser {
                 let cond = self.expr()?;
                 self.expect(&Tok::RParen)?;
                 let then = Box::new(self.stmt()?);
-                let els = if self.eat(&Tok::KwElse) { Some(Box::new(self.stmt()?)) } else { None };
-                out.push(Stmt { kind: StmtKind::If { cond, then, els }, pos });
+                let els = if self.eat(&Tok::KwElse) {
+                    Some(Box::new(self.stmt()?))
+                } else {
+                    None
+                };
+                out.push(Stmt {
+                    kind: StmtKind::If { cond, then, els },
+                    pos,
+                });
             }
             Tok::KwWhile => {
                 self.bump();
@@ -379,7 +443,10 @@ impl Parser {
                 let cond = self.expr()?;
                 self.expect(&Tok::RParen)?;
                 let body = Box::new(self.stmt()?);
-                out.push(Stmt { kind: StmtKind::While { cond, body }, pos });
+                out.push(Stmt {
+                    kind: StmtKind::While { cond, body },
+                    pos,
+                });
             }
             Tok::KwDo => {
                 self.bump();
@@ -389,7 +456,10 @@ impl Parser {
                 let cond = self.expr()?;
                 self.expect(&Tok::RParen)?;
                 self.expect(&Tok::Semi)?;
-                out.push(Stmt { kind: StmtKind::DoWhile { cond, body }, pos });
+                out.push(Stmt {
+                    kind: StmtKind::DoWhile { cond, body },
+                    pos,
+                });
             }
             Tok::KwFor => {
                 self.bump();
@@ -404,36 +474,71 @@ impl Parser {
                     } else {
                         let e = self.expr()?;
                         self.expect(&Tok::Semi)?;
-                        v.push(Stmt { kind: StmtKind::Expr(e), pos });
+                        v.push(Stmt {
+                            kind: StmtKind::Expr(e),
+                            pos,
+                        });
                     }
                     Some(Box::new(if v.len() == 1 {
                         v.pop().expect("one statement")
                     } else {
-                        Stmt { kind: StmtKind::Block(v), pos }
+                        Stmt {
+                            kind: StmtKind::Block(v),
+                            pos,
+                        }
                     }))
                 };
-                let cond = if self.at(&Tok::Semi) { None } else { Some(self.expr()?) };
+                let cond = if self.at(&Tok::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(&Tok::Semi)?;
-                let step = if self.at(&Tok::RParen) { None } else { Some(self.expr()?) };
+                let step = if self.at(&Tok::RParen) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(&Tok::RParen)?;
                 let body = Box::new(self.stmt()?);
-                out.push(Stmt { kind: StmtKind::For { init, cond, step, body }, pos });
+                out.push(Stmt {
+                    kind: StmtKind::For {
+                        init,
+                        cond,
+                        step,
+                        body,
+                    },
+                    pos,
+                });
             }
             Tok::KwReturn => {
                 self.bump();
-                let e = if self.at(&Tok::Semi) { None } else { Some(self.expr()?) };
+                let e = if self.at(&Tok::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(&Tok::Semi)?;
-                out.push(Stmt { kind: StmtKind::Return(e), pos });
+                out.push(Stmt {
+                    kind: StmtKind::Return(e),
+                    pos,
+                });
             }
             Tok::KwBreak => {
                 self.bump();
                 self.expect(&Tok::Semi)?;
-                out.push(Stmt { kind: StmtKind::Break, pos });
+                out.push(Stmt {
+                    kind: StmtKind::Break,
+                    pos,
+                });
             }
             Tok::KwContinue => {
                 self.bump();
                 self.expect(&Tok::Semi)?;
-                out.push(Stmt { kind: StmtKind::Continue, pos });
+                out.push(Stmt {
+                    kind: StmtKind::Continue,
+                    pos,
+                });
             }
             t if t.starts_type() || t == Tok::KwStatic => {
                 self.decl_stmt(out)?;
@@ -441,7 +546,10 @@ impl Parser {
             _ => {
                 let e = self.expr()?;
                 self.expect(&Tok::Semi)?;
-                out.push(Stmt { kind: StmtKind::Expr(e), pos });
+                out.push(Stmt {
+                    kind: StmtKind::Expr(e),
+                    pos,
+                });
             }
         }
         Ok(())
@@ -453,8 +561,15 @@ impl Parser {
         let base = self.base_type()?;
         loop {
             let (name, ty) = self.declarator(base.clone())?;
-            let init = if self.eat(&Tok::Assign) { Some(self.initializer()?) } else { None };
-            out.push(Stmt { kind: StmtKind::Decl { name, ty, init }, pos });
+            let init = if self.eat(&Tok::Assign) {
+                Some(self.initializer()?)
+            } else {
+                None
+            };
+            out.push(Stmt {
+                kind: StmtKind::Decl { name, ty, init },
+                pos,
+            });
             if !self.eat(&Tok::Comma) {
                 break;
             }
@@ -505,7 +620,10 @@ impl Parser {
             // using `Cond(1 != 0, b after a, ...)`. Simplest correct choice:
             // a Block expression is unsupported, so we synthesize
             // `Logical{and:false}`-free sequencing node:
-            e = Expr { kind: ExprKind::Binary(BinOp::Add, Box::new(seq_discard(e)), Box::new(rhs)), pos };
+            e = Expr {
+                kind: ExprKind::Binary(BinOp::Add, Box::new(seq_discard(e)), Box::new(rhs)),
+                pos,
+            };
         }
         Ok(e)
     }
@@ -530,7 +648,11 @@ impl Parser {
         self.bump();
         let rhs = self.assign_expr()?;
         Ok(Expr {
-            kind: ExprKind::Assign { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+            kind: ExprKind::Assign {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            },
             pos,
         })
     }
@@ -543,7 +665,10 @@ impl Parser {
             let t = self.expr()?;
             self.expect(&Tok::Colon)?;
             let e = self.cond_expr()?;
-            return Ok(Expr { kind: ExprKind::Cond(Box::new(cond), Box::new(t), Box::new(e)), pos });
+            return Ok(Expr {
+                kind: ExprKind::Cond(Box::new(cond), Box::new(t), Box::new(e)),
+                pos,
+            });
         }
         Ok(cond)
     }
@@ -572,12 +697,16 @@ impl Parser {
             self.bump();
             let rhs = self.binary_expr(level + 1)?;
             let kind = match tok {
-                Tok::PipePipe => {
-                    ExprKind::Logical { and: false, lhs: Box::new(lhs), rhs: Box::new(rhs) }
-                }
-                Tok::AmpAmp => {
-                    ExprKind::Logical { and: true, lhs: Box::new(lhs), rhs: Box::new(rhs) }
-                }
+                Tok::PipePipe => ExprKind::Logical {
+                    and: false,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                Tok::AmpAmp => ExprKind::Logical {
+                    and: true,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
                 Tok::Pipe => ExprKind::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs)),
                 Tok::Caret => ExprKind::Binary(BinOp::Xor, Box::new(lhs), Box::new(rhs)),
                 Tok::Amp => ExprKind::Binary(BinOp::And, Box::new(lhs), Box::new(rhs)),
@@ -607,7 +736,10 @@ impl Parser {
             Tok::Minus => {
                 self.bump();
                 let e = self.unary_expr()?;
-                Ok(Expr { kind: ExprKind::Unary(UnOp::Neg, Box::new(e)), pos })
+                Ok(Expr {
+                    kind: ExprKind::Unary(UnOp::Neg, Box::new(e)),
+                    pos,
+                })
             }
             Tok::Plus => {
                 self.bump();
@@ -616,32 +748,58 @@ impl Parser {
             Tok::Bang => {
                 self.bump();
                 let e = self.unary_expr()?;
-                Ok(Expr { kind: ExprKind::Unary(UnOp::Not, Box::new(e)), pos })
+                Ok(Expr {
+                    kind: ExprKind::Unary(UnOp::Not, Box::new(e)),
+                    pos,
+                })
             }
             Tok::Tilde => {
                 self.bump();
                 let e = self.unary_expr()?;
-                Ok(Expr { kind: ExprKind::Unary(UnOp::BitNot, Box::new(e)), pos })
+                Ok(Expr {
+                    kind: ExprKind::Unary(UnOp::BitNot, Box::new(e)),
+                    pos,
+                })
             }
             Tok::Star => {
                 self.bump();
                 let e = self.unary_expr()?;
-                Ok(Expr { kind: ExprKind::Unary(UnOp::Deref, Box::new(e)), pos })
+                Ok(Expr {
+                    kind: ExprKind::Unary(UnOp::Deref, Box::new(e)),
+                    pos,
+                })
             }
             Tok::Amp => {
                 self.bump();
                 let e = self.unary_expr()?;
-                Ok(Expr { kind: ExprKind::Unary(UnOp::AddrOf, Box::new(e)), pos })
+                Ok(Expr {
+                    kind: ExprKind::Unary(UnOp::AddrOf, Box::new(e)),
+                    pos,
+                })
             }
             Tok::PlusPlus => {
                 self.bump();
                 let e = self.unary_expr()?;
-                Ok(Expr { kind: ExprKind::IncDec { target: Box::new(e), inc: true, post: false }, pos })
+                Ok(Expr {
+                    kind: ExprKind::IncDec {
+                        target: Box::new(e),
+                        inc: true,
+                        post: false,
+                    },
+                    pos,
+                })
             }
             Tok::MinusMinus => {
                 self.bump();
                 let e = self.unary_expr()?;
-                Ok(Expr { kind: ExprKind::IncDec { target: Box::new(e), inc: false, post: false }, pos })
+                Ok(Expr {
+                    kind: ExprKind::IncDec {
+                        target: Box::new(e),
+                        inc: false,
+                        post: false,
+                    },
+                    pos,
+                })
             }
             Tok::KwSizeof => {
                 self.bump();
@@ -649,10 +807,16 @@ impl Parser {
                     self.bump();
                     let ty = self.type_name()?;
                     self.expect(&Tok::RParen)?;
-                    Ok(Expr { kind: ExprKind::SizeofTy(ty), pos })
+                    Ok(Expr {
+                        kind: ExprKind::SizeofTy(ty),
+                        pos,
+                    })
                 } else {
                     let e = self.unary_expr()?;
-                    Ok(Expr { kind: ExprKind::SizeofExpr(Box::new(e)), pos })
+                    Ok(Expr {
+                        kind: ExprKind::SizeofExpr(Box::new(e)),
+                        pos,
+                    })
                 }
             }
             Tok::LParen if self.peek2().starts_type() => {
@@ -661,7 +825,10 @@ impl Parser {
                 let ty = self.type_name()?;
                 self.expect(&Tok::RParen)?;
                 let e = self.unary_expr()?;
-                Ok(Expr { kind: ExprKind::Cast(ty, Box::new(e)), pos })
+                Ok(Expr {
+                    kind: ExprKind::Cast(ty, Box::new(e)),
+                    pos,
+                })
             }
             _ => self.postfix_expr(),
         }
@@ -684,32 +851,58 @@ impl Parser {
                         }
                         self.expect(&Tok::RParen)?;
                     }
-                    e = Expr { kind: ExprKind::Call { callee: Box::new(e), args }, pos };
+                    e = Expr {
+                        kind: ExprKind::Call {
+                            callee: Box::new(e),
+                            args,
+                        },
+                        pos,
+                    };
                 }
                 Tok::LBracket => {
                     self.bump();
                     let idx = self.expr()?;
                     self.expect(&Tok::RBracket)?;
-                    e = Expr { kind: ExprKind::Index(Box::new(e), Box::new(idx)), pos };
+                    e = Expr {
+                        kind: ExprKind::Index(Box::new(e), Box::new(idx)),
+                        pos,
+                    };
                 }
                 Tok::Dot => {
                     self.bump();
                     let f = self.ident()?;
-                    e = Expr { kind: ExprKind::Member(Box::new(e), f), pos };
+                    e = Expr {
+                        kind: ExprKind::Member(Box::new(e), f),
+                        pos,
+                    };
                 }
                 Tok::Arrow => {
                     self.bump();
                     let f = self.ident()?;
-                    e = Expr { kind: ExprKind::Arrow(Box::new(e), f), pos };
+                    e = Expr {
+                        kind: ExprKind::Arrow(Box::new(e), f),
+                        pos,
+                    };
                 }
                 Tok::PlusPlus => {
                     self.bump();
-                    e = Expr { kind: ExprKind::IncDec { target: Box::new(e), inc: true, post: true }, pos };
+                    e = Expr {
+                        kind: ExprKind::IncDec {
+                            target: Box::new(e),
+                            inc: true,
+                            post: true,
+                        },
+                        pos,
+                    };
                 }
                 Tok::MinusMinus => {
                     self.bump();
                     e = Expr {
-                        kind: ExprKind::IncDec { target: Box::new(e), inc: false, post: true },
+                        kind: ExprKind::IncDec {
+                            target: Box::new(e),
+                            inc: false,
+                            post: true,
+                        },
                         pos,
                     };
                 }
@@ -724,23 +917,38 @@ impl Parser {
         match self.peek().clone() {
             Tok::IntLit(v) => {
                 self.bump();
-                Ok(Expr { kind: ExprKind::IntLit(v), pos })
+                Ok(Expr {
+                    kind: ExprKind::IntLit(v),
+                    pos,
+                })
             }
             Tok::CharLit(c) => {
                 self.bump();
-                Ok(Expr { kind: ExprKind::CharLit(c), pos })
+                Ok(Expr {
+                    kind: ExprKind::CharLit(c),
+                    pos,
+                })
             }
             Tok::StrLit(s) => {
                 self.bump();
-                Ok(Expr { kind: ExprKind::StrLit(s), pos })
+                Ok(Expr {
+                    kind: ExprKind::StrLit(s),
+                    pos,
+                })
             }
             Tok::KwNull => {
                 self.bump();
-                Ok(Expr { kind: ExprKind::Null, pos })
+                Ok(Expr {
+                    kind: ExprKind::Null,
+                    pos,
+                })
             }
             Tok::Ident(name) => {
                 self.bump();
-                Ok(Expr { kind: ExprKind::Ident(name), pos })
+                Ok(Expr {
+                    kind: ExprKind::Ident(name),
+                    pos,
+                })
             }
             Tok::LParen => {
                 self.bump();
@@ -748,7 +956,10 @@ impl Parser {
                 self.expect(&Tok::RParen)?;
                 Ok(e)
             }
-            other => Err(CompileError::new(format!("expected expression, found {other}"), pos)),
+            other => Err(CompileError::new(
+                format!("expected expression, found {other}"),
+                pos,
+            )),
         }
     }
 }
@@ -767,7 +978,10 @@ fn seq_discard(e: Expr) -> Expr {
                 kind: ExprKind::Cast(TypeExpr::Long { unsigned: false }, Box::new(e)),
                 pos,
             }),
-            Box::new(Expr { kind: ExprKind::IntLit(0), pos }),
+            Box::new(Expr {
+                kind: ExprKind::IntLit(0),
+                pos,
+            }),
         ),
         pos,
     }
@@ -812,7 +1026,12 @@ mod tests {
     fn parse_struct_def() {
         let u = p("struct node { int v; struct node* next; };");
         match &u.decls[0] {
-            Decl::Struct { tag, fields, is_union, .. } => {
+            Decl::Struct {
+                tag,
+                fields,
+                is_union,
+                ..
+            } => {
                 assert_eq!(tag, "node");
                 assert_eq!(fields.len(), 2);
                 assert!(!is_union);
@@ -834,7 +1053,13 @@ mod tests {
     fn parse_function() {
         let u = p("int add(int a, int b) { return a + b; }");
         match &u.decls[0] {
-            Decl::Func { name, params, body, vararg, .. } => {
+            Decl::Func {
+                name,
+                params,
+                body,
+                vararg,
+                ..
+            } => {
                 assert_eq!(name, "add");
                 assert_eq!(params.len(), 2);
                 assert!(body.is_some());
@@ -862,7 +1087,8 @@ mod tests {
 
     #[test]
     fn parse_function_pointer_declarator() {
-        let u = p("struct s { void (*handler)(int); }; int g(int (*cmp)(char*, char*)) { return 0; }");
+        let u =
+            p("struct s { void (*handler)(int); }; int g(int (*cmp)(char*, char*)) { return 0; }");
         match &u.decls[1] {
             Decl::Func { params, .. } => match &params[0].ty {
                 TypeExpr::Ptr(inner) => assert!(matches!(**inner, TypeExpr::Func { .. })),

@@ -7,7 +7,9 @@
 //! and structural checks (lvalues, call arity, loop context for
 //! `break`/`continue`).
 
-use crate::ast::{self, BinOp, Decl, Expr as AExpr, ExprKind as AK, Init, Stmt as AStmt, StmtKind, TypeExpr, UnOp};
+use crate::ast::{
+    self, BinOp, Decl, Expr as AExpr, ExprKind as AK, Init, Stmt as AStmt, StmtKind, TypeExpr, UnOp,
+};
 use crate::error::{CompileError, Pos, Result};
 use crate::hir::*;
 use crate::types::{FuncSig, IntKind, PtrLayout, Ty, TypeTable};
@@ -34,7 +36,12 @@ pub fn check_with_layout(unit: &ast::Unit, layout: PtrLayout) -> Result<Program>
     cx.register_signatures(unit)?;
     cx.check_globals(unit)?;
     cx.check_functions(unit)?;
-    Ok(Program { types: cx.types, globals: cx.globals, funcs: cx.funcs, strings: cx.strings })
+    Ok(Program {
+        types: cx.types,
+        globals: cx.globals,
+        funcs: cx.funcs,
+        strings: cx.strings,
+    })
 }
 
 /// Result of checking an expression: a value, an lvalue, or a function
@@ -98,7 +105,10 @@ impl Checker {
         // Pass 2: define in source order; by-value fields must already be
         // defined (C completeness rule).
         for d in &unit.decls {
-            if let Decl::Struct { tag, fields, pos, .. } = d {
+            if let Decl::Struct {
+                tag, fields, pos, ..
+            } = d
+            {
                 let id = self.types.lookup(tag).expect("declared in pass 1");
                 if self.defined_structs[id.0 as usize] {
                     return self.err(format!("duplicate definition of struct `{tag}`"), *pos);
@@ -129,7 +139,10 @@ impl Checker {
                     Ok(())
                 } else {
                     self.err(
-                        format!("struct `{}` used by value before definition", self.types.def(*id).name),
+                        format!(
+                            "struct `{}` used by value before definition",
+                            self.types.def(*id).name
+                        ),
                         pos,
                     )
                 }
@@ -152,15 +165,21 @@ impl Checker {
             TypeExpr::Char { unsigned } => {
                 Ty::Int(if *unsigned { IntKind::U8 } else { IntKind::I8 })
             }
-            TypeExpr::Short { unsigned } => {
-                Ty::Int(if *unsigned { IntKind::U16 } else { IntKind::I16 })
-            }
-            TypeExpr::Int { unsigned } => {
-                Ty::Int(if *unsigned { IntKind::U32 } else { IntKind::I32 })
-            }
-            TypeExpr::Long { unsigned } => {
-                Ty::Int(if *unsigned { IntKind::U64 } else { IntKind::I64 })
-            }
+            TypeExpr::Short { unsigned } => Ty::Int(if *unsigned {
+                IntKind::U16
+            } else {
+                IntKind::I16
+            }),
+            TypeExpr::Int { unsigned } => Ty::Int(if *unsigned {
+                IntKind::U32
+            } else {
+                IntKind::I32
+            }),
+            TypeExpr::Long { unsigned } => Ty::Int(if *unsigned {
+                IntKind::U64
+            } else {
+                IntKind::I64
+            }),
             TypeExpr::Named { tag, is_union } => {
                 let id = self.types.declare(tag, *is_union);
                 if self.defined_structs.len() <= id.0 as usize {
@@ -177,13 +196,21 @@ impl Checker {
                 }
                 Ty::Array(Box::new(elem), n as u64)
             }
-            TypeExpr::Func { ret, params, vararg } => {
+            TypeExpr::Func {
+                ret,
+                params,
+                vararg,
+            } => {
                 let r = self.resolve_ty(ret, pos)?;
                 let mut ps = Vec::with_capacity(params.len());
                 for p in params {
                     ps.push(self.resolve_ty(p, pos)?);
                 }
-                Ty::Func(Box::new(FuncSig { ret: r, params: ps, vararg: *vararg }))
+                Ty::Func(Box::new(FuncSig {
+                    ret: r,
+                    params: ps,
+                    vararg: *vararg,
+                }))
             }
         })
     }
@@ -192,7 +219,15 @@ impl Checker {
 
     fn register_signatures(&mut self, unit: &ast::Unit) -> Result<()> {
         for d in &unit.decls {
-            if let Decl::Func { name, ret, params, vararg, pos, .. } = d {
+            if let Decl::Func {
+                name,
+                ret,
+                params,
+                vararg,
+                pos,
+                ..
+            } = d
+            {
                 let r = self.resolve_ty(ret, *pos)?;
                 let mut ps = Vec::with_capacity(params.len());
                 for p in params {
@@ -208,7 +243,11 @@ impl Checker {
                 if matches!(r, Ty::Struct(_)) {
                     return self.err("returning structs by value is not supported", *pos);
                 }
-                let sig = FuncSig { ret: r, params: ps, vararg: *vararg };
+                let sig = FuncSig {
+                    ret: r,
+                    params: ps,
+                    vararg: *vararg,
+                };
                 if let Some(prev) = self.func_sigs.get(name) {
                     if *prev != sig {
                         return self.err(
@@ -228,17 +267,22 @@ impl Checker {
 
     fn check_globals(&mut self, unit: &ast::Unit) -> Result<()> {
         for d in &unit.decls {
-            if let Decl::Global { name, ty, init, pos } = d {
+            if let Decl::Global {
+                name,
+                ty,
+                init,
+                pos,
+            } = d
+            {
                 let mut rty = self.resolve_ty(ty, *pos)?;
                 // `T x[] = {...}` / `char s[] = "..."`: infer the dimension.
                 if let Ty::Array(elem, 0) = &rty {
                     let n = match init {
                         Some(Init::List(items)) => items.len() as u64,
-                        Some(Init::Expr(AExpr { kind: AK::StrLit(s), .. }))
-                            if **elem == Ty::char() =>
-                        {
-                            s.len() as u64 + 1
-                        }
+                        Some(Init::Expr(AExpr {
+                            kind: AK::StrLit(s),
+                            ..
+                        })) if **elem == Ty::char() => s.len() as u64 + 1,
                         _ => {
                             return self.err("unsized array needs an initializer", *pos);
                         }
@@ -254,7 +298,11 @@ impl Checker {
                     self.const_init(&rty, init, 0, &mut items, *pos)?;
                 }
                 self.global_tys.insert(name.clone(), rty.clone());
-                self.globals.push(GlobalDef { name: name.clone(), ty: rty, init: items });
+                self.globals.push(GlobalDef {
+                    name: name.clone(),
+                    ty: rty,
+                    init: items,
+                });
             }
         }
         Ok(())
@@ -280,7 +328,13 @@ impl Checker {
         match (ty, init) {
             (Ty::Int(k), Init::Expr(e)) => {
                 let v = self.const_eval(e)?;
-                out.push((off, ConstItem::Int { value: k.wrap(v), size: k.size() as u8 }));
+                out.push((
+                    off,
+                    ConstItem::Int {
+                        value: k.wrap(v),
+                        size: k.size() as u8,
+                    },
+                ));
                 Ok(())
             }
             (Ty::Ptr(_), Init::Expr(e)) => {
@@ -288,14 +342,24 @@ impl Checker {
                 out.push((off, item));
                 Ok(())
             }
-            (Ty::Array(elem, n), Init::Expr(AExpr { kind: AK::StrLit(s), .. }))
-                if **elem == Ty::char() || **elem == Ty::Int(IntKind::U8) =>
-            {
+            (
+                Ty::Array(elem, n),
+                Init::Expr(AExpr {
+                    kind: AK::StrLit(s),
+                    ..
+                }),
+            ) if **elem == Ty::char() || **elem == Ty::Int(IntKind::U8) => {
                 if s.len() as u64 + 1 > *n {
                     return self.err("string literal longer than array", pos);
                 }
                 for (i, b) in s.iter().enumerate() {
-                    out.push((off + i as u64, ConstItem::Int { value: *b as i64, size: 1 }));
+                    out.push((
+                        off + i as u64,
+                        ConstItem::Int {
+                            value: *b as i64,
+                            size: 1,
+                        },
+                    ));
                 }
                 Ok(())
             }
@@ -333,7 +397,10 @@ impl Checker {
             AK::Ident(name) => {
                 if let Some(ty) = self.global_tys.get(name) {
                     if matches!(ty, Ty::Array(..)) {
-                        return Ok(ConstItem::GlobalAddr { name: name.clone(), offset: 0 });
+                        return Ok(ConstItem::GlobalAddr {
+                            name: name.clone(),
+                            offset: 0,
+                        });
                     }
                 }
                 if self.func_sigs.contains_key(name) {
@@ -343,7 +410,10 @@ impl Checker {
             }
             AK::Unary(UnOp::AddrOf, inner) => match &inner.kind {
                 AK::Ident(name) if self.global_tys.contains_key(name) => {
-                    Ok(ConstItem::GlobalAddr { name: name.clone(), offset: 0 })
+                    Ok(ConstItem::GlobalAddr {
+                        name: name.clone(),
+                        offset: 0,
+                    })
                 }
                 AK::Index(base, idx) => {
                     if let AK::Ident(name) = &base.kind {
@@ -426,7 +496,15 @@ impl Checker {
     fn check_functions(&mut self, unit: &ast::Unit) -> Result<()> {
         let mut seen_defs: HashMap<String, bool> = HashMap::new();
         for d in &unit.decls {
-            if let Decl::Func { name, params, body, vararg, pos, .. } = d {
+            if let Decl::Func {
+                name,
+                params,
+                body,
+                vararg,
+                pos,
+                ..
+            } = d
+            {
                 let sig = self.func_sigs[name].clone();
                 let defined = body.is_some();
                 if defined && seen_defs.get(name).copied().unwrap_or(false) {
@@ -437,9 +515,9 @@ impl Checker {
                 }
                 let Some(body) = body else {
                     // Prototype: record only if no definition seen/coming.
-                    if !unit.decls.iter().any(|d2| {
-                        matches!(d2, Decl::Func { name: n2, body: Some(_), .. } if n2 == name)
-                    }) && !self.funcs.iter().any(|f| f.name == *name)
+                    if !unit.decls.iter().any(
+                        |d2| matches!(d2, Decl::Func { name: n2, body: Some(_), .. } if n2 == name),
+                    ) && !self.funcs.iter().any(|f| f.name == *name)
                     {
                         self.funcs.push(FuncDef {
                             name: name.clone(),
@@ -459,7 +537,11 @@ impl Checker {
                 self.current_vararg = *vararg;
                 for (p, ty) in params.iter().zip(&sig.params) {
                     let id = LocalId(self.locals.len() as u32);
-                    self.locals.push(Local { name: p.name.clone(), ty: ty.clone(), addr_taken: false });
+                    self.locals.push(Local {
+                        name: p.name.clone(),
+                        ty: ty.clone(),
+                        addr_taken: false,
+                    });
                     if !p.name.is_empty() {
                         self.scopes[0].insert(p.name.clone(), id);
                     }
@@ -523,24 +605,34 @@ impl Checker {
                 if let Ty::Array(elem, 0) = &rty {
                     let n = match init {
                         Some(Init::List(items)) => items.len() as u64,
-                        Some(Init::Expr(AExpr { kind: AK::StrLit(s), .. })) => s.len() as u64 + 1,
+                        Some(Init::Expr(AExpr {
+                            kind: AK::StrLit(s),
+                            ..
+                        })) => s.len() as u64 + 1,
                         _ => return self.err("unsized array needs an initializer", pos),
                     };
                     rty = Ty::Array(elem.clone(), n);
                 }
                 self.require_complete(&rty, pos)?;
                 let id = LocalId(self.locals.len() as u32);
-                self.locals.push(Local { name: name.clone(), ty: rty.clone(), addr_taken: false });
+                self.locals.push(Local {
+                    name: name.clone(),
+                    ty: rty.clone(),
+                    addr_taken: false,
+                });
                 self.scopes
                     .last_mut()
                     .expect("scope stack non-empty")
                     .insert(name.clone(), id);
                 let hinit = match init {
                     None => None,
-                    Some(Init::Expr(AExpr { kind: AK::StrLit(bytes), .. }))
-                        if matches!(rty, Ty::Array(..)) =>
-                    {
-                        let Ty::Array(_, n) = &rty else { unreachable!() };
+                    Some(Init::Expr(AExpr {
+                        kind: AK::StrLit(bytes),
+                        ..
+                    })) if matches!(rty, Ty::Array(..)) => {
+                        let Ty::Array(_, n) = &rty else {
+                            unreachable!()
+                        };
                         if bytes.len() as u64 + 1 > *n {
                             return self.err("string literal longer than array", pos);
                         }
@@ -555,7 +647,13 @@ impl Checker {
                     }
                     Some(Init::List(_)) => {
                         let mut items = Vec::new();
-                        self.flatten_local_init(&rty, init.as_ref().expect("checked above"), 0, &mut items, pos)?;
+                        self.flatten_local_init(
+                            &rty,
+                            init.as_ref().expect("checked above"),
+                            0,
+                            &mut items,
+                            pos,
+                        )?;
                         Some(LocalInit::List(items))
                     }
                 };
@@ -568,7 +666,11 @@ impl Checker {
                     Some(e) => self.check_block(std::slice::from_ref(e))?,
                     None => Vec::new(),
                 };
-                Stmt::If { cond: c, then: t, els: e }
+                Stmt::If {
+                    cond: c,
+                    then: t,
+                    els: e,
+                }
             }
             StmtKind::While { cond, body } => {
                 let c = self.cond_value(cond)?;
@@ -584,7 +686,12 @@ impl Checker {
                 let c = self.cond_value(cond)?;
                 Stmt::DoWhile { cond: c, body: b }
             }
-            StmtKind::For { init, cond, step, body } => {
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 self.push_scope();
                 let i = match init {
                     Some(st) => vec![self.check_stmt(st)?],
@@ -602,7 +709,12 @@ impl Checker {
                 let b = self.check_block(std::slice::from_ref(body))?;
                 self.loop_depth -= 1;
                 self.pop_scope();
-                Stmt::For { init: i, cond: c, step: st, body: b }
+                Stmt::For {
+                    init: i,
+                    cond: c,
+                    step: st,
+                    body: b,
+                }
             }
             StmtKind::Return(None) => {
                 if self.ret_ty != Ty::Void {
@@ -637,8 +749,12 @@ impl Checker {
     fn try_struct_assign(&mut self, lhs: &AExpr, rhs: &AExpr, pos: Pos) -> Result<Option<Stmt>> {
         // Probe the LHS type without committing to errors for non-struct
         // cases (those fall through to ordinary assignment checking).
-        let Ok(Checked::Place(dst)) = self.check_expr(lhs) else { return Ok(None) };
-        let Ty::Struct(_) = dst.ty() else { return Ok(None) };
+        let Ok(Checked::Place(dst)) = self.check_expr(lhs) else {
+            return Ok(None);
+        };
+        let Ty::Struct(_) = dst.ty() else {
+            return Ok(None);
+        };
         let Checked::Place(src) = self.check_expr(rhs)? else {
             return self.err("struct assignment requires an lvalue source", pos);
         };
@@ -660,7 +776,15 @@ impl Checker {
             ty: Ty::void_ptr(),
             kind: ExprKind::Call {
                 target: CallTarget::Builtin(Builtin::Memcpy),
-                args: vec![dptr, sptr, Expr { ty: Ty::long(), kind: ExprKind::Int(size as i64), pos }],
+                args: vec![
+                    dptr,
+                    sptr,
+                    Expr {
+                        ty: Ty::long(),
+                        kind: ExprKind::Int(size as i64),
+                        pos,
+                    },
+                ],
             },
             pos,
         })))
@@ -695,21 +819,33 @@ impl Checker {
                 }
                 Ok(())
             }
-            (Ty::Array(elem, n), Init::Expr(AExpr { kind: AK::StrLit(s), pos: spos }))
-                if **elem == Ty::char() || **elem == Ty::Int(IntKind::U8) =>
-            {
+            (
+                Ty::Array(elem, n),
+                Init::Expr(AExpr {
+                    kind: AK::StrLit(s),
+                    pos: spos,
+                }),
+            ) if **elem == Ty::char() || **elem == Ty::Int(IntKind::U8) => {
                 if s.len() as u64 + 1 > *n {
                     return self.err("string literal longer than array", *spos);
                 }
                 for (i, b) in s.iter().enumerate() {
                     out.push((
                         off + i as u64,
-                        Expr { ty: Ty::char(), kind: ExprKind::Int(*b as i64), pos: *spos },
+                        Expr {
+                            ty: Ty::char(),
+                            kind: ExprKind::Int(*b as i64),
+                            pos: *spos,
+                        },
                     ));
                 }
                 out.push((
                     off + s.len() as u64,
-                    Expr { ty: Ty::char(), kind: ExprKind::Int(0), pos: *spos },
+                    Expr {
+                        ty: Ty::char(),
+                        kind: ExprKind::Int(0),
+                        pos: *spos,
+                    },
                 ));
                 Ok(())
             }
@@ -741,6 +877,9 @@ impl Checker {
         }
     }
 
+    // Not a conversion of `self` (clippy's `to_*` heuristic): it lowers a
+    // checked expression, and needs the checker for diagnostics.
+    #[allow(clippy::wrong_self_convention)]
     fn to_rvalue(&mut self, c: Checked, pos: Pos) -> Result<Expr> {
         match c {
             Checked::Val(v) => Ok(v),
@@ -755,7 +894,11 @@ impl Checker {
             Checked::Place(p) => match p.ty().clone() {
                 Ty::Array(elem, n) => {
                     // Array-to-pointer decay: &p[0], typed elem*.
-                    let idx0 = Expr { ty: Ty::long(), kind: ExprKind::Int(0), pos };
+                    let idx0 = Expr {
+                        ty: Ty::long(),
+                        kind: ExprKind::Int(0),
+                        pos,
+                    };
                     let first = Place::Index {
                         base: Box::new(p),
                         index: Box::new(idx0),
@@ -770,7 +913,11 @@ impl Checker {
                 }
                 ty => {
                     self.note_addr_taken_for_load(&p);
-                    Ok(Expr { ty, kind: ExprKind::Load(Box::new(p)), pos })
+                    Ok(Expr {
+                        ty,
+                        kind: ExprKind::Load(Box::new(p)),
+                        pos,
+                    })
                 }
             },
         }
@@ -819,25 +966,40 @@ impl Checker {
                 } else {
                     Ty::long()
                 };
-                Checked::Val(Expr { ty, kind: ExprKind::Int(*v), pos })
+                Checked::Val(Expr {
+                    ty,
+                    kind: ExprKind::Int(*v),
+                    pos,
+                })
             }
-            AK::CharLit(c) => {
-                Checked::Val(Expr { ty: Ty::int(), kind: ExprKind::Int(*c as i64), pos })
-            }
+            AK::CharLit(c) => Checked::Val(Expr {
+                ty: Ty::int(),
+                kind: ExprKind::Int(*c as i64),
+                pos,
+            }),
             AK::StrLit(s) => {
                 let id = self.intern_str(s);
-                Checked::Val(Expr { ty: Ty::char().ptr_to(), kind: ExprKind::Str(id), pos })
+                Checked::Val(Expr {
+                    ty: Ty::char().ptr_to(),
+                    kind: ExprKind::Str(id),
+                    pos,
+                })
             }
-            AK::Null => Checked::Val(Expr { ty: Ty::void_ptr(), kind: ExprKind::NullPtr, pos }),
+            AK::Null => Checked::Val(Expr {
+                ty: Ty::void_ptr(),
+                kind: ExprKind::NullPtr,
+                pos,
+            }),
             AK::Ident(name) => {
                 if let Some(id) = self.lookup_local(name) {
                     let ty = self.locals[id.0 as usize].ty.clone();
                     Checked::Place(Place::Var { id, ty })
                 } else if let Some(ty) = self.global_tys.get(name) {
-                    Checked::Place(Place::Global { name: name.clone(), ty: ty.clone() })
-                } else if self.func_sigs.contains_key(name) {
-                    Checked::Func(name.clone())
-                } else if Builtin::from_name(name).is_some() {
+                    Checked::Place(Place::Global {
+                        name: name.clone(),
+                        ty: ty.clone(),
+                    })
+                } else if self.func_sigs.contains_key(name) || Builtin::from_name(name).is_some() {
                     Checked::Func(name.clone())
                 } else {
                     return self.err(format!("unknown identifier `{name}`"), pos);
@@ -851,7 +1013,10 @@ impl Checker {
                         Ty::Void => {
                             return self.err("cannot dereference `void*`; cast it first", pos)
                         }
-                        t => Checked::Place(Place::Deref { ptr: Box::new(v), ty: t }),
+                        t => Checked::Place(Place::Deref {
+                            ptr: Box::new(v),
+                            ty: t,
+                        }),
                     },
                     _ => return self.err("cannot dereference a non-pointer", pos),
                 }
@@ -860,7 +1025,11 @@ impl Checker {
                 Checked::Place(p) => {
                     self.mark_addr_taken(&p);
                     let ty = p.ty().clone().ptr_to();
-                    Checked::Val(Expr { ty, kind: ExprKind::AddrOf(Box::new(p)), pos })
+                    Checked::Val(Expr {
+                        ty,
+                        kind: ExprKind::AddrOf(Box::new(p)),
+                        pos,
+                    })
                 }
                 Checked::Func(name) => {
                     let sig = self.func_sigs[&name].clone();
@@ -879,8 +1048,16 @@ impl Checker {
                 };
                 let k = k.promoted();
                 let v = self.convert(v, &Ty::Int(k), pos)?;
-                let hop = if matches!(op, UnOp::Neg) { UnaryOp::Neg } else { UnaryOp::BitNot };
-                Checked::Val(Expr { ty: Ty::Int(k), kind: ExprKind::Unary(hop, Box::new(v)), pos })
+                let hop = if matches!(op, UnOp::Neg) {
+                    UnaryOp::Neg
+                } else {
+                    UnaryOp::BitNot
+                };
+                Checked::Val(Expr {
+                    ty: Ty::Int(k),
+                    kind: ExprKind::Unary(hop, Box::new(v)),
+                    pos,
+                })
             }
             AK::Unary(UnOp::Not, inner) => {
                 let v = self.rvalue(inner)?;
@@ -892,12 +1069,20 @@ impl Checker {
                         op: CmpOp::Eq,
                         signed: false,
                         lhs: Box::new(v),
-                        rhs: Box::new(Expr { ty: Ty::void_ptr(), kind: ExprKind::NullPtr, pos }),
+                        rhs: Box::new(Expr {
+                            ty: Ty::void_ptr(),
+                            kind: ExprKind::NullPtr,
+                            pos,
+                        }),
                     }
                 } else {
                     ExprKind::Unary(UnaryOp::Not, Box::new(v))
                 };
-                Checked::Val(Expr { ty: Ty::int(), kind, pos })
+                Checked::Val(Expr {
+                    ty: Ty::int(),
+                    kind,
+                    pos,
+                })
             }
             AK::IncDec { target, inc, post } => {
                 let p = self.place(target)?;
@@ -909,7 +1094,9 @@ impl Checker {
                             t @ (Ty::Int(_) | Ty::Ptr(_) | Ty::Array(..) | Ty::Struct(_)) => {
                                 self.types.size_of(t)
                             }
-                            Ty::Func(_) => return self.err("cannot increment a function pointer", pos),
+                            Ty::Func(_) => {
+                                return self.err("cannot increment a function pointer", pos)
+                            }
                         };
                         (sz, p.ty().clone())
                     }
@@ -917,7 +1104,12 @@ impl Checker {
                 };
                 Checked::Val(Expr {
                     ty,
-                    kind: ExprKind::IncDec { place: Box::new(p), inc: *inc, post: *post, elem_size },
+                    kind: ExprKind::IncDec {
+                        place: Box::new(p),
+                        inc: *inc,
+                        post: *post,
+                        elem_size,
+                    },
                     pos,
                 })
             }
@@ -927,7 +1119,11 @@ impl Checker {
                 let r = self.cond_value(rhs)?;
                 Checked::Val(Expr {
                     ty: Ty::int(),
-                    kind: ExprKind::Logical { and: *and, lhs: Box::new(l), rhs: Box::new(r) },
+                    kind: ExprKind::Logical {
+                        and: *and,
+                        lhs: Box::new(l),
+                        rhs: Box::new(r),
+                    },
                     pos,
                 })
             }
@@ -940,7 +1136,11 @@ impl Checker {
                 let fv = self.convert(fv, &ty, pos)?;
                 Checked::Val(Expr {
                     ty,
-                    kind: ExprKind::Cond { cond: Box::new(cv), then: Box::new(tv), els: Box::new(fv) },
+                    kind: ExprKind::Cond {
+                        cond: Box::new(cv),
+                        then: Box::new(tv),
+                        els: Box::new(fv),
+                    },
                     pos,
                 })
             }
@@ -954,11 +1154,18 @@ impl Checker {
                 let v = self.convert(v, &pty, pos)?;
                 Checked::Val(Expr {
                     ty: pty,
-                    kind: ExprKind::Assign { place: Box::new(p), value: Box::new(v) },
+                    kind: ExprKind::Assign {
+                        place: Box::new(p),
+                        value: Box::new(v),
+                    },
                     pos,
                 })
             }
-            AK::Assign { op: Some(op), lhs, rhs } => {
+            AK::Assign {
+                op: Some(op),
+                lhs,
+                rhs,
+            } => {
                 // `a op= b` desugars to `a = a op b` (single evaluation of
                 // `a`'s address is guaranteed by HIR Assign semantics only
                 // for side-effect-free places; CIR-C programs keep compound
@@ -968,14 +1175,21 @@ impl Checker {
                 let pty = p.ty().clone();
                 let cur = {
                     self.note_addr_taken_for_load(&p);
-                    Expr { ty: pty.clone(), kind: ExprKind::Load(Box::new(p.clone())), pos }
+                    Expr {
+                        ty: pty.clone(),
+                        kind: ExprKind::Load(Box::new(p.clone())),
+                        pos,
+                    }
                 };
                 let rv = self.rvalue(rhs)?;
                 let combined = self.binary_values(*op, cur, rv, pos)?;
                 let combined = self.convert(combined, &pty, pos)?;
                 Checked::Val(Expr {
                     ty: pty,
-                    kind: ExprKind::Assign { place: Box::new(p), value: Box::new(combined) },
+                    kind: ExprKind::Assign {
+                        place: Box::new(p),
+                        value: Box::new(combined),
+                    },
                     pos,
                 })
             }
@@ -989,7 +1203,9 @@ impl Checker {
                 let i = self.convert(i, &Ty::long(), pos)?;
                 match b {
                     Checked::Place(p) if matches!(p.ty(), Ty::Array(..)) => {
-                        let Ty::Array(elem, _) = p.ty().clone() else { unreachable!() };
+                        let Ty::Array(elem, _) = p.ty().clone() else {
+                            unreachable!()
+                        };
                         Checked::Place(Place::Index {
                             base: Box::new(p),
                             index: Box::new(i),
@@ -1014,7 +1230,10 @@ impl Checker {
                             },
                             pos,
                         };
-                        Checked::Place(Place::Deref { ptr: Box::new(addr), ty: *pointee })
+                        Checked::Place(Place::Deref {
+                            ptr: Box::new(addr),
+                            ty: *pointee,
+                        })
                     }
                 }
             }
@@ -1044,7 +1263,10 @@ impl Checker {
                 let Some(f) = self.types.field(sid, fname).cloned() else {
                     return self.err(format!("no field `{fname}`"), pos);
                 };
-                let base_place = Place::Deref { ptr: Box::new(ptr), ty: Ty::Struct(sid) };
+                let base_place = Place::Deref {
+                    ptr: Box::new(ptr),
+                    ty: Ty::Struct(sid),
+                };
                 Checked::Place(Place::Field {
                     base: Box::new(base_place),
                     sid,
@@ -1063,7 +1285,11 @@ impl Checker {
             AK::SizeofTy(t) => {
                 let ty = self.resolve_ty(t, pos)?;
                 let sz = self.types.size_of(&ty);
-                Checked::Val(Expr { ty: Ty::long(), kind: ExprKind::Int(sz as i64), pos })
+                Checked::Val(Expr {
+                    ty: Ty::long(),
+                    kind: ExprKind::Int(sz as i64),
+                    pos,
+                })
             }
             AK::SizeofExpr(inner) => {
                 let c = self.check_expr(inner)?;
@@ -1073,7 +1299,11 @@ impl Checker {
                     Checked::Func(_) => return self.err("sizeof a function", pos),
                 };
                 let sz = self.types.size_of(&ty);
-                Checked::Val(Expr { ty: Ty::long(), kind: ExprKind::Int(sz as i64), pos })
+                Checked::Val(Expr {
+                    ty: Ty::long(),
+                    kind: ExprKind::Int(sz as i64),
+                    pos,
+                })
             }
         })
     }
@@ -1107,7 +1337,11 @@ impl Checker {
                 };
                 return Ok(Expr {
                     ty: lv.ty.clone(),
-                    kind: ExprKind::PtrAdd { ptr: Box::new(lv), index: Box::new(idx), elem_size: esz },
+                    kind: ExprKind::PtrAdd {
+                        ptr: Box::new(lv),
+                        index: Box::new(idx),
+                        elem_size: esz,
+                    },
                     pos,
                 });
             }
@@ -1122,7 +1356,11 @@ impl Checker {
                 };
                 return Ok(Expr {
                     ty: Ty::long(),
-                    kind: ExprKind::PtrDiff { lhs: Box::new(lv), rhs: Box::new(rv), elem_size: esz },
+                    kind: ExprKind::PtrDiff {
+                        lhs: Box::new(lv),
+                        rhs: Box::new(rv),
+                        elem_size: esz,
+                    },
                     pos,
                 });
             }
@@ -1131,7 +1369,12 @@ impl Checker {
                 let (lv, rv) = self.unify_cmp_operands(lv, rv, pos)?;
                 return Ok(Expr {
                     ty: Ty::int(),
-                    kind: ExprKind::Cmp { op: cmp, signed: false, lhs: Box::new(lv), rhs: Box::new(rv) },
+                    kind: ExprKind::Cmp {
+                        op: cmp,
+                        signed: false,
+                        lhs: Box::new(lv),
+                        rhs: Box::new(rv),
+                    },
                     pos,
                 });
             }
@@ -1160,7 +1403,11 @@ impl Checker {
 
         // Shifts use the promoted left operand's kind; everything else uses
         // the usual arithmetic conversions.
-        let k = if matches!(op, Shl | Shr) { lk.promoted() } else { lk.usual_arith(rk) };
+        let k = if matches!(op, Shl | Shr) {
+            lk.promoted()
+        } else {
+            lk.usual_arith(rk)
+        };
         let lv = self.convert(lv, &Ty::Int(k), pos)?;
         let rv = self.convert(rv, &Ty::Int(k), pos)?;
         let aop = match op {
@@ -1178,7 +1425,12 @@ impl Checker {
         };
         Ok(Expr {
             ty: Ty::Int(k),
-            kind: ExprKind::Binary { op: aop, k, lhs: Box::new(lv), rhs: Box::new(rv) },
+            kind: ExprKind::Binary {
+                op: aop,
+                k,
+                lhs: Box::new(lv),
+                rhs: Box::new(rv),
+            },
             pos,
         })
     }
@@ -1188,7 +1440,11 @@ impl Checker {
             (true, true) => Ok((lv, rv)),
             (true, false) => {
                 if is_zero_const(&rv) {
-                    let null = Expr { ty: lv.ty.clone(), kind: ExprKind::NullPtr, pos };
+                    let null = Expr {
+                        ty: lv.ty.clone(),
+                        kind: ExprKind::NullPtr,
+                        pos,
+                    };
                     Ok((lv, null))
                 } else {
                     self.err("comparison of pointer with non-zero integer", pos)
@@ -1246,7 +1502,11 @@ impl Checker {
         };
         if args.len() < sig.params.len() || (!sig.vararg && args.len() > sig.params.len()) {
             return self.err(
-                format!("expected {} argument(s), got {}", sig.params.len(), args.len()),
+                format!(
+                    "expected {} argument(s), got {}",
+                    sig.params.len(),
+                    args.len()
+                ),
                 pos,
             );
         }
@@ -1259,7 +1519,11 @@ impl Checker {
                 // Variadic arguments: default promotions.
                 match v.ty.clone() {
                     Ty::Int(k) if k.size() < 8 => {
-                        let target = if k.is_signed() { IntKind::I64 } else { IntKind::U64 };
+                        let target = if k.is_signed() {
+                            IntKind::I64
+                        } else {
+                            IntKind::U64
+                        };
                         self.convert(v, &Ty::Int(target), pos)?
                     }
                     _ => v,
@@ -1267,7 +1531,14 @@ impl Checker {
             };
             hargs.push(v);
         }
-        Ok(Checked::Val(Expr { ty: sig.ret.clone(), kind: ExprKind::Call { target, args: hargs }, pos }))
+        Ok(Checked::Val(Expr {
+            ty: sig.ret.clone(),
+            kind: ExprKind::Call {
+                target,
+                args: hargs,
+            },
+            pos,
+        }))
     }
 
     fn explicit_cast(&mut self, v: Expr, target: &Ty, pos: Pos) -> Result<Expr> {
@@ -1278,7 +1549,11 @@ impl Checker {
             (Ty::Int(_), Ty::Int(k)) => CastKind::IntToInt(*k),
             (Ty::Int(_), Ty::Ptr(_)) => {
                 if is_zero_const(&v) {
-                    return Ok(Expr { ty: target.clone(), kind: ExprKind::NullPtr, pos });
+                    return Ok(Expr {
+                        ty: target.clone(),
+                        kind: ExprKind::NullPtr,
+                        pos,
+                    });
                 }
                 CastKind::IntToPtr
             }
@@ -1286,7 +1561,14 @@ impl Checker {
             (Ty::Ptr(_), Ty::Ptr(_)) => CastKind::PtrToPtr,
             _ => return self.err("unsupported cast", pos),
         };
-        Ok(Expr { ty: target.clone(), kind: ExprKind::Cast { kind, arg: Box::new(v) }, pos })
+        Ok(Expr {
+            ty: target.clone(),
+            kind: ExprKind::Cast {
+                kind,
+                arg: Box::new(v),
+            },
+            pos,
+        })
     }
 
     /// Implicit conversion of `v` to `target`.
@@ -1297,7 +1579,10 @@ impl Checker {
         match (&v.ty, target) {
             (Ty::Int(_), Ty::Int(k)) => Ok(Expr {
                 ty: target.clone(),
-                kind: ExprKind::Cast { kind: CastKind::IntToInt(*k), arg: Box::new(v) },
+                kind: ExprKind::Cast {
+                    kind: CastKind::IntToInt(*k),
+                    arg: Box::new(v),
+                },
                 pos,
             }),
             // All pointer-to-pointer conversions are allowed implicitly;
@@ -1305,12 +1590,17 @@ impl Checker {
             // (paper §3.4/§5.2).
             (Ty::Ptr(_), Ty::Ptr(_)) => Ok(Expr {
                 ty: target.clone(),
-                kind: ExprKind::Cast { kind: CastKind::PtrToPtr, arg: Box::new(v) },
+                kind: ExprKind::Cast {
+                    kind: CastKind::PtrToPtr,
+                    arg: Box::new(v),
+                },
                 pos,
             }),
-            (Ty::Int(_), Ty::Ptr(_)) if is_zero_const(&v) => {
-                Ok(Expr { ty: target.clone(), kind: ExprKind::NullPtr, pos })
-            }
+            (Ty::Int(_), Ty::Ptr(_)) if is_zero_const(&v) => Ok(Expr {
+                ty: target.clone(),
+                kind: ExprKind::NullPtr,
+                pos,
+            }),
             _ => self.err(
                 format!(
                     "cannot implicitly convert `{}` to `{}`",
@@ -1367,10 +1657,18 @@ mod tests {
         let p = ck("int f(int* p) { return *(p + 2); }");
         let f = p.func("f").expect("exists");
         // Body: Return(Load(Deref(PtrAdd{elem_size: 4})))
-        let Stmt::Return(Some(e)) = &f.body[0] else { panic!("expected return") };
-        let ExprKind::Load(place) = &e.kind else { panic!("expected load, got {:?}", e.kind) };
-        let Place::Deref { ptr, .. } = &**place else { panic!("expected deref") };
-        let ExprKind::PtrAdd { elem_size, .. } = &ptr.kind else { panic!("expected ptradd") };
+        let Stmt::Return(Some(e)) = &f.body[0] else {
+            panic!("expected return")
+        };
+        let ExprKind::Load(place) = &e.kind else {
+            panic!("expected load, got {:?}", e.kind)
+        };
+        let Place::Deref { ptr, .. } = &**place else {
+            panic!("expected deref")
+        };
+        let ExprKind::PtrAdd { elem_size, .. } = &ptr.kind else {
+            panic!("expected ptradd")
+        };
         assert_eq!(*elem_size, 4);
     }
 
@@ -1389,9 +1687,15 @@ mod tests {
             int get_y(struct point* p) { return p->y; }
         "#);
         let f = p.func("get_y").expect("exists");
-        let Stmt::Return(Some(e)) = &f.body[0] else { panic!() };
-        let ExprKind::Load(place) = &e.kind else { panic!() };
-        let Place::Field { offset, .. } = &**place else { panic!("expected field") };
+        let Stmt::Return(Some(e)) = &f.body[0] else {
+            panic!()
+        };
+        let ExprKind::Load(place) = &e.kind else {
+            panic!()
+        };
+        let Place::Field { offset, .. } = &**place else {
+            panic!("expected field")
+        };
         assert_eq!(*offset, 4);
     }
 
@@ -1404,9 +1708,15 @@ mod tests {
             char* f(struct node* n) { return &n->str[2]; }
         "#);
         let f = p.func("f").expect("exists");
-        let Stmt::Return(Some(e)) = &f.body[0] else { panic!() };
-        let ExprKind::AddrOf(place) = &e.kind else { panic!("expected addrof") };
-        let Place::Index { base, .. } = &**place else { panic!("expected index") };
+        let Stmt::Return(Some(e)) = &f.body[0] else {
+            panic!()
+        };
+        let ExprKind::AddrOf(place) = &e.kind else {
+            panic!("expected addrof")
+        };
+        let Place::Index { base, .. } = &**place else {
+            panic!("expected index")
+        };
         assert!(matches!(**base, Place::Field { .. }));
     }
 
@@ -1493,7 +1803,10 @@ mod tests {
     #[test]
     fn unsized_arrays() {
         let p = ck("int t[] = {1,2,3}; char s[] = \"abcd\";");
-        assert_eq!(p.global("t").map(|g| g.ty.clone()), Some(Ty::Array(Box::new(Ty::int()), 3)));
+        assert_eq!(
+            p.global("t").map(|g| g.ty.clone()),
+            Some(Ty::Array(Box::new(Ty::int()), 3))
+        );
         assert_eq!(
             p.global("s").map(|g| g.ty.clone()),
             Some(Ty::Array(Box::new(Ty::char()), 5))
@@ -1521,7 +1834,9 @@ mod tests {
     fn ptr_diff_type() {
         let p = ck("long f(char* a, char* b) { return a - b; }");
         let f = p.func("f").expect("exists");
-        let Stmt::Return(Some(e)) = &f.body[0] else { panic!() };
+        let Stmt::Return(Some(e)) = &f.body[0] else {
+            panic!()
+        };
         assert!(matches!(e.kind, ExprKind::PtrDiff { .. }));
     }
 
@@ -1640,7 +1955,13 @@ mod tests {
         let has_memcpy = f.body.iter().any(|st| {
             matches!(
                 st,
-                Stmt::Expr(Expr { kind: ExprKind::Call { target: CallTarget::Builtin(Builtin::Memcpy), .. }, .. })
+                Stmt::Expr(Expr {
+                    kind: ExprKind::Call {
+                        target: CallTarget::Builtin(Builtin::Memcpy),
+                        ..
+                    },
+                    ..
+                })
             )
         });
         assert!(has_memcpy);

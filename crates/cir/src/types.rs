@@ -48,7 +48,10 @@ impl IntKind {
 
     /// True for the signed kinds.
     pub fn is_signed(self) -> bool {
-        matches!(self, IntKind::I8 | IntKind::I16 | IntKind::I32 | IntKind::I64)
+        matches!(
+            self,
+            IntKind::I8 | IntKind::I16 | IntKind::I32 | IntKind::I64
+        )
     }
 
     /// The result kind of the usual arithmetic conversions between two
@@ -282,7 +285,11 @@ impl TypeTable {
 
     /// Creates an empty table with the given pointer layout.
     pub fn with_layout(layout: PtrLayout) -> Self {
-        TypeTable { defs: Vec::new(), by_name: HashMap::new(), layout }
+        TypeTable {
+            defs: Vec::new(),
+            by_name: HashMap::new(),
+            layout,
+        }
     }
 
     /// The pointer layout in effect.
@@ -488,7 +495,10 @@ mod tests {
     fn struct_tail_padding() {
         let mut t = TypeTable::new();
         let id = t.declare("s", false);
-        t.define(id, vec![("p".into(), Ty::int().ptr_to()), ("c".into(), Ty::char())]);
+        t.define(
+            id,
+            vec![("p".into(), Ty::int().ptr_to()), ("c".into(), Ty::char())],
+        );
         assert_eq!(t.def(id).size, 16);
     }
 
@@ -498,7 +508,10 @@ mod tests {
         let id = t.declare("u", true);
         t.define(
             id,
-            vec![("i".into(), Ty::long()), ("c".into(), Ty::Array(Box::new(Ty::char()), 3))],
+            vec![
+                ("i".into(), Ty::long()),
+                ("c".into(), Ty::Array(Box::new(Ty::char()), 3)),
+            ],
         );
         let d = t.def(id);
         assert_eq!(d.fields[0].offset, 0);
@@ -512,7 +525,10 @@ mod tests {
         let id = t.declare("list", false);
         t.define(
             id,
-            vec![("v".into(), Ty::int()), ("next".into(), Ty::Struct(id).ptr_to())],
+            vec![
+                ("v".into(), Ty::int()),
+                ("next".into(), Ty::Struct(id).ptr_to()),
+            ],
         );
         assert_eq!(t.def(id).size, 16);
     }
@@ -521,14 +537,24 @@ mod tests {
     fn fat_pointers_change_layout() {
         let mut thin = TypeTable::new();
         let a = thin.declare("s", false);
-        thin.define(a, vec![("p".into(), Ty::char().ptr_to()), ("v".into(), Ty::long())]);
+        thin.define(
+            a,
+            vec![("p".into(), Ty::char().ptr_to()), ("v".into(), Ty::long())],
+        );
 
         let mut fat = TypeTable::with_layout(PtrLayout::Fat);
         let b = fat.declare("s", false);
-        fat.define(b, vec![("p".into(), Ty::char().ptr_to()), ("v".into(), Ty::long())]);
+        fat.define(
+            b,
+            vec![("p".into(), Ty::char().ptr_to()), ("v".into(), Ty::long())],
+        );
 
         assert_eq!(thin.def(a).size, 16);
-        assert_eq!(fat.def(b).size, 32, "fat pointers visibly change memory layout");
+        assert_eq!(
+            fat.def(b).size,
+            32,
+            "fat pointers visibly change memory layout"
+        );
     }
 
     #[test]
@@ -537,7 +563,10 @@ mod tests {
         let inner = t.declare("inner", false);
         t.define(inner, vec![("p".into(), Ty::void_ptr())]);
         let outer = t.declare("outer", false);
-        t.define(outer, vec![("arr".into(), Ty::Array(Box::new(Ty::Struct(inner)), 4))]);
+        t.define(
+            outer,
+            vec![("arr".into(), Ty::Array(Box::new(Ty::Struct(inner)), 4))],
+        );
         assert!(Ty::Struct(outer).contains_ptr(&t));
         assert!(!Ty::long().contains_ptr(&t));
     }

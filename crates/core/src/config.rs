@@ -16,9 +16,13 @@ pub enum CheckMode {
 /// Which metadata organization backs the disjoint metadata space (§5.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Facility {
-    /// Tag-less direct map; ~5 instructions per access.
+    /// Tag-less direct map over two-level pages; ~5 instructions per
+    /// access, O(1) host-side, no collisions by construction.
     #[default]
-    ShadowSpace,
+    ShadowPaged,
+    /// The HashMap-backed shadow-space simulation (differential-testing
+    /// oracle; same costs as [`Facility::ShadowPaged`], slower host side).
+    ShadowHashMap,
     /// Open-hashing table; ~9 instructions plus probes.
     HashTable,
 }
@@ -49,7 +53,7 @@ impl Default for SoftBoundConfig {
     fn default() -> Self {
         SoftBoundConfig {
             mode: CheckMode::Full,
-            facility: Facility::ShadowSpace,
+            facility: Facility::ShadowPaged,
             hash_log2_buckets: 20,
             memcpy_heuristic: true,
             clear_on_free: true,
@@ -67,12 +71,18 @@ impl SoftBoundConfig {
 
     /// Full checking over the hash table.
     pub fn full_hash() -> Self {
-        SoftBoundConfig { facility: Facility::HashTable, ..Self::default() }
+        SoftBoundConfig {
+            facility: Facility::HashTable,
+            ..Self::default()
+        }
     }
 
     /// Store-only checking over the shadow space (the production config).
     pub fn store_only_shadow() -> Self {
-        SoftBoundConfig { mode: CheckMode::StoreOnly, ..Self::default() }
+        SoftBoundConfig {
+            mode: CheckMode::StoreOnly,
+            ..Self::default()
+        }
     }
 
     /// Store-only checking over the hash table.
@@ -88,7 +98,8 @@ impl SoftBoundConfig {
     /// legend.
     pub fn label(&self) -> String {
         let fac = match self.facility {
-            Facility::ShadowSpace => "ShadowSpace",
+            Facility::ShadowPaged => "ShadowSpace",
+            Facility::ShadowHashMap => "ShadowHashMap",
             Facility::HashTable => "HashTable",
         };
         let mode = match self.mode {
@@ -105,17 +116,35 @@ mod tests {
 
     #[test]
     fn labels_match_figure2_legend() {
-        assert_eq!(SoftBoundConfig::full_shadow().label(), "ShadowSpace-Complete");
+        assert_eq!(
+            SoftBoundConfig::full_shadow().label(),
+            "ShadowSpace-Complete"
+        );
         assert_eq!(SoftBoundConfig::full_hash().label(), "HashTable-Complete");
-        assert_eq!(SoftBoundConfig::store_only_shadow().label(), "ShadowSpace-Stores");
-        assert_eq!(SoftBoundConfig::store_only_hash().label(), "HashTable-Stores");
+        assert_eq!(
+            SoftBoundConfig::store_only_shadow().label(),
+            "ShadowSpace-Stores"
+        );
+        assert_eq!(
+            SoftBoundConfig::store_only_hash().label(),
+            "HashTable-Stores"
+        );
     }
 
     #[test]
-    fn default_is_full_shadow() {
+    fn default_is_full_paged_shadow() {
         let c = SoftBoundConfig::default();
         assert_eq!(c.mode, CheckMode::Full);
-        assert_eq!(c.facility, Facility::ShadowSpace);
+        assert_eq!(c.facility, Facility::ShadowPaged);
         assert!(c.clear_on_free && c.clear_on_return && c.check_fn_ptrs);
+    }
+
+    #[test]
+    fn hashmap_oracle_label_is_distinct() {
+        let c = SoftBoundConfig {
+            facility: Facility::ShadowHashMap,
+            ..SoftBoundConfig::default()
+        };
+        assert_eq!(c.label(), "ShadowHashMap-Complete");
     }
 }

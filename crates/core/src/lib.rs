@@ -48,7 +48,10 @@ pub mod runtime;
 pub mod transform;
 
 pub use config::{CheckMode, Facility, SoftBoundConfig};
-pub use metadata::{HashTableFacility, Meta, MetadataFacility, ShadowSpaceFacility};
+pub use metadata::{
+    AccessSink, HashTableFacility, Meta, MetadataFacility, NoopSink, ScratchSink,
+    ShadowHashMapFacility, ShadowPages,
+};
 pub use runtime::SoftBoundRuntime;
 pub use transform::{instrument, instrument_flavored, Flavor, GLOBALS_INIT_PREFIX, SB_PREFIX};
 
@@ -67,17 +70,28 @@ pub fn runtime_for(cfg: &SoftBoundConfig) -> Box<dyn RuntimeHooks> {
 ///
 /// Returns frontend errors as boxed errors; verifier failures panic (they
 /// indicate a pass bug, not a user error).
-pub fn compile_protected(
+pub fn compile_protected(src: &str, cfg: &SoftBoundConfig) -> Result<Module, sb_cir::CompileError> {
+    compile_protected_with_stats(src, cfg).map(|(m, _)| m)
+}
+
+/// Like [`compile_protected`], additionally reporting the post-instrument
+/// optimizer's statistics (instructions removed, redundant checks
+/// eliminated) for the experiment harness.
+///
+/// # Errors
+///
+/// Returns frontend compile errors.
+pub fn compile_protected_with_stats(
     src: &str,
     cfg: &SoftBoundConfig,
-) -> Result<Module, sb_cir::CompileError> {
+) -> Result<(Module, sb_ir::PassStats), sb_cir::CompileError> {
     let prog = sb_cir::compile(src)?;
     let mut module = sb_ir::lower(&prog, "program");
     sb_ir::optimize(&mut module, sb_ir::OptLevel::PreInstrument);
     let mut module = instrument(&module, cfg);
-    sb_ir::optimize(&mut module, sb_ir::OptLevel::PostInstrument);
+    let stats = sb_ir::optimize_with_stats(&mut module, sb_ir::OptLevel::PostInstrument);
     sb_ir::verify(&module).expect("instrumented module must verify");
-    Ok(module)
+    Ok((module, stats))
 }
 
 /// Compiles and runs a program under SoftBound protection.

@@ -1,22 +1,34 @@
 //! The disjoint metadata facilities of §5.1.
 //!
 //! SoftBound maps the *address of a pointer in memory* to that pointer's
-//! `(base, bound)` metadata. Two organizations are implemented, with the
+//! `(base, bound)` metadata. Three organizations are implemented, with the
 //! paper's own instruction-count costs:
 //!
 //! * [`HashTableFacility`] — open hashing over (tag, base, bound) entries;
 //!   ~9 x86 instructions per lookup in the no-collision case (shift, mask,
 //!   multiply, add, three loads, compare, branch), +3 per extra probe.
-//! * [`ShadowSpaceFacility`] — a tag-less direct map modelling a large
-//!   reserved region of virtual address space; ~5 x86 instructions per
-//!   lookup (shift, mask, add, two loads) and no collisions by
-//!   construction.
+//! * [`ShadowPages`] — the tag-less direct map of the paper's reserved
+//!   virtual-address region, realized as a two-level paged table: the high
+//!   bits of the slot index a flat directory, the low bits index a
+//!   `Box<[Meta]>` page allocated on first touch. Lookups are O(1) and
+//!   branch-light (shift, mask, add, two loads ≈ 5 instructions) with no
+//!   collisions by construction.
+//! * [`ShadowHashMapFacility`] — the previous HashMap-backed *simulation*
+//!   of the shadow space, kept as a differential-testing oracle and as the
+//!   slow comparison point for the `metadata` microbenchmark.
 //!
-//! Both also expose their *simulated table addresses* so the VM's cache
-//! model sees the extra memory pressure metadata accesses cause (the
-//! effect the paper observes on treeadd/mst/health).
+//! All facilities report their *simulated table addresses* through an
+//! [`AccessSink`] so the VM's cache model sees the extra memory pressure
+//! metadata accesses cause (the effect the paper observes on
+//! treeadd/mst/health). Callers that do not model caches pass a sink whose
+//! `wants_addresses()` is false ([`NoopSink`], or an [`RtCtx`] without a
+//! cache), making the hot path allocation- and buffer-free.
+//!
+//! [`RtCtx`]: sb_vm::RtCtx
 
 use std::collections::HashMap;
+
+pub use sb_vm::{AccessSink, NoopSink, ScratchSink};
 
 /// Synthetic base address of the simulated shadow-space region (the paper
 /// reserves the middle of the virtual address space via `mmap`).
@@ -43,42 +55,40 @@ impl Meta {
     }
 }
 
-/// A metadata organization: address-of-pointer → metadata, with explicit
-/// costs and touched-table-address reporting.
+/// A metadata organization: address-of-pointer → metadata. Costs and
+/// touched-table addresses are reported through the [`AccessSink`].
 pub trait MetadataFacility {
     /// Facility name for diagnostics.
     fn name(&self) -> &'static str;
 
     /// Looks up the metadata for the pointer stored at `addr`. Returns
-    /// [`Meta::NULL`] when absent. Appends the cost in x86-equivalent
-    /// instructions to `cost` and the touched table addresses to `touched`.
-    fn load(&mut self, addr: u64, cost: &mut u64, touched: &mut Vec<u64>) -> Meta;
+    /// [`Meta::NULL`] when absent.
+    fn load(&mut self, addr: u64, sink: &mut dyn AccessSink) -> Meta;
 
     /// Stores metadata for the pointer stored at `addr`.
-    fn store(&mut self, addr: u64, meta: Meta, cost: &mut u64, touched: &mut Vec<u64>);
+    fn store(&mut self, addr: u64, meta: Meta, sink: &mut dyn AccessSink);
 
     /// Clears every pointer-slot entry in `[addr, addr+len)` (8-byte
     /// aligned slots).
-    fn clear_range(&mut self, addr: u64, len: u64, cost: &mut u64, touched: &mut Vec<u64>) {
-        let first = addr & !7;
-        let mut a = first;
+    fn clear_range(&mut self, addr: u64, len: u64, sink: &mut dyn AccessSink) {
+        let mut a = addr & !7;
         while a < addr + len {
-            self.store(a, Meta::NULL, cost, touched);
+            self.store(a, Meta::NULL, sink);
             a += 8;
         }
     }
 
     /// Copies metadata for every pointer slot from `[src, src+len)` to
-    /// `[dst, dst+len)` (memcpy metadata handling, §5.2).
-    fn copy_range(&mut self, dst: u64, src: u64, len: u64, cost: &mut u64, touched: &mut Vec<u64>) {
+    /// `[dst, dst+len)` (memcpy metadata handling, §5.2): each aligned
+    /// 8-byte slot offset below `len` is copied exactly once, so an
+    /// unaligned length (e.g. a 12-byte memcpy) still moves the slots at
+    /// offsets 0 and 8 and nothing else.
+    fn copy_range(&mut self, dst: u64, src: u64, len: u64, sink: &mut dyn AccessSink) {
         let mut off = 0;
-        while off + 8 <= len + 7 {
-            let m = self.load(src + off, cost, touched);
-            self.store(dst + off, m, cost, touched);
+        while off < len {
+            let m = self.load(src + off, sink);
+            self.store(dst + off, m, sink);
             off += 8;
-            if off >= len {
-                break;
-            }
         }
     }
 
@@ -86,44 +96,178 @@ pub trait MetadataFacility {
     fn live_entries(&self) -> usize;
 }
 
-/// The tag-less shadow-space organization (§5.1 "Shadow space").
+// Paged shadow-space geometry: a slot is an 8-byte-aligned pointer
+// location (`addr >> 3`). The low `SHADOW_PAGE_BITS` of the slot index a
+// page; the next `SHADOW_DIR_BITS` index the directory. Together they
+// cover the VM's entire 47-bit simulated address space
+// (3 + 18 + 26 = 47); anything beyond spills to a cold overflow map so
+// arbitrary u64 addresses remain correct.
+const SHADOW_PAGE_BITS: u32 = 18;
+const SHADOW_DIR_BITS: u32 = 26;
+const SHADOW_PAGE_SLOTS: u64 = 1 << SHADOW_PAGE_BITS;
+const SHADOW_DIRECT_SLOTS: u64 = 1 << (SHADOW_PAGE_BITS + SHADOW_DIR_BITS);
+
+/// The tag-less shadow-space organization (§5.1 "Shadow space"),
+/// implemented as a real two-level paged direct map.
 ///
-/// A real implementation reserves a constant-offset region of virtual
-/// memory; the simulation keeps a Rust map but *costs* and *cache
-/// addresses* follow the constant-time direct-map design: 5 instructions,
-/// one 16-byte entry at `SHADOW_BASE + slot*16`.
-#[derive(Debug, Default)]
-pub struct ShadowSpaceFacility {
-    entries: HashMap<u64, Meta>,
+/// The directory is a flat array of page ids and each page a flat array
+/// of packed `(base, bound)` entries; both are allocated zeroed
+/// (`calloc` → anonymous mappings), so their spans stay *virtual* until
+/// individual OS pages are touched — the same demand-paging trick the
+/// paper plays by `mmap`-reserving half the address space for the
+/// shadow region. A lookup is shift, mask, two indexed loads: O(1),
+/// branch-light, no tags, no collisions. Because the directory holds
+/// plain `u32` page ids (not boxes), dropping the facility frees a
+/// handful of flat allocations instead of scanning 64M entries.
+///
+/// Entries are stored as `u128` words (base in the low half, bound in
+/// the high half) so page allocation hits the zeroed-memory fast path;
+/// the all-zero word is exactly [`Meta::NULL`].
+#[derive(Debug)]
+pub struct ShadowPages {
+    /// Page id + 1 per directory entry; 0 = no page yet.
+    dir: Vec<u32>,
+    /// Materialized pages, in first-touch order.
+    pages: Vec<Box<[u128]>>,
+    /// Cold store for slots beyond the 47-bit simulated space.
+    overflow: HashMap<u64, Meta>,
+    live: usize,
 }
 
-impl ShadowSpaceFacility {
-    /// Creates an empty shadow space.
+#[inline]
+fn pack(m: Meta) -> u128 {
+    (m.base as u128) | ((m.bound as u128) << 64)
+}
+
+#[inline]
+fn unpack(v: u128) -> Meta {
+    Meta {
+        base: v as u64,
+        bound: (v >> 64) as u64,
+    }
+}
+
+impl ShadowPages {
+    /// Creates an empty paged shadow space. The directory allocation is
+    /// zeroed virtual memory; nothing is committed until first touch.
     pub fn new() -> Self {
-        Self::default()
+        ShadowPages {
+            dir: vec![0u32; 1 << SHADOW_DIR_BITS],
+            pages: Vec::new(),
+            overflow: HashMap::new(),
+            live: 0,
+        }
+    }
+
+    /// Number of materialized pages (memory-overhead statistics).
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
     }
 
     fn table_addr(slot: u64) -> u64 {
-        SHADOW_BASE + slot * 16
+        SHADOW_BASE.wrapping_add(slot.wrapping_mul(16))
+    }
+
+    #[inline]
+    fn slot_entry(&mut self, slot: u64, allocate: bool) -> Option<&mut u128> {
+        debug_assert!(slot < SHADOW_DIRECT_SLOTS);
+        let di = (slot >> SHADOW_PAGE_BITS) as usize;
+        let mut pid = self.dir[di];
+        if pid == 0 {
+            if !allocate {
+                return None;
+            }
+            self.pages
+                .push(vec![0u128; SHADOW_PAGE_SLOTS as usize].into_boxed_slice());
+            pid = self.pages.len() as u32;
+            self.dir[di] = pid;
+        }
+        let pi = (slot & (SHADOW_PAGE_SLOTS - 1)) as usize;
+        Some(&mut self.pages[(pid - 1) as usize][pi])
     }
 }
 
-impl MetadataFacility for ShadowSpaceFacility {
+impl Default for ShadowPages {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetadataFacility for ShadowPages {
     fn name(&self) -> &'static str {
         "shadow-space"
     }
 
-    fn load(&mut self, addr: u64, cost: &mut u64, touched: &mut Vec<u64>) -> Meta {
+    fn load(&mut self, addr: u64, sink: &mut dyn AccessSink) -> Meta {
         let slot = addr >> 3;
-        *cost += 5;
-        touched.push(Self::table_addr(slot));
+        sink.record(5, Self::table_addr(slot));
+        if slot < SHADOW_DIRECT_SLOTS {
+            self.slot_entry(slot, false)
+                .map_or(Meta::NULL, |m| unpack(*m))
+        } else {
+            self.overflow.get(&slot).copied().unwrap_or(Meta::NULL)
+        }
+    }
+
+    fn store(&mut self, addr: u64, meta: Meta, sink: &mut dyn AccessSink) {
+        let slot = addr >> 3;
+        sink.record(5, Self::table_addr(slot));
+        if slot < SHADOW_DIRECT_SLOTS {
+            // Null stores into untouched regions need no page.
+            let Some(entry) = self.slot_entry(slot, !meta.is_null()) else {
+                return;
+            };
+            let was_null = *entry == 0;
+            *entry = pack(meta);
+            match (was_null, meta.is_null()) {
+                (true, false) => self.live += 1,
+                (false, true) => self.live -= 1,
+                _ => {}
+            }
+        } else if meta.is_null() {
+            if self.overflow.remove(&slot).is_some() {
+                self.live -= 1;
+            }
+        } else if self.overflow.insert(slot, meta).is_none() {
+            self.live += 1;
+        }
+    }
+
+    fn live_entries(&self) -> usize {
+        self.live
+    }
+}
+
+/// The previous HashMap-backed shadow-space *simulation*, kept as the
+/// slow comparison point (§5.1 microbenchmark) and as an oracle for
+/// differential tests: costs and simulated table addresses match
+/// [`ShadowPages`] exactly; only the host data structure differs.
+#[derive(Debug, Default)]
+pub struct ShadowHashMapFacility {
+    entries: HashMap<u64, Meta>,
+}
+
+impl ShadowHashMapFacility {
+    /// Creates an empty shadow space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl MetadataFacility for ShadowHashMapFacility {
+    fn name(&self) -> &'static str {
+        "shadow-hashmap"
+    }
+
+    fn load(&mut self, addr: u64, sink: &mut dyn AccessSink) -> Meta {
+        let slot = addr >> 3;
+        sink.record(5, ShadowPages::table_addr(slot));
         self.entries.get(&slot).copied().unwrap_or(Meta::NULL)
     }
 
-    fn store(&mut self, addr: u64, meta: Meta, cost: &mut u64, touched: &mut Vec<u64>) {
+    fn store(&mut self, addr: u64, meta: Meta, sink: &mut dyn AccessSink) {
         let slot = addr >> 3;
-        *cost += 5;
-        touched.push(Self::table_addr(slot));
+        sink.record(5, ShadowPages::table_addr(slot));
         if meta.is_null() {
             self.entries.remove(&slot);
         } else {
@@ -157,7 +301,12 @@ impl HashTableFacility {
     /// "sizing the table large enough to keep average utilization low").
     pub fn new(log2_buckets: u32) -> Self {
         let n = 1usize << log2_buckets;
-        HashTableFacility { buckets: vec![Vec::new(); n], mask: n as u64 - 1, live: 0, extra_probes: 0 }
+        HashTableFacility {
+            buckets: vec![Vec::new(); n],
+            mask: n as u64 - 1,
+            live: 0,
+            extra_probes: 0,
+        }
     }
 
     fn bucket_addr(&self, b: u64, depth: u64) -> u64 {
@@ -176,37 +325,36 @@ impl MetadataFacility for HashTableFacility {
         "hash-table"
     }
 
-    fn load(&mut self, addr: u64, cost: &mut u64, touched: &mut Vec<u64>) -> Meta {
+    fn load(&mut self, addr: u64, sink: &mut dyn AccessSink) -> Meta {
         let slot = addr >> 3;
         let b = slot & self.mask;
-        *cost += 9;
-        touched.push(self.bucket_addr(b, 0));
+        sink.record(9, self.bucket_addr(b, 0));
         let chain = &self.buckets[b as usize];
         for (depth, (tag, meta)) in chain.iter().enumerate() {
             if *tag == slot {
                 if depth > 0 {
-                    *cost += 3 * depth as u64;
+                    sink.add_cost(3 * depth as u64);
                     self.extra_probes += depth as u64;
-                    touched.push(self.bucket_addr(b, depth as u64));
+                    let addr = self.bucket_addr(b, depth as u64);
+                    sink.touch(addr);
                 }
                 return *meta;
             }
         }
         let extra = chain.len().saturating_sub(1) as u64;
-        *cost += 3 * extra;
+        sink.add_cost(3 * extra);
         self.extra_probes += extra;
         Meta::NULL
     }
 
-    fn store(&mut self, addr: u64, meta: Meta, cost: &mut u64, touched: &mut Vec<u64>) {
+    fn store(&mut self, addr: u64, meta: Meta, sink: &mut dyn AccessSink) {
         let slot = addr >> 3;
         let b = slot & self.mask;
-        *cost += 9;
-        touched.push(self.bucket_addr(b, 0));
+        sink.record(9, self.bucket_addr(b, 0));
         let chain = &mut self.buckets[b as usize];
         if let Some(pos) = chain.iter().position(|(tag, _)| *tag == slot) {
             if pos > 0 {
-                *cost += 3 * pos as u64;
+                sink.add_cost(3 * pos as u64);
                 self.extra_probes += pos as u64;
             }
             if meta.is_null() {
@@ -217,7 +365,7 @@ impl MetadataFacility for HashTableFacility {
             }
         } else if !meta.is_null() {
             let extra = chain.len() as u64;
-            *cost += 3 * extra;
+            sink.add_cost(3 * extra);
             self.extra_probes += extra;
             chain.push((slot, meta));
             self.live += 1;
@@ -234,21 +382,32 @@ mod tests {
     use super::*;
 
     fn roundtrip(fac: &mut dyn MetadataFacility) {
-        let mut cost = 0;
-        let mut touched = Vec::new();
-        let m = Meta { base: 0x1000, bound: 0x1040 };
-        assert_eq!(fac.load(0x2000, &mut cost, &mut touched), Meta::NULL);
-        fac.store(0x2000, m, &mut cost, &mut touched);
-        assert_eq!(fac.load(0x2000, &mut cost, &mut touched), m);
-        assert_eq!(fac.load(0x2008, &mut cost, &mut touched), Meta::NULL, "adjacent slot distinct");
-        fac.store(0x2000, Meta::NULL, &mut cost, &mut touched);
-        assert_eq!(fac.load(0x2000, &mut cost, &mut touched), Meta::NULL);
+        let mut sink = ScratchSink::new();
+        let m = Meta {
+            base: 0x1000,
+            bound: 0x1040,
+        };
+        assert_eq!(fac.load(0x2000, &mut sink), Meta::NULL);
+        fac.store(0x2000, m, &mut sink);
+        assert_eq!(fac.load(0x2000, &mut sink), m);
+        assert_eq!(
+            fac.load(0x2008, &mut sink),
+            Meta::NULL,
+            "adjacent slot distinct"
+        );
+        fac.store(0x2000, Meta::NULL, &mut sink);
+        assert_eq!(fac.load(0x2000, &mut sink), Meta::NULL);
         assert_eq!(fac.live_entries(), 0);
     }
 
     #[test]
-    fn shadow_roundtrip() {
-        roundtrip(&mut ShadowSpaceFacility::new());
+    fn shadow_paged_roundtrip() {
+        roundtrip(&mut ShadowPages::new());
+    }
+
+    #[test]
+    fn shadow_hashmap_roundtrip() {
+        roundtrip(&mut ShadowHashMapFacility::new());
     }
 
     #[test]
@@ -258,87 +417,232 @@ mod tests {
 
     #[test]
     fn shadow_costs_five() {
-        let mut f = ShadowSpaceFacility::new();
-        let mut cost = 0;
-        let mut touched = Vec::new();
-        f.load(0x4000, &mut cost, &mut touched);
-        assert_eq!(cost, 5, "paper: shadow lookup ≈ 5 instructions");
-        assert_eq!(touched.len(), 1);
+        for fac in [
+            &mut ShadowPages::new() as &mut dyn MetadataFacility,
+            &mut ShadowHashMapFacility::new(),
+        ] {
+            let mut sink = ScratchSink::new();
+            fac.load(0x4000, &mut sink);
+            assert_eq!(sink.cost, 5, "paper: shadow lookup ≈ 5 instructions");
+            assert_eq!(sink.touched.len(), 1);
+        }
     }
 
     #[test]
     fn hash_costs_nine_no_collision() {
         let mut f = HashTableFacility::new(16);
-        let mut cost = 0;
-        let mut touched = Vec::new();
-        f.load(0x4000, &mut cost, &mut touched);
-        assert_eq!(cost, 9, "paper: hash lookup ≈ 9 instructions");
+        let mut sink = ScratchSink::new();
+        f.load(0x4000, &mut sink);
+        assert_eq!(sink.cost, 9, "paper: hash lookup ≈ 9 instructions");
     }
 
     #[test]
     fn hash_collisions_cost_extra() {
         // 4-bucket table: slots 0 and 16 collide (slot = addr>>3).
         let mut f = HashTableFacility::new(2);
-        let mut cost = 0;
-        let mut touched = Vec::new();
+        let mut sink = ScratchSink::new();
         let m = Meta { base: 1, bound: 2 };
-        f.store(0x0, m, &mut cost, &mut touched); // slot 0, bucket 0
-        f.store(0x80, m, &mut cost, &mut touched); // slot 16, bucket 0 → chained
-        cost = 0;
-        f.load(0x80, &mut cost, &mut touched);
-        assert_eq!(cost, 9 + 3, "second chain position costs one extra probe");
+        f.store(0x0, m, &mut sink); // slot 0, bucket 0
+        f.store(0x80, m, &mut sink); // slot 16, bucket 0 → chained
+        sink.reset();
+        f.load(0x80, &mut sink);
+        assert_eq!(
+            sink.cost,
+            9 + 3,
+            "second chain position costs one extra probe"
+        );
         assert!(f.extra_probes > 0);
     }
 
     #[test]
+    fn noop_sink_records_nothing() {
+        let mut f = ShadowPages::new();
+        let mut sink = NoopSink;
+        f.store(0x2000, Meta { base: 1, bound: 2 }, &mut sink);
+        assert_eq!(f.load(0x2000, &mut sink), Meta { base: 1, bound: 2 });
+        assert!(!AccessSink::wants_addresses(&sink));
+    }
+
+    #[test]
     fn facilities_agree_randomized() {
-        // Property: both organizations implement the same map.
-        let mut sh = ShadowSpaceFacility::new();
+        // Property: all three organizations implement the same map. The
+        // HashMap shadow is the oracle; the paged shadow and the (tiny,
+        // collision-heavy) hash table must agree with it after a churn of
+        // overwrites and deletions.
+        let mut paged = ShadowPages::new();
+        let mut oracle = ShadowHashMapFacility::new();
         let mut ht = HashTableFacility::new(6); // tiny → lots of collisions
-        let mut cost = 0;
-        let mut touched = Vec::new();
+        let mut sink = ScratchSink::new();
         let mut state = 0x12345u64;
         let mut addrs = Vec::new();
-        for i in 0..2000u64 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        for i in 0..3000u64 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let addr = (state % 4096) & !7;
-            let meta = Meta { base: i * 16, bound: i * 16 + 64 };
-            sh.store(addr, meta, &mut cost, &mut touched);
-            ht.store(addr, meta, &mut cost, &mut touched);
+            // A third of the stores are deletions (NULL metadata).
+            let meta = if i % 3 == 0 {
+                Meta::NULL
+            } else {
+                Meta {
+                    base: i * 16,
+                    bound: i * 16 + 64,
+                }
+            };
+            paged.store(addr, meta, &mut sink);
+            oracle.store(addr, meta, &mut sink);
+            ht.store(addr, meta, &mut sink);
             addrs.push(addr);
         }
         for addr in addrs {
+            let expected = oracle.load(addr, &mut sink);
             assert_eq!(
-                sh.load(addr, &mut cost, &mut touched),
-                ht.load(addr, &mut cost, &mut touched),
-                "facilities diverged at {addr:#x}"
+                paged.load(addr, &mut sink),
+                expected,
+                "paged diverged at {addr:#x}"
+            );
+            assert_eq!(
+                ht.load(addr, &mut sink),
+                expected,
+                "hash diverged at {addr:#x}"
             );
         }
-        assert_eq!(sh.live_entries(), ht.live_entries());
+        assert_eq!(paged.live_entries(), oracle.live_entries());
+        assert_eq!(ht.live_entries(), oracle.live_entries());
+    }
+
+    #[test]
+    fn sparse_addresses_hit_distinct_pages() {
+        // Widely separated addresses — the VM's global/heap/stack regions,
+        // page-boundary straddles, and beyond-47-bit overflow — must land
+        // in distinct directory entries without aliasing.
+        let mut f = ShadowPages::new();
+        let mut sink = ScratchSink::new();
+        let page_span = 8 << SHADOW_PAGE_BITS; // addresses covered per page
+        let addrs: Vec<u64> = vec![
+            0x0000_0000_0001_0000, // GLOBAL_BASE
+            0x0000_2000_0000_0000, // HEAP_BASE
+            0x0000_7F00_0000_0000, // STACK_BASE
+            0x0000_4000_0000_0000, // FN_BASE
+            page_span - 8,         // last slot of page 0
+            page_span,             // first slot of page 1
+            37 * page_span + 1024, // interior of a far page
+            (1 << 47) - 8,         // last directly-mapped slot
+            1 << 47,               // first overflow slot
+            !7u64,                 // extreme overflow (highest aligned slot)
+        ];
+        for (i, &a) in addrs.iter().enumerate() {
+            let meta = Meta {
+                base: i as u64 + 1,
+                bound: i as u64 + 100,
+            };
+            f.store(a, meta, &mut sink);
+        }
+        for (i, &a) in addrs.iter().enumerate() {
+            let expected = Meta {
+                base: i as u64 + 1,
+                bound: i as u64 + 100,
+            };
+            assert_eq!(f.load(a, &mut sink), expected, "aliased at {a:#x}");
+        }
+        assert_eq!(f.live_entries(), addrs.len());
+        // Adjacent-but-cross-page slots must not have merged.
+        assert!(
+            f.page_count() >= 6,
+            "expected many distinct pages, got {}",
+            f.page_count()
+        );
+        // Clearing restores emptiness (exercises overflow removal too).
+        for &a in &addrs {
+            f.store(a, Meta::NULL, &mut sink);
+        }
+        assert_eq!(f.live_entries(), 0);
+    }
+
+    #[test]
+    fn null_stores_do_not_materialize_pages() {
+        let mut f = ShadowPages::new();
+        let mut sink = NoopSink;
+        f.store(0x5000, Meta::NULL, &mut sink);
+        f.clear_range(0x9000, 256, &mut sink);
+        assert_eq!(f.page_count(), 0, "null stores must not commit pages");
+        assert_eq!(f.live_entries(), 0);
     }
 
     #[test]
     fn clear_range_wipes_slots() {
-        let mut f = ShadowSpaceFacility::new();
-        let mut cost = 0;
-        let mut touched = Vec::new();
+        let mut f = ShadowPages::new();
+        let mut sink = ScratchSink::new();
         for i in 0..8 {
-            f.store(0x3000 + i * 8, Meta { base: 1, bound: 2 }, &mut cost, &mut touched);
+            f.store(0x3000 + i * 8, Meta { base: 1, bound: 2 }, &mut sink);
         }
-        f.clear_range(0x3000, 32, &mut cost, &mut touched);
+        f.clear_range(0x3000, 32, &mut sink);
         assert_eq!(f.live_entries(), 4, "only the first 4 slots cleared");
     }
 
     #[test]
     fn copy_range_moves_metadata() {
-        let mut f = ShadowSpaceFacility::new();
-        let mut cost = 0;
-        let mut touched = Vec::new();
-        let m = Meta { base: 0x10, bound: 0x20 };
-        f.store(0x5000, m, &mut cost, &mut touched);
-        f.store(0x5008, Meta { base: 0x30, bound: 0x40 }, &mut cost, &mut touched);
-        f.copy_range(0x6000, 0x5000, 16, &mut cost, &mut touched);
-        assert_eq!(f.load(0x6000, &mut cost, &mut touched), m);
-        assert_eq!(f.load(0x6008, &mut cost, &mut touched).base, 0x30);
+        let mut f = ShadowPages::new();
+        let mut sink = ScratchSink::new();
+        let m = Meta {
+            base: 0x10,
+            bound: 0x20,
+        };
+        f.store(0x5000, m, &mut sink);
+        f.store(
+            0x5008,
+            Meta {
+                base: 0x30,
+                bound: 0x40,
+            },
+            &mut sink,
+        );
+        f.copy_range(0x6000, 0x5000, 16, &mut sink);
+        assert_eq!(f.load(0x6000, &mut sink), m);
+        assert_eq!(f.load(0x6008, &mut sink).base, 0x30);
+    }
+
+    #[test]
+    fn copy_range_unaligned_len_copies_each_slot_once() {
+        // Regression for the old convoluted slot loop: a 12-byte memcpy
+        // must copy the slots at offsets 0 and 8 exactly once each (two
+        // loads + two stores = 4 shadow accesses, 20 cost units) and must
+        // not touch the slot at offset 16.
+        for fac in [
+            &mut ShadowPages::new() as &mut dyn MetadataFacility,
+            &mut ShadowHashMapFacility::new(),
+        ] {
+            let mut sink = ScratchSink::new();
+            fac.store(0x5000, Meta { base: 1, bound: 2 }, &mut sink);
+            fac.store(0x5008, Meta { base: 3, bound: 4 }, &mut sink);
+            fac.store(0x5010, Meta { base: 5, bound: 6 }, &mut sink);
+            sink.reset();
+            fac.copy_range(0x6000, 0x5000, 12, &mut sink);
+            assert_eq!(
+                sink.cost,
+                4 * 5,
+                "2 loads + 2 stores at 5 each: {}",
+                sink.cost
+            );
+            assert_eq!(sink.touched.len(), 4);
+            assert_eq!(fac.load(0x6000, &mut sink), Meta { base: 1, bound: 2 });
+            assert_eq!(fac.load(0x6008, &mut sink), Meta { base: 3, bound: 4 });
+            assert_eq!(
+                fac.load(0x6010, &mut sink),
+                Meta::NULL,
+                "slot past len untouched"
+            );
+        }
+    }
+
+    #[test]
+    fn copy_range_zero_len_is_noop() {
+        let mut f = ShadowPages::new();
+        let mut sink = ScratchSink::new();
+        f.store(0x5000, Meta { base: 1, bound: 2 }, &mut sink);
+        sink.reset();
+        f.copy_range(0x6000, 0x5000, 0, &mut sink);
+        assert_eq!(sink.cost, 0);
+        assert_eq!(f.load(0x6000, &mut sink), Meta::NULL);
     }
 }

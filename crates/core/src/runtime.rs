@@ -4,9 +4,11 @@
 //! exposed to the VM as [`RuntimeHooks`].
 
 use crate::config::{Facility, SoftBoundConfig};
-use crate::metadata::{HashTableFacility, Meta, MetadataFacility, ShadowSpaceFacility};
-use sb_vm::{Mem, RtCtx, RtVals, RuntimeHooks, Trap};
+use crate::metadata::{
+    HashTableFacility, Meta, MetadataFacility, ShadowHashMapFacility, ShadowPages,
+};
 use sb_ir::RtFn;
+use sb_vm::{AccessSink, Mem, RtCtx, RtVals, RuntimeHooks, Trap};
 
 /// Cost of the bounds check itself (two compares + branch, §3.1).
 pub const CHECK_COST: u64 = 3;
@@ -25,7 +27,8 @@ impl SoftBoundRuntime {
     /// Builds the runtime described by a config.
     pub fn new(cfg: &SoftBoundConfig) -> Self {
         let facility: Box<dyn MetadataFacility> = match cfg.facility {
-            Facility::ShadowSpace => Box::new(ShadowSpaceFacility::new()),
+            Facility::ShadowPaged => Box::new(ShadowPages::new()),
+            Facility::ShadowHashMap => Box::new(ShadowHashMapFacility::new()),
             Facility::HashTable => Box::new(HashTableFacility::new(cfg.hash_log2_buckets)),
         };
         SoftBoundRuntime {
@@ -41,11 +44,22 @@ impl SoftBoundRuntime {
         self.facility.live_entries()
     }
 
-    fn check(&mut self, ptr: u64, base: u64, bound: u64, size: u64, write: bool) -> Result<(), Trap> {
+    fn check(
+        &mut self,
+        ptr: u64,
+        base: u64,
+        bound: u64,
+        size: u64,
+        write: bool,
+    ) -> Result<(), Trap> {
         self.check_count += 1;
         if ptr < base || ptr.wrapping_add(size) > bound || base == 0 {
             self.violation_count += 1;
-            Err(Trap::SpatialViolation { scheme: "softbound", addr: ptr, write })
+            Err(Trap::SpatialViolation {
+                scheme: "softbound",
+                addr: ptr,
+                write,
+            })
         } else {
             Ok(())
         }
@@ -66,21 +80,30 @@ impl RuntimeHooks for SoftBoundRuntime {
     ) -> Result<RtVals, Trap> {
         match rt {
             RtFn::SbCheck { is_store } => {
-                ctx.cost += CHECK_COST;
-                self.check(args[0] as u64, args[1] as u64, args[2] as u64, args[3] as u64, is_store)?;
+                ctx.add_cost(CHECK_COST);
+                self.check(
+                    args[0] as u64,
+                    args[1] as u64,
+                    args[2] as u64,
+                    args[3] as u64,
+                    is_store,
+                )?;
                 Ok([0, 0])
             }
             RtFn::SbMetaLoad => {
-                let m = self.facility.load(args[0] as u64, &mut ctx.cost, &mut ctx.touched);
+                let m = self.facility.load(args[0] as u64, ctx);
                 Ok([m.base as i64, m.bound as i64])
             }
             RtFn::SbMetaStore => {
-                let m = Meta { base: args[1] as u64, bound: args[2] as u64 };
-                self.facility.store(args[0] as u64, m, &mut ctx.cost, &mut ctx.touched);
+                let m = Meta {
+                    base: args[1] as u64,
+                    bound: args[2] as u64,
+                };
+                self.facility.store(args[0] as u64, m, ctx);
                 Ok([0, 0])
             }
             RtFn::SbFnCheck => {
-                ctx.cost += CHECK_COST;
+                ctx.add_cost(CHECK_COST);
                 self.check_count += 1;
                 let (ptr, base, bound) = (args[0] as u64, args[1] as u64, args[2] as u64);
                 // Function pointers are encoded base == bound == ptr (§5.2):
@@ -89,30 +112,25 @@ impl RuntimeHooks for SoftBoundRuntime {
                     Ok([0, 0])
                 } else {
                     self.violation_count += 1;
-                    Err(Trap::SpatialViolation { scheme: "softbound", addr: ptr, write: false })
+                    Err(Trap::SpatialViolation {
+                        scheme: "softbound",
+                        addr: ptr,
+                        write: false,
+                    })
                 }
             }
             RtFn::SbMetaClear => {
-                self.facility.clear_range(
-                    args[0] as u64,
-                    args[1] as u64,
-                    &mut ctx.cost,
-                    &mut ctx.touched,
-                );
+                self.facility
+                    .clear_range(args[0] as u64, args[1] as u64, ctx);
                 Ok([0, 0])
             }
             RtFn::SbMemcpyMeta => {
-                self.facility.copy_range(
-                    args[0] as u64,
-                    args[1] as u64,
-                    args[2] as u64,
-                    &mut ctx.cost,
-                    &mut ctx.touched,
-                );
+                self.facility
+                    .copy_range(args[0] as u64, args[1] as u64, args[2] as u64, ctx);
                 Ok([0, 0])
             }
             RtFn::SbVaCheck => {
-                ctx.cost += 2;
+                ctx.add_cost(2);
                 let idx = args[0];
                 if idx < 0 || idx as u64 >= ctx.vararg_count {
                     Err(Trap::SpatialViolation {
@@ -132,7 +150,7 @@ impl RuntimeHooks for SoftBoundRuntime {
         // §5.2 "memory reuse and stale metadata": clear metadata for freed
         // blocks whose static type suggests they held pointers.
         if self.clear_on_free && ptr_hint {
-            self.facility.clear_range(addr, size, &mut ctx.cost, &mut ctx.touched);
+            self.facility.clear_range(addr, size, ctx);
         }
     }
 }
@@ -158,35 +176,79 @@ mod tests {
 
     #[test]
     fn in_bounds_check_passes() {
-        let mut rt = runtime(Facility::ShadowSpace);
-        assert!(call(&mut rt, RtFn::SbCheck { is_store: false }, &[0x1000, 0x1000, 0x1040, 8]).is_ok());
-        assert!(call(&mut rt, RtFn::SbCheck { is_store: true }, &[0x1038, 0x1000, 0x1040, 8]).is_ok());
+        let mut rt = runtime(Facility::ShadowPaged);
+        assert!(call(
+            &mut rt,
+            RtFn::SbCheck { is_store: false },
+            &[0x1000, 0x1000, 0x1040, 8]
+        )
+        .is_ok());
+        assert!(call(
+            &mut rt,
+            RtFn::SbCheck { is_store: true },
+            &[0x1038, 0x1000, 0x1040, 8]
+        )
+        .is_ok());
     }
 
     #[test]
     fn out_of_bounds_check_aborts() {
-        let mut rt = runtime(Facility::ShadowSpace);
+        let mut rt = runtime(Facility::ShadowPaged);
         // One byte past the end.
-        let e = call(&mut rt, RtFn::SbCheck { is_store: true }, &[0x1039, 0x1000, 0x1040, 8]);
-        assert!(matches!(e, Err(Trap::SpatialViolation { scheme: "softbound", .. })));
+        let e = call(
+            &mut rt,
+            RtFn::SbCheck { is_store: true },
+            &[0x1039, 0x1000, 0x1040, 8],
+        );
+        assert!(matches!(
+            e,
+            Err(Trap::SpatialViolation {
+                scheme: "softbound",
+                ..
+            })
+        ));
         // Below base.
-        assert!(call(&mut rt, RtFn::SbCheck { is_store: false }, &[0xfff, 0x1000, 0x1040, 1]).is_err());
+        assert!(call(
+            &mut rt,
+            RtFn::SbCheck { is_store: false },
+            &[0xfff, 0x1000, 0x1040, 1]
+        )
+        .is_err());
         // NULL bounds (int-to-pointer cast, §5.2).
-        assert!(call(&mut rt, RtFn::SbCheck { is_store: false }, &[0x1000, 0, 0, 1]).is_err());
+        assert!(call(
+            &mut rt,
+            RtFn::SbCheck { is_store: false },
+            &[0x1000, 0, 0, 1]
+        )
+        .is_err());
         assert_eq!(rt.violation_count, 3);
     }
 
     #[test]
     fn access_size_matters() {
         // The paper's example: char* cast to int* at the last byte.
-        let mut rt = runtime(Facility::ShadowSpace);
-        assert!(call(&mut rt, RtFn::SbCheck { is_store: false }, &[0x103f, 0x1000, 0x1040, 1]).is_ok());
-        assert!(call(&mut rt, RtFn::SbCheck { is_store: false }, &[0x103f, 0x1000, 0x1040, 4]).is_err());
+        let mut rt = runtime(Facility::ShadowPaged);
+        assert!(call(
+            &mut rt,
+            RtFn::SbCheck { is_store: false },
+            &[0x103f, 0x1000, 0x1040, 1]
+        )
+        .is_ok());
+        assert!(call(
+            &mut rt,
+            RtFn::SbCheck { is_store: false },
+            &[0x103f, 0x1000, 0x1040, 4]
+        )
+        .is_err());
     }
 
     #[test]
     fn metadata_roundtrip_through_rt() {
-        for fac in [Facility::ShadowSpace, Facility::HashTable] {
+        for fac in [
+            Facility::ShadowPaged,
+            Facility::ShadowHashMap,
+            Facility::HashTable,
+        ] {
             let mut rt = runtime(fac);
             call(&mut rt, RtFn::SbMetaStore, &[0x7000, 0x5000, 0x5100]).expect("store ok");
             let v = call(&mut rt, RtFn::SbMetaLoad, &[0x7000]).expect("load ok");
@@ -198,7 +260,7 @@ mod tests {
 
     #[test]
     fn fn_check_accepts_only_zero_sized_encoding() {
-        let mut rt = runtime(Facility::ShadowSpace);
+        let mut rt = runtime(Facility::ShadowPaged);
         let f = 0x4000_0000_0000i64;
         assert!(call(&mut rt, RtFn::SbFnCheck, &[f, f, f]).is_ok());
         // Data pointer flowing into an indirect call: bound != ptr.
@@ -209,7 +271,7 @@ mod tests {
 
     #[test]
     fn free_clears_metadata_with_hint() {
-        let mut rt = runtime(Facility::ShadowSpace);
+        let mut rt = runtime(Facility::ShadowPaged);
         call(&mut rt, RtFn::SbMetaStore, &[0x9000, 1, 2]).expect("store");
         call(&mut rt, RtFn::SbMetaStore, &[0x9008, 3, 4]).expect("store");
         let mut ctx = RtCtx::default();
@@ -223,12 +285,18 @@ mod tests {
 
     #[test]
     fn va_check_respects_count() {
-        let mut rt = runtime(Facility::ShadowSpace);
+        let mut rt = runtime(Facility::ShadowPaged);
         let mut mem = Mem::new();
-        let mut ctx = RtCtx::default();
-        ctx.vararg_count = 3;
-        assert!(rt.rt_call(RtFn::SbVaCheck, &[2], &mut mem, &mut ctx).is_ok());
-        assert!(rt.rt_call(RtFn::SbVaCheck, &[3], &mut mem, &mut ctx).is_err());
+        let mut ctx = RtCtx {
+            vararg_count: 3,
+            ..RtCtx::default()
+        };
+        assert!(rt
+            .rt_call(RtFn::SbVaCheck, &[2], &mut mem, &mut ctx)
+            .is_ok());
+        assert!(rt
+            .rt_call(RtFn::SbVaCheck, &[3], &mut mem, &mut ctx)
+            .is_err());
     }
 
     #[test]
@@ -236,6 +304,9 @@ mod tests {
         let mut rt = runtime(Facility::HashTable);
         call(&mut rt, RtFn::SbMetaStore, &[0x2000, 0x10, 0x20]).expect("store");
         call(&mut rt, RtFn::SbMemcpyMeta, &[0x3000, 0x2000, 8]).expect("copy");
-        assert_eq!(call(&mut rt, RtFn::SbMetaLoad, &[0x3000]).expect("load"), [0x10, 0x20]);
+        assert_eq!(
+            call(&mut rt, RtFn::SbMetaLoad, &[0x3000]).expect("load"),
+            [0x10, 0x20]
+        );
     }
 }

@@ -62,12 +62,22 @@ pub struct Flavor {
 impl Flavor {
     /// The SoftBound flavor (the default).
     pub fn softbound() -> Self {
-        Flavor { prefix: SB_PREFIX, shrink_fields: true, unbounded_int_to_ptr: false, mscc_rt: false }
+        Flavor {
+            prefix: SB_PREFIX,
+            shrink_fields: true,
+            unbounded_int_to_ptr: false,
+            mscc_rt: false,
+        }
     }
 
     /// The MSCC-like flavor (fast configuration of [34]).
     pub fn mscc() -> Self {
-        Flavor { prefix: "_mscc_", shrink_fields: false, unbounded_int_to_ptr: true, mscc_rt: true }
+        Flavor {
+            prefix: "_mscc_",
+            shrink_fields: false,
+            unbounded_int_to_ptr: true,
+            mscc_rt: true,
+        }
     }
 
     fn check(&self, is_store: bool) -> RtFn {
@@ -137,7 +147,10 @@ pub fn instrument_flavored(module: &Module, cfg: &SoftBoundConfig, flavor: Flavo
 /// separately compiled modules working after linking.
 fn build_globals_init(globals: &[Global], module_name: &str, flavor: Flavor) -> Function {
     let mut f = Function {
-        name: format!("__ctor.{}globals.{module_name}", flavor.prefix.trim_start_matches('_')),
+        name: format!(
+            "__ctor.{}globals.{module_name}",
+            flavor.prefix.trim_start_matches('_')
+        ),
         params: vec![],
         param_kinds: vec![],
         ret_kinds: vec![],
@@ -155,7 +168,10 @@ fn build_globals_init(globals: &[Global], module_name: &str, flavor: Flavor) -> 
             let (base, bound) = match init {
                 GInit::GlobalAddr { id, .. } => (
                     Value::GlobalAddr { id: *id, offset: 0 },
-                    Value::GlobalAddr { id: *id, offset: globals[id.0 as usize].size },
+                    Value::GlobalAddr {
+                        id: *id,
+                        offset: globals[id.0 as usize].size,
+                    },
                 ),
                 GInit::FuncAddr(fid) => (Value::FuncAddr(*fid), Value::FuncAddr(*fid)),
                 GInit::Bytes(_) => continue, // zero/integer patterns: NULL bounds
@@ -164,14 +180,19 @@ fn build_globals_init(globals: &[Global], module_name: &str, flavor: Flavor) -> 
                 dsts: vec![],
                 rt: flavor.meta_store(),
                 args: vec![
-                    Value::GlobalAddr { id: sb_ir::GlobalId(gi as u32), offset: *off },
+                    Value::GlobalAddr {
+                        id: sb_ir::GlobalId(gi as u32),
+                        offset: *off,
+                    },
                     base,
                     bound,
                 ],
             });
         }
     }
-    f.blocks[b.0 as usize].insts.push(Inst::Ret { vals: vec![] });
+    f.blocks[b.0 as usize]
+        .insts
+        .push(Inst::Ret { vals: vec![] });
     f
 }
 
@@ -200,7 +221,10 @@ impl Cx<'_> {
             Value::Const(_) => (Value::Const(0), Value::Const(0)),
             Value::GlobalAddr { id, .. } => (
                 Value::GlobalAddr { id: *id, offset: 0 },
-                Value::GlobalAddr { id: *id, offset: self.global_sizes[id.0 as usize] },
+                Value::GlobalAddr {
+                    id: *id,
+                    offset: self.global_sizes[id.0 as usize],
+                },
             ),
             Value::FuncAddr(f) => (Value::FuncAddr(*f), Value::FuncAddr(*f)),
         }
@@ -313,7 +337,11 @@ fn rewrite(inst: Inst, f: &Function, cx: &Cx<'_>, out: &mut Vec<Inst>) {
             // itself when dst == addr (e.g. `p = *p`).
             if mem.is_ptr() {
                 let (db, de) = cx.shadow(dst);
-                out.push(Inst::Rt { dsts: vec![db, de], rt: cx.flavor.meta_load(), args: vec![addr] });
+                out.push(Inst::Rt {
+                    dsts: vec![db, de],
+                    rt: cx.flavor.meta_load(),
+                    args: vec![addr],
+                });
             }
             out.push(Inst::Load { dst, mem, addr });
         }
@@ -338,7 +366,10 @@ fn rewrite(inst: Inst, f: &Function, cx: &Cx<'_>, out: &mut Vec<Inst>) {
             let size = info.size;
             out.push(Inst::Alloca { dst, info });
             let (db, de) = cx.shadow(dst);
-            out.push(Inst::Mov { dst: db, src: Value::Reg(dst) });
+            out.push(Inst::Mov {
+                dst: db,
+                src: Value::Reg(dst),
+            });
             out.push(Inst::Bin {
                 dst: de,
                 op: ArithOp::Add,
@@ -347,14 +378,31 @@ fn rewrite(inst: Inst, f: &Function, cx: &Cx<'_>, out: &mut Vec<Inst>) {
                 rhs: Value::Const(size as i64),
             });
         }
-        Inst::Gep { dst, base, index, scale, offset, field_size } => {
-            out.push(Inst::Gep { dst, base, index, scale, offset, field_size });
+        Inst::Gep {
+            dst,
+            base,
+            index,
+            scale,
+            offset,
+            field_size,
+        } => {
+            out.push(Inst::Gep {
+                dst,
+                base,
+                index,
+                scale,
+                offset,
+                field_size,
+            });
             let (db, de) = cx.shadow(dst);
             match field_size.filter(|_| cx.flavor.shrink_fields) {
                 Some(sz) => {
                     // Shrink to the sub-object (§3.1): base = &field,
                     // bound = &field + sizeof(field).
-                    out.push(Inst::Mov { dst: db, src: Value::Reg(dst) });
+                    out.push(Inst::Mov {
+                        dst: db,
+                        src: Value::Reg(dst),
+                    });
                     out.push(Inst::Bin {
                         dst: de,
                         op: ArithOp::Add,
@@ -379,8 +427,7 @@ fn rewrite(inst: Inst, f: &Function, cx: &Cx<'_>, out: &mut Vec<Inst>) {
                 // an int-to-pointer cast (§5.2): NULL bounds for SoftBound;
                 // unbounded (unchecked) for schemes that cannot handle
                 // arbitrary casts.
-                let int_to_ptr =
-                    matches!(src, Value::Reg(r) if f.reg_kind(r) == RegKind::Int);
+                let int_to_ptr = matches!(src, Value::Reg(r) if f.reg_kind(r) == RegKind::Int);
                 let (sb, se) = if int_to_ptr && cx.flavor.unbounded_int_to_ptr {
                     (Value::Const(0), Value::Const(-1))
                 } else {
@@ -408,7 +455,13 @@ fn rewrite(inst: Inst, f: &Function, cx: &Cx<'_>, out: &mut Vec<Inst>) {
             }
             out.push(Inst::Ret { vals });
         }
-        Inst::Call { dsts, callee, args, ptr_hint, .. } => {
+        Inst::Call {
+            dsts,
+            callee,
+            args,
+            ptr_hint,
+            ..
+        } => {
             rewrite_call(dsts, callee, args, ptr_hint, f, cx, out);
         }
         Inst::Rt { .. } => panic!("module already contains runtime calls"),
@@ -450,7 +503,13 @@ fn rewrite_call(
                 dsts.push(db);
                 dsts.push(de);
             }
-            out.push(Inst::Call { dsts, callee: Callee::Direct(fid), args: new_args, ptr_hint, wrapped: false });
+            out.push(Inst::Call {
+                dsts,
+                callee: Callee::Direct(fid),
+                args: new_args,
+                ptr_hint,
+                wrapped: false,
+            });
         }
         Callee::Indirect(target) => {
             if cfg.check_fn_ptrs && !cx.flavor.mscc_rt {
@@ -476,7 +535,13 @@ fn rewrite_call(
                 dsts.push(db);
                 dsts.push(de);
             }
-            out.push(Inst::Call { dsts, callee: Callee::Indirect(target), args: new_args, ptr_hint, wrapped: false });
+            out.push(Inst::Call {
+                dsts,
+                callee: Callee::Indirect(target),
+                args: new_args,
+                ptr_hint,
+                wrapped: false,
+            });
         }
         Callee::Builtin(b) => rewrite_builtin(b, dsts, args, ptr_hint, cx, out),
     }
@@ -496,8 +561,14 @@ fn rewrite_builtin(
     if b == Builtin::Setbound {
         if let Some(&d) = dsts.first() {
             let (db, de) = cx.shadow(d);
-            out.push(Inst::Mov { dst: d, src: args[0] });
-            out.push(Inst::Mov { dst: db, src: args[0] });
+            out.push(Inst::Mov {
+                dst: d,
+                src: args[0],
+            });
+            out.push(Inst::Mov {
+                dst: db,
+                src: args[0],
+            });
             out.push(Inst::Bin {
                 dst: de,
                 op: ArithOp::Add,
@@ -510,7 +581,11 @@ fn rewrite_builtin(
     }
     // Variadic decode checks (§5.2 "Variable argument functions").
     if matches!(b, Builtin::VaArgLong | Builtin::VaArgPtr) {
-        out.push(Inst::Rt { dsts: vec![], rt: cx.flavor.va_check(), args: vec![args[0]] });
+        out.push(Inst::Rt {
+            dsts: vec![],
+            rt: cx.flavor.va_check(),
+            args: vec![args[0]],
+        });
     }
     // Library-wrapper behaviour (§5.2): append (base, bound) for each
     // pointer parameter, in declaration order, after all arguments. The VM
@@ -530,12 +605,22 @@ fn rewrite_builtin(
         dsts.push(de);
     }
     let memcpy_args = (b == Builtin::Memcpy).then(|| (args[0], args[1], args[2]));
-    out.push(Inst::Call { dsts, callee: Callee::Builtin(b), args: new_args, ptr_hint, wrapped: true });
+    out.push(Inst::Call {
+        dsts,
+        callee: Callee::Builtin(b),
+        args: new_args,
+        ptr_hint,
+        wrapped: true,
+    });
     // memcpy metadata handling (§5.2): copy pointer metadata unless the
     // type heuristic proves the buffers hold no pointers.
     if let Some((d, s, n)) = memcpy_args {
         if !cfg.memcpy_heuristic || ptr_hint {
-            out.push(Inst::Rt { dsts: vec![], rt: RtFn::SbMemcpyMeta, args: vec![d, s, n] });
+            out.push(Inst::Rt {
+                dsts: vec![],
+                rt: RtFn::SbMemcpyMeta,
+                args: vec![d, s, n],
+            });
         }
     }
 }
@@ -571,14 +656,20 @@ mod tests {
 
     #[test]
     fn pointer_params_gain_base_and_bound() {
-        let m = instrumented("int f(int* p, int n) { return n; } int main() { return 0; }", &SoftBoundConfig::default());
+        let m = instrumented(
+            "int f(int* p, int n) { return n; } int main() { return 0; }",
+            &SoftBoundConfig::default(),
+        );
         let f = m.func("_sb_f").expect("exists");
         assert_eq!(f.params.len(), 4, "p, n, p_base, p_bound");
     }
 
     #[test]
     fn pointer_returns_become_three_values() {
-        let m = instrumented("char* id(char* p) { return p; } int main() { return 0; }", &SoftBoundConfig::default());
+        let m = instrumented(
+            "char* id(char* p) { return p; } int main() { return 0; }",
+            &SoftBoundConfig::default(),
+        );
         let f = m.func("_sb_id").expect("exists");
         assert_eq!(f.ret_kinds.len(), 3);
         let rets: Vec<usize> = f
@@ -598,29 +689,48 @@ mod tests {
         let src = "int g; int main() { g = 5; return g; }";
         let full = instrumented(src, &SoftBoundConfig::full_shadow());
         let store_only = instrumented(src, &SoftBoundConfig::store_only_shadow());
-        let full_load_checks = count_rt(&full, |rt| matches!(rt, RtFn::SbCheck { is_store: false }));
-        let full_store_checks = count_rt(&full, |rt| matches!(rt, RtFn::SbCheck { is_store: true }));
+        let full_load_checks =
+            count_rt(&full, |rt| matches!(rt, RtFn::SbCheck { is_store: false }));
+        let full_store_checks =
+            count_rt(&full, |rt| matches!(rt, RtFn::SbCheck { is_store: true }));
         assert!(full_load_checks >= 1);
         assert!(full_store_checks >= 1);
         assert_eq!(
-            count_rt(&store_only, |rt| matches!(rt, RtFn::SbCheck { is_store: false })),
+            count_rt(&store_only, |rt| matches!(
+                rt,
+                RtFn::SbCheck { is_store: false }
+            )),
             0,
             "store-only mode must not check loads"
         );
-        assert!(count_rt(&store_only, |rt| matches!(rt, RtFn::SbCheck { is_store: true })) >= 1);
+        assert!(
+            count_rt(&store_only, |rt| matches!(
+                rt,
+                RtFn::SbCheck { is_store: true }
+            )) >= 1
+        );
     }
 
     #[test]
     fn store_only_still_propagates_metadata() {
         let src = "int* g; int main() { int* p = g; g = p; return 0; }";
         let m = instrumented(src, &SoftBoundConfig::store_only_shadow());
-        assert!(count_rt(&m, |rt| matches!(rt, RtFn::SbMetaLoad)) >= 1, "metadata loads kept:\n{m}");
-        assert!(count_rt(&m, |rt| matches!(rt, RtFn::SbMetaStore)) >= 1, "metadata stores kept");
+        assert!(
+            count_rt(&m, |rt| matches!(rt, RtFn::SbMetaLoad)) >= 1,
+            "metadata loads kept:\n{m}"
+        );
+        assert!(
+            count_rt(&m, |rt| matches!(rt, RtFn::SbMetaStore)) >= 1,
+            "metadata stores kept"
+        );
     }
 
     #[test]
     fn pointer_loads_get_meta_loads() {
-        let m = instrumented("int* f(int** pp) { return *pp; } int main() { return 0; }", &SoftBoundConfig::default());
+        let m = instrumented(
+            "int* f(int** pp) { return *pp; } int main() { return 0; }",
+            &SoftBoundConfig::default(),
+        );
         assert_eq!(count_rt(&m, |rt| matches!(rt, RtFn::SbMetaLoad)), 1);
     }
 
@@ -648,10 +758,21 @@ mod tests {
             .blocks
             .iter()
             .flat_map(|b| &b.insts)
-            .filter(|i| matches!(i, Inst::Rt { rt: RtFn::SbMetaStore, .. }))
+            .filter(|i| {
+                matches!(
+                    i,
+                    Inst::Rt {
+                        rt: RtFn::SbMetaStore,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(meta_stores, 1, "px gets its metadata seeded");
-        assert!(init.name.starts_with("__ctor."), "runs via the VM constructor convention");
+        assert!(
+            init.name.starts_with("__ctor."),
+            "runs via the VM constructor convention"
+        );
     }
 
     #[test]
@@ -664,7 +785,15 @@ mod tests {
             .funcs
             .iter()
             .flat_map(|f| f.blocks.iter().flat_map(|b| &b.insts))
-            .filter(|i| matches!(i, Inst::Call { callee: Callee::Builtin(Builtin::Setbound), .. }))
+            .filter(|i| {
+                matches!(
+                    i,
+                    Inst::Call {
+                        callee: Callee::Builtin(Builtin::Setbound),
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(setbound_calls, 0, "setbound becomes explicit bound moves");
     }
@@ -686,11 +815,32 @@ mod tests {
                 return 0;
             }"#;
         let cfg = SoftBoundConfig::default();
-        assert_eq!(count_rt(&instrumented(with_ptrs, &cfg), |rt| matches!(rt, RtFn::SbMemcpyMeta)), 1);
-        assert_eq!(count_rt(&instrumented(no_ptrs, &cfg), |rt| matches!(rt, RtFn::SbMemcpyMeta)), 0);
+        assert_eq!(
+            count_rt(&instrumented(with_ptrs, &cfg), |rt| matches!(
+                rt,
+                RtFn::SbMemcpyMeta
+            )),
+            1
+        );
+        assert_eq!(
+            count_rt(&instrumented(no_ptrs, &cfg), |rt| matches!(
+                rt,
+                RtFn::SbMemcpyMeta
+            )),
+            0
+        );
         // With the heuristic off, metadata is always copied (safe default).
-        let cfg_off = SoftBoundConfig { memcpy_heuristic: false, ..SoftBoundConfig::default() };
-        assert_eq!(count_rt(&instrumented(no_ptrs, &cfg_off), |rt| matches!(rt, RtFn::SbMemcpyMeta)), 1);
+        let cfg_off = SoftBoundConfig {
+            memcpy_heuristic: false,
+            ..SoftBoundConfig::default()
+        };
+        assert_eq!(
+            count_rt(&instrumented(no_ptrs, &cfg_off), |rt| matches!(
+                rt,
+                RtFn::SbMemcpyMeta
+            )),
+            1
+        );
     }
 
     #[test]
@@ -702,7 +852,10 @@ mod tests {
         assert!(count_rt(&m, |rt| matches!(rt, RtFn::SbMetaClear)) >= 1);
         let off = instrumented(
             "int main() { char* arr[4]; arr[0] = (char*)arr; return arr[0] != 0; }",
-            &SoftBoundConfig { clear_on_return: false, ..SoftBoundConfig::default() },
+            &SoftBoundConfig {
+                clear_on_return: false,
+                ..SoftBoundConfig::default()
+            },
         );
         assert_eq!(count_rt(&off, |rt| matches!(rt, RtFn::SbMetaClear)), 0);
     }
@@ -718,28 +871,70 @@ mod tests {
             .iter()
             .flat_map(|f| f.blocks.iter().flat_map(|b| &b.insts))
             .filter_map(|i| match i {
-                Inst::Call { callee: Callee::Builtin(Builtin::Strcpy), args, wrapped, .. } => {
-                    Some((args.len(), *wrapped))
-                }
+                Inst::Call {
+                    callee: Callee::Builtin(Builtin::Strcpy),
+                    args,
+                    wrapped,
+                    ..
+                } => Some((args.len(), *wrapped)),
                 _ => None,
             })
             .next()
             .expect("strcpy call present");
-        assert_eq!(wrapped, (6, true), "dst, src + 2×(base,bound), wrapped flag");
+        assert_eq!(
+            wrapped,
+            (6, true),
+            "dst, src + 2×(base,bound), wrapped flag"
+        );
     }
 
     #[test]
     fn instrumentation_survives_post_optimization() {
-        // §6.1: the full optimizer re-runs after instrumentation.
+        // §6.1: the full optimizer re-runs after instrumentation. DCE must
+        // never delete checks; the only pass allowed to drop one is
+        // redundant-check elimination, so the count may shrink but a
+        // non-trivial set must remain.
         let src = r#"
             int sum(int* xs, int n) { int s = 0; for (int i = 0; i < n; i++) s += xs[i]; return s; }
             int main() { int a[4]; a[0] = 1; return sum(a, 4); }
         "#;
         let mut m = instrumented(src, &SoftBoundConfig::default());
         let checks_before = count_rt(&m, |rt| matches!(rt, RtFn::SbCheck { .. }));
-        sb_ir::optimize(&mut m, sb_ir::OptLevel::PostInstrument);
+        let stats = sb_ir::optimize_with_stats(&mut m, sb_ir::OptLevel::PostInstrument);
         sb_ir::verify(&m).expect("still valid");
         let checks_after = count_rt(&m, |rt| matches!(rt, RtFn::SbCheck { .. }));
-        assert_eq!(checks_before, checks_after, "post-instrument opt must keep checks");
+        assert_eq!(
+            checks_after + stats.checks_eliminated,
+            checks_before,
+            "every missing check must be accounted for by the elimination pass"
+        );
+        assert!(checks_after > 0, "the loop-carried checks must survive");
+    }
+
+    #[test]
+    fn redundant_rechecks_of_same_pointer_eliminated() {
+        // The same dereference repeated in straight-line code with no
+        // intervening pointer store or call: the second (and further)
+        // checks of the identical (ptr, base, bound, size) are redundant.
+        let src = r#"
+            int g;
+            int twice(int* p) { return *p + *p + *p; }
+            int main() { return twice(&g); }
+        "#;
+        let (m, stats) = crate::compile_protected_with_stats(src, &SoftBoundConfig::default())
+            .expect("compiles");
+        assert!(
+            stats.checks_eliminated > 0,
+            "repeated *p loads must share one check:\n{m}"
+        );
+        // The protected program still runs and computes the same value.
+        let r = crate::run_instrumented(
+            &m,
+            &SoftBoundConfig::default(),
+            sb_vm::MachineConfig::default(),
+            "main",
+            &[],
+        );
+        assert_eq!(r.ret(), Some(0), "{:?}", r.outcome);
     }
 }

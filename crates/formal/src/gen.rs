@@ -17,6 +17,9 @@ pub struct Rng(pub u64);
 
 impl Rng {
     /// Next raw value.
+    // An inherent method, not `Iterator::next` — the generator is used as
+    // a raw number stream, never as an iterator.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u64 {
         self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.0;
@@ -164,16 +167,20 @@ pub fn gen_rhs(rng: &mut Rng, tenv: &TypeEnv, env: &Env, ty: &AtomicTy, depth: u
                     .unwrap_or_else(|| {
                         Rhs::Cast(ty.clone(), Box::new(Rhs::Malloc(Box::new(Rhs::Int(2)))))
                     }),
-                2 => Rhs::Cast(ty.clone(), Box::new(Rhs::Malloc(Box::new(Rhs::Int(
-                    1 + rng.below(4) as i64,
-                ))))),
+                2 => Rhs::Cast(
+                    ty.clone(),
+                    Box::new(Rhs::Malloc(Box::new(Rhs::Int(1 + rng.below(4) as i64)))),
+                ),
                 // Wild casts: pointer laundered through an integer (gets
                 // NULL bounds — dereference must abort, not go wild).
                 3 => Rhs::Cast(ty.clone(), Box::new(Rhs::Int(rng.below(200) as i64))),
                 // Wild pointer-to-pointer cast from any pointer variable.
                 4 => {
                     let anyptr = AtomicTy::Ptr(Box::new(PointerTy::Atomic(AtomicTy::Int)));
-                    Rhs::Cast(ty.clone(), Box::new(gen_rhs(rng, tenv, env, &anyptr, depth - 1)))
+                    Rhs::Cast(
+                        ty.clone(),
+                        Box::new(gen_rhs(rng, tenv, env, &anyptr, depth - 1)),
+                    )
                 }
                 _ => Rhs::Cast(ty.clone(), Box::new(Rhs::Malloc(Box::new(Rhs::Int(2))))),
             }

@@ -52,7 +52,10 @@ pub struct Memory {
 impl Memory {
     /// Creates an empty memory allocating from `MIN_ADDR`.
     pub fn new() -> Self {
-        Memory { cells: BTreeMap::new(), next_alloc: MIN_ADDR }
+        Memory {
+            cells: BTreeMap::new(),
+            next_alloc: MIN_ADDR,
+        }
     }
 
     /// Table 2 `read M l`: `Some(data)` iff `l` is accessible.
@@ -112,7 +115,10 @@ impl Env {
     /// Creates an environment with the given frame variables, allocating
     /// a memory cell for each.
     pub fn with_vars(vars: &[(&str, AtomicTy)]) -> Option<Env> {
-        let mut env = Env { stack: BTreeMap::new(), mem: Memory::new() };
+        let mut env = Env {
+            stack: BTreeMap::new(),
+            mem: Memory::new(),
+        };
         for (name, ty) in vars {
             let addr = env.mem.malloc(1)?;
             env.stack.insert((*name).to_owned(), (addr, ty.clone()));
@@ -192,12 +198,19 @@ impl Interp<'_> {
                 // pointed-to object*, which metadata lets us decide).
                 let (l, a) = bubble!(self.lhs(env, inner));
                 let AtomicTy::Ptr(p) = a else { return Stuck };
-                let PointerTy::Atomic(target) = *p else { return Stuck };
-                let Some(d) = env.mem.read(l) else { return Stuck };
+                let PointerTy::Atomic(target) = *p else {
+                    return Stuck;
+                };
+                let Some(d) = env.mem.read(l) else {
+                    return Stuck;
+                };
                 let size = size_of_atomic(&target);
                 let ok = d.b != 0
                     && d.b <= d.v as u64
-                    && (d.v as u64).checked_add(size).map(|hi| hi <= d.e).unwrap_or(false);
+                    && (d.v as u64)
+                        .checked_add(size)
+                        .map(|hi| hi <= d.e)
+                        .unwrap_or(false);
                 match (self.mode, ok) {
                     (Mode::Instrumented, true) => Val((d.v as u64, target)),
                     (Mode::Instrumented, false) => Abort,
@@ -218,9 +231,15 @@ impl Interp<'_> {
             Lhs::Arrow(inner, f) => {
                 let (l, a) = bubble!(self.lhs(env, inner));
                 let AtomicTy::Ptr(p) = a else { return Stuck };
-                let Some(sdef) = self.tenv.as_struct(&p) else { return Stuck };
-                let Some((off, fty)) = sdef.field(f) else { return Stuck };
-                let Some(d) = env.mem.read(l) else { return Stuck };
+                let Some(sdef) = self.tenv.as_struct(&p) else {
+                    return Stuck;
+                };
+                let Some((off, fty)) = sdef.field(f) else {
+                    return Stuck;
+                };
+                let Some(d) = env.mem.read(l) else {
+                    return Stuck;
+                };
                 let target = (d.v as u64).wrapping_add(off);
                 let ok = d.b != 0
                     && d.b <= target
@@ -259,7 +278,11 @@ impl Interp<'_> {
                 let size = size_of_atomic(&a);
                 // &lhs: pointer to the object with its exact bounds.
                 Val((
-                    MVal { v: l as i64, b: l, e: l + size },
+                    MVal {
+                        v: l as i64,
+                        b: l,
+                        e: l + size,
+                    },
                     AtomicTy::Ptr(Box::new(PointerTy::Atomic(a))),
                 ))
             }
@@ -283,7 +306,11 @@ impl Interp<'_> {
                 }
                 match env.mem.malloc(n.v as u64) {
                     Some(l) => Val((
-                        MVal { v: l as i64, b: l, e: l + n.v as u64 },
+                        MVal {
+                            v: l as i64,
+                            b: l,
+                            e: l + n.v as u64,
+                        },
                         AtomicTy::Ptr(Box::new(PointerTy::Void)),
                     )),
                     None => OutOfMem,
@@ -324,13 +351,21 @@ impl Interp<'_> {
 /// Runs a command under the plain (partial) semantics. `Stuck` marks
 /// undefined behaviour (a spatial violation the language does not define).
 pub fn eval_plain(tenv: &TypeEnv, env: &mut Env, c: &Cmd) -> CResult {
-    Interp { tenv, mode: Mode::Plain }.cmd(env, c)
+    Interp {
+        tenv,
+        mode: Mode::Plain,
+    }
+    .cmd(env, c)
 }
 
 /// Runs a command under the SoftBound-instrumented semantics: metadata is
 /// propagated and dereference assertions abort on violation.
 pub fn eval_instrumented(tenv: &TypeEnv, env: &mut Env, c: &Cmd) -> CResult {
-    Interp { tenv, mode: Mode::Instrumented }.cmd(env, c)
+    Interp {
+        tenv,
+        mode: Mode::Instrumented,
+    }
+    .cmd(env, c)
 }
 
 // ---------------------------------------------------------------- typing
@@ -382,10 +417,9 @@ pub fn type_lhs(tenv: &TypeEnv, env: &Env, l: &Lhs) -> Option<AtomicTy> {
 pub fn type_rhs(tenv: &TypeEnv, env: &Env, r: &Rhs) -> Option<AtomicTy> {
     match r {
         Rhs::Int(_) | Rhs::SizeOf(_) => Some(AtomicTy::Int),
-        Rhs::Add(a, b) => {
-            (type_rhs(tenv, env, a)? == AtomicTy::Int && type_rhs(tenv, env, b)? == AtomicTy::Int)
-                .then_some(AtomicTy::Int)
-        }
+        Rhs::Add(a, b) => (type_rhs(tenv, env, a)? == AtomicTy::Int
+            && type_rhs(tenv, env, b)? == AtomicTy::Int)
+            .then_some(AtomicTy::Int),
         Rhs::Read(l) => type_lhs(tenv, env, l),
         Rhs::AddrOf(l) => {
             let a = type_lhs(tenv, env, l)?;
@@ -408,10 +442,7 @@ pub fn wf_data(mem: &Memory, d: MVal) -> bool {
     if d.b == 0 {
         return true;
     }
-    MIN_ADDR <= d.b
-        && d.b <= d.e
-        && d.e < MAX_ADDR
-        && (d.b..d.e).all(|i| mem.val(i))
+    MIN_ADDR <= d.b && d.b <= d.e && d.e < MAX_ADDR && (d.b..d.e).all(|i| mem.val(i))
 }
 
 /// `⊢M M` — every allocated cell's metadata is well formed.
@@ -505,7 +536,10 @@ mod tests {
             Box::new(Cmd::Assign(Lhs::Var("x".into()), Rhs::Int(41))),
             Box::new(Cmd::Assign(
                 Lhs::Var("y".into()),
-                Rhs::Add(Box::new(Rhs::Read(Lhs::Var("x".into()))), Box::new(Rhs::Int(1))),
+                Rhs::Add(
+                    Box::new(Rhs::Read(Lhs::Var("x".into()))),
+                    Box::new(Rhs::Int(1)),
+                ),
             )),
         );
         assert!(typecheck_cmd(&tenv, &env, &c));
@@ -520,10 +554,19 @@ mod tests {
         let mut env = base_env();
         // p = &x; *p = 7; y = *p;
         let c = Cmd::Seq(
-            Box::new(Cmd::Assign(Lhs::Var("p".into()), Rhs::AddrOf(Lhs::Var("x".into())))),
+            Box::new(Cmd::Assign(
+                Lhs::Var("p".into()),
+                Rhs::AddrOf(Lhs::Var("x".into())),
+            )),
             Box::new(Cmd::Seq(
-                Box::new(Cmd::Assign(Lhs::Deref(Box::new(Lhs::Var("p".into()))), Rhs::Int(7))),
-                Box::new(Cmd::Assign(Lhs::Var("y".into()), Rhs::Read(Lhs::Deref(Box::new(Lhs::Var("p".into())))))),
+                Box::new(Cmd::Assign(
+                    Lhs::Deref(Box::new(Lhs::Var("p".into()))),
+                    Rhs::Int(7),
+                )),
+                Box::new(Cmd::Assign(
+                    Lhs::Var("y".into()),
+                    Rhs::Read(Lhs::Deref(Box::new(Lhs::Var("p".into())))),
+                )),
             )),
         );
         assert!(typecheck_cmd(&tenv, &env, &c));
@@ -547,7 +590,11 @@ mod tests {
         let mut e1 = base_env();
         assert_eq!(eval_instrumented(&tenv, &mut e1, &c), CResult::Abort);
         let mut e2 = base_env();
-        assert_eq!(eval_plain(&tenv, &mut e2, &c), CResult::Stuck, "plain C is undefined here");
+        assert_eq!(
+            eval_plain(&tenv, &mut e2, &c),
+            CResult::Stuck,
+            "plain C is undefined here"
+        );
     }
 
     #[test]
@@ -560,7 +607,10 @@ mod tests {
                 Lhs::Var("p".into()),
                 Rhs::Cast(ptr_int(), Box::new(Rhs::Malloc(Box::new(Rhs::Int(4))))),
             )),
-            Box::new(Cmd::Assign(Lhs::Deref(Box::new(Lhs::Var("p".into()))), Rhs::Int(9))),
+            Box::new(Cmd::Assign(
+                Lhs::Deref(Box::new(Lhs::Var("p".into()))),
+                Rhs::Int(9),
+            )),
         );
         assert!(typecheck_cmd(&tenv, &env, &c));
         assert_eq!(eval_instrumented(&tenv, &mut env, &c), CResult::Ok);
@@ -572,7 +622,10 @@ mod tests {
         let mut env = base_env();
         let c = Cmd::Assign(
             Lhs::Var("p".into()),
-            Rhs::Cast(ptr_int(), Box::new(Rhs::Malloc(Box::new(Rhs::Int((MAX_ADDR + 10) as i64))))),
+            Rhs::Cast(
+                ptr_int(),
+                Box::new(Rhs::Malloc(Box::new(Rhs::Int((MAX_ADDR + 10) as i64)))),
+            ),
         );
         assert_eq!(eval_instrumented(&tenv, &mut env, &c), CResult::OutOfMem);
     }
@@ -588,15 +641,22 @@ mod tests {
             ],
         });
         let list_ptr = AtomicTy::Ptr(Box::new(PointerTy::Named(0)));
-        let mut env = Env::with_vars(&[("l", list_ptr.clone()), ("x", AtomicTy::Int)]).expect("allocates");
+        let mut env =
+            Env::with_vars(&[("l", list_ptr.clone()), ("x", AtomicTy::Int)]).expect("allocates");
         // l = (list*) malloc(2); l->v = 5; l->next = (list*) 0 cast...; x = l->v;
         let c = Cmd::Seq(
             Box::new(Cmd::Assign(
                 Lhs::Var("l".into()),
-                Rhs::Cast(list_ptr.clone(), Box::new(Rhs::Malloc(Box::new(Rhs::Int(2))))),
+                Rhs::Cast(
+                    list_ptr.clone(),
+                    Box::new(Rhs::Malloc(Box::new(Rhs::Int(2)))),
+                ),
             )),
             Box::new(Cmd::Seq(
-                Box::new(Cmd::Assign(Lhs::Arrow(Box::new(Lhs::Var("l".into())), "v".into()), Rhs::Int(5))),
+                Box::new(Cmd::Assign(
+                    Lhs::Arrow(Box::new(Lhs::Var("l".into())), "v".into()),
+                    Rhs::Int(5),
+                )),
                 Box::new(Cmd::Assign(
                     Lhs::Var("x".into()),
                     Rhs::Read(Lhs::Arrow(Box::new(Lhs::Var("l".into())), "v".into())),
@@ -617,8 +677,14 @@ mod tests {
             Cmd::Assign(Lhs::Var("x".into()), Rhs::Int(1)),
             Cmd::Assign(Lhs::Var("p".into()), Rhs::AddrOf(Lhs::Var("x".into()))),
             Cmd::Seq(
-                Box::new(Cmd::Assign(Lhs::Var("p".into()), Rhs::AddrOf(Lhs::Var("y".into())))),
-                Box::new(Cmd::Assign(Lhs::Deref(Box::new(Lhs::Var("p".into()))), Rhs::Int(3))),
+                Box::new(Cmd::Assign(
+                    Lhs::Var("p".into()),
+                    Rhs::AddrOf(Lhs::Var("y".into())),
+                )),
+                Box::new(Cmd::Assign(
+                    Lhs::Deref(Box::new(Lhs::Var("p".into()))),
+                    Rhs::Int(3),
+                )),
             ),
             // A program that aborts (forged pointer) still satisfies both
             // theorems: Abort is an allowed outcome.
@@ -627,7 +693,10 @@ mod tests {
                     Lhs::Var("p".into()),
                     Rhs::Cast(ptr_int(), Box::new(Rhs::Int(999))),
                 )),
-                Box::new(Cmd::Assign(Lhs::Deref(Box::new(Lhs::Var("p".into()))), Rhs::Int(1))),
+                Box::new(Cmd::Assign(
+                    Lhs::Deref(Box::new(Lhs::Var("p".into()))),
+                    Rhs::Int(1),
+                )),
             ),
         ];
         for c in cases {

@@ -53,12 +53,11 @@ pub struct StructDef {
 impl StructDef {
     /// Word offset of a field, with its type.
     pub fn field(&self, name: &str) -> Option<(u64, &AtomicTy)> {
-        let mut off = 0;
-        for (f, ty) in &self.fields {
+        // Every atomic occupies one word in the fragment.
+        for (off, (f, ty)) in self.fields.iter().enumerate() {
             if f == name {
-                return Some((off, ty));
+                return Some((off as u64, ty));
             }
-            off += 1; // every atomic occupies one word in the fragment
         }
         None
     }

@@ -202,9 +202,21 @@ pub enum Callee {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Inst {
     /// `dst = lhs op rhs`, wrapped to kind `k`.
-    Bin { dst: RegId, op: ArithOp, k: IntKind, lhs: Value, rhs: Value },
+    Bin {
+        dst: RegId,
+        op: ArithOp,
+        k: IntKind,
+        lhs: Value,
+        rhs: Value,
+    },
     /// `dst = (lhs op rhs) ? 1 : 0`, comparing in kind `k`.
-    Cmp { dst: RegId, op: CmpOp, k: IntKind, lhs: Value, rhs: Value },
+    Cmp {
+        dst: RegId,
+        op: CmpOp,
+        k: IntKind,
+        lhs: Value,
+        rhs: Value,
+    },
     /// `dst = wrap_k(src)` — integer width/signedness conversion.
     Cast { dst: RegId, k: IntKind, src: Value },
     /// `dst = src` (also used to move pointers between registers).
@@ -215,7 +227,11 @@ pub enum Inst {
     /// `dst = *(mem)addr` with sign/zero extension per `mem`.
     Load { dst: RegId, mem: MemTy, addr: Value },
     /// `*(mem)addr = value`.
-    Store { mem: MemTy, addr: Value, value: Value },
+    Store {
+        mem: MemTy,
+        addr: Value,
+        value: Value,
+    },
     /// `dst = base + index*scale + offset`. `field_size` is `Some(sz)` when
     /// this GEP computes the address of a sub-object (struct field) of size
     /// `sz` — the SoftBound pass shrinks bounds at exactly these points
@@ -236,15 +252,29 @@ pub enum Inst {
     /// metadata arguments have been appended (the paper's library
     /// wrappers) and that pointer-returning builtins should produce
     /// `(ptr, base, bound)`.
-    Call { dsts: Vec<RegId>, callee: Callee, args: Vec<Value>, ptr_hint: bool, wrapped: bool },
+    Call {
+        dsts: Vec<RegId>,
+        callee: Callee,
+        args: Vec<Value>,
+        ptr_hint: bool,
+        wrapped: bool,
+    },
     /// Runtime-helper call inserted by an instrumentation pass.
-    Rt { dsts: Vec<RegId>, rt: RtFn, args: Vec<Value> },
+    Rt {
+        dsts: Vec<RegId>,
+        rt: RtFn,
+        args: Vec<Value>,
+    },
     /// Return `vals` (arity must match the function's `ret` signature).
     Ret { vals: Vec<Value> },
     /// Unconditional jump.
     Jmp { to: BlockId },
     /// Conditional branch on `cond != 0`.
-    Br { cond: Value, then_to: BlockId, else_to: BlockId },
+    Br {
+        cond: Value,
+        then_to: BlockId,
+        else_to: BlockId,
+    },
     /// Unreachable (e.g. after `abort()`); trips a VM error if executed.
     Unreachable,
 }
@@ -252,7 +282,10 @@ pub enum Inst {
 impl Inst {
     /// True for block terminators.
     pub fn is_terminator(&self) -> bool {
-        matches!(self, Inst::Ret { .. } | Inst::Jmp { .. } | Inst::Br { .. } | Inst::Unreachable)
+        matches!(
+            self,
+            Inst::Ret { .. } | Inst::Jmp { .. } | Inst::Br { .. } | Inst::Unreachable
+        )
     }
 
     /// Registers written by this instruction.
@@ -447,7 +480,10 @@ pub struct Module {
 impl Module {
     /// Finds a function id by name.
     pub fn func_id(&self, name: &str) -> Option<FuncId> {
-        self.funcs.iter().position(|f| f.name == name).map(|i| FuncId(i as u32))
+        self.funcs
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId(i as u32))
     }
 
     /// Finds a function by name.
@@ -457,7 +493,10 @@ impl Module {
 
     /// Finds a global id by name.
     pub fn global_id(&self, name: &str) -> Option<GlobalId> {
-        self.globals.iter().position(|g| g.name == name).map(|i| GlobalId(i as u32))
+        self.globals
+            .iter()
+            .position(|g| g.name == name)
+            .map(|i| GlobalId(i as u32))
     }
 
     /// Map from function name to id.
@@ -514,7 +553,11 @@ mod tests {
     fn terminators() {
         assert!(Inst::Ret { vals: vec![] }.is_terminator());
         assert!(Inst::Jmp { to: BlockId(0) }.is_terminator());
-        assert!(!Inst::Mov { dst: RegId(0), src: Value::Const(1) }.is_terminator());
+        assert!(!Inst::Mov {
+            dst: RegId(0),
+            src: Value::Const(1)
+        }
+        .is_terminator());
     }
 
     #[test]

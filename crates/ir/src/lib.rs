@@ -37,5 +37,5 @@ pub use ir::{
 };
 pub use link::{link, LinkError};
 pub use lower::{lower, ptr_slots_of};
-pub use opt::{optimize, OptLevel};
+pub use opt::{optimize, optimize_with_stats, OptLevel, PassStats};
 pub use verify::{verify, VerifyError};

@@ -43,7 +43,10 @@ impl Error for LinkError {}
 ///
 /// Returns a [`LinkError`] on duplicate symbols.
 pub fn link(modules: &[Module], name: &str) -> Result<Module, LinkError> {
-    let mut out = Module { name: name.to_owned(), ..Module::default() };
+    let mut out = Module {
+        name: name.to_owned(),
+        ..Module::default()
+    };
 
     // First pass: lay out globals and decide the final function table.
     // Functions keyed by name: a definition wins over declarations.
@@ -57,7 +60,9 @@ pub fn link(modules: &[Module], name: &str) -> Result<Module, LinkError> {
             if g.name.starts_with(".str.") {
                 g2.name = format!(".m{}{}", global_map.len(), g.name);
             } else if global_names.contains_key(&g.name) {
-                return Err(LinkError { msg: format!("duplicate global `{}`", g.name) });
+                return Err(LinkError {
+                    msg: format!("duplicate global `{}`", g.name),
+                });
             }
             let id = GlobalId(out.globals.len() as u32);
             global_names.insert(g2.name.clone(), id);
@@ -112,7 +117,11 @@ pub fn link(modules: &[Module], name: &str) -> Result<Module, LinkError> {
         for b in &mut f.blocks {
             for inst in &mut b.insts {
                 inst.for_each_use_mut(|v| remap_value(v, &global_map[mi], &func_map[mi]));
-                if let Inst::Call { callee: Callee::Direct(fid), .. } = inst {
+                if let Inst::Call {
+                    callee: Callee::Direct(fid),
+                    ..
+                } = inst
+                {
                     *fid = func_map[mi][fid.0 as usize];
                 }
             }
@@ -171,7 +180,10 @@ mod tests {
             .iter()
             .flat_map(|b| &b.insts)
             .filter_map(|i| match i {
-                Inst::Call { callee: Callee::Direct(fid), .. } => Some(*fid),
+                Inst::Call {
+                    callee: Callee::Direct(fid),
+                    ..
+                } => Some(*fid),
                 _ => None,
             })
             .collect();
@@ -206,7 +218,9 @@ mod tests {
         let b = module("int other = 9;", "b");
         let linked = link(&[b, a], "prog").expect("links");
         let pc = linked.globals.iter().find(|g| g.name == "pc").expect("pc");
-        let GInit::GlobalAddr { id, .. } = pc.init[0].1 else { panic!("expected global addr") };
+        let GInit::GlobalAddr { id, .. } = pc.init[0].1 else {
+            panic!("expected global addr")
+        };
         assert_eq!(linked.globals[id.0 as usize].name, "counter");
     }
 }

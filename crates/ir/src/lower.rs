@@ -30,7 +30,10 @@ use std::collections::HashMap;
 /// Panics on internal invariant violations only; all user-facing errors are
 /// rejected by the type checker first.
 pub fn lower(prog: &Program, module_name: &str) -> Module {
-    let mut module = Module { name: module_name.to_owned(), ..Module::default() };
+    let mut module = Module {
+        name: module_name.to_owned(),
+        ..Module::default()
+    };
 
     // Globals first (contiguous layout order), then interned strings.
     let mut global_ids: HashMap<String, GlobalId> = HashMap::new();
@@ -74,12 +77,14 @@ pub fn lower(prog: &Program, module_name: &str) -> Module {
                 ConstItem::Int { value, size } => {
                     GInit::Bytes(value.to_le_bytes()[..*size as usize].to_vec())
                 }
-                ConstItem::Str(sid) => {
-                    GInit::GlobalAddr { id: str_gids[sid.0 as usize], offset: 0 }
-                }
-                ConstItem::GlobalAddr { name, offset } => {
-                    GInit::GlobalAddr { id: global_ids[name], offset: *offset }
-                }
+                ConstItem::Str(sid) => GInit::GlobalAddr {
+                    id: str_gids[sid.0 as usize],
+                    offset: 0,
+                },
+                ConstItem::GlobalAddr { name, offset } => GInit::GlobalAddr {
+                    id: global_ids[name],
+                    offset: *offset,
+                },
                 ConstItem::FuncAddr(name) => GInit::FuncAddr(func_ids[name]),
             };
             init.push((*off, gin));
@@ -256,7 +261,11 @@ impl<'a> FnCx<'a> {
             let ty = l.ty.clone();
             let addr = self.emit_alloca(&hf.locals[i]);
             let mem = self.mem_ty(&ty);
-            self.emit(Inst::Store { mem, addr: addr.into(), value: self.f.params[i].into() });
+            self.emit(Inst::Store {
+                mem,
+                addr: addr.into(),
+                value: self.f.params[i].into(),
+            });
             self.locals[i] = Slot::Mem(addr);
         }
 
@@ -267,7 +276,9 @@ impl<'a> FnCx<'a> {
         // Finalize: terminate every dangling block with a default return.
         let default_ret = match self.f.ret_kinds.len() {
             0 => Inst::Ret { vals: vec![] },
-            _ => Inst::Ret { vals: vec![Value::Const(0)] },
+            _ => Inst::Ret {
+                vals: vec![Value::Const(0)],
+            },
         };
         for b in &mut self.f.blocks {
             if !b.insts.last().map(Inst::is_terminator).unwrap_or(false) {
@@ -325,7 +336,11 @@ impl<'a> FnCx<'a> {
                 let then_b = self.f.new_block();
                 let else_b = self.f.new_block();
                 let end_b = self.f.new_block();
-                self.emit(Inst::Br { cond: c, then_to: then_b, else_to: else_b });
+                self.emit(Inst::Br {
+                    cond: c,
+                    then_to: then_b,
+                    else_to: else_b,
+                });
                 self.switch_to(then_b);
                 for s in then {
                     self.stmt(s, hf);
@@ -349,9 +364,16 @@ impl<'a> FnCx<'a> {
                 self.emit(Inst::Jmp { to: head });
                 self.switch_to(head);
                 let c = self.value(cond);
-                self.emit(Inst::Br { cond: c, then_to: body_b, else_to: end });
+                self.emit(Inst::Br {
+                    cond: c,
+                    then_to: body_b,
+                    else_to: end,
+                });
                 self.switch_to(body_b);
-                self.loops.push(LoopCtx { break_to: end, continue_to: head });
+                self.loops.push(LoopCtx {
+                    break_to: end,
+                    continue_to: head,
+                });
                 for s in body {
                     self.stmt(s, hf);
                 }
@@ -367,7 +389,10 @@ impl<'a> FnCx<'a> {
                 let end = self.f.new_block();
                 self.emit(Inst::Jmp { to: body_b });
                 self.switch_to(body_b);
-                self.loops.push(LoopCtx { break_to: end, continue_to: cond_b });
+                self.loops.push(LoopCtx {
+                    break_to: end,
+                    continue_to: cond_b,
+                });
                 for s in body {
                     self.stmt(s, hf);
                 }
@@ -377,10 +402,19 @@ impl<'a> FnCx<'a> {
                 }
                 self.switch_to(cond_b);
                 let c = self.value(cond);
-                self.emit(Inst::Br { cond: c, then_to: body_b, else_to: end });
+                self.emit(Inst::Br {
+                    cond: c,
+                    then_to: body_b,
+                    else_to: end,
+                });
                 self.switch_to(end);
             }
-            Stmt::For { init, cond, step, body } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 for s in init {
                     self.stmt(s, hf);
                 }
@@ -393,12 +427,19 @@ impl<'a> FnCx<'a> {
                 match cond {
                     Some(c) => {
                         let cv = self.value(c);
-                        self.emit(Inst::Br { cond: cv, then_to: body_b, else_to: end });
+                        self.emit(Inst::Br {
+                            cond: cv,
+                            then_to: body_b,
+                            else_to: end,
+                        });
                     }
                     None => self.emit(Inst::Jmp { to: body_b }),
                 }
                 self.switch_to(body_b);
-                self.loops.push(LoopCtx { break_to: end, continue_to: step_b });
+                self.loops.push(LoopCtx {
+                    break_to: end,
+                    continue_to: step_b,
+                });
                 for s in body {
                     self.stmt(s, hf);
                 }
@@ -419,11 +460,19 @@ impl<'a> FnCx<'a> {
                 self.emit(Inst::Ret { vals: vec![v] });
             }
             Stmt::Break => {
-                let to = self.loops.last().expect("typeck enforces loop context").break_to;
+                let to = self
+                    .loops
+                    .last()
+                    .expect("typeck enforces loop context")
+                    .break_to;
                 self.emit(Inst::Jmp { to });
             }
             Stmt::Continue => {
-                let to = self.loops.last().expect("typeck enforces loop context").continue_to;
+                let to = self
+                    .loops
+                    .last()
+                    .expect("typeck enforces loop context")
+                    .continue_to;
                 self.emit(Inst::Jmp { to });
             }
         }
@@ -440,12 +489,18 @@ impl<'a> FnCx<'a> {
                     Slot::Reg(r) => self.emit(Inst::Mov { dst: r, src: v }),
                     Slot::Mem(addr) => {
                         let mem = self.mem_ty(&ty);
-                        self.emit(Inst::Store { mem, addr: addr.into(), value: v });
+                        self.emit(Inst::Store {
+                            mem,
+                            addr: addr.into(),
+                            value: v,
+                        });
                     }
                 }
             }
             Some(LocalInit::Str(bytes)) => {
-                let Slot::Mem(addr) = slot else { panic!("string init needs a memory slot") };
+                let Slot::Mem(addr) = slot else {
+                    panic!("string init needs a memory slot")
+                };
                 for (i, b) in bytes.iter().enumerate() {
                     let dst = self.f.new_reg(RegKind::Ptr);
                     self.emit(Inst::Gep {
@@ -464,7 +519,9 @@ impl<'a> FnCx<'a> {
                 }
             }
             Some(LocalInit::List(items)) => {
-                let Slot::Mem(addr) = slot else { panic!("list init needs a memory slot") };
+                let Slot::Mem(addr) = slot else {
+                    panic!("list init needs a memory slot")
+                };
                 // Zero the whole object first (C zero-fills the rest),
                 // then apply the explicit items.
                 let size = self.types().size_of(&ty);
@@ -487,7 +544,11 @@ impl<'a> FnCx<'a> {
                         field_size: None,
                     });
                     let mem = self.mem_ty(&e.ty);
-                    self.emit(Inst::Store { mem, addr: dst.into(), value: v });
+                    self.emit(Inst::Store {
+                        mem,
+                        addr: dst.into(),
+                        value: v,
+                    });
                 }
             }
         }
@@ -499,9 +560,10 @@ impl<'a> FnCx<'a> {
         match &e.kind {
             ExprKind::Int(v) => Value::Const(*v),
             ExprKind::NullPtr => Value::NULL,
-            ExprKind::Str(sid) => {
-                Value::GlobalAddr { id: self.str_gids[sid.0 as usize], offset: 0 }
-            }
+            ExprKind::Str(sid) => Value::GlobalAddr {
+                id: self.str_gids[sid.0 as usize],
+                offset: 0,
+            },
             ExprKind::FuncAddr(name) => Value::FuncAddr(self.func_ids[name]),
             ExprKind::Load(place) => self.load_place(place),
             ExprKind::AddrOf(place) => self.place_addr(place),
@@ -538,10 +600,20 @@ impl<'a> FnCx<'a> {
                 let l = self.value(lhs);
                 let r = self.value(rhs);
                 let dst = self.f.new_reg(RegKind::Int);
-                self.emit(Inst::Bin { dst, op: *op, k: *k, lhs: l, rhs: r });
+                self.emit(Inst::Bin {
+                    dst,
+                    op: *op,
+                    k: *k,
+                    lhs: l,
+                    rhs: r,
+                });
                 dst.into()
             }
-            ExprKind::PtrAdd { ptr, index, elem_size } => {
+            ExprKind::PtrAdd {
+                ptr,
+                index,
+                elem_size,
+            } => {
                 let p = self.value(ptr);
                 let i = self.value(index);
                 let dst = self.f.new_reg(RegKind::Ptr);
@@ -555,11 +627,21 @@ impl<'a> FnCx<'a> {
                 });
                 dst.into()
             }
-            ExprKind::PtrDiff { lhs, rhs, elem_size } => {
+            ExprKind::PtrDiff {
+                lhs,
+                rhs,
+                elem_size,
+            } => {
                 let l = self.value(lhs);
                 let r = self.value(rhs);
                 let diff = self.f.new_reg(RegKind::Int);
-                self.emit(Inst::Bin { dst: diff, op: HArith::Sub, k: IntKind::I64, lhs: l, rhs: r });
+                self.emit(Inst::Bin {
+                    dst: diff,
+                    op: HArith::Sub,
+                    k: IntKind::I64,
+                    lhs: l,
+                    rhs: r,
+                });
                 if *elem_size <= 1 {
                     return diff.into();
                 }
@@ -573,11 +655,16 @@ impl<'a> FnCx<'a> {
                 });
                 dst.into()
             }
-            ExprKind::Cmp { op, signed, lhs, rhs } => {
-                let k = lhs
-                    .ty
-                    .int_kind()
-                    .unwrap_or(if *signed { IntKind::I64 } else { IntKind::U64 });
+            ExprKind::Cmp {
+                op,
+                signed,
+                lhs,
+                rhs,
+            } => {
+                let k =
+                    lhs.ty
+                        .int_kind()
+                        .unwrap_or(if *signed { IntKind::I64 } else { IntKind::U64 });
                 let l = self.value(lhs);
                 let r = self.value(rhs);
                 let dst = self.f.new_reg(RegKind::Int);
@@ -589,7 +676,13 @@ impl<'a> FnCx<'a> {
                     hir::CmpOp::Gt => HCmp::Gt,
                     hir::CmpOp::Ge => HCmp::Ge,
                 };
-                self.emit(Inst::Cmp { dst, op: hop, k, lhs: l, rhs: r });
+                self.emit(Inst::Cmp {
+                    dst,
+                    op: hop,
+                    k,
+                    lhs: l,
+                    rhs: r,
+                });
                 dst.into()
             }
             ExprKind::Logical { and, lhs, rhs } => {
@@ -599,17 +692,34 @@ impl<'a> FnCx<'a> {
                 let short_b = self.f.new_block();
                 let end = self.f.new_block();
                 if *and {
-                    self.emit(Inst::Br { cond: l, then_to: rhs_b, else_to: short_b });
+                    self.emit(Inst::Br {
+                        cond: l,
+                        then_to: rhs_b,
+                        else_to: short_b,
+                    });
                 } else {
-                    self.emit(Inst::Br { cond: l, then_to: short_b, else_to: rhs_b });
+                    self.emit(Inst::Br {
+                        cond: l,
+                        then_to: short_b,
+                        else_to: rhs_b,
+                    });
                 }
                 self.switch_to(short_b);
-                self.emit(Inst::Mov { dst, src: Value::Const(if *and { 0 } else { 1 }) });
+                self.emit(Inst::Mov {
+                    dst,
+                    src: Value::Const(if *and { 0 } else { 1 }),
+                });
                 self.emit(Inst::Jmp { to: end });
                 self.switch_to(rhs_b);
                 let r = self.value(rhs);
                 let rk = rhs.ty.int_kind().unwrap_or(IntKind::U64);
-                self.emit(Inst::Cmp { dst, op: HCmp::Ne, k: rk, lhs: r, rhs: Value::Const(0) });
+                self.emit(Inst::Cmp {
+                    dst,
+                    op: HCmp::Ne,
+                    k: rk,
+                    lhs: r,
+                    rhs: Value::Const(0),
+                });
                 self.emit(Inst::Jmp { to: end });
                 self.switch_to(end);
                 dst.into()
@@ -621,7 +731,11 @@ impl<'a> FnCx<'a> {
                 let then_b = self.f.new_block();
                 let else_b = self.f.new_block();
                 let end = self.f.new_block();
-                self.emit(Inst::Br { cond: c, then_to: then_b, else_to: else_b });
+                self.emit(Inst::Br {
+                    cond: c,
+                    then_to: then_b,
+                    else_to: else_b,
+                });
                 self.switch_to(then_b);
                 let tv = self.value(then);
                 self.emit(Inst::Mov { dst, src: tv });
@@ -638,13 +752,24 @@ impl<'a> FnCx<'a> {
                 self.store_place(place, v);
                 v
             }
-            ExprKind::IncDec { place, inc, post, elem_size } => {
+            ExprKind::IncDec {
+                place,
+                inc,
+                post,
+                elem_size,
+            } => {
                 let old = self.load_place(place);
                 let new = if *elem_size == 0 {
                     let k = place.ty().int_kind().expect("int incdec");
                     let dst = self.f.new_reg(RegKind::Int);
                     let op = if *inc { HArith::Add } else { HArith::Sub };
-                    self.emit(Inst::Bin { dst, op, k, lhs: old, rhs: Value::Const(1) });
+                    self.emit(Inst::Bin {
+                        dst,
+                        op,
+                        k,
+                        lhs: old,
+                        rhs: Value::Const(1),
+                    });
                     Value::Reg(dst)
                 } else {
                     let dst = self.f.new_reg(RegKind::Ptr);
@@ -664,7 +789,10 @@ impl<'a> FnCx<'a> {
                 let result = if *post {
                     let kind = Self::kind_of_ty(place.ty());
                     let keep = self.f.new_reg(kind);
-                    self.emit(Inst::Mov { dst: keep, src: old });
+                    self.emit(Inst::Mov {
+                        dst: keep,
+                        src: old,
+                    });
                     Value::Reg(keep)
                 } else {
                     new
@@ -710,12 +838,14 @@ impl<'a> FnCx<'a> {
             avs.push(v);
         }
         let ptr_hint = match target {
-            CallTarget::Builtin(Builtin::Memcpy) => {
-                args.iter().take(2).any(|a| arg_points_to_ptrs(a, self.types()))
-            }
-            CallTarget::Builtin(Builtin::Free) => {
-                args.first().map(|a| arg_points_to_ptrs(a, self.types())).unwrap_or(false)
-            }
+            CallTarget::Builtin(Builtin::Memcpy) => args
+                .iter()
+                .take(2)
+                .any(|a| arg_points_to_ptrs(a, self.types())),
+            CallTarget::Builtin(Builtin::Free) => args
+                .first()
+                .map(|a| arg_points_to_ptrs(a, self.types()))
+                .unwrap_or(false),
             _ => false,
         };
         let callee = match target {
@@ -731,7 +861,13 @@ impl<'a> FnCx<'a> {
             t => vec![self.f.new_reg(Self::kind_of_ty(t))],
         };
         let result = dsts.first().copied();
-        self.emit(Inst::Call { dsts, callee, args: avs, ptr_hint, wrapped: false });
+        self.emit(Inst::Call {
+            dsts,
+            callee,
+            args: avs,
+            ptr_hint,
+            wrapped: false,
+        });
         result.map(Value::Reg).unwrap_or(Value::Const(0))
     }
 
@@ -746,7 +882,11 @@ impl<'a> FnCx<'a> {
                     let mem = self.mem_ty(place.ty());
                     let kind = Self::kind_of_ty(place.ty());
                     let dst = self.f.new_reg(kind);
-                    self.emit(Inst::Load { dst, mem, addr: addr.into() });
+                    self.emit(Inst::Load {
+                        dst,
+                        mem,
+                        addr: addr.into(),
+                    });
                     dst.into()
                 }
             },
@@ -768,13 +908,21 @@ impl<'a> FnCx<'a> {
                 Slot::Reg(r) => self.emit(Inst::Mov { dst: r, src: v }),
                 Slot::Mem(addr) => {
                     let mem = self.mem_ty(place.ty());
-                    self.emit(Inst::Store { mem, addr: addr.into(), value: v });
+                    self.emit(Inst::Store {
+                        mem,
+                        addr: addr.into(),
+                        value: v,
+                    });
                 }
             },
             _ => {
                 let addr = self.place_addr(place);
                 let mem = self.mem_ty(place.ty());
-                self.emit(Inst::Store { mem, addr, value: v });
+                self.emit(Inst::Store {
+                    mem,
+                    addr,
+                    value: v,
+                });
             }
         }
     }
@@ -787,9 +935,10 @@ impl<'a> FnCx<'a> {
                 Slot::Mem(addr) => addr.into(),
                 Slot::Reg(_) => panic!("address of promoted register (typeck marks addr_taken)"),
             },
-            Place::Global { name, .. } => {
-                Value::GlobalAddr { id: self.global_ids[name], offset: 0 }
-            }
+            Place::Global { name, .. } => Value::GlobalAddr {
+                id: self.global_ids[name],
+                offset: 0,
+            },
             Place::Deref { ptr, .. } => self.value(ptr),
             Place::Index { base, index, elem } => {
                 let b = self.place_addr(base);
@@ -805,7 +954,9 @@ impl<'a> FnCx<'a> {
                 });
                 dst.into()
             }
-            Place::Field { base, offset, ty, .. } => {
+            Place::Field {
+                base, offset, ty, ..
+            } => {
                 let b = self.place_addr(base);
                 let dst = self.f.new_reg(RegKind::Ptr);
                 self.emit(Inst::Gep {
@@ -827,7 +978,11 @@ impl<'a> FnCx<'a> {
 /// inference heuristic (§5.2).
 fn arg_points_to_ptrs(e: &Expr, types: &TypeTable) -> bool {
     let mut cur = e;
-    while let ExprKind::Cast { kind: CastKind::PtrToPtr, arg } = &cur.kind {
+    while let ExprKind::Cast {
+        kind: CastKind::PtrToPtr,
+        arg,
+    } = &cur.kind
+    {
         cur = arg;
     }
     match &cur.ty {
@@ -857,15 +1012,28 @@ mod tests {
     fn promoted_scalars_have_no_alloca() {
         let m = lower_src("int f() { int x = 1; int y = 2; return x + y; }");
         let f = m.func("f").expect("exists");
-        let allocas = f.blocks.iter().flat_map(|b| &b.insts).filter(|i| matches!(i, Inst::Alloca { .. })).count();
-        assert_eq!(allocas, 0, "register promotion should remove scalar allocas");
+        let allocas = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, Inst::Alloca { .. }))
+            .count();
+        assert_eq!(
+            allocas, 0,
+            "register promotion should remove scalar allocas"
+        );
     }
 
     #[test]
     fn addr_taken_scalar_gets_alloca() {
         let m = lower_src("int f() { int x = 1; int* p = &x; return *p; }");
         let f = m.func("f").expect("exists");
-        let allocas = f.blocks.iter().flat_map(|b| &b.insts).filter(|i| matches!(i, Inst::Alloca { .. })).count();
+        let allocas = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, Inst::Alloca { .. }))
+            .count();
         assert_eq!(allocas, 1);
     }
 
@@ -883,29 +1051,44 @@ mod tests {
             .iter()
             .flat_map(|b| &b.insts)
             .filter_map(|i| match i {
-                Inst::Gep { field_size: Some(sz), .. } => Some(*sz),
+                Inst::Gep {
+                    field_size: Some(sz),
+                    ..
+                } => Some(*sz),
                 _ => None,
             })
             .collect();
-        assert_eq!(field_geps, vec![8], "the str[8] field gep must carry its size");
+        assert_eq!(
+            field_geps,
+            vec![8],
+            "the str[8] field gep must carry its size"
+        );
     }
 
     #[test]
     fn pointer_loads_use_ptr_memty() {
         let m = lower_src("int* f(int** pp) { return *pp; }");
         let f = m.func("f").expect("exists");
-        let has_ptr_load = f
-            .blocks
-            .iter()
-            .flat_map(|b| &b.insts)
-            .any(|i| matches!(i, Inst::Load { mem: MemTy::Ptr, .. }));
+        let has_ptr_load = f.blocks.iter().flat_map(|b| &b.insts).any(|i| {
+            matches!(
+                i,
+                Inst::Load {
+                    mem: MemTy::Ptr,
+                    ..
+                }
+            )
+        });
         assert!(has_ptr_load);
     }
 
     #[test]
     fn string_literals_become_globals() {
         let m = lower_src(r#"char* greet() { return "hello"; }"#);
-        let s = m.globals.iter().find(|g| g.name.starts_with(".str.")).expect("string global");
+        let s = m
+            .globals
+            .iter()
+            .find(|g| g.name.starts_with(".str."))
+            .expect("string global");
         assert_eq!(s.size, 6); // "hello" + NUL
     }
 
@@ -954,9 +1137,11 @@ mod tests {
             .iter()
             .flat_map(|f| f.blocks.iter().flat_map(|b| &b.insts))
             .filter_map(|i| match i {
-                Inst::Call { callee: Callee::Builtin(Builtin::Memcpy), ptr_hint, .. } => {
-                    Some(*ptr_hint)
-                }
+                Inst::Call {
+                    callee: Callee::Builtin(Builtin::Memcpy),
+                    ptr_hint,
+                    ..
+                } => Some(*ptr_hint),
                 _ => None,
             })
             .collect();
@@ -998,7 +1183,9 @@ mod tests {
 
     #[test]
     fn external_function_lowered_as_declaration() {
-        let m = lower_src("int external_helper(char* p); int main() { return external_helper(\"x\"); }");
+        let m = lower_src(
+            "int external_helper(char* p); int main() { return external_helper(\"x\"); }",
+        );
         let f = m.func("external_helper").expect("exists");
         assert!(!f.defined);
         assert_eq!(f.param_kinds, vec![RegKind::Ptr]);

@@ -7,8 +7,17 @@
 //!   folding, block-local copy propagation, dead-code elimination
 //!   (including side-effect-free loads), and CFG cleanup.
 //! * [`OptLevel::PostInstrument`] — run after an instrumentation pass:
-//!   the same, except loads and runtime calls are never removed (checks
-//!   must stay, and instrumented loads can trap).
+//!   the same, except loads and runtime calls are never removed by DCE
+//!   (instrumented loads can trap), plus a dedicated
+//!   *redundant-check-elimination* pass: a spatial check whose exact
+//!   `(ptr, base, bound)` operands were already checked — with at least
+//!   the same access size — on every path from the entry, with no
+//!   intervening redefinition, call, pointer store, or
+//!   metadata-clobbering runtime op, is provably a repeat of an earlier
+//!   passed check and is dropped. This is the classic
+//!   available-expressions formulation of check elimination (cf. CHOP's
+//!   observation that redundant bounds checks dominate residual
+//!   overhead).
 
 use crate::ir::*;
 use sb_cir::hir::{ArithOp, CmpOp};
@@ -20,14 +29,31 @@ use std::collections::{HashMap, HashSet};
 pub enum OptLevel {
     /// Before instrumentation: loads are removable dead code.
     PreInstrument,
-    /// After instrumentation: loads and `Rt` calls are pinned.
+    /// After instrumentation: loads and `Rt` calls are pinned (except
+    /// provably redundant checks, which check elimination removes).
     PostInstrument,
+}
+
+/// Statistics of one optimizer run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PassStats {
+    /// Net instructions removed (all passes, including check elimination).
+    pub insts_removed: usize,
+    /// Spatial checks removed by redundant-check elimination alone.
+    pub checks_eliminated: usize,
 }
 
 /// Optimizes every function in the module in place. Returns the number of
 /// instructions removed (for pass statistics).
 pub fn optimize(m: &mut Module, level: OptLevel) -> usize {
+    optimize_with_stats(m, level).insts_removed
+}
+
+/// Optimizes every function in the module in place, reporting detailed
+/// pass statistics.
+pub fn optimize_with_stats(m: &mut Module, level: OptLevel) -> PassStats {
     let before = m.inst_count();
+    let mut checks_eliminated = 0;
     for f in &mut m.funcs {
         if !f.defined {
             continue;
@@ -39,12 +65,20 @@ pub fn optimize(m: &mut Module, level: OptLevel) -> usize {
             changed |= copy_propagate(f);
             changed |= dce(f, level);
             changed |= simplify_cfg(f);
+            if level == OptLevel::PostInstrument {
+                let n = eliminate_redundant_checks(f);
+                checks_eliminated += n;
+                changed |= n > 0;
+            }
             if !changed {
                 break;
             }
         }
     }
-    before.saturating_sub(m.inst_count())
+    PassStats {
+        insts_removed: before.saturating_sub(m.inst_count()),
+        checks_eliminated,
+    }
 }
 
 /// Evaluates a binary op on constants with kind `k` (the same semantics
@@ -130,15 +164,34 @@ fn const_fold(f: &mut Function) -> bool {
     for b in &mut f.blocks {
         for inst in &mut b.insts {
             let replacement = match inst {
-                Inst::Bin { dst, op, k, lhs: Value::Const(a), rhs: Value::Const(c) } => {
-                    eval_bin(*op, *k, *a, *c).map(|v| Inst::Mov { dst: *dst, src: Value::Const(v) })
-                }
-                Inst::Cmp { dst, op, k, lhs: Value::Const(a), rhs: Value::Const(c) } => {
-                    Some(Inst::Mov { dst: *dst, src: Value::Const(eval_cmp(*op, *k, *a, *c)) })
-                }
-                Inst::Cast { dst, k, src: Value::Const(a) } => {
-                    Some(Inst::Mov { dst: *dst, src: Value::Const(k.wrap(*a)) })
-                }
+                Inst::Bin {
+                    dst,
+                    op,
+                    k,
+                    lhs: Value::Const(a),
+                    rhs: Value::Const(c),
+                } => eval_bin(*op, *k, *a, *c).map(|v| Inst::Mov {
+                    dst: *dst,
+                    src: Value::Const(v),
+                }),
+                Inst::Cmp {
+                    dst,
+                    op,
+                    k,
+                    lhs: Value::Const(a),
+                    rhs: Value::Const(c),
+                } => Some(Inst::Mov {
+                    dst: *dst,
+                    src: Value::Const(eval_cmp(*op, *k, *a, *c)),
+                }),
+                Inst::Cast {
+                    dst,
+                    k,
+                    src: Value::Const(a),
+                } => Some(Inst::Mov {
+                    dst: *dst,
+                    src: Value::Const(k.wrap(*a)),
+                }),
                 Inst::Gep {
                     dst,
                     base: Value::Const(a),
@@ -149,7 +202,8 @@ fn const_fold(f: &mut Function) -> bool {
                 } => Some(Inst::Mov {
                     dst: *dst,
                     src: Value::Const(
-                        a.wrapping_add(i.wrapping_mul(*scale as i64)).wrapping_add(*offset),
+                        a.wrapping_add(i.wrapping_mul(*scale as i64))
+                            .wrapping_add(*offset),
                     ),
                 }),
                 Inst::Gep {
@@ -159,13 +213,21 @@ fn const_fold(f: &mut Function) -> bool {
                     offset: 0,
                     field_size: None,
                     ..
-                } => Some(Inst::Mov { dst: *dst, src: *base }),
+                } => Some(Inst::Mov {
+                    dst: *dst,
+                    src: *base,
+                }),
                 // x+0, x*1-style identities (common after lowering).
-                Inst::Bin { dst, op: ArithOp::Add, lhs, rhs: Value::Const(0), k }
-                    if *k == IntKind::I64 || *k == IntKind::U64 =>
-                {
-                    Some(Inst::Mov { dst: *dst, src: *lhs })
-                }
+                Inst::Bin {
+                    dst,
+                    op: ArithOp::Add,
+                    lhs,
+                    rhs: Value::Const(0),
+                    k,
+                } if *k == IntKind::I64 || *k == IntKind::U64 => Some(Inst::Mov {
+                    dst: *dst,
+                    src: *lhs,
+                }),
                 _ => None,
             };
             if let Some(r) = replacement {
@@ -176,7 +238,11 @@ fn const_fold(f: &mut Function) -> bool {
             }
         }
         // Fold constant branches into jumps.
-        if let Some(Inst::Br { cond: Value::Const(c), then_to, else_to }) = b.insts.last().cloned()
+        if let Some(Inst::Br {
+            cond: Value::Const(c),
+            then_to,
+            else_to,
+        }) = b.insts.last().cloned()
         {
             let to = if c != 0 { then_to } else { else_to };
             *b.insts.last_mut().expect("non-empty") = Inst::Jmp { to };
@@ -302,7 +368,9 @@ fn simplify_cfg(f: &mut Function) -> bool {
                         changed = true;
                     }
                 }
-                Inst::Br { then_to, else_to, .. } => {
+                Inst::Br {
+                    then_to, else_to, ..
+                } => {
                     let rt_ = resolve(*then_to);
                     let re = resolve(*else_to);
                     if rt_ != *then_to || re != *else_to {
@@ -326,7 +394,9 @@ fn simplify_cfg(f: &mut Function) -> bool {
         if let Some(last) = f.blocks[b.0 as usize].insts.last() {
             match last {
                 Inst::Jmp { to } => stack.push(*to),
-                Inst::Br { then_to, else_to, .. } => {
+                Inst::Br {
+                    then_to, else_to, ..
+                } => {
                     stack.push(*then_to);
                     stack.push(*else_to);
                 }
@@ -349,7 +419,9 @@ fn simplify_cfg(f: &mut Function) -> bool {
         if let Some(last) = b.insts.last_mut() {
             match last {
                 Inst::Jmp { to } => *to = remap[to.0 as usize],
-                Inst::Br { then_to, else_to, .. } => {
+                Inst::Br {
+                    then_to, else_to, ..
+                } => {
                     *then_to = remap[then_to.0 as usize];
                     *else_to = remap[else_to.0 as usize];
                 }
@@ -359,6 +431,209 @@ fn simplify_cfg(f: &mut Function) -> bool {
     }
     f.blocks = kept;
     true
+}
+
+// --------------------------------------------------------------------
+// Redundant-check elimination (PostInstrument only).
+
+/// Identity of a spatial check: the condition `base <= ptr && ptr+size <=
+/// bound` depends only on these operand *values* (checks read no memory),
+/// so two checks with equal keys test the same predicate. The `is_store`
+/// flag is deliberately not part of the key — it only selects the trap's
+/// diagnostic, not the condition. The access size *is* part of the key:
+/// a wider check does not subsume a narrower one, because the runtime
+/// compares with `ptr.wrapping_add(size)` and a pointer near the top of
+/// the address space can pass a size-8 check by wrapping while a size-4
+/// check on the same operands would trap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CheckKey {
+    /// 0 = dereference-check family, 1 = function-pointer check.
+    kind: u8,
+    ptr: Value,
+    base: Value,
+    bound: Value,
+    size: i64,
+}
+
+/// Extracts the identity of a value-only spatial check. Address-based
+/// checks that consult runtime state (object tables, addressability
+/// maps) are excluded: their verdict can change between two textually
+/// identical sites.
+fn check_key(inst: &Inst) -> Option<CheckKey> {
+    let Inst::Rt { rt, args, .. } = inst else {
+        return None;
+    };
+    match rt {
+        RtFn::SbCheck { .. } | RtFn::MsccCheck { .. } | RtFn::FatCheck { .. } => {
+            // Non-constant sizes are not emitted by any pass; skip if seen.
+            let Value::Const(size) = args[3] else {
+                return None;
+            };
+            Some(CheckKey {
+                kind: 0,
+                ptr: args[0],
+                base: args[1],
+                bound: args[2],
+                size,
+            })
+        }
+        RtFn::SbFnCheck => Some(CheckKey {
+            kind: 1,
+            ptr: args[0],
+            base: args[1],
+            bound: args[2],
+            size: 0,
+        }),
+        _ => None,
+    }
+}
+
+/// True for instructions that invalidate *every* available check:
+/// calls (arbitrary callee effects, conservatively including longjmp
+/// re-entry), pointer stores, and metadata-clobbering runtime helpers.
+fn clobbers_all_checks(inst: &Inst) -> bool {
+    match inst {
+        Inst::Call { .. } => true,
+        Inst::Store { mem, .. } => mem.is_ptr(),
+        Inst::Rt { rt, .. } => matches!(
+            rt,
+            RtFn::SbMetaStore | RtFn::SbMetaClear | RtFn::SbMemcpyMeta | RtFn::MsccMetaStore
+        ),
+        _ => false,
+    }
+}
+
+/// Registers a check key reads (redefinition of any of them kills it).
+fn key_regs(key: &CheckKey) -> impl Iterator<Item = RegId> + '_ {
+    [key.ptr, key.base, key.bound]
+        .into_iter()
+        .filter_map(|v| match v {
+            Value::Reg(r) => Some(r),
+            _ => None,
+        })
+}
+
+type CheckSet = HashSet<CheckKey>;
+
+/// Applies one instruction's effect to the available-check set.
+fn check_transfer(inst: &Inst, avail: &mut CheckSet) {
+    if clobbers_all_checks(inst) {
+        avail.clear();
+    } else {
+        let defs = inst.defs();
+        if !defs.is_empty() {
+            avail.retain(|key| !key_regs(key).any(|r| defs.contains(&r)));
+        }
+    }
+    // The check itself becomes available *after* the kill step (an
+    // instruction never invalidates the fact it just established).
+    if let Some(key) = check_key(inst) {
+        avail.insert(key);
+    }
+}
+
+/// Intersection of available-check sets (a check survives a merge only
+/// when proven on all incoming paths).
+fn check_meet(a: &CheckSet, b: &CheckSet) -> CheckSet {
+    a.intersection(b).copied().collect()
+}
+
+/// Removes checks dominated by an identical check on every path
+/// (forward available-expressions dataflow, then one rewrite sweep).
+/// Returns the number of checks eliminated.
+fn eliminate_redundant_checks(f: &mut Function) -> usize {
+    let nblocks = f.blocks.len();
+    if nblocks == 0 {
+        return 0;
+    }
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); nblocks];
+    for (bi, b) in f.blocks.iter().enumerate() {
+        match b.insts.last() {
+            Some(Inst::Jmp { to }) => preds[to.0 as usize].push(bi),
+            Some(Inst::Br {
+                then_to, else_to, ..
+            }) => {
+                preds[then_to.0 as usize].push(bi);
+                if else_to != then_to {
+                    preds[else_to.0 as usize].push(bi);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Optimistic initialization (standard available-expressions): the
+    // entry starts from nothing proven; every other block starts from the
+    // universe of check keys. Iteration is then monotone decreasing over
+    // a finite lattice, so it terminates, and the greatest fixpoint it
+    // reaches is a sound under-approximation of "checked on every path
+    // from the entry".
+    let mut universe = CheckSet::new();
+    for b in &f.blocks {
+        for inst in &b.insts {
+            if let Some(key) = check_key(inst) {
+                universe.insert(key);
+            }
+        }
+    }
+    if universe.is_empty() {
+        return 0;
+    }
+    let mut out: Vec<CheckSet> = vec![universe; nblocks];
+    let block_in = |bi: usize, out: &[CheckSet]| -> CheckSet {
+        let mut acc: Option<CheckSet> = None;
+        if bi == 0 {
+            return CheckSet::new(); // nothing proven at entry
+        }
+        for &p in &preds[bi] {
+            acc = Some(match acc {
+                None => out[p].clone(),
+                Some(a) => check_meet(&a, &out[p]),
+            });
+        }
+        acc.unwrap_or_default()
+    };
+    {
+        // Entry OUT must not start at the universe.
+        let mut set = CheckSet::new();
+        for inst in &f.blocks[0].insts {
+            check_transfer(inst, &mut set);
+        }
+        out[0] = set;
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for bi in 1..nblocks {
+            let mut set = block_in(bi, &out);
+            for inst in &f.blocks[bi].insts {
+                check_transfer(inst, &mut set);
+            }
+            if out[bi] != set {
+                out[bi] = set;
+                changed = true;
+            }
+        }
+    }
+
+    // Rewrite sweep: drop checks whose exact identity is available.
+    let mut eliminated = 0;
+    for bi in 0..nblocks {
+        let mut set = block_in(bi, &out);
+        let insts = std::mem::take(&mut f.blocks[bi].insts);
+        let mut kept = Vec::with_capacity(insts.len());
+        for inst in insts {
+            let redundant = check_key(&inst).is_some_and(|key| set.contains(&key));
+            if redundant {
+                eliminated += 1;
+                continue;
+            }
+            check_transfer(&inst, &mut set);
+            kept.push(inst);
+        }
+        f.blocks[bi].insts = kept;
+    }
+    eliminated
 }
 
 #[cfg(test)]
@@ -394,7 +669,10 @@ mod tests {
         let mut m = module("int main() { return (3 + 4) * (10 - 2); }");
         let before = m.inst_count();
         let removed = optimize(&mut m, OptLevel::PreInstrument);
-        assert!(removed > 0, "expected folding to remove instructions (before={before})");
+        assert!(
+            removed > 0,
+            "expected folding to remove instructions (before={before})"
+        );
         // The function should now return a constant.
         let f = m.func("main").expect("main");
         let has_const_ret = f
@@ -407,18 +685,31 @@ mod tests {
 
     #[test]
     fn eval_bin_semantics() {
-        assert_eq!(eval_bin(ArithOp::Add, IntKind::I32, i32::MAX as i64, 1), Some(i32::MIN as i64));
+        assert_eq!(
+            eval_bin(ArithOp::Add, IntKind::I32, i32::MAX as i64, 1),
+            Some(i32::MIN as i64)
+        );
         assert_eq!(eval_bin(ArithOp::Div, IntKind::I32, -7, 2), Some(-3));
-        assert_eq!(eval_bin(ArithOp::Div, IntKind::U32, -7i64, 2), Some(((-7i64 as u32) / 2) as i64));
+        assert_eq!(
+            eval_bin(ArithOp::Div, IntKind::U32, -7i64, 2),
+            Some(((-7i64 as u32) / 2) as i64)
+        );
         assert_eq!(eval_bin(ArithOp::Div, IntKind::I32, 1, 0), None);
         assert_eq!(eval_bin(ArithOp::Shr, IntKind::I32, -8, 1), Some(-4));
-        assert_eq!(eval_bin(ArithOp::Shr, IntKind::U32, -8i64, 1), Some((((-8i64 as u32) >> 1)) as i64));
+        assert_eq!(
+            eval_bin(ArithOp::Shr, IntKind::U32, -8i64, 1),
+            Some(((-8i64 as u32) >> 1) as i64)
+        );
     }
 
     #[test]
     fn eval_cmp_signedness() {
         assert_eq!(eval_cmp(CmpOp::Lt, IntKind::I32, -1, 1), 1);
-        assert_eq!(eval_cmp(CmpOp::Lt, IntKind::U32, -1i64, 1), 0, "-1 as u32 is huge");
+        assert_eq!(
+            eval_cmp(CmpOp::Lt, IntKind::U32, -1i64, 1),
+            0,
+            "-1 as u32 is huge"
+        );
         assert_eq!(eval_cmp(CmpOp::Ge, IntKind::U64, -1i64, 1), 1);
     }
 
@@ -444,6 +735,297 @@ mod tests {
             .filter(|i| matches!(i, Inst::Load { .. }))
             .count();
         assert_eq!(post_loads, 1, "post-instrument DCE must keep loads");
+    }
+
+    fn check(ptr: Value, base: Value, bound: Value, size: i64) -> Inst {
+        Inst::Rt {
+            dsts: vec![],
+            rt: RtFn::SbCheck { is_store: false },
+            args: vec![ptr, base, bound, Value::Const(size)],
+        }
+    }
+
+    /// A single-purpose function shell: three registers (ptr, base, bound)
+    /// and whatever blocks the test installs.
+    fn shell(blocks: Vec<Block>) -> Function {
+        Function {
+            name: "t".into(),
+            params: vec![],
+            param_kinds: vec![],
+            ret_kinds: vec![],
+            reg_kinds: vec![RegKind::Ptr, RegKind::Int, RegKind::Int],
+            blocks,
+            vararg: false,
+            defined: true,
+        }
+    }
+
+    fn args() -> (Value, Value, Value) {
+        (
+            Value::Reg(RegId(0)),
+            Value::Reg(RegId(1)),
+            Value::Reg(RegId(2)),
+        )
+    }
+
+    fn count_checks(f: &Function) -> usize {
+        f.blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| {
+                matches!(
+                    i,
+                    Inst::Rt {
+                        rt: RtFn::SbCheck { .. },
+                        ..
+                    }
+                )
+            })
+            .count()
+    }
+
+    #[test]
+    fn straight_line_duplicate_checks_eliminated() {
+        let (p, b, e) = args();
+        let mut f = shell(vec![Block {
+            insts: vec![
+                check(p, b, e, 4),
+                check(p, b, e, 4), // exact repeat → dropped
+                check(p, b, e, 4), // and again → dropped
+                check(p, b, e, 8), // different size → must stay
+                Inst::Ret { vals: vec![] },
+            ],
+        }]);
+        let n = eliminate_redundant_checks(&mut f);
+        assert_eq!(n, 2, "{f:?}");
+        assert_eq!(count_checks(&f), 2);
+    }
+
+    #[test]
+    fn differing_sizes_never_subsume() {
+        // A wider check must NOT subsume a narrower one: near the top of
+        // the address space `ptr.wrapping_add(8)` can wrap below `bound`
+        // (passing) while `ptr.wrapping_add(4)` stays above it (trapping),
+        // so their verdicts are not implied by one another.
+        let (p, b, e) = args();
+        let mut f = shell(vec![Block {
+            insts: vec![
+                check(p, b, e, 8),
+                check(p, b, e, 4), // narrower → kept despite wider proof
+                check(p, b, e, 2), // narrower still → kept
+                Inst::Ret { vals: vec![] },
+            ],
+        }]);
+        assert_eq!(eliminate_redundant_checks(&mut f), 0);
+        assert_eq!(count_checks(&f), 3);
+    }
+
+    #[test]
+    fn calls_and_pointer_stores_invalidate() {
+        let (p, b, e) = args();
+        let mut f = shell(vec![Block {
+            insts: vec![
+                check(p, b, e, 4),
+                Inst::Call {
+                    dsts: vec![],
+                    callee: Callee::Builtin(sb_cir::hir::Builtin::Rand),
+                    args: vec![],
+                    ptr_hint: false,
+                    wrapped: false,
+                },
+                check(p, b, e, 4), // after a call: kept
+                Inst::Store {
+                    mem: MemTy::Ptr,
+                    addr: p,
+                    value: Value::Const(0),
+                },
+                check(p, b, e, 4), // after a pointer store: kept
+                Inst::Ret { vals: vec![] },
+            ],
+        }]);
+        assert_eq!(eliminate_redundant_checks(&mut f), 0);
+        assert_eq!(count_checks(&f), 3);
+    }
+
+    #[test]
+    fn non_pointer_stores_do_not_invalidate() {
+        let (p, b, e) = args();
+        let mut f = shell(vec![Block {
+            insts: vec![
+                check(p, b, e, 4),
+                Inst::Store {
+                    mem: MemTy::I32,
+                    addr: p,
+                    value: Value::Const(7),
+                },
+                check(p, b, e, 4), // int store cannot affect the condition
+                Inst::Ret { vals: vec![] },
+            ],
+        }]);
+        assert_eq!(eliminate_redundant_checks(&mut f), 1);
+    }
+
+    #[test]
+    fn register_redefinition_invalidates() {
+        let (p, b, e) = args();
+        let mut f = shell(vec![Block {
+            insts: vec![
+                check(p, b, e, 4),
+                Inst::Mov {
+                    dst: RegId(0),
+                    src: Value::Const(64),
+                },
+                check(p, b, e, 4), // ptr changed → kept
+                Inst::Ret { vals: vec![] },
+            ],
+        }]);
+        assert_eq!(eliminate_redundant_checks(&mut f), 0);
+    }
+
+    #[test]
+    fn metadata_stores_invalidate_conservatively() {
+        let (p, b, e) = args();
+        let mut f = shell(vec![Block {
+            insts: vec![
+                check(p, b, e, 4),
+                Inst::Rt {
+                    dsts: vec![],
+                    rt: RtFn::SbMetaStore,
+                    args: vec![p, b, e],
+                },
+                check(p, b, e, 4),
+                Inst::Ret { vals: vec![] },
+            ],
+        }]);
+        assert_eq!(eliminate_redundant_checks(&mut f), 0);
+    }
+
+    #[test]
+    fn dominated_checks_eliminated_across_blocks() {
+        let (p, b, e) = args();
+        // b0: check, br → b1 | b2; b1/b2: recheck, jmp b3; b3: recheck.
+        let mut f = shell(vec![
+            Block {
+                insts: vec![
+                    check(p, b, e, 4),
+                    Inst::Br {
+                        cond: Value::Reg(RegId(1)),
+                        then_to: BlockId(1),
+                        else_to: BlockId(2),
+                    },
+                ],
+            },
+            Block {
+                insts: vec![check(p, b, e, 4), Inst::Jmp { to: BlockId(3) }],
+            },
+            Block {
+                insts: vec![check(p, b, e, 4), Inst::Jmp { to: BlockId(3) }],
+            },
+            Block {
+                insts: vec![check(p, b, e, 4), Inst::Ret { vals: vec![] }],
+            },
+        ]);
+        assert_eq!(eliminate_redundant_checks(&mut f), 3, "{f:?}");
+        assert_eq!(count_checks(&f), 1, "only the dominating check remains");
+    }
+
+    #[test]
+    fn one_sided_checks_survive_merges() {
+        let (p, b, e) = args();
+        // Only the then-branch checks; the merge's check must stay.
+        let mut f = shell(vec![
+            Block {
+                insts: vec![Inst::Br {
+                    cond: Value::Reg(RegId(1)),
+                    then_to: BlockId(1),
+                    else_to: BlockId(2),
+                }],
+            },
+            Block {
+                insts: vec![check(p, b, e, 4), Inst::Jmp { to: BlockId(3) }],
+            },
+            Block {
+                insts: vec![Inst::Jmp { to: BlockId(3) }],
+            },
+            Block {
+                insts: vec![check(p, b, e, 4), Inst::Ret { vals: vec![] }],
+            },
+        ]);
+        assert_eq!(eliminate_redundant_checks(&mut f), 0);
+        assert_eq!(count_checks(&f), 2);
+    }
+
+    #[test]
+    fn loop_body_checks_not_hoisted_out_of_first_iteration() {
+        let (p, b, e) = args();
+        // b0 → b1 (loop body with check) → b1 | b2. The body's check is
+        // available only along the back edge, so it must stay.
+        let mut f = shell(vec![
+            Block {
+                insts: vec![Inst::Jmp { to: BlockId(1) }],
+            },
+            Block {
+                insts: vec![
+                    check(p, b, e, 4),
+                    Inst::Br {
+                        cond: Value::Reg(RegId(1)),
+                        then_to: BlockId(1),
+                        else_to: BlockId(2),
+                    },
+                ],
+            },
+            Block {
+                insts: vec![Inst::Ret { vals: vec![] }],
+            },
+        ]);
+        assert_eq!(eliminate_redundant_checks(&mut f), 0);
+        assert_eq!(count_checks(&f), 1);
+    }
+
+    #[test]
+    fn fn_checks_participate_separately_from_deref_checks() {
+        let (p, b, e) = args();
+        let fn_check = Inst::Rt {
+            dsts: vec![],
+            rt: RtFn::SbFnCheck,
+            args: vec![p, b, e],
+        };
+        let mut f = shell(vec![Block {
+            insts: vec![
+                fn_check.clone(),
+                check(p, b, e, 4), // different kind: not redundant
+                fn_check.clone(),  // repeat fn check: redundant
+                Inst::Ret { vals: vec![] },
+            ],
+        }]);
+        assert_eq!(eliminate_redundant_checks(&mut f), 1);
+    }
+
+    #[test]
+    fn post_instrument_pipeline_runs_elimination_and_verifies() {
+        let (p, b, e) = args();
+        let mut m = Module {
+            name: "t".into(),
+            globals: vec![],
+            funcs: vec![shell(vec![Block {
+                insts: vec![
+                    check(p, b, e, 4),
+                    check(p, b, e, 4),
+                    Inst::Ret { vals: vec![] },
+                ],
+            }])],
+        };
+        let stats = optimize_with_stats(&mut m, OptLevel::PostInstrument);
+        assert_eq!(stats.checks_eliminated, 1);
+        verify(&m).expect("slimmer module still verifies");
+        let pre = optimize_with_stats(
+            &mut module("int main() { return 0; }"),
+            OptLevel::PreInstrument,
+        );
+        assert_eq!(
+            pre.checks_eliminated, 0,
+            "pre-instrument runs no check elimination"
+        );
     }
 
     #[test]

@@ -8,7 +8,11 @@ use std::fmt;
 pub fn print_module(m: &Module, f: &mut fmt::Formatter<'_>) -> fmt::Result {
     writeln!(f, "; module {}", m.name)?;
     for (i, g) in m.globals.iter().enumerate() {
-        write!(f, "@{} = global \"{}\" size {} align {}", i, g.name, g.size, g.align)?;
+        write!(
+            f,
+            "@{} = global \"{}\" size {} align {}",
+            i, g.name, g.size, g.align
+        )?;
         if !g.ptr_slots.is_empty() {
             write!(f, " ptr_slots {:?}", g.ptr_slots)?;
         }
@@ -59,11 +63,30 @@ fn print_function(idx: usize, func: &Function, f: &mut fmt::Formatter<'_>) -> fm
 /// Formats a single instruction.
 pub fn fmt_inst(inst: &Inst) -> String {
     match inst {
-        Inst::Bin { dst, op, k, lhs, rhs } => {
+        Inst::Bin {
+            dst,
+            op,
+            k,
+            lhs,
+            rhs,
+        } => {
             format!("r{} = {:?}.{:?} {}, {}", dst.0, op, k, val(lhs), val(rhs))
         }
-        Inst::Cmp { dst, op, k, lhs, rhs } => {
-            format!("r{} = cmp.{:?}.{:?} {}, {}", dst.0, op, k, val(lhs), val(rhs))
+        Inst::Cmp {
+            dst,
+            op,
+            k,
+            lhs,
+            rhs,
+        } => {
+            format!(
+                "r{} = cmp.{:?}.{:?} {}, {}",
+                dst.0,
+                op,
+                k,
+                val(lhs),
+                val(rhs)
+            )
         }
         Inst::Cast { dst, k, src } => format!("r{} = cast.{:?} {}", dst.0, k, val(src)),
         Inst::Mov { dst, src } => format!("r{} = {}", dst.0, val(src)),
@@ -83,14 +106,30 @@ pub fn fmt_inst(inst: &Inst) -> String {
         Inst::Store { mem, addr, value } => {
             format!("store.{:?} [{}], {}", mem, val(addr), val(value))
         }
-        Inst::Gep { dst, base, index, scale, offset, field_size } => {
-            let mut s = format!("r{} = gep {} + {}*{} + {}", dst.0, val(base), val(index), scale, offset);
+        Inst::Gep {
+            dst,
+            base,
+            index,
+            scale,
+            offset,
+            field_size,
+        } => {
+            let mut s = format!(
+                "r{} = gep {} + {}*{} + {}",
+                dst.0,
+                val(base),
+                val(index),
+                scale,
+                offset
+            );
             if let Some(fs) = field_size {
                 s.push_str(&format!(" [field:{fs}]"));
             }
             s
         }
-        Inst::Call { dsts, callee, args, .. } => {
+        Inst::Call {
+            dsts, callee, args, ..
+        } => {
             let d: Vec<String> = dsts.iter().map(|r| format!("r{}", r.0)).collect();
             let a: Vec<String> = args.iter().map(val).collect();
             let c = match callee {
@@ -118,7 +157,11 @@ pub fn fmt_inst(inst: &Inst) -> String {
             format!("ret {}", v.join(", "))
         }
         Inst::Jmp { to } => format!("jmp b{}", to.0),
-        Inst::Br { cond, then_to, else_to } => {
+        Inst::Br {
+            cond,
+            then_to,
+            else_to,
+        } => {
             format!("br {} ? b{} : b{}", val(cond), then_to.0, else_to.0)
         }
         Inst::Unreachable => "unreachable".into(),

@@ -40,7 +40,25 @@ pub fn verify(m: &Module) -> Result<(), VerifyError> {
 }
 
 fn err(f: &Function, msg: impl Into<String>) -> VerifyError {
-    VerifyError { func: f.name.clone(), msg: msg.into() }
+    VerifyError {
+        func: f.name.clone(),
+        msg: msg.into(),
+    }
+}
+
+/// Required argument count of each runtime helper. Instrumentation
+/// passes and the post-instrument optimizer (which rewrites `Rt`
+/// instructions during check elimination) must both preserve these.
+fn rt_arg_count(rt: RtFn) -> usize {
+    match rt {
+        RtFn::SbCheck { .. } | RtFn::MsccCheck { .. } | RtFn::FatCheck { .. } => 4,
+        RtFn::SbMetaStore | RtFn::SbMemcpyMeta | RtFn::MsccMetaStore | RtFn::SbFnCheck => 3,
+        RtFn::SbMetaClear
+        | RtFn::ObjCheckArith
+        | RtFn::ObjCheckDeref { .. }
+        | RtFn::VgCheck { .. } => 2,
+        RtFn::SbMetaLoad | RtFn::SbVaCheck | RtFn::MsccMetaLoad | RtFn::MsccVaCheck => 1,
+    }
 }
 
 fn verify_fn(m: &Module, f: &Function) -> Result<(), VerifyError> {
@@ -102,53 +120,70 @@ fn verify_fn(m: &Module, f: &Function) -> Result<(), VerifyError> {
                 Inst::Jmp { to } if to.0 >= nblocks => {
                     return Err(err(f, format!("jump target b{} out of range", to.0)));
                 }
-                Inst::Br { then_to, else_to, .. }
-                    if then_to.0 >= nblocks || else_to.0 >= nblocks =>
-                {
+                Inst::Br {
+                    then_to, else_to, ..
+                } if then_to.0 >= nblocks || else_to.0 >= nblocks => {
                     return Err(err(f, "branch target out of range"));
                 }
-                Inst::Ret { vals } => {
-                    if vals.len() != f.ret_kinds.len() {
+                Inst::Ret { vals } if vals.len() != f.ret_kinds.len() => {
+                    return Err(err(
+                        f,
+                        format!(
+                            "ret arity {} does not match signature {}",
+                            vals.len(),
+                            f.ret_kinds.len()
+                        ),
+                    ));
+                }
+                Inst::Call {
+                    dsts,
+                    callee: Callee::Direct(fid),
+                    args,
+                    ..
+                } => {
+                    if fid.0 as usize >= m.funcs.len() {
+                        return Err(err(f, "call target out of range"));
+                    }
+                    let callee_fn = &m.funcs[fid.0 as usize];
+                    if dsts.len() > callee_fn.ret_kinds.len() {
                         return Err(err(
                             f,
                             format!(
-                                "ret arity {} does not match signature {}",
-                                vals.len(),
-                                f.ret_kinds.len()
+                                "call to `{}` binds {} results but callee returns {}",
+                                callee_fn.name,
+                                dsts.len(),
+                                callee_fn.ret_kinds.len()
                             ),
                         ));
                     }
-                }
-                Inst::Call { dsts, callee, args, .. } => {
-                    if let Callee::Direct(fid) = callee {
-                        if fid.0 as usize >= m.funcs.len() {
-                            return Err(err(f, "call target out of range"));
-                        }
-                        let callee_fn = &m.funcs[fid.0 as usize];
-                        if dsts.len() > callee_fn.ret_kinds.len() {
-                            return Err(err(
-                                f,
-                                format!(
-                                    "call to `{}` binds {} results but callee returns {}",
-                                    callee_fn.name,
-                                    dsts.len(),
-                                    callee_fn.ret_kinds.len()
-                                ),
-                            ));
-                        }
-                        if args.len() < callee_fn.params.len() && callee_fn.defined {
-                            return Err(err(
-                                f,
-                                format!("call to `{}` passes too few arguments", callee_fn.name),
-                            ));
-                        }
+                    if args.len() < callee_fn.params.len() && callee_fn.defined {
+                        return Err(err(
+                            f,
+                            format!("call to `{}` passes too few arguments", callee_fn.name),
+                        ));
                     }
                 }
-                Inst::Rt { dsts, rt, .. } => {
+                Inst::Rt { dsts, rt, args } => {
                     if dsts.len() != rt.result_count() {
                         return Err(err(
                             f,
-                            format!("rt call {:?} binds {} results, expects {}", rt, dsts.len(), rt.result_count()),
+                            format!(
+                                "rt call {:?} binds {} results, expects {}",
+                                rt,
+                                dsts.len(),
+                                rt.result_count()
+                            ),
+                        ));
+                    }
+                    if args.len() != rt_arg_count(*rt) {
+                        return Err(err(
+                            f,
+                            format!(
+                                "rt call {:?} passes {} args, expects {}",
+                                rt,
+                                args.len(),
+                                rt_arg_count(*rt)
+                            ),
                         ));
                     }
                 }
@@ -191,7 +226,10 @@ mod tests {
         let mut m = module("int main() { return 0; }");
         let f = m.funcs.iter_mut().find(|f| f.name == "main").expect("main");
         f.blocks[0].insts.pop();
-        f.blocks[0].insts.push(Inst::Mov { dst: RegId(0), src: Value::Const(1) });
+        f.blocks[0].insts.push(Inst::Mov {
+            dst: RegId(0),
+            src: Value::Const(1),
+        });
         // Need a register to exist for the Mov.
         if f.reg_kinds.is_empty() {
             f.reg_kinds.push(RegKind::Int);
@@ -212,7 +250,13 @@ mod tests {
     fn detects_out_of_range_register() {
         let mut m = module("int main() { return 0; }");
         let f = m.funcs.iter_mut().find(|f| f.name == "main").expect("main");
-        f.blocks[0].insts.insert(0, Inst::Mov { dst: RegId(1000), src: Value::Const(0) });
+        f.blocks[0].insts.insert(
+            0,
+            Inst::Mov {
+                dst: RegId(1000),
+                src: Value::Const(0),
+            },
+        );
         assert!(verify(&m).is_err());
     }
 
@@ -222,8 +266,29 @@ mod tests {
         let f = m.funcs.iter_mut().find(|f| f.name == "main").expect("main");
         f.blocks[0].insts.insert(
             0,
-            Inst::Rt { dsts: vec![], rt: RtFn::SbMetaLoad, args: vec![Value::Const(0)] },
+            Inst::Rt {
+                dsts: vec![],
+                rt: RtFn::SbMetaLoad,
+                args: vec![Value::Const(0)],
+            },
         );
         assert!(verify(&m).is_err());
+    }
+
+    #[test]
+    fn detects_rt_argument_count_mismatch() {
+        let mut m = module("int main() { return 0; }");
+        let f = m.funcs.iter_mut().find(|f| f.name == "main").expect("main");
+        // A check missing its size operand must be rejected.
+        f.blocks[0].insts.insert(
+            0,
+            Inst::Rt {
+                dsts: vec![],
+                rt: RtFn::SbCheck { is_store: false },
+                args: vec![Value::Const(0), Value::Const(0), Value::Const(0)],
+            },
+        );
+        let e = verify(&m).expect_err("short arg list rejected");
+        assert!(e.msg.contains("expects 4"), "{e}");
     }
 }

@@ -157,6 +157,13 @@ impl<'m> Machine<'m> {
         let cache = cfg.cache.map(CacheSim::new);
         let heap = Heap::new(cfg.redzone);
         let fuel = cfg.fuel;
+        // Touched-table addresses are only recorded when a cache model
+        // consumes them; otherwise every runtime-helper call (checks,
+        // metadata accesses) runs without touching the scratch buffer.
+        let ctx = RtCtx {
+            record_touched: cache.is_some(),
+            ..RtCtx::default()
+        };
         let mut m = Machine {
             module,
             mem: Mem::new(),
@@ -172,7 +179,7 @@ impl<'m> Machine<'m> {
             stack_top: STACK_BASE,
             frames: Vec::new(),
             setjmps: Vec::new(),
-            ctx: RtCtx::default(),
+            ctx,
             fuel,
             frame_serial: 0,
         };
@@ -206,11 +213,15 @@ impl<'m> Machine<'m> {
             for (off, init) in &g.init {
                 match init {
                     sb_ir::GInit::Bytes(b) => {
-                        self.mem.write(base + off, b).expect("global segment mapped");
+                        self.mem
+                            .write(base + off, b)
+                            .expect("global segment mapped");
                     }
                     sb_ir::GInit::GlobalAddr { id, offset } => {
                         let v = self.global_addrs[id.0 as usize] + offset;
-                        self.mem.write_uint(base + off, 8, v).expect("global segment mapped");
+                        self.mem
+                            .write_uint(base + off, 8, v)
+                            .expect("global segment mapped");
                     }
                     sb_ir::GInit::FuncAddr(fid) => {
                         self.mem
@@ -223,7 +234,8 @@ impl<'m> Machine<'m> {
         // Lifecycle events after everything is laid out.
         for (i, g) in self.module.globals.iter().enumerate() {
             self.ctx.reset(0);
-            self.hooks.on_global(self.global_addrs[i], g.size, &mut self.ctx);
+            self.hooks
+                .on_global(self.global_addrs[i], g.size, &mut self.ctx);
         }
     }
 
@@ -244,7 +256,12 @@ impl<'m> Machine<'m> {
             let fp_slot = off.div_ceil(8) * 8;
             let token_slot = fp_slot + 8;
             let size = (token_slot + 8).div_ceil(16) * 16;
-            self.plans.push(FramePlan { allocas, fp_slot, token_slot, size });
+            self.plans.push(FramePlan {
+                allocas,
+                fp_slot,
+                token_slot,
+                size,
+            });
         }
     }
 
@@ -463,9 +480,7 @@ impl<'m> Machine<'m> {
         match v {
             Value::Reg(r) => self.frames.last().expect("frame").regs[r.0 as usize],
             Value::Const(c) => *c,
-            Value::GlobalAddr { id, offset } => {
-                (self.global_addrs[id.0 as usize] + offset) as i64
-            }
+            Value::GlobalAddr { id, offset } => (self.global_addrs[id.0 as usize] + offset) as i64,
             Value::FuncAddr(f) => fn_addr(f.0) as i64,
         }
     }
@@ -490,7 +505,13 @@ impl<'m> Machine<'m> {
 
         let cost = &self.cfg.cost;
         match inst {
-            Inst::Bin { dst, op, k, lhs, rhs } => {
+            Inst::Bin {
+                dst,
+                op,
+                k,
+                lhs,
+                rhs,
+            } => {
                 let a = self.val(lhs);
                 let b = self.val(rhs);
                 let v = eval_bin(*op, *k, a, b).ok_or(Trap::DivByZero)?;
@@ -501,7 +522,13 @@ impl<'m> Machine<'m> {
                 };
                 self.set_reg(*dst, v);
             }
-            Inst::Cmp { dst, op, k, lhs, rhs } => {
+            Inst::Cmp {
+                dst,
+                op,
+                k,
+                lhs,
+                rhs,
+            } => {
                 let a = self.val(lhs);
                 let b = self.val(rhs);
                 self.stats.cycles += cost.cmp;
@@ -547,7 +574,14 @@ impl<'m> Machine<'m> {
                 self.stats.cycles += cost.store;
                 self.touch(a);
             }
-            Inst::Gep { dst, base, index, scale, offset, .. } => {
+            Inst::Gep {
+                dst,
+                base,
+                index,
+                scale,
+                offset,
+                ..
+            } => {
                 let b = self.val(base);
                 let i = self.val(index);
                 let v = b
@@ -562,7 +596,11 @@ impl<'m> Machine<'m> {
                 f.block = to.0;
                 f.idx = 0;
             }
-            Inst::Br { cond, then_to, else_to } => {
+            Inst::Br {
+                cond,
+                then_to,
+                else_to,
+            } => {
                 let c = self.val(cond);
                 self.stats.cycles += cost.branch;
                 let to = if c != 0 { *then_to } else { *else_to };
@@ -578,27 +616,44 @@ impl<'m> Machine<'m> {
             }
             Inst::Unreachable => return Err(Trap::Unreachable),
             Inst::Rt { dsts, rt, args } => {
-                let avs: Vec<i64> = args.iter().map(|v| self.val(v)).collect();
+                // Runtime helpers take at most 4 operands (SbCheck); a
+                // fixed buffer keeps the check path allocation-free.
+                debug_assert!(args.len() <= 8, "rt call with {} args", args.len());
+                let mut abuf = [0i64; 8];
+                for (i, v) in args.iter().enumerate() {
+                    abuf[i] = self.val(v);
+                }
+                let avs = &abuf[..args.len()];
                 let va = self.frames.last().expect("frame").varargs.len() as u64;
                 self.ctx.reset(va);
                 self.stats.rt_calls += 1;
                 match rt {
-                    RtFn::SbCheck { .. } | RtFn::ObjCheckDeref { .. } | RtFn::VgCheck { .. }
-                    | RtFn::MsccCheck { .. } | RtFn::ObjCheckArith | RtFn::SbFnCheck => {
+                    RtFn::SbCheck { .. }
+                    | RtFn::ObjCheckDeref { .. }
+                    | RtFn::VgCheck { .. }
+                    | RtFn::MsccCheck { .. }
+                    | RtFn::ObjCheckArith
+                    | RtFn::SbFnCheck => {
                         self.stats.checks += 1;
                     }
                     RtFn::SbMetaLoad | RtFn::MsccMetaLoad => self.stats.meta_loads += 1,
                     RtFn::SbMetaStore | RtFn::MsccMetaStore => self.stats.meta_stores += 1,
                     _ => {}
                 }
-                let res = self.hooks.rt_call(*rt, &avs, &mut self.mem, &mut self.ctx);
+                let res = self.hooks.rt_call(*rt, avs, &mut self.mem, &mut self.ctx);
                 self.charge_ctx();
                 let vals = res?;
                 for (i, d) in dsts.iter().enumerate() {
                     self.set_reg(*d, vals[i]);
                 }
             }
-            Inst::Call { dsts, callee, args, ptr_hint, wrapped } => {
+            Inst::Call {
+                dsts,
+                callee,
+                args,
+                ptr_hint,
+                wrapped,
+            } => {
                 let avs: Vec<i64> = args.iter().map(|v| self.val(v)).collect();
                 match callee {
                     Callee::Direct(fid) => {
@@ -615,8 +670,7 @@ impl<'m> Machine<'m> {
                         self.push_frame(FuncId(fi), &avs, dsts.clone())?;
                     }
                     Callee::Builtin(b) => {
-                        let flow =
-                            self.builtin(*b, dsts, &avs, *ptr_hint, *wrapped)?;
+                        let flow = self.builtin(*b, dsts, &avs, *ptr_hint, *wrapped)?;
                         if !matches!(flow, Flow::Continue) {
                             return Ok(flow);
                         }
@@ -649,7 +703,11 @@ impl<'m> Machine<'m> {
         let check_range = |lo: u64, len: u64, base: i64, bound: i64| -> Result<(), Trap> {
             let (base, bound) = (base as u64, bound as u64);
             if lo < base || lo + len > bound {
-                Err(Trap::SpatialViolation { scheme: "softbound-wrapper", addr: lo, write: true })
+                Err(Trap::SpatialViolation {
+                    scheme: "softbound-wrapper",
+                    addr: lo,
+                    write: true,
+                })
             } else {
                 Ok(())
             }
@@ -806,11 +864,15 @@ impl<'m> Machine<'m> {
                 self.hook_range(args[0] as u64, a.len() as u64 + 1, false)?;
                 self.hook_range(args[1] as u64, c.len() as u64 + 1, false)?;
                 self.stats.cycles += 2 + a.len().min(c.len()) as u64;
-                set(self, 0, match a.cmp(&c) {
-                    std::cmp::Ordering::Less => -1,
-                    std::cmp::Ordering::Equal => 0,
-                    std::cmp::Ordering::Greater => 1,
-                });
+                set(
+                    self,
+                    0,
+                    match a.cmp(&c) {
+                        std::cmp::Ordering::Less => -1,
+                        std::cmp::Ordering::Equal => 0,
+                        std::cmp::Ordering::Greater => 1,
+                    },
+                );
             }
             Builtin::Printf => {
                 let n = self.printf(args, wrapped)?;
@@ -873,9 +935,7 @@ impl<'m> Machine<'m> {
                         return Err(Trap::CorruptedJmpBuf);
                     }
                     let jp = &self.setjmps[idx];
-                    if jp.depth >= self.frames.len()
-                        || self.frames[jp.depth].serial != jp.serial
-                    {
+                    if jp.depth >= self.frames.len() || self.frames[jp.depth].serial != jp.serial {
                         return Err(Trap::DeadJmpBuf);
                     }
                     // Unwind to the setjmp frame.
@@ -954,9 +1014,15 @@ impl<'m> Machine<'m> {
     /// libc-interposition point used by object-table and addressability
     /// schemes).
     fn hook_range(&mut self, ptr: u64, len: u64, is_store: bool) -> Result<(), Trap> {
-        let va = self.frames.last().map(|f| f.varargs.len() as u64).unwrap_or(0);
+        let va = self
+            .frames
+            .last()
+            .map(|f| f.varargs.len() as u64)
+            .unwrap_or(0);
         self.ctx.reset(va);
-        let r = self.hooks.check_builtin_range(ptr, len, is_store, &mut self.ctx);
+        let r = self
+            .hooks
+            .check_builtin_range(ptr, len, is_store, &mut self.ctx);
         self.charge_ctx();
         r
     }
@@ -985,7 +1051,11 @@ impl<'m> Machine<'m> {
         let fmt_ptr = args[0] as u64;
         let fmt = self.mem.read_cstr(fmt_ptr, 1 << 16)?;
         // In wrapper mode the last two args are the fmt bounds.
-        let va_end = if wrapped { args.len().saturating_sub(2) } else { args.len() };
+        let va_end = if wrapped {
+            args.len().saturating_sub(2)
+        } else {
+            args.len()
+        };
         if wrapped {
             let (base, bound) = (args[va_end] as u64, args[va_end + 1] as u64);
             let lo = fmt_ptr;
@@ -1058,11 +1128,11 @@ impl<'m> Machine<'m> {
             let pad = width.saturating_sub(piece.len());
             if pad > 0 && !left {
                 let fill = if zero { b'0' } else { b' ' };
-                out.extend(std::iter::repeat(fill).take(pad));
+                out.extend(std::iter::repeat_n(fill, pad));
             }
             out.extend_from_slice(&piece);
             if pad > 0 && left {
-                out.extend(std::iter::repeat(b' ').take(pad));
+                out.extend(std::iter::repeat_n(b' ', pad));
             }
         }
         self.stats.cycles += 10 + out.len() as u64;
@@ -1116,7 +1186,10 @@ mod tests {
         let r = run(src);
         match r.outcome {
             Outcome::Finished { ret } => ret,
-            other => panic!("expected normal finish, got {other:?}; output: {}", r.output),
+            other => panic!(
+                "expected normal finish, got {other:?}; output: {}",
+                r.output
+            ),
         }
     }
 
@@ -1124,14 +1197,23 @@ mod tests {
     fn arithmetic() {
         assert_eq!(ret("int main() { return 2 + 3 * 4 - 6 / 2; }"), 11);
         assert_eq!(ret("int main() { int x = -7; return x % 3; }"), -1);
-        assert_eq!(ret("int main() { unsigned int x = 0 - 1; return x > 100; }"), 1);
+        assert_eq!(
+            ret("int main() { unsigned int x = 0 - 1; return x > 100; }"),
+            1
+        );
     }
 
     #[test]
     fn int_wrapping() {
-        assert_eq!(ret("int main() { int x = 2147483647; return x + 1 < 0; }"), 1);
+        assert_eq!(
+            ret("int main() { int x = 2147483647; return x + 1 < 0; }"),
+            1
+        );
         assert_eq!(ret("int main() { char c = 200; return c < 0; }"), 1);
-        assert_eq!(ret("int main() { unsigned char c = 200; return c > 0; }"), 1);
+        assert_eq!(
+            ret("int main() { unsigned char c = 200; return c > 0; }"),
+            1
+        );
     }
 
     #[test]
@@ -1296,7 +1378,11 @@ mod tests {
     #[test]
     fn wild_unmapped_store_faults() {
         let r = run("int main() { *(int*)123456789 = 1; return 0; }");
-        assert!(matches!(r.outcome, Outcome::Trapped(Trap::MemFault { .. })), "{:?}", r.outcome);
+        assert!(
+            matches!(r.outcome, Outcome::Trapped(Trap::MemFault { .. })),
+            "{:?}",
+            r.outcome
+        );
     }
 
     #[test]
@@ -1307,8 +1393,14 @@ mod tests {
 
     #[test]
     fn abort_exit_assert() {
-        assert!(matches!(run("int main() { abort(); return 0; }").outcome, Outcome::Trapped(Trap::Abort)));
-        assert!(matches!(run("int main() { exit(42); return 0; }").outcome, Outcome::Exited { code: 42 }));
+        assert!(matches!(
+            run("int main() { abort(); return 0; }").outcome,
+            Outcome::Trapped(Trap::Abort)
+        ));
+        assert!(matches!(
+            run("int main() { exit(42); return 0; }").outcome,
+            Outcome::Exited { code: 42 }
+        ));
         assert!(matches!(
             run("int main() { assert(1 == 2); return 0; }").outcome,
             Outcome::Trapped(Trap::AssertFail)
@@ -1340,7 +1432,11 @@ mod tests {
             int setter() { return setjmp(jb); }
             int main() { setter(); longjmp(jb, 1); return 0; }
         "#);
-        assert!(matches!(r.outcome, Outcome::Trapped(Trap::DeadJmpBuf)), "{:?}", r.outcome);
+        assert!(
+            matches!(r.outcome, Outcome::Trapped(Trap::DeadJmpBuf)),
+            "{:?}",
+            r.outcome
+        );
     }
 
     #[test]
@@ -1377,7 +1473,11 @@ mod tests {
             }
             int main() { vulnerable(); return 0; }
         "#);
-        assert!(matches!(r.outcome, Outcome::Trapped(Trap::CorruptedReturn)), "{:?}", r.outcome);
+        assert!(
+            matches!(r.outcome, Outcome::Trapped(Trap::CorruptedReturn)),
+            "{:?}",
+            r.outcome
+        );
     }
 
     #[test]
@@ -1396,7 +1496,11 @@ mod tests {
                 return 0;
             }
         "#);
-        assert!(matches!(r.outcome, Outcome::Exited { code: 66 }), "{:?}", r.outcome);
+        assert!(
+            matches!(r.outcome, Outcome::Exited { code: 66 }),
+            "{:?}",
+            r.outcome
+        );
     }
 
     #[test]
@@ -1431,8 +1535,15 @@ mod tests {
             }
         "#);
         assert_eq!(r.ret(), Some(1225));
-        assert!(r.stats.ptr_mem_ops > 0, "pointer loads/stores must be counted");
-        assert!(r.stats.ptr_mem_fraction() > 0.2, "list walk is pointer-heavy: {}", r.stats.ptr_mem_fraction());
+        assert!(
+            r.stats.ptr_mem_ops > 0,
+            "pointer loads/stores must be counted"
+        );
+        assert!(
+            r.stats.ptr_mem_fraction() > 0.2,
+            "list walk is pointer-heavy: {}",
+            r.stats.ptr_mem_fraction()
+        );
         assert!(r.stats.mallocs == 50);
     }
 
@@ -1440,7 +1551,10 @@ mod tests {
     fn fuel_guard() {
         let prog = sb_cir::compile("int main() { while (1) { } return 0; }").expect("compiles");
         let module = sb_ir::lower(&prog, "t");
-        let cfg = MachineConfig { fuel: 10_000, ..MachineConfig::default() };
+        let cfg = MachineConfig {
+            fuel: 10_000,
+            ..MachineConfig::default()
+        };
         let mut m = Machine::new(&module, cfg, Box::new(NoRuntime));
         let r = m.run("main", &[]);
         assert!(matches!(r.outcome, Outcome::Trapped(Trap::FuelExhausted)));
@@ -1461,7 +1575,10 @@ mod tests {
         .expect("compiles");
         let mut module = sb_ir::lower(&prog, "t");
         sb_ir::optimize(&mut module, sb_ir::OptLevel::PreInstrument);
-        let cfg = MachineConfig { cache: Some(CacheConfig::default()), ..MachineConfig::default() };
+        let cfg = MachineConfig {
+            cache: Some(CacheConfig::default()),
+            ..MachineConfig::default()
+        };
         let mut m = Machine::new(&module, cfg, Box::new(NoRuntime));
         let r = m.run("main", &[]);
         assert_eq!(r.ret(), Some(1));
@@ -1506,6 +1623,10 @@ mod tests {
     fn null_free_is_noop_and_bad_free_traps() {
         assert_eq!(ret("int main() { free(NULL); return 1; }"), 1);
         let r = run("int main() { int x; free(&x); return 0; }");
-        assert!(matches!(r.outcome, Outcome::Trapped(Trap::BadFree { .. })), "{:?}", r.outcome);
+        assert!(
+            matches!(r.outcome, Outcome::Trapped(Trap::BadFree { .. })),
+            "{:?}",
+            r.outcome
+        );
     }
 }

@@ -27,8 +27,11 @@ pub mod mem;
 pub mod rt;
 
 pub use interp::{is_code_addr, run_source, Machine, MachineConfig, RunResult};
-pub use mem::{decode_fn_addr, fn_addr, Heap, HeapBlock, Mem, MemFault, FN_BASE, GLOBAL_BASE, HEAP_BASE, PAGE_SIZE, STACK_BASE};
+pub use mem::{
+    decode_fn_addr, fn_addr, Heap, HeapBlock, Mem, MemFault, FN_BASE, GLOBAL_BASE, HEAP_BASE,
+    PAGE_SIZE, STACK_BASE,
+};
 pub use rt::{
-    CacheConfig, CacheSim, CacheStats, CostModel, ExecStats, NoRuntime, Outcome, RtCtx, RtVals,
-    RuntimeHooks, Trap,
+    AccessSink, CacheConfig, CacheSim, CacheStats, CostModel, ExecStats, NoRuntime, NoopSink,
+    Outcome, RtCtx, RtVals, RuntimeHooks, ScratchSink, Trap,
 };

@@ -40,7 +40,7 @@ pub fn fn_addr(index: u32) -> u64 {
 
 /// Decodes a code address back to a function index, if well-formed.
 pub fn decode_fn_addr(addr: u64) -> Option<u32> {
-    if addr >= FN_BASE && (addr - FN_BASE) % FN_STRIDE == 0 {
+    if addr >= FN_BASE && (addr - FN_BASE).is_multiple_of(FN_STRIDE) {
         let idx = (addr - FN_BASE) / FN_STRIDE;
         u32::try_from(idx).ok()
     } else {
@@ -81,7 +81,9 @@ impl Mem {
         let first = addr / PAGE_SIZE;
         let last = (addr + len - 1) / PAGE_SIZE;
         for p in first..=last {
-            self.pages.entry(p).or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]));
+            self.pages
+                .entry(p)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]));
         }
     }
 
@@ -110,7 +112,12 @@ impl Mem {
             let n = ((PAGE_SIZE as usize) - in_page).min(buf.len() - off);
             match self.pages.get(&page) {
                 Some(p) => buf[off..off + n].copy_from_slice(&p[in_page..in_page + n]),
-                None => return Err(MemFault { addr: a, write: false }),
+                None => {
+                    return Err(MemFault {
+                        addr: a,
+                        write: false,
+                    })
+                }
             }
             off += n;
         }
@@ -132,7 +139,12 @@ impl Mem {
             let n = ((PAGE_SIZE as usize) - in_page).min(buf.len() - off);
             match self.pages.get_mut(&page) {
                 Some(p) => p[in_page..in_page + n].copy_from_slice(&buf[off..off + n]),
-                None => return Err(MemFault { addr: a, write: true }),
+                None => {
+                    return Err(MemFault {
+                        addr: a,
+                        write: true,
+                    })
+                }
             }
             off += n;
         }
@@ -274,7 +286,10 @@ impl Heap {
         let size = self.live.remove(&addr)?;
         self.free_count += 1;
         self.live_bytes -= size;
-        self.free.entry(Self::class_of(size)).or_default().push(addr);
+        self.free
+            .entry(Self::class_of(size))
+            .or_default()
+            .push(addr);
         Some(size)
     }
 
@@ -285,7 +300,9 @@ impl Heap {
 
     /// Iterates over live blocks.
     pub fn live_blocks(&self) -> impl Iterator<Item = HeapBlock> + '_ {
-        self.live.iter().map(|(&addr, &size)| HeapBlock { addr, size })
+        self.live
+            .iter()
+            .map(|(&addr, &size)| HeapBlock { addr, size })
     }
 
     /// True if `addr` falls inside a live user block (used by the
@@ -308,7 +325,8 @@ mod tests {
     fn rw_roundtrip() {
         let mut m = Mem::new();
         m.map_range(0x1000, 64);
-        m.write_uint(0x1008, 8, 0xdead_beef_cafe_f00d).expect("write");
+        m.write_uint(0x1008, 8, 0xdead_beef_cafe_f00d)
+            .expect("write");
         assert_eq!(m.read_uint(0x1008, 8).expect("read"), 0xdead_beef_cafe_f00d);
         assert_eq!(m.read_uint(0x1008, 4).expect("read"), 0xcafe_f00d);
         assert_eq!(m.read_uint(0x1008, 1).expect("read"), 0x0d);
@@ -318,7 +336,8 @@ mod tests {
     fn cross_page_access() {
         let mut m = Mem::new();
         m.map_range(PAGE_SIZE - 4, 8);
-        m.write_uint(PAGE_SIZE - 4, 8, u64::MAX).expect("write spans pages");
+        m.write_uint(PAGE_SIZE - 4, 8, u64::MAX)
+            .expect("write spans pages");
         assert_eq!(m.read_uint(PAGE_SIZE - 4, 8).expect("read"), u64::MAX);
     }
 
@@ -327,16 +346,27 @@ mod tests {
         let mut m = Mem::new();
         assert_eq!(
             m.read_uint(0x5000, 8),
-            Err(MemFault { addr: 0x5000, write: false })
+            Err(MemFault {
+                addr: 0x5000,
+                write: false
+            })
         );
-        assert_eq!(m.write_uint(0x5000, 8, 1), Err(MemFault { addr: 0x5000, write: true }));
+        assert_eq!(
+            m.write_uint(0x5000, 8, 1),
+            Err(MemFault {
+                addr: 0x5000,
+                write: true
+            })
+        );
     }
 
     #[test]
     fn partial_cross_page_fault_reports_address() {
         let mut m = Mem::new();
         m.map_range(0, PAGE_SIZE); // only page 0
-        let e = m.write_uint(PAGE_SIZE - 2, 4, 0).expect_err("faults on page 1");
+        let e = m
+            .write_uint(PAGE_SIZE - 2, 4, 0)
+            .expect_err("faults on page 1");
         assert_eq!(e.addr, PAGE_SIZE);
         assert!(e.write);
     }
@@ -396,7 +426,10 @@ mod tests {
         let mut h = Heap::new(16);
         let a = h.alloc(&mut mem, 32).expect("alloc");
         let b = h.alloc(&mut mem, 32).expect("alloc");
-        assert!(b >= a + 32 + 32, "redzones keep blocks apart (a={a:#x}, b={b:#x})");
+        assert!(
+            b >= a + 32 + 32,
+            "redzones keep blocks apart (a={a:#x}, b={b:#x})"
+        );
     }
 
     #[test]

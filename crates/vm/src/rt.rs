@@ -64,7 +64,11 @@ pub enum Trap {
 impl fmt::Display for Trap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Trap::SpatialViolation { scheme, addr, write } => write!(
+            Trap::SpatialViolation {
+                scheme,
+                addr,
+                write,
+            } => write!(
                 f,
                 "{scheme}: spatial memory violation ({} at {addr:#x})",
                 if *write { "store" } else { "load" }
@@ -95,7 +99,10 @@ impl std::error::Error for Trap {}
 
 impl From<MemFault> for Trap {
     fn from(e: MemFault) -> Self {
-        Trap::MemFault { addr: e.addr, write: e.write }
+        Trap::MemFault {
+            addr: e.addr,
+            write: e.write,
+        }
     }
 }
 
@@ -272,7 +279,12 @@ impl Default for CacheConfig {
     fn default() -> Self {
         // 32 KiB, 64 B lines, 8-way, 30-cycle miss penalty: a Core 2-era
         // L1D (the paper's evaluation machine is a 2.66 GHz Core 2).
-        CacheConfig { size: 32 * 1024, line: 64, ways: 8, miss_penalty: 30 }
+        CacheConfig {
+            size: 32 * 1024,
+            line: 64,
+            ways: 8,
+            miss_penalty: 30,
+        }
     }
 }
 
@@ -292,7 +304,11 @@ impl CacheSim {
     /// Creates a cache from a config.
     pub fn new(cfg: CacheConfig) -> Self {
         let nsets = (cfg.size / (cfg.line * cfg.ways)).max(1) as usize;
-        CacheSim { cfg, sets: vec![Vec::new(); nsets], stats: CacheStats::default() }
+        CacheSim {
+            cfg,
+            sets: vec![Vec::new(); nsets],
+            stats: CacheStats::default(),
+        }
     }
 
     /// Touches `addr`; returns the extra cycles (0 on hit, `miss_penalty`
@@ -317,6 +333,89 @@ impl CacheSim {
     }
 }
 
+/// Consumer of metadata-access side effects: cost in x86-equivalent
+/// instructions and the simulated table addresses the access touched.
+///
+/// This replaces the old `(cost: &mut u64, touched: &mut Vec<u64>)`
+/// out-parameter convention. Implementations decide what to retain:
+/// [`RtCtx`] records cost always and addresses only when a cache model
+/// consumes them, [`ScratchSink`] is a reusable recorder for tests, and
+/// [`NoopSink`] discards everything (pure data-structure benchmarks).
+pub trait AccessSink {
+    /// Adds `cost` x86-equivalent instructions.
+    fn add_cost(&mut self, cost: u64);
+
+    /// Reports a touched simulated metadata-table address.
+    fn touch(&mut self, table_addr: u64);
+
+    /// Reports one complete metadata access — cost plus the table
+    /// address it touched — in a single virtual dispatch. This is the
+    /// facilities' hot-path entry point; the split methods remain for
+    /// callers that only have one half to report.
+    fn record(&mut self, cost: u64, table_addr: u64) {
+        self.add_cost(cost);
+        if self.wants_addresses() {
+            self.touch(table_addr);
+        }
+    }
+
+    /// True when [`touch`](AccessSink::touch) addresses are consumed —
+    /// lets facilities skip work that only feeds the cache model.
+    fn wants_addresses(&self) -> bool {
+        true
+    }
+}
+
+/// Sink that discards cost and addresses (for benchmarking the bare data
+/// structures).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl AccessSink for NoopSink {
+    fn add_cost(&mut self, _cost: u64) {}
+
+    fn touch(&mut self, _table_addr: u64) {}
+
+    fn record(&mut self, _cost: u64, _table_addr: u64) {}
+
+    fn wants_addresses(&self) -> bool {
+        false
+    }
+}
+
+/// Reusable recorder of cost and touched addresses (tests and
+/// cost-accounting harnesses).
+#[derive(Debug, Default)]
+pub struct ScratchSink {
+    /// Accumulated cost.
+    pub cost: u64,
+    /// Touched simulated table addresses, in order.
+    pub touched: Vec<u64>,
+}
+
+impl ScratchSink {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears the recorder for reuse (keeps the buffer).
+    pub fn reset(&mut self) {
+        self.cost = 0;
+        self.touched.clear();
+    }
+}
+
+impl AccessSink for ScratchSink {
+    fn add_cost(&mut self, cost: u64) {
+        self.cost += cost;
+    }
+
+    fn touch(&mut self, table_addr: u64) {
+        self.touched.push(table_addr);
+    }
+}
+
 /// Scratch context handed to [`RuntimeHooks`] calls: the hook reports its
 /// cost and the memory addresses it touched (for the cache model), and can
 /// read VM facts (current vararg count).
@@ -326,6 +425,10 @@ pub struct RtCtx {
     pub cost: u64,
     /// Addresses the helper touched (metadata tables); fed to the cache.
     pub touched: Vec<u64>,
+    /// True when a cache model is installed and consumes [`Self::touched`];
+    /// when false, [`AccessSink::touch`] is a no-op, so the interpreter's
+    /// check path does no per-access buffer work at all.
+    pub record_touched: bool,
     /// Number of variadic arguments of the current frame (for `SbVaCheck`).
     pub vararg_count: u64,
 }
@@ -336,6 +439,22 @@ impl RtCtx {
         self.cost = 0;
         self.touched.clear();
         self.vararg_count = vararg_count;
+    }
+}
+
+impl AccessSink for RtCtx {
+    fn add_cost(&mut self, cost: u64) {
+        self.cost += cost;
+    }
+
+    fn touch(&mut self, table_addr: u64) {
+        if self.record_touched {
+            self.touched.push(table_addr);
+        }
+    }
+
+    fn wants_addresses(&self) -> bool {
+        self.record_touched
     }
 }
 
@@ -440,7 +559,11 @@ mod tests {
 
     #[test]
     fn trap_display() {
-        let t = Trap::SpatialViolation { scheme: "softbound", addr: 0x1234, write: true };
+        let t = Trap::SpatialViolation {
+            scheme: "softbound",
+            addr: 0x1234,
+            write: true,
+        };
         assert!(t.to_string().contains("softbound"));
         assert!(t.to_string().contains("store"));
     }
@@ -456,7 +579,10 @@ mod tests {
             write: false
         })
         .is_spatial_violation());
-        assert!(!Outcome::Hijacked { target: "evil".into() }.is_success());
+        assert!(!Outcome::Hijacked {
+            target: "evil".into()
+        }
+        .is_success());
     }
 
     #[test]
@@ -471,7 +597,12 @@ mod tests {
 
     #[test]
     fn cache_hits_and_misses() {
-        let mut c = CacheSim::new(CacheConfig { size: 128, line: 64, ways: 1, miss_penalty: 10 });
+        let mut c = CacheSim::new(CacheConfig {
+            size: 128,
+            line: 64,
+            ways: 1,
+            miss_penalty: 10,
+        });
         assert_eq!(c.access(0), 10, "cold miss");
         assert_eq!(c.access(8), 0, "same line hits");
         assert_eq!(c.access(64), 10, "different set");
@@ -485,7 +616,12 @@ mod tests {
 
     #[test]
     fn cache_lru_within_set() {
-        let mut c = CacheSim::new(CacheConfig { size: 256, line: 64, ways: 2, miss_penalty: 1 });
+        let mut c = CacheSim::new(CacheConfig {
+            size: 256,
+            line: 64,
+            ways: 2,
+            miss_penalty: 1,
+        });
         // 2 sets × 2 ways. Lines 0,2,4 all map to set 0.
         c.access(0); // miss
         c.access(128); // miss (line 2, set 0)
@@ -497,8 +633,10 @@ mod tests {
 
     #[test]
     fn rtctx_reuse() {
-        let mut ctx = RtCtx::default();
-        ctx.cost = 9;
+        let mut ctx = RtCtx {
+            cost: 9,
+            ..RtCtx::default()
+        };
         ctx.touched.push(0x10);
         ctx.reset(3);
         assert_eq!(ctx.cost, 0);

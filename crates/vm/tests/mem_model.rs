@@ -15,7 +15,11 @@ enum Op {
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         (0u64..0x8000, 1u64..256).prop_map(|(addr, len)| Op::Map { addr, len }),
-        (0u64..0x8400, prop::sample::select(vec![1u8, 2, 4, 8]), any::<u64>())
+        (
+            0u64..0x8400,
+            prop::sample::select(vec![1u8, 2, 4, 8]),
+            any::<u64>()
+        )
             .prop_map(|(addr, size, val)| Op::Write { addr, size, val }),
         (0u64..0x8400, prop::sample::select(vec![1u8, 2, 4, 8]))
             .prop_map(|(addr, size)| Op::Read { addr, size }),

@@ -88,7 +88,13 @@ pub fn all() -> Vec<Attack> {
     use Technique::*;
     let mut v = Vec::new();
     let mut add = |technique, location, target, source| {
-        v.push(Attack { id: v.len() + 1, technique, location, target, source });
+        v.push(Attack {
+            id: v.len() + 1,
+            technique,
+            location,
+            target,
+            source,
+        });
     };
     // Buffer overflow on stack all the way to the target.
     add(Direct, Stack, ReturnAddr, S1_RET);
@@ -405,7 +411,10 @@ mod tests {
         let attacks = all();
         assert_eq!(attacks.len(), 18);
         let count = |t: Technique, l: Location| {
-            attacks.iter().filter(|a| a.technique == t && a.location == l).count()
+            attacks
+                .iter()
+                .filter(|a| a.technique == t && a.location == l)
+                .count()
         };
         assert_eq!(count(Technique::Direct, Location::Stack), 6);
         assert_eq!(count(Technique::Direct, Location::HeapBssData), 2);

@@ -34,21 +34,111 @@ pub struct Workload {
 /// All benchmarks in Figure 1's sorted order.
 pub fn all() -> Vec<Workload> {
     vec![
-        Workload { name: "go", source: GO, default_arg: 0, spec: true, description: "Go board liberty counting with flood fill over int arrays" },
-        Workload { name: "lbm", source: LBM, default_arg: 0, spec: true, description: "fixed-point lattice-Boltzmann streaming/collision over arrays" },
-        Workload { name: "hmmer", source: HMMER, default_arg: 0, spec: true, description: "Viterbi-style dynamic programming over int matrices" },
-        Workload { name: "compress", source: COMPRESS, default_arg: 0, spec: true, description: "LZW-style compression with array hash tables" },
-        Workload { name: "ijpeg", source: IJPEG, default_arg: 0, spec: true, description: "8x8 integer DCT-like block transforms with quantization" },
-        Workload { name: "bh", source: BH, default_arg: 0, spec: false, description: "Barnes-Hut-style quadtree n-body (fixed point)" },
-        Workload { name: "tsp", source: TSP, default_arg: 0, spec: false, description: "nearest-neighbour tour over a linked list of cities" },
-        Workload { name: "libquantum", source: LIBQUANTUM, default_arg: 0, spec: true, description: "sparse quantum register as a linked amplitude list" },
-        Workload { name: "perimeter", source: PERIMETER, default_arg: 0, spec: false, description: "quadtree perimeter computation" },
-        Workload { name: "health", source: HEALTH, default_arg: 0, spec: false, description: "hospital patient queues (linked lists) simulation" },
-        Workload { name: "bisort", source: BISORT, default_arg: 0, spec: false, description: "binary-tree sort with subtree swaps" },
-        Workload { name: "mst", source: MST, default_arg: 0, spec: false, description: "Prim MST over adjacency linked lists" },
-        Workload { name: "li", source: LI, default_arg: 0, spec: true, description: "cons-cell s-expression interpreter" },
-        Workload { name: "em3d", source: EM3D, default_arg: 0, spec: false, description: "electromagnetic propagation over bipartite node graph" },
-        Workload { name: "treeadd", source: TREEADD, default_arg: 0, spec: false, description: "recursive binary-tree accumulation" },
+        Workload {
+            name: "go",
+            source: GO,
+            default_arg: 0,
+            spec: true,
+            description: "Go board liberty counting with flood fill over int arrays",
+        },
+        Workload {
+            name: "lbm",
+            source: LBM,
+            default_arg: 0,
+            spec: true,
+            description: "fixed-point lattice-Boltzmann streaming/collision over arrays",
+        },
+        Workload {
+            name: "hmmer",
+            source: HMMER,
+            default_arg: 0,
+            spec: true,
+            description: "Viterbi-style dynamic programming over int matrices",
+        },
+        Workload {
+            name: "compress",
+            source: COMPRESS,
+            default_arg: 0,
+            spec: true,
+            description: "LZW-style compression with array hash tables",
+        },
+        Workload {
+            name: "ijpeg",
+            source: IJPEG,
+            default_arg: 0,
+            spec: true,
+            description: "8x8 integer DCT-like block transforms with quantization",
+        },
+        Workload {
+            name: "bh",
+            source: BH,
+            default_arg: 0,
+            spec: false,
+            description: "Barnes-Hut-style quadtree n-body (fixed point)",
+        },
+        Workload {
+            name: "tsp",
+            source: TSP,
+            default_arg: 0,
+            spec: false,
+            description: "nearest-neighbour tour over a linked list of cities",
+        },
+        Workload {
+            name: "libquantum",
+            source: LIBQUANTUM,
+            default_arg: 0,
+            spec: true,
+            description: "sparse quantum register as a linked amplitude list",
+        },
+        Workload {
+            name: "perimeter",
+            source: PERIMETER,
+            default_arg: 0,
+            spec: false,
+            description: "quadtree perimeter computation",
+        },
+        Workload {
+            name: "health",
+            source: HEALTH,
+            default_arg: 0,
+            spec: false,
+            description: "hospital patient queues (linked lists) simulation",
+        },
+        Workload {
+            name: "bisort",
+            source: BISORT,
+            default_arg: 0,
+            spec: false,
+            description: "binary-tree sort with subtree swaps",
+        },
+        Workload {
+            name: "mst",
+            source: MST,
+            default_arg: 0,
+            spec: false,
+            description: "Prim MST over adjacency linked lists",
+        },
+        Workload {
+            name: "li",
+            source: LI,
+            default_arg: 0,
+            spec: true,
+            description: "cons-cell s-expression interpreter",
+        },
+        Workload {
+            name: "em3d",
+            source: EM3D,
+            default_arg: 0,
+            spec: false,
+            description: "electromagnetic propagation over bipartite node graph",
+        },
+        Workload {
+            name: "treeadd",
+            source: TREEADD,
+            default_arg: 0,
+            spec: false,
+            description: "recursive binary-tree accumulation",
+        },
     ]
 }
 
@@ -897,8 +987,21 @@ mod tests {
         assert_eq!(
             names,
             vec![
-                "go", "lbm", "hmmer", "compress", "ijpeg", "bh", "tsp", "libquantum",
-                "perimeter", "health", "bisort", "mst", "li", "em3d", "treeadd"
+                "go",
+                "lbm",
+                "hmmer",
+                "compress",
+                "ijpeg",
+                "bh",
+                "tsp",
+                "libquantum",
+                "perimeter",
+                "health",
+                "bisort",
+                "mst",
+                "li",
+                "em3d",
+                "treeadd"
             ]
         );
     }

@@ -48,28 +48,48 @@ pub fn all() -> Vec<BugProgram> {
             description: "sub-object read overflow: board evaluation reads past an array \
                           nested inside a stack struct (whole-object tools and store-only \
                           checking are blind to it)",
-            expected: Expected { valgrind: false, mudflap: false, store_only: false, full: true },
+            expected: Expected {
+                valgrind: false,
+                mudflap: false,
+                store_only: false,
+                full: true,
+            },
         },
         BugProgram {
             name: "compress",
             source: COMPRESS_BUG,
             description: "global write overflow: the code table writer runs one slot past \
                           a global array (no heap redzones there, so Valgrind misses it)",
-            expected: Expected { valgrind: false, mudflap: true, store_only: true, full: true },
+            expected: Expected {
+                valgrind: false,
+                mudflap: true,
+                store_only: true,
+                full: true,
+            },
         },
         BugProgram {
             name: "polymorph",
             source: POLYMORPH_BUG,
             description: "heap strcpy overflow: a long filename is copied into a \
                           fixed-size heap buffer",
-            expected: Expected { valgrind: true, mudflap: true, store_only: true, full: true },
+            expected: Expected {
+                valgrind: true,
+                mudflap: true,
+                store_only: true,
+                full: true,
+            },
         },
         BugProgram {
             name: "gzip",
             source: GZIP_BUG,
             description: "heap loop write overflow: the output window writer exceeds the \
                           allocated buffer",
-            expected: Expected { valgrind: true, mudflap: true, store_only: true, full: true },
+            expected: Expected {
+                valgrind: true,
+                mudflap: true,
+                store_only: true,
+                full: true,
+            },
         },
     ]
 }
@@ -163,7 +183,12 @@ mod tests {
         let go = by_name("go").expect("exists");
         assert_eq!(
             go.expected,
-            Expected { valgrind: false, mudflap: false, store_only: false, full: true }
+            Expected {
+                valgrind: false,
+                mudflap: false,
+                store_only: false,
+                full: true
+            }
         );
     }
 }

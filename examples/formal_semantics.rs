@@ -16,7 +16,10 @@ fn main() {
     let tenv = TypeEnv::default();
     let env = softbound_repro::formal::Env::with_vars(&[
         ("x", AtomicTy::Int),
-        ("p", AtomicTy::Ptr(Box::new(PointerTy::Atomic(AtomicTy::Int)))),
+        (
+            "p",
+            AtomicTy::Ptr(Box::new(PointerTy::Atomic(AtomicTy::Int))),
+        ),
     ])
     .expect("allocates");
 
@@ -37,8 +40,14 @@ fn main() {
     let mut e1 = env.clone();
     let mut e2 = env.clone();
     println!("program: p = (int*)12345; x = *p;");
-    println!("  plain C semantics:       {:?}   (undefined behaviour = stuck)", eval_plain(&tenv, &mut e1, &forged));
-    println!("  instrumented semantics:  {:?}   (bounds assertion fired)", eval_instrumented(&tenv, &mut e2, &forged));
+    println!(
+        "  plain C semantics:       {:?}   (undefined behaviour = stuck)",
+        eval_plain(&tenv, &mut e1, &forged)
+    );
+    println!(
+        "  instrumented semantics:  {:?}   (bounds assertion fired)",
+        eval_instrumented(&tenv, &mut e2, &forged)
+    );
 
     // Bulk: machine-check the three §4 theorems over random programs.
     let (tenv, env) = universe();

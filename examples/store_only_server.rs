@@ -11,7 +11,10 @@ use softbound_repro::vm::{Machine, MachineConfig, NoRuntime};
 use softbound_repro::workloads::daemons;
 
 fn main() {
-    let daemon = daemons::all().into_iter().find(|d| d.name == "nhttpd").expect("exists");
+    let daemon = daemons::all()
+        .into_iter()
+        .find(|d| d.name == "nhttpd")
+        .expect("exists");
     println!("daemon: {} — {}\n", daemon.name, daemon.description);
 
     // Baseline.
@@ -21,9 +24,15 @@ fn main() {
     let mut machine = Machine::new(&module, MachineConfig::default(), Box::new(NoRuntime));
     let base = machine.run("main", &[20]);
     let base_ret = base.ret().expect("daemon runs");
-    println!("{:<28}cycles {:>10}   checksum {}", "uninstrumented", base.stats.cycles, base_ret);
+    println!(
+        "{:<28}cycles {:>10}   checksum {}",
+        "uninstrumented", base.stats.cycles, base_ret
+    );
 
-    for cfg in [SoftBoundConfig::store_only_shadow(), SoftBoundConfig::full_shadow()] {
+    for cfg in [
+        SoftBoundConfig::store_only_shadow(),
+        SoftBoundConfig::full_shadow(),
+    ] {
         let m = compile_protected(daemon.source, &cfg).expect("compiles unmodified");
         let mut machine = Machine::new(&m, MachineConfig::default(), runtime_for(&cfg));
         let r = machine.run("main", &[20]);

@@ -11,7 +11,10 @@ use softbound::SoftBoundConfig;
 /// jmp_buf (VM-detected) or by a corrupted function pointer being called
 /// "legitimately" (payload exits with 66).
 fn attack_succeeded(outcome: &Outcome) -> bool {
-    matches!(outcome, Outcome::Hijacked { .. } | Outcome::Exited { code: 66 })
+    matches!(
+        outcome,
+        Outcome::Hijacked { .. } | Outcome::Exited { code: 66 }
+    )
 }
 
 #[test]

@@ -47,11 +47,7 @@ fn recipe_strategy() -> impl Strategy<Value = Recipe> {
 /// (0 = write past end, 1 = read past end, 2 = write before start).
 fn render(r: &Recipe, oob: Option<(usize, u8)>) -> String {
     let mut body = String::new();
-    let arrays = [
-        ("g", r.glob_size),
-        ("s", r.stack_size),
-        ("h", r.heap_size),
-    ];
+    let arrays = [("g", r.glob_size), ("s", r.stack_size), ("h", r.heap_size)];
     for (i, (kind, tgt, raw)) in r.ops.iter().enumerate() {
         let (name, size) = arrays[(*tgt as usize) % 3];
         let idx = raw % size;

@@ -226,7 +226,10 @@ fn read_overflow_detected_in_full_missed_in_store_only() {
         }
     "#;
     assert_violation(src, &full_configs());
-    for cfg in [SoftBoundConfig::store_only_shadow(), SoftBoundConfig::store_only_hash()] {
+    for cfg in [
+        SoftBoundConfig::store_only_shadow(),
+        SoftBoundConfig::store_only_hash(),
+    ] {
         let r = protect(src, &cfg, "main", &[]).expect("compiles");
         assert_eq!(
             r.ret(),
@@ -395,8 +398,14 @@ fn separate_compilation_links_and_runs_protected() {
     let app = compile_one(app_src, "app");
     let linked = sb_ir::link(&[app, lib], "prog").expect("links");
     sb_ir::verify(&linked).expect("verifies");
-    let r = softbound::run_instrumented(&linked, &cfg, sb_vm::MachineConfig::default(), "main", &[]);
-    assert_eq!(r.ret(), Some(1), "linked protected program runs: {:?}", r.outcome);
+    let r =
+        softbound::run_instrumented(&linked, &cfg, sb_vm::MachineConfig::default(), "main", &[]);
+    assert_eq!(
+        r.ret(),
+        Some(1),
+        "linked protected program runs: {:?}",
+        r.outcome
+    );
 
     // And the protection crosses the module boundary: passing a short
     // array into the library's loop still traps.
@@ -410,7 +419,8 @@ fn separate_compilation_links_and_runs_protected() {
     let app2 = compile_one(bad_app, "app");
     let lib2 = compile_one(lib_src, "lib");
     let linked2 = sb_ir::link(&[app2, lib2], "prog").expect("links");
-    let r2 = softbound::run_instrumented(&linked2, &cfg, sb_vm::MachineConfig::default(), "main", &[]);
+    let r2 =
+        softbound::run_instrumented(&linked2, &cfg, sb_vm::MachineConfig::default(), "main", &[]);
     assert!(
         r2.outcome.is_spatial_violation(),
         "bounds must travel across separately compiled modules, got {:?}",
@@ -500,7 +510,10 @@ fn overhead_ordering_is_sane() {
     let full_hash = cycles(&SoftBoundConfig::full_hash());
     assert!(base.stats.cycles < store_shadow);
     assert!(store_shadow < full_shadow);
-    assert!(full_shadow < full_hash, "hash table must cost more than shadow space");
+    assert!(
+        full_shadow < full_hash,
+        "hash table must cost more than shadow space"
+    );
 }
 
 #[test]
@@ -516,7 +529,11 @@ fn no_hijack_possible_under_softbound() {
         int main() { vulnerable((long)&evil); return 0; }
     "#;
     let plain = sb_vm::run_source(src, "main", &[]);
-    assert!(matches!(plain.outcome, Outcome::Hijacked { .. }), "{:?}", plain.outcome);
+    assert!(
+        matches!(plain.outcome, Outcome::Hijacked { .. }),
+        "{:?}",
+        plain.outcome
+    );
     assert_violation(src, &all_configs());
 }
 
@@ -524,6 +541,10 @@ fn no_hijack_possible_under_softbound() {
 fn memfault_trap_distinct_from_violation() {
     // Sanity: an unmapped wild store in an *uninstrumented* run is a
     // MemFault, not a spatial violation.
-    let r = sb_vm::run_source("int main() { *(int*)123456789 = 1; return 0; }", "main", &[]);
+    let r = sb_vm::run_source(
+        "int main() { *(int*)123456789 = 1; return 0; }",
+        "main",
+        &[],
+    );
     assert!(matches!(r.outcome, Outcome::Trapped(Trap::MemFault { .. })));
 }

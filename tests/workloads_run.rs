@@ -52,11 +52,19 @@ fn pointer_intensity_spans_figure1_range() {
 
     // Left end of Figure 1: array codes with negligible pointer traffic.
     for name in ["go", "lbm", "hmmer", "compress", "ijpeg"] {
-        assert!(lookup(name) < 0.05, "{name} should be <5% pointer ops, got {}", lookup(name));
+        assert!(
+            lookup(name) < 0.05,
+            "{name} should be <5% pointer ops, got {}",
+            lookup(name)
+        );
     }
     // Right end: Olden pointer chasing with a majority of pointer ops.
     for name in ["li", "em3d", "treeadd"] {
-        assert!(lookup(name) > 0.40, "{name} should be >40% pointer ops, got {}", lookup(name));
+        assert!(
+            lookup(name) > 0.40,
+            "{name} should be >40% pointer ops, got {}",
+            lookup(name)
+        );
     }
     // The overall trend is increasing left-to-right (allow local noise of
     // one position by comparing ends of a sliding window of 3).
@@ -79,14 +87,20 @@ fn protected_runs_agree_with_unprotected() {
     // Differential testing over the real workloads: SoftBound must be
     // transparent for correct programs (§6.4 — no false positives) and
     // must not change results.
-    let cfgs = [SoftBoundConfig::full_shadow(), SoftBoundConfig::store_only_hash()];
+    let cfgs = [
+        SoftBoundConfig::full_shadow(),
+        SoftBoundConfig::store_only_hash(),
+    ];
     for w in all_benchmarks() {
         let plain = run_plain(&w);
         let expected = plain.ret().expect("plain run finishes");
         for cfg in &cfgs {
             let module = softbound::compile_protected(w.source, cfg).expect("compiles");
-            let mut machine =
-                Machine::new(&module, MachineConfig::default(), softbound::runtime_for(cfg));
+            let mut machine = Machine::new(
+                &module,
+                MachineConfig::default(),
+                softbound::runtime_for(cfg),
+            );
             let r = machine.run("main", &[w.default_arg]);
             assert_eq!(
                 r.ret(),

@@ -1,0 +1,166 @@
+//! A minimal, dependency-free drop-in for the subset of the `criterion`
+//! API this workspace uses (`Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, bench_function, finish}`,
+//! `Bencher::iter`, `black_box`, `criterion_group!`, `criterion_main!`).
+//!
+//! The container this workspace builds in has no crates.io registry, so
+//! the real criterion cannot be fetched; this shim keeps `cargo bench`
+//! runnable and prints per-benchmark median/mean wall-clock timings in a
+//! criterion-like format. It performs warmup, collects one duration per
+//! sample (each sample auto-scales its iteration count so short
+//! benchmarks are not dominated by timer overhead), and reports the
+//! median, mean, and min over samples.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Runs one benchmark and prints its timing line. The closure is
+    /// invoked exactly once; `Bencher::iter` performs calibration, warmup
+    /// and sampling internally, so per-benchmark setup done before
+    /// `iter` (building data structures, materializing pages) stays
+    /// outside the measured samples.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            iters: 0,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        let mut samples = b.samples;
+        if samples.is_empty() {
+            println!("{}/{:<40} (no iter() call)", self.name, id);
+            return self;
+        }
+        samples.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples[0];
+        println!(
+            "{}/{:<40} median {:>12} mean {:>12} min {:>12} ({} samples x {} iters)",
+            self.name,
+            id,
+            fmt_ns(median),
+            fmt_ns(mean),
+            fmt_ns(min),
+            samples.len(),
+            b.iters,
+        );
+        self
+    }
+
+    /// Ends the group (parity with criterion; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Timing handle passed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    iters: u64,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Calibrates, warms up, and samples `routine`, recording ns/iter
+    /// per sample. Everything happens inside this one call so any setup
+    /// the caller did beforehand is never timed.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let mut batch = |iters: u64| -> Duration {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            start.elapsed()
+        };
+        // Calibrate: find an iteration count taking ≥ ~2ms per sample.
+        let mut iters = 1u64;
+        loop {
+            let took = batch(iters);
+            if took >= Duration::from_millis(2) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 4;
+        }
+        // Warmup, then measure.
+        for _ in 0..2 {
+            batch(iters);
+        }
+        self.iters = iters;
+        self.samples = (0..self.sample_size)
+            .map(|_| batch(iters).as_nanos() as f64 / iters as f64)
+            .collect();
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
