@@ -507,8 +507,7 @@ mod tests {
 
     fn run_fat(src: &str) -> sb_vm::RunResult {
         let m = compile_fat_protected(src).expect("compiles");
-        let mut machine =
-            Machine::new(&m, MachineConfig::default(), Box::new(FatPtrRuntime::new()));
+        let mut machine = Machine::new(&m, MachineConfig::default(), FatPtrRuntime::new());
         machine.run("main", &[])
     }
 

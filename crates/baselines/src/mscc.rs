@@ -175,11 +175,7 @@ pub fn run_mscc(
     let mut m = instrument_mscc(&m);
     sb_ir::optimize(&mut m, sb_ir::OptLevel::PostInstrument);
     sb_ir::verify(&m).expect("mscc-instrumented module verifies");
-    let mut machine = sb_vm::Machine::new(
-        &m,
-        sb_vm::MachineConfig::default(),
-        Box::new(MsccRuntime::new()),
-    );
+    let mut machine = sb_vm::Machine::new(&m, sb_vm::MachineConfig::default(), MsccRuntime::new());
     Ok(machine.run(entry, args))
 }
 

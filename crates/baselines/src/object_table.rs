@@ -251,7 +251,7 @@ mod tests {
         let mut machine = Machine::new(
             &m,
             MachineConfig::default(),
-            Box::new(ObjectTableRuntime::new(scheme)),
+            ObjectTableRuntime::new(scheme),
         );
         machine.run("main", &[])
     }

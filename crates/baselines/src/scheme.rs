@@ -74,16 +74,61 @@ impl Scheme {
         Ok(m)
     }
 
-    /// The runtime hooks implementing this scheme's dynamic semantics.
+    /// The runtime hooks implementing this scheme's dynamic semantics,
+    /// type-erased. This is the report/CLI boundary wrapper — the `run*`
+    /// methods below bypass it and dispatch statically per scheme.
     pub fn runtime(&self) -> Box<dyn RuntimeHooks> {
         match self {
             Scheme::Uninstrumented => Box::new(NoRuntime),
-            Scheme::SoftBound(cfg) => softbound::runtime_for(cfg),
+            Scheme::SoftBound(cfg) => Box::new(softbound::runtime_for(cfg)),
             Scheme::JonesKelly => Box::new(ObjectTableRuntime::new(ObjectScheme::JonesKelly)),
             Scheme::Mudflap => Box::new(ObjectTableRuntime::new(ObjectScheme::Mudflap)),
             Scheme::Valgrind => Box::new(ValgrindRuntime::new()),
             Scheme::FatPointer => Box::new(FatPtrRuntime::new()),
             Scheme::Mscc => Box::new(MsccRuntime::new()),
+        }
+    }
+
+    /// Runs `module` on a machine monomorphized for this scheme's
+    /// concrete runtime — the statically-dispatched fast path every
+    /// harness entry point funnels into.
+    fn dispatch(
+        &self,
+        module: &Module,
+        cfg: MachineConfig,
+        entry: &str,
+        args: &[i64],
+    ) -> RunResult {
+        fn go<H: RuntimeHooks>(
+            module: &Module,
+            cfg: MachineConfig,
+            hooks: H,
+            entry: &str,
+            args: &[i64],
+        ) -> RunResult {
+            let mut machine = Machine::new(module, cfg, hooks);
+            machine.run(entry, args)
+        }
+        match self {
+            Scheme::Uninstrumented => go(module, cfg, NoRuntime, entry, args),
+            Scheme::SoftBound(sb) => softbound::run_instrumented(module, sb, cfg, entry, args),
+            Scheme::JonesKelly => go(
+                module,
+                cfg,
+                ObjectTableRuntime::new(ObjectScheme::JonesKelly),
+                entry,
+                args,
+            ),
+            Scheme::Mudflap => go(
+                module,
+                cfg,
+                ObjectTableRuntime::new(ObjectScheme::Mudflap),
+                entry,
+                args,
+            ),
+            Scheme::Valgrind => go(module, cfg, ValgrindRuntime::new(), entry, args),
+            Scheme::FatPointer => go(module, cfg, FatPtrRuntime::new(), entry, args),
+            Scheme::Mscc => go(module, cfg, MsccRuntime::new(), entry, args),
         }
     }
 
@@ -108,15 +153,13 @@ impl Scheme {
         args: &[i64],
     ) -> Result<RunResult, sb_cir::CompileError> {
         let module = self.compile(src)?;
-        let mut machine = Machine::new(&module, self.machine_config(), self.runtime());
-        Ok(machine.run(entry, args))
+        Ok(self.dispatch(&module, self.machine_config(), entry, args))
     }
 
     /// Runs a precompiled module (must have been produced by
     /// [`Scheme::compile`] on the same scheme).
     pub fn run_module(&self, module: &Module, entry: &str, args: &[i64]) -> RunResult {
-        let mut machine = Machine::new(module, self.machine_config(), self.runtime());
-        machine.run(entry, args)
+        self.dispatch(module, self.machine_config(), entry, args)
     }
 
     /// Runs a precompiled module with a custom machine config (e.g. with
@@ -131,8 +174,7 @@ impl Scheme {
         if matches!(self, Scheme::Valgrind) {
             cfg.redzone = REDZONE;
         }
-        let mut machine = Machine::new(module, cfg, self.runtime());
-        machine.run(entry, args)
+        self.dispatch(module, cfg, entry, args)
     }
 }
 

@@ -161,7 +161,7 @@ mod tests {
             redzone: REDZONE,
             ..MachineConfig::default()
         };
-        let mut machine = Machine::new(&m, cfg, Box::new(ValgrindRuntime::new()));
+        let mut machine = Machine::new(&m, cfg, ValgrindRuntime::new());
         machine.run("main", &[])
     }
 

@@ -22,7 +22,7 @@ fn bench_workload(c: &mut Criterion, name: &str, arg: i64) {
 
     group.bench_function("uninstrumented", |b| {
         b.iter(|| {
-            let mut m = Machine::new(&base_module, MachineConfig::default(), Box::new(NoRuntime));
+            let mut m = Machine::new(&base_module, MachineConfig::default(), NoRuntime);
             black_box(m.run("main", &[arg]).ret())
         });
     });

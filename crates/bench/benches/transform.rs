@@ -3,6 +3,7 @@
 //! throughput over the evaluation workloads).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sb_vm::{Machine, MachineConfig, RuntimeHooks};
 use sb_workloads::all_benchmarks;
 use softbound::SoftBoundConfig;
 
@@ -50,6 +51,35 @@ fn benches(c: &mut Criterion) {
             let mut m = sb_ir::lower(&prog, "treeadd");
             sb_ir::optimize(&mut m, sb_ir::OptLevel::PreInstrument);
             black_box(m);
+        });
+    });
+
+    // End-to-end execution of the instrumented module, statically
+    // dispatched (runtime and facility monomorphized) versus the fully
+    // type-erased configuration (`Machine::new_dyn` over `DynRuntime`):
+    // the devirtualization payoff on a pointer-heavy workload.
+    let w = sb_workloads::benchmark_by_name("treeadd").expect("exists");
+    let cfg = SoftBoundConfig::full_shadow();
+    let module = softbound::compile_protected(w.source, &cfg).expect("compiles");
+    group.bench_function("run_protected_treeadd_static", |b| {
+        b.iter(|| {
+            black_box(
+                softbound::run_instrumented(
+                    &module,
+                    &cfg,
+                    MachineConfig::default(),
+                    "main",
+                    &[w.default_arg],
+                )
+                .ret(),
+            )
+        });
+    });
+    group.bench_function("run_protected_treeadd_dyn", |b| {
+        b.iter(|| {
+            let hooks: Box<dyn RuntimeHooks> = Box::new(softbound::DynRuntime::new(&cfg));
+            let mut machine = Machine::new_dyn(&module, MachineConfig::default(), hooks);
+            black_box(machine.run("main", &[w.default_arg]).ret())
         });
     });
     group.finish();

@@ -6,7 +6,10 @@ fn main() {
     println!();
     print!("{}", sb_bench::figure1::render(&sb_bench::figure1::run()));
     println!();
-    print!("{}", sb_bench::figure2::render(&sb_bench::figure2::run()));
+    let figure2_rows = sb_bench::figure2::run();
+    print!("{}", sb_bench::figure2::render(&figure2_rows));
+    println!();
+    print!("{}", sb_bench::figure2::narrative(&figure2_rows));
     println!();
     print!("{}", sb_bench::table3::render(&sb_bench::table3::run()));
     println!();

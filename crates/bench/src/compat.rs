@@ -39,18 +39,13 @@ pub fn run() -> Vec<Row> {
             let prog = sb_cir::compile(d.source).expect("daemon compiles unmodified");
             let mut m = sb_ir::lower(&prog, d.name);
             sb_ir::optimize(&mut m, sb_ir::OptLevel::PreInstrument);
-            let mut plain = Machine::new(&m, MachineConfig::default(), Box::new(NoRuntime));
+            let mut plain = Machine::new(&m, MachineConfig::default(), NoRuntime);
             let pr = plain.run("main", &[0]);
             let plain_ret = pr.ret().expect("daemon runs");
 
             let run_cfg = |cfg: &SoftBoundConfig| {
                 let module = softbound::compile_protected(d.source, cfg).expect("compiles");
-                let mut machine = Machine::new(
-                    &module,
-                    MachineConfig::default(),
-                    softbound::runtime_for(cfg),
-                );
-                machine.run("main", &[0])
+                softbound::run_instrumented(&module, cfg, MachineConfig::default(), "main", &[0])
             };
             let full = run_cfg(&SoftBoundConfig::full_shadow());
             let store = run_cfg(&SoftBoundConfig::store_only_shadow());

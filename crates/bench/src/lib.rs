@@ -33,7 +33,7 @@ pub fn run_uninstrumented(w: &Workload) -> RunResult {
     let prog = sb_cir::compile(w.source).expect("workload compiles");
     let mut m = sb_ir::lower(&prog, w.name);
     sb_ir::optimize(&mut m, sb_ir::OptLevel::PreInstrument);
-    let mut machine = Machine::new(&m, MachineConfig::default(), Box::new(NoRuntime));
+    let mut machine = Machine::new(&m, MachineConfig::default(), NoRuntime);
     machine.run("main", &[w.default_arg])
 }
 
@@ -90,6 +90,33 @@ mod tests {
             })
             .min()
             .expect("non-empty")
+    }
+
+    /// The devirtualization acceptance bar: the monomorphized paged
+    /// facility must not be slower than the same facility behind
+    /// `Box<dyn MetadataFacility>` (static ≥ dyn). Same retry/best-of-N
+    /// discipline as the 2× test below — the two sides do identical
+    /// data-structure work, so only scheduler noise can make the static
+    /// side *appear* slower; a 10% grace plus retries absorbs it while a
+    /// real dispatch regression (the static path re-acquiring virtual
+    /// calls) still fails.
+    #[test]
+    fn static_dispatch_not_slower_than_dyn_on_paged() {
+        let mut worst = (0u128, 0u128);
+        for _ in 0..5 {
+            let mut st = ShadowPages::new();
+            let mut dy: Box<dyn MetadataFacility> = Box::new(ShadowPages::new());
+            let st_ns = best_ns(&mut st);
+            let dy_ns = best_ns(&mut dy);
+            if st_ns <= dy_ns + dy_ns / 10 {
+                return;
+            }
+            worst = (st_ns, dy_ns);
+        }
+        panic!(
+            "static dispatch slower than dyn in every attempt: static {} ns vs dyn {} ns",
+            worst.0, worst.1
+        );
     }
 
     /// §5.1's performance claim, at the host level: the paged shadow

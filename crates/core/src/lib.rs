@@ -52,15 +52,32 @@ pub use metadata::{
     AccessSink, HashTableFacility, Meta, MetadataFacility, NoopSink, ScratchSink,
     ShadowHashMapFacility, ShadowPages,
 };
-pub use runtime::SoftBoundRuntime;
+pub use runtime::{DynRuntime, SoftBoundRuntime};
 pub use transform::{instrument, instrument_flavored, Flavor, GLOBALS_INIT_PREFIX, SB_PREFIX};
 
 use sb_ir::Module;
-use sb_vm::{Machine, MachineConfig, RunResult, RuntimeHooks};
+use sb_vm::{Machine, MachineConfig, RunResult};
 
-/// Builds the runtime described by `cfg`, boxed for the VM.
-pub fn runtime_for(cfg: &SoftBoundConfig) -> Box<dyn RuntimeHooks> {
-    Box::new(SoftBoundRuntime::new(cfg))
+/// Builds the type-erased runtime described by `cfg` — the wrapper for
+/// call sites that pick the facility at run time (CLI/report boundary).
+/// Hot paths should dispatch statically instead: construct a concrete
+/// `SoftBoundRuntime<F>` (or call [`run_instrumented`], which does) so
+/// the check path monomorphizes.
+pub fn runtime_for(cfg: &SoftBoundConfig) -> DynRuntime {
+    DynRuntime::new(cfg)
+}
+
+/// Runs `module` on a machine monomorphized over `rt`'s facility: the
+/// statically-dispatched execution path every harness funnels into.
+pub fn run_static<F: metadata::MetadataFacility>(
+    module: &Module,
+    rt: SoftBoundRuntime<F>,
+    machine_cfg: MachineConfig,
+    entry: &str,
+    args: &[i64],
+) -> RunResult {
+    let mut machine = Machine::new(module, machine_cfg, rt);
+    machine.run(entry, args)
 }
 
 /// Compiles CIR-C source through the full paper pipeline (§6.1): lower,
@@ -106,11 +123,18 @@ pub fn protect(
     args: &[i64],
 ) -> Result<RunResult, sb_cir::CompileError> {
     let module = compile_protected(src, cfg)?;
-    let mut machine = Machine::new(&module, MachineConfig::default(), runtime_for(cfg));
-    Ok(machine.run(entry, args))
+    Ok(run_instrumented(
+        &module,
+        cfg,
+        MachineConfig::default(),
+        entry,
+        args,
+    ))
 }
 
-/// Runs an already instrumented module under the matching runtime.
+/// Runs an already instrumented module under the matching runtime,
+/// dispatching statically on the configured facility (the `Box<dyn>`
+/// wrappers never enter the check path here).
 pub fn run_instrumented(
     module: &Module,
     cfg: &SoftBoundConfig,
@@ -118,6 +142,27 @@ pub fn run_instrumented(
     entry: &str,
     args: &[i64],
 ) -> RunResult {
-    let mut machine = Machine::new(module, machine_cfg, runtime_for(cfg));
-    machine.run(entry, args)
+    match cfg.facility {
+        Facility::ShadowPaged => run_static(
+            module,
+            SoftBoundRuntime::new_paged(cfg),
+            machine_cfg,
+            entry,
+            args,
+        ),
+        Facility::ShadowHashMap => run_static(
+            module,
+            SoftBoundRuntime::new_shadow_hashmap(cfg),
+            machine_cfg,
+            entry,
+            args,
+        ),
+        Facility::HashTable => run_static(
+            module,
+            SoftBoundRuntime::new_hash(cfg),
+            machine_cfg,
+            entry,
+            args,
+        ),
+    }
 }

@@ -2,6 +2,13 @@
 //! helpers, and the §5.2 lifecycle behaviours (metadata clearing on free
 //! and frame exit), implemented over a pluggable [`MetadataFacility`] and
 //! exposed to the VM as [`RuntimeHooks`].
+//!
+//! The runtime is *generic* over its facility, so a machine built with a
+//! concrete instantiation (`SoftBoundRuntime<ShadowPages>`) statically
+//! dispatches — and typically inlines — every metadata access. The
+//! [`DynRuntime`] alias (`SoftBoundRuntime<Box<dyn MetadataFacility>>`)
+//! is the type-erased wrapper for the CLI/report boundary where the
+//! facility is chosen at run time.
 
 use crate::config::{Facility, SoftBoundConfig};
 use crate::metadata::{
@@ -13,9 +20,9 @@ use sb_vm::{AccessSink, Mem, RtCtx, RtVals, RuntimeHooks, Trap};
 /// Cost of the bounds check itself (two compares + branch, §3.1).
 pub const CHECK_COST: u64 = 3;
 
-/// The SoftBound runtime.
-pub struct SoftBoundRuntime {
-    facility: Box<dyn MetadataFacility>,
+/// The SoftBound runtime, specialized on its metadata facility `F`.
+pub struct SoftBoundRuntime<F: MetadataFacility = Box<dyn MetadataFacility>> {
+    facility: F,
     clear_on_free: bool,
     /// Checks executed.
     pub check_count: u64,
@@ -23,14 +30,49 @@ pub struct SoftBoundRuntime {
     pub violation_count: u64,
 }
 
-impl SoftBoundRuntime {
-    /// Builds the runtime described by a config.
+/// The type-erased runtime: facility chosen at run time, every metadata
+/// access through a vtable. Kept for the CLI/report boundary; hot paths
+/// use a concrete `SoftBoundRuntime<F>` instead.
+pub type DynRuntime = SoftBoundRuntime<Box<dyn MetadataFacility>>;
+
+impl DynRuntime {
+    /// Builds the type-erased runtime described by a config, boxing the
+    /// facility the config names.
     pub fn new(cfg: &SoftBoundConfig) -> Self {
         let facility: Box<dyn MetadataFacility> = match cfg.facility {
             Facility::ShadowPaged => Box::new(ShadowPages::new()),
             Facility::ShadowHashMap => Box::new(ShadowHashMapFacility::new()),
             Facility::HashTable => Box::new(HashTableFacility::new(cfg.hash_log2_buckets)),
         };
+        SoftBoundRuntime::with_facility(facility, cfg)
+    }
+}
+
+impl SoftBoundRuntime<ShadowPages> {
+    /// Statically-dispatched runtime over the paged shadow space (the
+    /// default production facility).
+    pub fn new_paged(cfg: &SoftBoundConfig) -> Self {
+        SoftBoundRuntime::with_facility(ShadowPages::new(), cfg)
+    }
+}
+
+impl SoftBoundRuntime<ShadowHashMapFacility> {
+    /// Statically-dispatched runtime over the HashMap shadow oracle.
+    pub fn new_shadow_hashmap(cfg: &SoftBoundConfig) -> Self {
+        SoftBoundRuntime::with_facility(ShadowHashMapFacility::new(), cfg)
+    }
+}
+
+impl SoftBoundRuntime<HashTableFacility> {
+    /// Statically-dispatched runtime over the open-hashing table.
+    pub fn new_hash(cfg: &SoftBoundConfig) -> Self {
+        SoftBoundRuntime::with_facility(HashTableFacility::new(cfg.hash_log2_buckets), cfg)
+    }
+}
+
+impl<F: MetadataFacility> SoftBoundRuntime<F> {
+    /// Builds the runtime around an explicit facility instance.
+    pub fn with_facility(facility: F, cfg: &SoftBoundConfig) -> Self {
         SoftBoundRuntime {
             facility,
             clear_on_free: cfg.clear_on_free,
@@ -39,11 +81,17 @@ impl SoftBoundRuntime {
         }
     }
 
+    /// The installed facility (for facility-specific statistics).
+    pub fn facility(&self) -> &F {
+        &self.facility
+    }
+
     /// Live metadata entries (memory-overhead statistics).
     pub fn live_entries(&self) -> usize {
         self.facility.live_entries()
     }
 
+    #[inline]
     fn check(
         &mut self,
         ptr: u64,
@@ -53,7 +101,10 @@ impl SoftBoundRuntime {
         write: bool,
     ) -> Result<(), Trap> {
         self.check_count += 1;
-        if ptr < base || ptr.wrapping_add(size) > bound || base == 0 {
+        // `ptr + size` must not wrap: a huge pointer or size whose sum
+        // wraps past zero would otherwise compare below `bound` and pass.
+        let end_in_bounds = ptr.checked_add(size).is_some_and(|end| end <= bound);
+        if ptr < base || !end_in_bounds || base == 0 {
             self.violation_count += 1;
             Err(Trap::SpatialViolation {
                 scheme: "softbound",
@@ -66,11 +117,12 @@ impl SoftBoundRuntime {
     }
 }
 
-impl RuntimeHooks for SoftBoundRuntime {
+impl<F: MetadataFacility> RuntimeHooks for SoftBoundRuntime<F> {
     fn name(&self) -> &'static str {
         "softbound"
     }
 
+    #[inline]
     fn rt_call(
         &mut self,
         rt: RtFn,
@@ -222,6 +274,83 @@ mod tests {
         )
         .is_err());
         assert_eq!(rt.violation_count, 3);
+    }
+
+    #[test]
+    fn check_rejects_wraparound_past_zero() {
+        // Regression: `ptr.wrapping_add(size) > bound` wraps past zero
+        // for u64::MAX-adjacent pointers and used to pass the check.
+        let mut rt = runtime(Facility::ShadowPaged);
+        // ptr near u64::MAX with a size that wraps the sum to a tiny
+        // value below any plausible bound.
+        assert!(call(
+            &mut rt,
+            RtFn::SbCheck { is_store: true },
+            &[u64::MAX.wrapping_sub(4) as i64, 0x1000, 0x1040, 8]
+        )
+        .is_err());
+        // ptr exactly u64::MAX.
+        assert!(call(
+            &mut rt,
+            RtFn::SbCheck { is_store: false },
+            &[u64::MAX as i64, 0x1000, 0x1040, 1]
+        )
+        .is_err());
+        // Huge size on a legitimate pointer: base <= ptr but ptr + size
+        // wraps to below bound.
+        assert!(call(
+            &mut rt,
+            RtFn::SbCheck { is_store: true },
+            &[0x1000, 0x1000, 0x1040, u64::MAX as i64]
+        )
+        .is_err());
+        assert_eq!(rt.violation_count, 3);
+        // A maximal object reaching the top of the address space still
+        // accepts its last byte (no false positive from the fix).
+        let top = u64::MAX;
+        assert!(call(
+            &mut rt,
+            RtFn::SbCheck { is_store: false },
+            &[(top - 8) as i64, (top - 64) as i64, top as i64, 8]
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn static_runtime_matches_dyn_wrapper() {
+        // The generic instantiation and the type-erased wrapper are the
+        // same runtime: identical verdicts and counters on a mixed
+        // check/metadata sequence.
+        let cfg = SoftBoundConfig::default();
+        let mut st = SoftBoundRuntime::new_paged(&cfg);
+        let mut dy = DynRuntime::new(&cfg);
+        let seq: &[(RtFn, &[i64])] = &[
+            (RtFn::SbMetaStore, &[0x7000, 0x5000, 0x5100]),
+            (RtFn::SbMetaLoad, &[0x7000]),
+            (
+                RtFn::SbCheck { is_store: false },
+                &[0x5000, 0x5000, 0x5100, 8],
+            ),
+            (
+                RtFn::SbCheck { is_store: true },
+                &[0x50ff, 0x5000, 0x5100, 8],
+            ),
+            (RtFn::SbMetaClear, &[0x7000, 8]),
+            (RtFn::SbMetaLoad, &[0x7000]),
+        ];
+        for &(f, args) in seq {
+            let mut mem = Mem::new();
+            let mut ctx = RtCtx::default();
+            let a = st.rt_call(f, args, &mut mem, &mut ctx);
+            let mut mem2 = Mem::new();
+            let mut ctx2 = RtCtx::default();
+            let b = dy.rt_call(f, args, &mut mem2, &mut ctx2);
+            assert_eq!(a, b, "diverged on {f:?}");
+            assert_eq!(ctx.cost, ctx2.cost, "cost diverged on {f:?}");
+        }
+        assert_eq!(st.check_count, dy.check_count);
+        assert_eq!(st.violation_count, dy.violation_count);
+        assert_eq!(st.live_entries(), dy.live_entries());
     }
 
     #[test]

@@ -98,17 +98,37 @@ struct FramePlan {
     size: u64,
 }
 
-struct Frame {
+struct Frame<'m> {
     func: usize,
     block: u32,
     idx: usize,
     regs: Vec<i64>,
-    ret_dsts: Vec<RegId>,
+    /// Caller registers receiving the return values — borrowed straight
+    /// from the module's `Call` instruction, so pushing a frame never
+    /// clones the destination list.
+    ret_dsts: &'m [RegId],
     frame_base: u64,
     expected_token: u64,
     serial: u64,
     allocas: Vec<(u64, u64)>,
     varargs: Vec<i64>,
+}
+
+impl Frame<'_> {
+    fn empty() -> Self {
+        Frame {
+            func: 0,
+            block: 0,
+            idx: 0,
+            regs: Vec::new(),
+            ret_dsts: &[],
+            frame_base: 0,
+            expected_token: 0,
+            serial: 0,
+            allocas: Vec::new(),
+            varargs: Vec::new(),
+        }
+    }
 }
 
 struct JumpPoint {
@@ -127,8 +147,16 @@ enum Flow {
     Hijacked(String),
 }
 
-/// An executing machine bound to a module.
-pub struct Machine<'m> {
+/// An executing machine bound to a module, statically specialized on its
+/// safety runtime `H`.
+///
+/// The generic parameter devirtualizes the metadata hot path: every
+/// `rt_call` (bounds check, metadata load/store) and lifecycle hook is a
+/// direct — typically inlined — call into the concrete runtime. Code that
+/// picks the runtime at run time (the CLI/report boundary) uses
+/// [`Machine::new_dyn`], which instantiates `H = Box<dyn RuntimeHooks>`
+/// and pays one indirect call per hook, exactly as before the refactor.
+pub struct Machine<'m, H: RuntimeHooks = Box<dyn RuntimeHooks>> {
     module: &'m Module,
     /// Simulated memory (public for tests and runtimes).
     pub mem: Mem,
@@ -137,23 +165,51 @@ pub struct Machine<'m> {
     global_addrs: Vec<u64>,
     plans: Vec<FramePlan>,
     cfg: MachineConfig,
-    hooks: Box<dyn RuntimeHooks>,
+    hooks: H,
     cache: Option<CacheSim>,
     /// Execution statistics.
     pub stats: ExecStats,
     output: Vec<u8>,
     rng: u64,
     stack_top: u64,
-    frames: Vec<Frame>,
+    frames: Vec<Frame<'m>>,
+    /// Popped frames kept for reuse: their `regs`/`allocas`/`varargs`
+    /// buffers make `Inst::Call` allocation-free in the steady state.
+    frame_pool: Vec<Frame<'m>>,
+    /// Reusable argument-marshalling buffer for `Inst::Call` (the `Rt`
+    /// path uses a fixed stack buffer; calls can be arbitrarily wide, so
+    /// they share one growable scratch instead).
+    call_args: Vec<i64>,
     setjmps: Vec<JumpPoint>,
     ctx: RtCtx,
     fuel: u64,
     frame_serial: u64,
 }
 
-impl<'m> Machine<'m> {
+/// The type-erased machine configuration: runtime chosen at run time,
+/// hooks dispatched through a vtable. Built by [`Machine::new_dyn`].
+pub type DynMachine<'m> = Machine<'m, Box<dyn RuntimeHooks>>;
+
+impl<'m> DynMachine<'m> {
+    /// Creates a machine over type-erased hooks — the wrapper for
+    /// call sites that select the safety runtime at run time (CLI,
+    /// report harness). Hot paths should prefer [`Machine::new`] with a
+    /// concrete runtime, which dispatches statically.
+    pub fn new_dyn(module: &'m Module, cfg: MachineConfig, hooks: Box<dyn RuntimeHooks>) -> Self {
+        Machine::new(module, cfg, hooks)
+    }
+}
+
+impl<'m> Machine<'m, NoRuntime> {
+    /// Creates an uninstrumented machine (no safety runtime).
+    pub fn uninstrumented(module: &'m Module) -> Self {
+        Machine::new(module, MachineConfig::default(), NoRuntime)
+    }
+}
+
+impl<'m, H: RuntimeHooks> Machine<'m, H> {
     /// Creates a machine with an installed safety runtime.
-    pub fn new(module: &'m Module, cfg: MachineConfig, hooks: Box<dyn RuntimeHooks>) -> Self {
+    pub fn new(module: &'m Module, cfg: MachineConfig, hooks: H) -> Self {
         let cache = cfg.cache.map(CacheSim::new);
         let heap = Heap::new(cfg.redzone);
         let fuel = cfg.fuel;
@@ -178,6 +234,8 @@ impl<'m> Machine<'m> {
             rng: 0x2545_F491_4F6C_DD1D,
             stack_top: STACK_BASE,
             frames: Vec::new(),
+            frame_pool: Vec::new(),
+            call_args: Vec::new(),
             setjmps: Vec::new(),
             ctx,
             fuel,
@@ -188,9 +246,15 @@ impl<'m> Machine<'m> {
         m
     }
 
-    /// Creates an uninstrumented machine (no safety runtime).
-    pub fn uninstrumented(module: &'m Module) -> Self {
-        Machine::new(module, MachineConfig::default(), Box::new(NoRuntime))
+    /// The installed safety runtime (for reading its counters after a
+    /// run, e.g. in differential tests).
+    pub fn hooks(&self) -> &H {
+        &self.hooks
+    }
+
+    /// Mutable access to the installed safety runtime.
+    pub fn hooks_mut(&mut self) -> &mut H {
+        &mut self.hooks
     }
 
     /// Address of a named global (for tests and attack drivers).
@@ -322,7 +386,7 @@ impl<'m> Machine<'m> {
 
     /// Pushes a frame for `fid` and steps it to completion.
     fn invoke(&mut self, fid: FuncId, args: &[i64]) -> Outcome {
-        match self.push_frame(fid, args, Vec::new()) {
+        match self.push_frame(fid, args, &[]) {
             Err(t) => Outcome::Trapped(t),
             Ok(()) => loop {
                 match self.step() {
@@ -338,7 +402,7 @@ impl<'m> Machine<'m> {
 
     // ------------------------------------------------------------- frames
 
-    fn push_frame(&mut self, fid: FuncId, args: &[i64], ret_dsts: Vec<RegId>) -> Result<(), Trap> {
+    fn push_frame(&mut self, fid: FuncId, args: &[i64], ret_dsts: &'m [RegId]) -> Result<(), Trap> {
         let module: &'m Module = self.module;
         let f = &module.funcs[fid.0 as usize];
         if !f.defined {
@@ -349,7 +413,7 @@ impl<'m> Machine<'m> {
         }
         let plan = &self.plans[fid.0 as usize];
         let (plan_size, fp_slot, token_slot) = (plan.size, plan.fp_slot, plan.token_slot);
-        let plan_allocas = plan.allocas.clone();
+        let n_allocas = plan.allocas.len();
         let frame_base = self.stack_top.div_ceil(16) * 16;
         self.mem.map_range(frame_base, plan_size);
         self.stack_top = frame_base + plan_size;
@@ -364,24 +428,40 @@ impl<'m> Machine<'m> {
             .write_uint(frame_base + token_slot, 8, expected_token)
             .expect("frame mapped");
 
-        let mut regs = vec![0i64; f.reg_kinds.len()];
+        // Recycle a popped frame's buffers; a fresh frame is only built
+        // while the call stack is at its deepest point so far.
+        let mut frame = self.frame_pool.pop().unwrap_or_else(Frame::empty);
+        frame.func = fid.0 as usize;
+        frame.block = 0;
+        frame.idx = 0;
+        frame.ret_dsts = ret_dsts;
+        frame.frame_base = frame_base;
+        frame.expected_token = expected_token;
+        frame.serial = serial;
+        frame.regs.clear();
+        frame.regs.resize(f.reg_kinds.len(), 0);
         let nparams = f.params.len();
         for (i, &p) in f.params.iter().enumerate() {
-            regs[p.0 as usize] = args.get(i).copied().unwrap_or(0);
+            frame.regs[p.0 as usize] = args.get(i).copied().unwrap_or(0);
         }
-        let varargs: Vec<i64> = args.get(nparams..).unwrap_or(&[]).to_vec();
+        frame.varargs.clear();
+        frame
+            .varargs
+            .extend_from_slice(args.get(nparams..).unwrap_or(&[]));
+        let va_count = frame.varargs.len() as u64;
 
         // Materialize allocas now (the Alloca instructions become cheap
         // moves) and fire lifecycle events.
-        let mut allocas = Vec::with_capacity(plan_allocas.len());
-        for &(dst, off, ii) in &plan_allocas {
+        frame.allocas.clear();
+        for i in 0..n_allocas {
+            let (dst, off, ii) = self.plans[fid.0 as usize].allocas[i];
             let addr = frame_base + off;
-            regs[dst.0 as usize] = addr as i64;
+            frame.regs[dst.0 as usize] = addr as i64;
             let Inst::Alloca { info, .. } = &f.blocks[0].insts[ii] else {
                 unreachable!("plan indexes an alloca");
             };
-            allocas.push((addr, info.size));
-            self.ctx.reset(varargs.len() as u64);
+            frame.allocas.push((addr, info.size));
+            self.ctx.reset(va_count);
             self.hooks.on_alloca(addr, info, &mut self.ctx);
             self.charge_ctx();
         }
@@ -389,18 +469,7 @@ impl<'m> Machine<'m> {
         self.stats.calls += 1;
         self.stats.max_depth = self.stats.max_depth.max(self.frames.len() as u64 + 1);
         self.stats.cycles += self.cfg.cost.call + self.cfg.cost.call_arg * args.len() as u64;
-        self.frames.push(Frame {
-            func: fid.0 as usize,
-            block: 0,
-            idx: 0,
-            regs,
-            ret_dsts,
-            frame_base,
-            expected_token,
-            serial,
-            allocas,
-            varargs,
-        });
+        self.frames.push(frame);
         Ok(())
     }
 
@@ -445,12 +514,14 @@ impl<'m> Machine<'m> {
         self.stats.cycles += self.cfg.cost.ret;
 
         if self.frames.is_empty() {
+            self.frame_pool.push(frame);
             return Ok(Some(Flow::Finished(vals.first().copied().unwrap_or(0))));
         }
         let caller = self.frames.last_mut().expect("caller exists");
         for (i, dst) in frame.ret_dsts.iter().enumerate() {
             caller.regs[dst.0 as usize] = vals.get(i).copied().unwrap_or(0);
         }
+        self.frame_pool.push(frame);
         Ok(None)
     }
 
@@ -609,8 +680,27 @@ impl<'m> Machine<'m> {
                 f.idx = 0;
             }
             Inst::Ret { vals } => {
-                let vs: Vec<i64> = vals.iter().map(|v| self.val(v)).collect();
-                if let Some(flow) = self.pop_frame(&vs)? {
+                // At most 3 return values today (value + base + bound in
+                // wrapper mode); a fixed buffer keeps returns
+                // allocation-free, like the Rt argument buffer. The IR
+                // puts no upper bound on ret arity, so wider returns
+                // spill through the call-arg scratch (idle outside
+                // `Inst::Call`) rather than corrupting the fast path.
+                let flow = if vals.len() <= 8 {
+                    let mut vbuf = [0i64; 8];
+                    for (i, v) in vals.iter().enumerate() {
+                        vbuf[i] = self.val(v);
+                    }
+                    self.pop_frame(&vbuf[..vals.len()])?
+                } else {
+                    let mut vs = std::mem::take(&mut self.call_args);
+                    vs.clear();
+                    vs.extend(vals.iter().map(|v| self.val(v)));
+                    let popped = self.pop_frame(&vs);
+                    self.call_args = vs;
+                    popped?
+                };
+                if let Some(flow) = flow {
                     return Ok(flow);
                 }
             }
@@ -654,27 +744,32 @@ impl<'m> Machine<'m> {
                 ptr_hint,
                 wrapped,
             } => {
-                let avs: Vec<i64> = args.iter().map(|v| self.val(v)).collect();
-                match callee {
+                // Marshal arguments through the machine's reusable
+                // scratch buffer (taken out of `self` for the duration so
+                // `&mut self` methods remain callable): no per-call heap
+                // allocation once the buffer has grown to the widest call.
+                let mut avs = std::mem::take(&mut self.call_args);
+                avs.clear();
+                avs.extend(args.iter().map(|v| self.val(v)));
+                let result = match callee {
                     Callee::Direct(fid) => {
-                        self.push_frame(*fid, &avs, dsts.clone())?;
+                        self.push_frame(*fid, &avs, dsts).map(|()| Flow::Continue)
                     }
                     Callee::Indirect(v) => {
                         let target = self.val(v) as u64;
-                        let Some(fi) = decode_fn_addr(target) else {
-                            return Err(Trap::BadIndirectCall { addr: target });
-                        };
-                        if fi as usize >= module.funcs.len() {
-                            return Err(Trap::BadIndirectCall { addr: target });
-                        }
-                        self.push_frame(FuncId(fi), &avs, dsts.clone())?;
-                    }
-                    Callee::Builtin(b) => {
-                        let flow = self.builtin(*b, dsts, &avs, *ptr_hint, *wrapped)?;
-                        if !matches!(flow, Flow::Continue) {
-                            return Ok(flow);
+                        match decode_fn_addr(target) {
+                            Some(fi) if (fi as usize) < module.funcs.len() => self
+                                .push_frame(FuncId(fi), &avs, dsts)
+                                .map(|()| Flow::Continue),
+                            _ => Err(Trap::BadIndirectCall { addr: target }),
                         }
                     }
+                    Callee::Builtin(b) => self.builtin(*b, dsts, &avs, *ptr_hint, *wrapped),
+                };
+                self.call_args = avs;
+                let flow = result?;
+                if !matches!(flow, Flow::Continue) {
+                    return Ok(flow);
                 }
             }
         }
@@ -947,6 +1042,7 @@ impl<'m> Machine<'m> {
                         self.hooks.on_frame_exit(&dead.allocas, &mut self.ctx);
                         self.charge_ctx();
                         self.stack_top = dead.frame_base;
+                        self.frame_pool.push(dead);
                     }
                     let f = self.frames.last_mut().expect("frame");
                     debug_assert_eq!(f.func, func);
@@ -1555,9 +1651,60 @@ mod tests {
             fuel: 10_000,
             ..MachineConfig::default()
         };
-        let mut m = Machine::new(&module, cfg, Box::new(NoRuntime));
+        let mut m = Machine::new(&module, cfg, NoRuntime);
         let r = m.run("main", &[]);
         assert!(matches!(r.outcome, Outcome::Trapped(Trap::FuelExhausted)));
+    }
+
+    #[test]
+    fn wide_returns_exceed_the_fixed_buffer() {
+        // The verifier caps ret arity only by `ret_kinds.len()`; a
+        // hand-built function returning more than the 8-slot fast-path
+        // buffer must spill correctly instead of indexing out of bounds.
+        use sb_ir::{Block, Function, RegKind};
+        let mut wide = Function {
+            name: "wide".into(),
+            params: vec![],
+            param_kinds: vec![],
+            ret_kinds: vec![RegKind::Int; 10],
+            reg_kinds: vec![],
+            blocks: vec![Block::default()],
+            vararg: false,
+            defined: true,
+        };
+        wide.blocks[0].insts.push(Inst::Ret {
+            vals: (0..10).map(|i| Value::Const(i + 1)).collect(),
+        });
+        let mut main = Function {
+            name: "main".into(),
+            params: vec![],
+            param_kinds: vec![],
+            ret_kinds: vec![RegKind::Int],
+            reg_kinds: vec![],
+            blocks: vec![Block::default()],
+            vararg: false,
+            defined: true,
+        };
+        let dsts: Vec<RegId> = (0..10).map(|_| main.new_reg(RegKind::Int)).collect();
+        main.blocks[0].insts.push(Inst::Call {
+            dsts: dsts.clone(),
+            callee: Callee::Direct(FuncId(0)),
+            args: vec![],
+            ptr_hint: false,
+            wrapped: false,
+        });
+        main.blocks[0].insts.push(Inst::Ret {
+            vals: vec![Value::Reg(dsts[9])],
+        });
+        let module = Module {
+            name: "wide_ret".into(),
+            globals: vec![],
+            funcs: vec![wide, main],
+        };
+        sb_ir::verify(&module).expect("verifies");
+        let mut m = Machine::uninstrumented(&module);
+        let r = m.run("main", &[]);
+        assert_eq!(r.ret(), Some(10), "{:?}", r.outcome);
     }
 
     #[test]
@@ -1579,7 +1726,7 @@ mod tests {
             cache: Some(CacheConfig::default()),
             ..MachineConfig::default()
         };
-        let mut m = Machine::new(&module, cfg, Box::new(NoRuntime));
+        let mut m = Machine::new(&module, cfg, NoRuntime);
         let r = m.run("main", &[]);
         assert_eq!(r.ret(), Some(1));
         assert!(r.stats.cache.accesses >= 4096);

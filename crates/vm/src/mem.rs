@@ -172,6 +172,31 @@ impl Mem {
         self.write(addr, &b[..size as usize])
     }
 
+    /// Order-independent digest of the full memory image (every mapped
+    /// page's index and contents, folded in sorted page order). Two
+    /// memories with identical mapped pages and bytes hash equal —
+    /// the equality the whole-program differential suite asserts on
+    /// final memory across metadata facilities.
+    pub fn content_hash(&self) -> u64 {
+        let mut idxs: Vec<u64> = self.pages.keys().copied().collect();
+        idxs.sort_unstable();
+        // FNV-1a over (page index, page bytes).
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mix = |byte: u8, h: &mut u64| {
+            *h ^= byte as u64;
+            *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for i in idxs {
+            for b in i.to_le_bytes() {
+                mix(b, &mut h);
+            }
+            for &b in self.pages[&i].iter() {
+                mix(b, &mut h);
+            }
+        }
+        h
+    }
+
     /// Reads a NUL-terminated C string (bounded by `max` bytes).
     ///
     /// # Errors

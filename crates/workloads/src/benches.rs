@@ -31,6 +31,18 @@ pub struct Workload {
     pub description: &'static str,
 }
 
+impl Workload {
+    /// True for the pointer-dense side of Figure 1: the Olden
+    /// pointer-chasing kernels plus `li` — SPEC's lisp interpreter,
+    /// which the paper places among the pointer-heavy programs despite
+    /// its suite. Scalar/array kernels (the left of Figure 1) return
+    /// false. Check elimination and metadata traffic scale with this
+    /// class, which the experiment narrative asserts on.
+    pub fn pointer_dense(&self) -> bool {
+        !self.spec || self.name == "li"
+    }
+}
+
 /// All benchmarks in Figure 1's sorted order.
 pub fn all() -> Vec<Workload> {
     vec![

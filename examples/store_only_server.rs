@@ -6,7 +6,7 @@
 //! cargo run --example store_only_server --release
 //! ```
 
-use softbound_repro::core::{compile_protected, runtime_for, SoftBoundConfig};
+use softbound_repro::core::{compile_protected, run_instrumented, SoftBoundConfig};
 use softbound_repro::vm::{Machine, MachineConfig, NoRuntime};
 use softbound_repro::workloads::daemons;
 
@@ -21,7 +21,7 @@ fn main() {
     let prog = sb_cir::compile(daemon.source).expect("compiles unmodified");
     let mut module = sb_ir::lower(&prog, daemon.name);
     sb_ir::optimize(&mut module, sb_ir::OptLevel::PreInstrument);
-    let mut machine = Machine::new(&module, MachineConfig::default(), Box::new(NoRuntime));
+    let mut machine = Machine::new(&module, MachineConfig::default(), NoRuntime);
     let base = machine.run("main", &[20]);
     let base_ret = base.ret().expect("daemon runs");
     println!(
@@ -34,8 +34,7 @@ fn main() {
         SoftBoundConfig::full_shadow(),
     ] {
         let m = compile_protected(daemon.source, &cfg).expect("compiles unmodified");
-        let mut machine = Machine::new(&m, MachineConfig::default(), runtime_for(&cfg));
-        let r = machine.run("main", &[20]);
+        let r = run_instrumented(&m, &cfg, MachineConfig::default(), "main", &[20]);
         assert_eq!(r.ret(), Some(base_ret), "no false positives, same answers");
         let overhead = 100.0 * (r.stats.cycles as f64 / base.stats.cycles as f64 - 1.0);
         println!(

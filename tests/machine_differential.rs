@@ -1,0 +1,243 @@
+//! Whole-program differential proof of the devirtualized metadata path.
+//!
+//! The `SoftBoundRuntime<F>` / `Machine<H>` refactor replaced `Box<dyn>`
+//! dispatch on the check path with monomorphized calls. Facility-level
+//! unit tests cannot prove such a refactor behaviour-preserving, so this
+//! suite runs *entire instrumented programs* — the evaluation workloads
+//! and the BugBench violation programs — through every execution lane:
+//!
+//! 1. `SoftBoundRuntime<ShadowPages>` (static, the production path),
+//! 2. `SoftBoundRuntime<ShadowHashMapFacility>` (static, oracle),
+//! 3. `SoftBoundRuntime<HashTableFacility>` (static, §5.1 alternative),
+//! 4. `DynRuntime` — `SoftBoundRuntime<Box<dyn MetadataFacility>>`,
+//! 5. `Machine::new_dyn` over `Box<dyn RuntimeHooks>` (fully erased).
+//!
+//! Every lane must produce identical traps, program output, dynamic
+//! check/metadata counts, runtime violation counters, live metadata, and
+//! — for lanes sharing a cost model — identical cycles and final memory.
+
+use sb_vm::{Machine, MachineConfig, Outcome, RuntimeHooks};
+use softbound::{DynRuntime, MetadataFacility, SoftBoundConfig, SoftBoundRuntime};
+
+/// Everything a lane exposes for comparison.
+#[derive(Debug, Clone, PartialEq)]
+struct Observed {
+    outcome: Outcome,
+    output: String,
+    checks: u64,
+    meta_loads: u64,
+    meta_stores: u64,
+    rt_calls: u64,
+    check_count: u64,
+    violation_count: u64,
+    live_entries: usize,
+    /// Digest of the final simulated memory image.
+    mem_hash: u64,
+    /// Cost-model cycles — only comparable between lanes with identical
+    /// facility costs, so it is split out of the facility-independent
+    /// comparison below.
+    cycles: u64,
+}
+
+fn observe<F: MetadataFacility>(
+    module: &sb_ir::Module,
+    rt: SoftBoundRuntime<F>,
+    arg: i64,
+) -> Observed {
+    let mut machine = Machine::new(module, MachineConfig::default(), rt);
+    let r = machine.run("main", &[arg]);
+    Observed {
+        outcome: r.outcome,
+        output: r.output,
+        checks: r.stats.checks,
+        meta_loads: r.stats.meta_loads,
+        meta_stores: r.stats.meta_stores,
+        rt_calls: r.stats.rt_calls,
+        check_count: machine.hooks().check_count,
+        violation_count: machine.hooks().violation_count,
+        live_entries: machine.hooks().live_entries(),
+        mem_hash: machine.mem.content_hash(),
+        cycles: r.stats.cycles,
+    }
+}
+
+/// The fully type-erased lane: hooks behind `Box<dyn RuntimeHooks>`, so
+/// runtime counters are unreachable — compare machine-visible state only.
+fn observe_erased(module: &sb_ir::Module, cfg: &SoftBoundConfig, arg: i64) -> Observed {
+    let hooks: Box<dyn RuntimeHooks> = Box::new(DynRuntime::new(cfg));
+    let mut machine = Machine::new_dyn(module, MachineConfig::default(), hooks);
+    let r = machine.run("main", &[arg]);
+    Observed {
+        outcome: r.outcome,
+        output: r.output,
+        checks: r.stats.checks,
+        meta_loads: r.stats.meta_loads,
+        meta_stores: r.stats.meta_stores,
+        rt_calls: r.stats.rt_calls,
+        // Counters live behind the vtable; mirror the reference lane's
+        // values so `PartialEq` compares only what this lane can see.
+        check_count: 0,
+        violation_count: 0,
+        live_entries: 0,
+        mem_hash: machine.mem.content_hash(),
+        cycles: r.stats.cycles,
+    }
+}
+
+/// Strips the fields the erased lane cannot observe.
+fn erasable(o: &Observed) -> Observed {
+    Observed {
+        check_count: 0,
+        violation_count: 0,
+        live_entries: 0,
+        ..o.clone()
+    }
+}
+
+/// Strips the fields whose value legitimately depends on the facility's
+/// cost model (hash lookups cost 9, shadow lookups 5).
+fn cost_free(o: &Observed) -> Observed {
+    Observed {
+        cycles: 0,
+        mem_hash: 0,
+        ..o.clone()
+    }
+}
+
+fn run_all_lanes(name: &str, source: &str, cfg: &SoftBoundConfig, arg: i64) -> Observed {
+    let module = softbound::compile_protected(source, cfg).expect("program compiles");
+
+    let paged = observe(&module, SoftBoundRuntime::new_paged(cfg), arg);
+    let hashmap = observe(&module, SoftBoundRuntime::new_shadow_hashmap(cfg), arg);
+    let hashtable = observe(&module, SoftBoundRuntime::new_hash(cfg), arg);
+    let dyn_facility = observe(&module, DynRuntime::new(cfg), arg);
+    let erased = observe_erased(&module, cfg, arg);
+
+    // The two shadow organizations share the cost model and write the
+    // same simulated memory: every observable must match bit-for-bit.
+    assert_eq!(paged, hashmap, "{name}: paged vs hashmap shadow diverged");
+    // The dyn-facility wrapper hosts the *paged* facility (the config
+    // default): it must match the static paged lane exactly — dispatch
+    // must never change behaviour, cost, or memory.
+    assert_eq!(paged, dyn_facility, "{name}: static vs DynRuntime diverged");
+    assert_eq!(
+        erasable(&paged),
+        erased,
+        "{name}: static vs Machine::new_dyn diverged"
+    );
+    // The hash table costs more per lookup (9 vs 5 instructions, plus
+    // probes) and may map different simulated-table pages, but traps,
+    // output, and every dynamic count must be identical.
+    assert_eq!(
+        cost_free(&paged),
+        cost_free(&hashtable),
+        "{name}: shadow vs hash table diverged"
+    );
+    assert!(
+        hashtable.cycles >= paged.cycles,
+        "{name}: hash table ({}) cheaper than shadow space ({})?",
+        hashtable.cycles,
+        paged.cycles
+    );
+    paged
+}
+
+#[test]
+fn safe_workloads_identical_across_all_lanes() {
+    // A class-spanning subset of the evaluation workloads (debug-mode
+    // friendly): two array kernels, two list/tree kernels, one
+    // allocation-churn kernel.
+    let picks = ["compress", "ijpeg", "tsp", "treeadd", "health"];
+    let cfg = SoftBoundConfig::full_shadow();
+    for name in picks {
+        let w = sb_workloads::benchmark_by_name(name).expect("workload exists");
+        let o = run_all_lanes(w.name, w.source, &cfg, w.default_arg);
+        assert!(
+            matches!(o.outcome, Outcome::Finished { .. }),
+            "{name}: {:?}",
+            o.outcome
+        );
+        assert_eq!(o.violation_count, 0, "{name}: false positive");
+        assert!(o.checks > 0, "{name}: nothing was checked");
+        assert_eq!(
+            o.check_count, o.checks,
+            "{name}: VM and runtime disagree on executed checks"
+        );
+    }
+}
+
+#[test]
+fn store_only_mode_identical_across_all_lanes() {
+    let cfg = SoftBoundConfig::store_only_shadow();
+    for name in ["compress", "treeadd"] {
+        let w = sb_workloads::benchmark_by_name(name).expect("workload exists");
+        let o = run_all_lanes(w.name, w.source, &cfg, w.default_arg);
+        assert!(
+            matches!(o.outcome, Outcome::Finished { .. }),
+            "{name}: {:?}",
+            o.outcome
+        );
+        assert_eq!(o.violation_count, 0, "{name}: false positive");
+    }
+}
+
+#[test]
+fn violating_programs_trap_identically_across_all_lanes() {
+    // The BugBench programs each trigger a real spatial violation; every
+    // lane must report the same trap at the same point (identical counts
+    // mean the trap fired after the same number of checks).
+    let cfg = SoftBoundConfig::full_shadow();
+    for bug in sb_workloads::bugbench::all() {
+        let o = run_all_lanes(bug.name, bug.source, &cfg, 0);
+        assert!(
+            o.outcome.is_spatial_violation(),
+            "{}: expected a spatial violation, got {:?}",
+            bug.name,
+            o.outcome
+        );
+        // Overflows caught by the libc wrappers (scheme
+        // "softbound-wrapper", e.g. polymorph's strcpy) trap inside the
+        // VM builtin before reaching the runtime's counter; explicit
+        // checks must tick it.
+        let wrapper_trap = matches!(
+            &o.outcome,
+            Outcome::Trapped(sb_vm::Trap::SpatialViolation {
+                scheme: "softbound-wrapper",
+                ..
+            })
+        );
+        assert!(
+            wrapper_trap || o.violation_count >= 1,
+            "{}: runtime recorded no violation ({:?})",
+            bug.name,
+            o.outcome
+        );
+    }
+}
+
+#[test]
+fn wraparound_pointers_trap_in_whole_programs() {
+    // End-to-end regression for the `ptr + size` wraparound hole. The
+    // pointer must carry *live* metadata (an int-to-pointer cast would
+    // get NULL bounds and trap on the `base == 0` clause even before
+    // the fix), so a valid allocation is walked via pointer arithmetic
+    // to address u64::MAX: ptr >= base holds, and the old
+    // `ptr.wrapping_add(size) > bound` wrapped `MAX + 1` to 0 <= bound,
+    // passing the check and leaving a wild access (MemFault). The fixed
+    // check must report a spatial violation in every lane.
+    let src = r#"
+        int main() {
+            char* p = (char*)malloc(16);
+            long k = -(long)p - 1;   // p + k == 0xffff_ffff_ffff_ffff
+            char* q = p + k;         // GEP: metadata of p survives
+            return *q;
+        }
+    "#;
+    let cfg = SoftBoundConfig::full_shadow();
+    let o = run_all_lanes("wraparound", src, &cfg, 0);
+    assert!(
+        o.outcome.is_spatial_violation(),
+        "forged near-MAX pointer must trap, got {:?}",
+        o.outcome
+    );
+}

@@ -12,7 +12,7 @@ fn run_plain(w: &sb_workloads::Workload) -> sb_vm::RunResult {
     let prog = sb_cir::compile(w.source).expect("compiles");
     let mut m = sb_ir::lower(&prog, w.name);
     sb_ir::optimize(&mut m, sb_ir::OptLevel::PreInstrument);
-    let mut machine = Machine::new(&m, MachineConfig::default(), Box::new(NoRuntime));
+    let mut machine = Machine::new(&m, MachineConfig::default(), NoRuntime);
     machine.run("main", &[w.default_arg])
 }
 
@@ -96,12 +96,13 @@ fn protected_runs_agree_with_unprotected() {
         let expected = plain.ret().expect("plain run finishes");
         for cfg in &cfgs {
             let module = softbound::compile_protected(w.source, cfg).expect("compiles");
-            let mut machine = Machine::new(
+            let r = softbound::run_instrumented(
                 &module,
+                cfg,
                 MachineConfig::default(),
-                softbound::runtime_for(cfg),
+                "main",
+                &[w.default_arg],
             );
-            let r = machine.run("main", &[w.default_arg]);
             assert_eq!(
                 r.ret(),
                 Some(expected),
