@@ -21,6 +21,7 @@ use sb_ir::{
     Value,
 };
 use sb_vm::{AccessSink, Mem, RtCtx, RtVals, RuntimeHooks, Trap};
+use softbound::SoftBoundError;
 
 /// Function prefix for the fat-pointer transformation.
 pub const FAT_PREFIX: &str = "_fat_";
@@ -485,18 +486,22 @@ impl RuntimeHooks for FatPtrRuntime {
             other => panic!("fatptr runtime received foreign rt call {other:?}"),
         }
     }
+
+    fn reset(&mut self) {
+        self.check_count = 0;
+    }
 }
 
 /// One-call pipeline: compile fat, instrument, verify.
 ///
 /// # Errors
 ///
-/// Frontend errors.
-pub fn compile_fat_protected(src: &str) -> Result<Module, sb_cir::CompileError> {
+/// Frontend errors or verifier failures, as [`SoftBoundError`].
+pub fn compile_fat_protected(src: &str) -> Result<Module, SoftBoundError> {
     let m = compile_fat(src, "fat")?;
     let mut m = instrument_fat(&m);
     sb_ir::optimize(&mut m, sb_ir::OptLevel::PostInstrument);
-    sb_ir::verify(&m).expect("fat-instrumented module verifies");
+    sb_ir::verify(&m)?;
     Ok(m)
 }
 

@@ -13,7 +13,7 @@
 //!   memory-layout incompatibility made executable (§2.2, Table 1);
 //! * [`mscc`] — MSCC-style disjoint metadata without wild-cast support
 //!   and without sub-object bounds (§6.5);
-//! * [`scheme`] — a unified [`Scheme`](scheme::Scheme) driver for the
+//! * [`scheme`] — a unified [`Scheme`] driver for the
 //!   experiment harnesses.
 
 pub mod fatptr;

@@ -1,4 +1,4 @@
-//! An MSCC-like baseline (Xu, DuVarney & Sekar, FSE 2004 — [34] in the
+//! An MSCC-like baseline (Xu, DuVarney & Sekar, FSE 2004 — \[34\] in the
 //! paper).
 //!
 //! Like SoftBound, MSCC keeps pointer metadata out of line and eschews
@@ -18,6 +18,7 @@
 
 use sb_ir::{Module, RtFn};
 use sb_vm::{AccessSink, Mem, RtCtx, RtVals, RuntimeHooks, Trap};
+use softbound::SoftBoundError;
 use softbound::{instrument_flavored, Flavor, Meta, SoftBoundConfig};
 use std::collections::HashMap;
 
@@ -157,24 +158,25 @@ impl RuntimeHooks for MsccRuntime {
             }
         }
     }
+
+    fn reset(&mut self) {
+        self.meta.clear();
+        self.check_count = 0;
+    }
 }
 
 /// One-call pipeline: compile, instrument MSCC-style, run.
 ///
 /// # Errors
 ///
-/// Frontend errors.
-pub fn run_mscc(
-    src: &str,
-    entry: &str,
-    args: &[i64],
-) -> Result<sb_vm::RunResult, sb_cir::CompileError> {
+/// Frontend errors or verifier failures, as [`SoftBoundError`].
+pub fn run_mscc(src: &str, entry: &str, args: &[i64]) -> Result<sb_vm::RunResult, SoftBoundError> {
     let prog = sb_cir::compile(src)?;
     let mut m = sb_ir::lower(&prog, "mscc");
     sb_ir::optimize(&mut m, sb_ir::OptLevel::PreInstrument);
     let mut m = instrument_mscc(&m);
     sb_ir::optimize(&mut m, sb_ir::OptLevel::PostInstrument);
-    sb_ir::verify(&m).expect("mscc-instrumented module verifies");
+    sb_ir::verify(&m)?;
     let mut machine = sb_vm::Machine::new(&m, sb_vm::MachineConfig::default(), MsccRuntime::new());
     Ok(machine.run(entry, args))
 }

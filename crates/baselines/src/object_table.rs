@@ -235,6 +235,11 @@ impl RuntimeHooks for ObjectTableRuntime {
             }),
         }
     }
+
+    fn reset(&mut self) {
+        self.tree = SplayTree::new();
+        self.check_count = 0;
+    }
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@ use crate::object_table::{instrument_object_scheme, ObjectScheme, ObjectTableRun
 use crate::valgrind::{instrument_valgrind, ValgrindRuntime, REDZONE};
 use sb_ir::Module;
 use sb_vm::{Machine, MachineConfig, NoRuntime, RunResult, RuntimeHooks};
-use softbound::SoftBoundConfig;
+use softbound::{Engine, SoftBoundConfig, SoftBoundError};
 
 /// Every protection scheme the reproduction implements.
 #[derive(Debug, Clone)]
@@ -42,15 +42,33 @@ impl Scheme {
         }
     }
 
+    /// The SoftBound engine matching this scheme's configuration, when
+    /// the scheme is SoftBound — the session API every SoftBound
+    /// compile/run below routes through.
+    fn engine(&self) -> Option<Engine> {
+        match self {
+            Scheme::SoftBound(cfg) => Some(Engine::new().softbound_config(cfg.clone())),
+            _ => None,
+        }
+    }
+
     /// Compiles and instruments a CIR-C source for this scheme (the fat
-    /// baseline uses the fat memory layout).
+    /// baseline uses the fat memory layout). The SoftBound scheme goes
+    /// through [`Engine::compile`]; the baselines share its error
+    /// surface, reporting verifier failures as
+    /// [`SoftBoundError::Verify`] instead of panicking.
     ///
     /// # Errors
     ///
-    /// Frontend errors.
-    pub fn compile(&self, src: &str) -> Result<Module, sb_cir::CompileError> {
+    /// Frontend errors ([`SoftBoundError::Compile`]) or instrumentation
+    /// bugs ([`SoftBoundError::Verify`]).
+    pub fn compile(&self, src: &str) -> Result<Module, SoftBoundError> {
         let module = match self {
             Scheme::FatPointer => return fatptr::compile_fat_protected(src),
+            Scheme::SoftBound(_) => {
+                let engine = self.engine().expect("SoftBound scheme");
+                return Ok(engine.compile(src)?.into_parts().0);
+            }
             _ => {
                 let prog = sb_cir::compile(src)?;
                 let mut m = sb_ir::lower(&prog, "program");
@@ -60,17 +78,16 @@ impl Scheme {
         };
         let mut m = match self {
             Scheme::Uninstrumented => module,
-            Scheme::SoftBound(cfg) => softbound::instrument(&module, cfg),
             Scheme::JonesKelly => instrument_object_scheme(&module, ObjectScheme::JonesKelly),
             Scheme::Mudflap => instrument_object_scheme(&module, ObjectScheme::Mudflap),
             Scheme::Valgrind => instrument_valgrind(&module),
             Scheme::Mscc => instrument_mscc(&module),
-            Scheme::FatPointer => unreachable!("handled above"),
+            Scheme::SoftBound(_) | Scheme::FatPointer => unreachable!("handled above"),
         };
         if !matches!(self, Scheme::Uninstrumented) {
             sb_ir::optimize(&mut m, sb_ir::OptLevel::PostInstrument);
         }
-        sb_ir::verify(&m).expect("instrumented module verifies");
+        sb_ir::verify(&m)?;
         Ok(m)
     }
 
@@ -111,7 +128,11 @@ impl Scheme {
         }
         match self {
             Scheme::Uninstrumented => go(module, cfg, NoRuntime, entry, args),
-            Scheme::SoftBound(sb) => softbound::run_instrumented(module, sb, cfg, entry, args),
+            Scheme::SoftBound(sb) => Engine::new()
+                .softbound_config(sb.clone())
+                .machine_config(cfg)
+                .instantiate_module(module)
+                .run(entry, args),
             Scheme::JonesKelly => go(
                 module,
                 cfg,
@@ -145,13 +166,8 @@ impl Scheme {
     ///
     /// # Errors
     ///
-    /// Frontend errors.
-    pub fn run(
-        &self,
-        src: &str,
-        entry: &str,
-        args: &[i64],
-    ) -> Result<RunResult, sb_cir::CompileError> {
+    /// Pipeline errors from [`Scheme::compile`].
+    pub fn run(&self, src: &str, entry: &str, args: &[i64]) -> Result<RunResult, SoftBoundError> {
         let module = self.compile(src)?;
         Ok(self.dispatch(&module, self.machine_config(), entry, args))
     }
@@ -160,21 +176,6 @@ impl Scheme {
     /// [`Scheme::compile`] on the same scheme).
     pub fn run_module(&self, module: &Module, entry: &str, args: &[i64]) -> RunResult {
         self.dispatch(module, self.machine_config(), entry, args)
-    }
-
-    /// Runs a precompiled module with a custom machine config (e.g. with
-    /// the cache model enabled); redzones are still forced for Valgrind.
-    pub fn run_module_with(
-        &self,
-        module: &Module,
-        mut cfg: MachineConfig,
-        entry: &str,
-        args: &[i64],
-    ) -> RunResult {
-        if matches!(self, Scheme::Valgrind) {
-            cfg.redzone = REDZONE;
-        }
-        self.dispatch(module, cfg, entry, args)
     }
 }
 

@@ -144,6 +144,11 @@ impl RuntimeHooks for ValgrindRuntime {
     ) -> Result<(), Trap> {
         self.heap_check(ptr, len, is_store, ctx)
     }
+
+    fn reset(&mut self) {
+        self.live.clear();
+        self.check_count = 0;
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,80 @@
+//! The amortization proof for the session API: requests/sec on one
+//! reused [`Instance`](softbound::Instance) versus building a fresh
+//! machine per request (256 MiB shadow-directory reservation, global
+//! layout, frame plans re-done every time) versus re-running the whole
+//! compile pipeline per request.
+//!
+//! Two request shapes: a small allocation-and-check "request" where the
+//! per-machine setup dominates, and the §6.4 HTTP-like daemon serving a
+//! real connection batch.
+//!
+//! ```sh
+//! cargo bench -p sb-bench --bench throughput
+//! ```
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use softbound::Engine;
+
+/// A request-sized program: parse-ish arithmetic, a little heap churn,
+/// pointer stores (metadata traffic), and a checksum reply.
+const SMALL_REQUEST: &str = r#"
+    struct item { int id; struct item* next; };
+    int main(int n) {
+        struct item* head = NULL;
+        for (int i = 0; i <= n; i++) {
+            struct item* it = (struct item*)malloc(sizeof(struct item));
+            it->id = i * 3 + 1;
+            it->next = head;
+            head = it;
+        }
+        int sum = 0;
+        while (head != NULL) {
+            sum += head->id;
+            struct item* dead = head;
+            head = head->next;
+            free(dead);
+        }
+        return sum;
+    }
+"#;
+
+fn bench_program(c: &mut Criterion, group_name: &str, src: &str, arg: i64) {
+    let engine = Engine::new();
+    let program = engine.compile(src).expect("compiles");
+    let expected = engine.instantiate(&program).run("main", &[arg]).ret();
+    assert!(expected.is_some(), "request program must finish");
+
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(20);
+
+    // The session path: one machine, one shadow reservation, reset
+    // between requests.
+    group.bench_function("reused_instance", |b| {
+        let mut instance = engine.instantiate(&program);
+        b.iter(|| black_box(instance.run("main", &[arg]).ret()));
+    });
+
+    // The pre-session path with the compile amortized: a fresh runtime
+    // (fresh 256 MiB directory reservation) and machine per request.
+    group.bench_function("fresh_machine_per_request", |b| {
+        b.iter(|| black_box(engine.instantiate(&program).run("main", &[arg]).ret()));
+    });
+
+    // The fully one-shot path: compile + instantiate + run per request.
+    group.bench_function("full_pipeline_per_request", |b| {
+        b.iter(|| black_box(engine.run_once(src, "main", &[arg]).expect("ok").ret()));
+    });
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_program(c, "throughput/small_request", SMALL_REQUEST, 32);
+    let daemon = sb_workloads::daemons::all()
+        .into_iter()
+        .find(|d| d.name == "nhttpd")
+        .expect("daemon exists");
+    bench_program(c, "throughput/nhttpd_batch", daemon.source, 2);
+}
+
+criterion_group!(throughput, benches);
+criterion_main!(throughput);

@@ -5,7 +5,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use sb_vm::{Machine, MachineConfig, RuntimeHooks};
 use sb_workloads::all_benchmarks;
-use softbound::SoftBoundConfig;
+use softbound::{Engine, SoftBoundConfig};
 
 fn benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("transform");
@@ -60,25 +60,22 @@ fn benches(c: &mut Criterion) {
     // the devirtualization payoff on a pointer-heavy workload.
     let w = sb_workloads::benchmark_by_name("treeadd").expect("exists");
     let cfg = SoftBoundConfig::full_shadow();
-    let module = softbound::compile_protected(w.source, &cfg).expect("compiles");
+    let engine = Engine::new().softbound_config(cfg.clone());
+    let program = engine.compile(w.source).expect("compiles");
     group.bench_function("run_protected_treeadd_static", |b| {
         b.iter(|| {
             black_box(
-                softbound::run_instrumented(
-                    &module,
-                    &cfg,
-                    MachineConfig::default(),
-                    "main",
-                    &[w.default_arg],
-                )
-                .ret(),
+                engine
+                    .instantiate(&program)
+                    .run("main", &[w.default_arg])
+                    .ret(),
             )
         });
     });
     group.bench_function("run_protected_treeadd_dyn", |b| {
         b.iter(|| {
             let hooks: Box<dyn RuntimeHooks> = Box::new(softbound::DynRuntime::new(&cfg));
-            let mut machine = Machine::new_dyn(&module, MachineConfig::default(), hooks);
+            let mut machine = Machine::new_dyn(program.module(), MachineConfig::default(), hooks);
             black_box(machine.run("main", &[w.default_arg]).ret())
         });
     });

@@ -5,7 +5,7 @@
 
 use sb_vm::{Machine, MachineConfig, NoRuntime};
 use sb_workloads::daemons;
-use softbound::SoftBoundConfig;
+use softbound::{Engine, SoftBoundConfig};
 
 /// One daemon's compatibility result.
 #[derive(Debug, Clone)]
@@ -44,8 +44,9 @@ pub fn run() -> Vec<Row> {
             let plain_ret = pr.ret().expect("daemon runs");
 
             let run_cfg = |cfg: &SoftBoundConfig| {
-                let module = softbound::compile_protected(d.source, cfg).expect("compiles");
-                softbound::run_instrumented(&module, cfg, MachineConfig::default(), "main", &[0])
+                let engine = Engine::new().softbound_config(cfg.clone());
+                let program = engine.compile(d.source).expect("compiles");
+                engine.instantiate(&program).run("main", &[0])
             };
             let full = run_cfg(&SoftBoundConfig::full_shadow());
             let store = run_cfg(&SoftBoundConfig::store_only_shadow());

@@ -3,10 +3,9 @@
 //! average row.
 
 use crate::overhead;
-use sb_baselines::Scheme;
 use sb_vm::{CacheConfig, Machine, MachineConfig, NoRuntime};
 use sb_workloads::all_benchmarks;
-use softbound::SoftBoundConfig;
+use softbound::{Engine, Program, SoftBoundConfig};
 
 /// One benchmark's overheads (fractions; 0.79 = 79%).
 #[derive(Debug, Clone)]
@@ -68,6 +67,11 @@ pub fn run_with_cache(cache: Option<CacheConfig>) -> Vec<Row> {
         cache,
         ..MachineConfig::default()
     };
+    let engine_for = |cfg: &SoftBoundConfig| {
+        Engine::new()
+            .softbound_config(cfg.clone())
+            .machine_config(machine_cfg.clone())
+    };
     all_benchmarks()
         .iter()
         .map(|w| {
@@ -78,10 +82,10 @@ pub fn run_with_cache(cache: Option<CacheConfig>) -> Vec<Row> {
             let base = machine.run("main", &[w.default_arg]);
             assert!(matches!(base.outcome, sb_vm::Outcome::Finished { .. }));
             let expected = base.ret();
-            let run = |cfg: &SoftBoundConfig, module: &sb_ir::Module| {
-                let scheme = Scheme::SoftBound(cfg.clone());
-                let r =
-                    scheme.run_module_with(module, machine_cfg.clone(), "main", &[w.default_arg]);
+            let run = |cfg: &SoftBoundConfig, program: &Program| {
+                let r = engine_for(cfg)
+                    .instantiate(program)
+                    .run("main", &[w.default_arg]);
                 assert_eq!(
                     r.ret(),
                     expected,
@@ -92,27 +96,22 @@ pub fn run_with_cache(cache: Option<CacheConfig>) -> Vec<Row> {
                 overhead(base.stats.cycles, r.stats.cycles)
             };
             let get = |cfg: &SoftBoundConfig| {
-                let module = Scheme::SoftBound(cfg.clone())
-                    .compile(w.source)
-                    .expect("compiles");
-                run(cfg, &module)
+                let program = engine_for(cfg).compile(w.source).expect("compiles");
+                run(cfg, &program)
             };
             let [ht_f, ss_f, ht_s, ss_s] = configs();
-            // The full-shadow pipeline is compiled via the stats entry
-            // point so the run shares one compile with the elimination
-            // count (which is a property of the instrumented IR, not of
-            // the runtime facility).
-            let (ss_full_module, pass_stats) =
-                softbound::compile_protected_with_stats(w.source, &ss_f)
-                    .expect("workload compiles");
+            // The full-shadow `Program` is reused for its run *and* its
+            // elimination count (a property of the instrumented IR, not
+            // of the runtime facility).
+            let ss_full_program = engine_for(&ss_f).compile(w.source).expect("compiles");
             Row {
                 name: w.name.to_string(),
                 ht_full: get(&ht_f),
-                ss_full: run(&ss_f, &ss_full_module),
+                ss_full: run(&ss_f, &ss_full_program),
                 ht_store: get(&ht_s),
                 ss_store: get(&ss_s),
                 base_cycles: base.stats.cycles,
-                checks_eliminated: pass_stats.checks_eliminated,
+                checks_eliminated: ss_full_program.stats().checks_eliminated,
                 pointer_dense: w.pointer_dense(),
             }
         })
@@ -229,11 +228,10 @@ mod tests {
         // pointer-dense class must eliminate strictly more checks than
         // the scalar class (which eliminates essentially none — array
         // kernels re-index with fresh GEP values).
-        let cfg = SoftBoundConfig::full_shadow();
+        let engine = Engine::new().softbound_config(SoftBoundConfig::full_shadow());
         let (mut ptr_total, mut scalar_total) = (0usize, 0usize);
         for w in all_benchmarks() {
-            let (_, stats) =
-                softbound::compile_protected_with_stats(w.source, &cfg).expect("workload compiles");
+            let stats = engine.compile(w.source).expect("workload compiles").stats();
             if w.pointer_dense() {
                 ptr_total += stats.checks_eliminated;
             } else {

@@ -6,7 +6,7 @@
 
 use sb_vm::Outcome;
 use sb_workloads::attacks::{self, Attack};
-use softbound::SoftBoundConfig;
+use softbound::{Engine, SoftBoundConfig};
 
 /// One Table 3 row.
 #[derive(Debug, Clone)]
@@ -30,14 +30,16 @@ fn attack_succeeded(outcome: &Outcome) -> bool {
 
 /// Runs all 18 attacks under {unprotected, full, store-only}.
 pub fn run() -> Vec<Row> {
-    let full = SoftBoundConfig::full_shadow();
-    let store = SoftBoundConfig::store_only_shadow();
+    let full = Engine::new().softbound_config(SoftBoundConfig::full_shadow());
+    let store = Engine::new().softbound_config(SoftBoundConfig::store_only_shadow());
     attacks::all()
         .into_iter()
         .map(|attack| {
             let plain = sb_vm::run_source(attack.source, "main", &[]);
-            let f = softbound::protect(attack.source, &full, "main", &[]).expect("compiles");
-            let s = softbound::protect(attack.source, &store, "main", &[]).expect("compiles");
+            let f = full.run_once(attack.source, "main", &[]).expect("compiles");
+            let s = store
+                .run_once(attack.source, "main", &[])
+                .expect("compiles");
             Row {
                 attack,
                 succeeded_unprotected: attack_succeeded(&plain.outcome),

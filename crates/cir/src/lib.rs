@@ -6,7 +6,7 @@
 //! Kamkar attack suite, BugBench-style buggy programs, and small network
 //! daemons. It provides:
 //!
-//! * a [lexer](lexer) and [recursive-descent parser](parser) producing an
+//! * a [lexer](mod@lexer) and [recursive-descent parser](parser) producing an
 //!   untyped [AST](ast);
 //! * a [type system](types) with an LP64 layout engine (parameterizable
 //!   pointer layout so the fat-pointer baseline can reuse the frontend);

@@ -1,4 +1,4 @@
-//! Type checker: resolves the untyped AST into the typed [`hir`].
+//! Type checker: resolves the untyped AST into the typed [`hir`](crate::hir).
 //!
 //! Responsibilities: struct registration and layout, name resolution
 //! (locals/globals/functions/builtins), implicit conversion insertion, C's

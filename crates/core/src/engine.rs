@@ -1,0 +1,405 @@
+//! The session-oriented embedding surface: [`Engine`] → [`Program`] →
+//! [`Instance`].
+//!
+//! The original entry points (`protect`, `run_instrumented`) are
+//! one-shot: each call re-compiles the source, re-allocates the shadow
+//! facility (a 256 MiB directory reservation for the paged shadow
+//! space), and rebuilds a `Machine`. That is the wrong shape for the
+//! fleet-style traffic the ROADMAP targets, and it is exactly the shape
+//! SoftBound's disjoint-metadata design (§5.1) does *not* require:
+//! because metadata lives apart from program memory, both reset
+//! independently and cheaply between runs.
+//!
+//! The session API splits the pipeline into three owned artifacts:
+//!
+//! * [`Engine`] — a reusable builder capturing the
+//!   [`SoftBoundConfig`] and [`MachineConfig`]; cheap to clone, one per
+//!   deployment configuration.
+//! * [`Program`] — a compiled, instrumented, *verified* module plus the
+//!   post-instrument [`PassStats`]. Compile once, share among
+//!   instances.
+//! * [`Instance`] — a persistent monomorphized
+//!   [`SoftBoundRuntime`]`<F>` + [`Machine`] that can
+//!   [`run`](Instance::run) an entry point repeatedly.
+//!   [`reset`](Instance::reset) clears program memory and metadata
+//!   between runs while keeping the shadow reservation, frame pool, and
+//!   frame plans alive, so back-to-back requests skip the per-machine
+//!   setup entirely (the `throughput` bench measures the win).
+//!
+//! ```
+//! use softbound::{Engine, SoftBoundConfig};
+//!
+//! let engine = Engine::new();
+//! let program = engine.compile("int main(int n) { return n * 2; }")?;
+//! let mut instance = engine.instantiate(&program);
+//! for request in 0..3 {
+//!     let r = instance.run("main", &[request]);
+//!     assert_eq!(r.ret(), Some(request * 2));
+//! }
+//! assert_eq!(instance.runs(), 3);
+//! # Ok::<(), softbound::SoftBoundError>(())
+//! ```
+
+use crate::config::{CheckMode, Facility, SoftBoundConfig};
+use crate::error::SoftBoundError;
+use crate::metadata::{HashTableFacility, ShadowHashMapFacility, ShadowPages};
+use crate::runtime::SoftBoundRuntime;
+use crate::transform::instrument;
+use sb_ir::{Module, PassStats};
+use sb_vm::{Machine, MachineConfig, RunResult};
+
+/// A reusable SoftBound pipeline configuration: the entry point of the
+/// session API.
+///
+/// An engine owns no per-program state — it is a builder over
+/// [`SoftBoundConfig`] (what to instrument, which metadata facility) and
+/// [`MachineConfig`] (cost model, cache model, fuel). Build one per
+/// deployment configuration, then [`compile`](Engine::compile) programs
+/// and [`instantiate`](Engine::instantiate) long-lived machines from it.
+#[derive(Debug, Clone, Default)]
+pub struct Engine {
+    sb: SoftBoundConfig,
+    machine: MachineConfig,
+}
+
+impl Engine {
+    /// An engine with the paper's headline configuration (full checking
+    /// over the paged shadow space, default machine).
+    pub fn new() -> Self {
+        Engine::default()
+    }
+
+    /// Replaces the SoftBound configuration wholesale.
+    pub fn softbound_config(mut self, cfg: SoftBoundConfig) -> Self {
+        self.sb = cfg;
+        self
+    }
+
+    /// Selects the metadata facility (§5.1).
+    pub fn facility(mut self, facility: Facility) -> Self {
+        self.sb.facility = facility;
+        self
+    }
+
+    /// Selects the checking mode (full vs store-only, §6.3).
+    pub fn check_mode(mut self, mode: CheckMode) -> Self {
+        self.sb.mode = mode;
+        self
+    }
+
+    /// Replaces the machine configuration (cost model, cache, fuel…).
+    pub fn machine_config(mut self, cfg: MachineConfig) -> Self {
+        self.machine = cfg;
+        self
+    }
+
+    /// The SoftBound configuration this engine instruments with.
+    pub fn config(&self) -> &SoftBoundConfig {
+        &self.sb
+    }
+
+    /// The machine configuration instances are built with.
+    pub fn machine(&self) -> &MachineConfig {
+        &self.machine
+    }
+
+    /// Compiles CIR-C source through the full paper pipeline (§6.1):
+    /// compile → lower → optimize → instrument → re-optimize → verify.
+    ///
+    /// # Errors
+    ///
+    /// [`SoftBoundError::Compile`] for frontend rejections and
+    /// [`SoftBoundError::Verify`] when the instrumented module fails
+    /// structural verification (a pass bug, reported instead of
+    /// panicking so embedders can log and keep serving).
+    pub fn compile(&self, src: &str) -> Result<Program, SoftBoundError> {
+        let prog = sb_cir::compile(src)?;
+        let mut module = sb_ir::lower(&prog, "program");
+        sb_ir::optimize(&mut module, sb_ir::OptLevel::PreInstrument);
+        let mut module = instrument(&module, &self.sb);
+        let stats = sb_ir::optimize_with_stats(&mut module, sb_ir::OptLevel::PostInstrument);
+        sb_ir::verify(&module)?;
+        Ok(Program { module, stats })
+    }
+
+    /// Builds a persistent machine over a compiled program,
+    /// monomorphized on the configured facility.
+    pub fn instantiate<'p>(&self, program: &'p Program) -> Instance<'p> {
+        self.instantiate_module(program.module())
+    }
+
+    /// Builds a persistent machine over an already instrumented module
+    /// (one produced by [`Engine::compile`] on the same configuration,
+    /// or by [`instrument`] directly). This is the seam the one-shot
+    /// shims ([`run_instrumented`](crate::run_instrumented)) delegate
+    /// through.
+    pub fn instantiate_module<'m>(&self, module: &'m Module) -> Instance<'m> {
+        let repr = match self.sb.facility {
+            Facility::ShadowPaged => Repr::Paged(Machine::new(
+                module,
+                self.machine.clone(),
+                SoftBoundRuntime::new_paged(&self.sb),
+            )),
+            Facility::ShadowHashMap => Repr::ShadowHashMap(Machine::new(
+                module,
+                self.machine.clone(),
+                SoftBoundRuntime::new_shadow_hashmap(&self.sb),
+            )),
+            Facility::HashTable => Repr::HashTable(Machine::new(
+                module,
+                self.machine.clone(),
+                SoftBoundRuntime::new_hash(&self.sb),
+            )),
+        };
+        Instance {
+            repr,
+            runs: 0,
+            dirty: false,
+        }
+    }
+
+    /// Compile + instantiate + run in one call — the convenience the
+    /// old free functions provided, expressed on the session API.
+    ///
+    /// # Errors
+    ///
+    /// Pipeline errors from [`Engine::compile`].
+    pub fn run_once(
+        &self,
+        src: &str,
+        entry: &str,
+        args: &[i64],
+    ) -> Result<RunResult, SoftBoundError> {
+        let program = self.compile(src)?;
+        Ok(self.instantiate(&program).run(entry, args))
+    }
+}
+
+/// A compiled, instrumented, verified module plus the post-instrument
+/// optimizer statistics. Produced by [`Engine::compile`]; immutable and
+/// shareable among any number of [`Instance`]s.
+#[derive(Debug, Clone)]
+pub struct Program {
+    module: Module,
+    stats: PassStats,
+}
+
+impl Program {
+    /// The instrumented module.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// Post-instrument optimizer statistics (instructions removed,
+    /// redundant checks eliminated) — the experiment harness's
+    /// elimination counts.
+    pub fn stats(&self) -> PassStats {
+        self.stats
+    }
+
+    /// Decomposes into the owned module and the pass statistics (for
+    /// callers that hand the module to other tooling, e.g. the linker).
+    pub fn into_parts(self) -> (Module, PassStats) {
+        (self.module, self.stats)
+    }
+}
+
+/// The three monomorphized machines an engine can build. One `match`
+/// per public call, then fully static dispatch inside — the check path
+/// never sees a vtable.
+enum Repr<'p> {
+    Paged(Machine<'p, SoftBoundRuntime<ShadowPages>>),
+    ShadowHashMap(Machine<'p, SoftBoundRuntime<ShadowHashMapFacility>>),
+    HashTable(Machine<'p, SoftBoundRuntime<HashTableFacility>>),
+}
+
+macro_rules! each_machine {
+    ($self:expr, $m:ident => $body:expr) => {
+        match &$self.repr {
+            Repr::Paged($m) => $body,
+            Repr::ShadowHashMap($m) => $body,
+            Repr::HashTable($m) => $body,
+        }
+    };
+}
+
+macro_rules! each_machine_mut {
+    ($self:expr, $m:ident => $body:expr) => {
+        match &mut $self.repr {
+            Repr::Paged($m) => $body,
+            Repr::ShadowHashMap($m) => $body,
+            Repr::HashTable($m) => $body,
+        }
+    };
+}
+
+/// A persistent execution session: one monomorphized
+/// [`SoftBoundRuntime`]`<F>` plus one [`Machine`], reusable across any
+/// number of runs.
+///
+/// [`run`](Instance::run) resets automatically between runs, so N
+/// back-to-back runs observe exactly what N fresh machines would —
+/// identical traps, outputs, check counts, and final memory (pinned by
+/// `tests/instance_reuse.rs`) — while reusing the shadow reservation,
+/// the laid-out frame plans, and the interpreter's pooled buffers
+/// instead of rebuilding them per request.
+pub struct Instance<'p> {
+    repr: Repr<'p>,
+    runs: u64,
+    dirty: bool,
+}
+
+impl Instance<'_> {
+    /// Runs `entry` with the given arguments. If the instance has run
+    /// before, program memory and metadata are
+    /// [`reset`](Instance::reset) first, so every run starts from the
+    /// same initial state a fresh machine would.
+    pub fn run(&mut self, entry: &str, args: &[i64]) -> RunResult {
+        if self.dirty {
+            each_machine_mut!(self, m => m.reset());
+        }
+        self.dirty = true;
+        self.runs += 1;
+        each_machine_mut!(self, m => m.run(entry, args))
+    }
+
+    /// Eagerly clears program memory, heap, and all pointer metadata
+    /// (`live_entries()` is 0 afterwards) while keeping the shadow
+    /// reservation and machine plans alive. [`run`](Instance::run) does
+    /// this lazily; call it directly to drop a finished request's
+    /// metadata footprint before the instance goes idle.
+    pub fn reset(&mut self) {
+        each_machine_mut!(self, m => m.reset());
+        self.dirty = false;
+    }
+
+    /// Number of completed [`run`](Instance::run) calls.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// Live (non-NULL) metadata entries in the facility right now.
+    pub fn live_entries(&self) -> usize {
+        each_machine!(self, m => m.hooks().live_entries())
+    }
+
+    /// Bounds checks executed by the runtime since the last reset.
+    pub fn check_count(&self) -> u64 {
+        each_machine!(self, m => m.hooks().check_count)
+    }
+
+    /// Violations detected by the runtime since the last reset.
+    pub fn violation_count(&self) -> u64 {
+        each_machine!(self, m => m.hooks().violation_count)
+    }
+
+    /// Digest of the current simulated memory image (differential
+    /// testing against fresh machines).
+    pub fn mem_content_hash(&self) -> u64 {
+        each_machine!(self, m => m.mem.content_hash())
+    }
+
+    /// The facility this instance monomorphizes over.
+    pub fn facility(&self) -> Facility {
+        match self.repr {
+            Repr::Paged(_) => Facility::ShadowPaged,
+            Repr::ShadowHashMap(_) => Facility::ShadowHashMap,
+            Repr::HashTable(_) => Facility::HashTable,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_builder_selects_facility_and_mode() {
+        let e = Engine::new()
+            .facility(Facility::HashTable)
+            .check_mode(CheckMode::StoreOnly);
+        assert_eq!(e.config().facility, Facility::HashTable);
+        assert_eq!(e.config().mode, CheckMode::StoreOnly);
+        let program = e.compile("int main() { return 7; }").expect("compiles");
+        let inst = e.instantiate(&program);
+        assert_eq!(inst.facility(), Facility::HashTable);
+    }
+
+    #[test]
+    fn compile_reports_frontend_errors() {
+        let err = Engine::new()
+            .compile("int main( { return 0; }")
+            .expect_err("bad source");
+        assert!(matches!(err, SoftBoundError::Compile(_)), "{err}");
+    }
+
+    #[test]
+    fn instance_runs_repeatedly_with_identical_results() {
+        let src = r#"
+            int main(int n) {
+                int* p = (int*)malloc(4 * sizeof(int));
+                for (int i = 0; i < 4; i++) p[i] = n + i;
+                int s = p[0] + p[3];
+                free(p);
+                return s;
+            }
+        "#;
+        let engine = Engine::new();
+        let program = engine.compile(src).expect("compiles");
+        let mut inst = engine.instantiate(&program);
+        for n in 0..4 {
+            let r = inst.run("main", &[n]);
+            assert_eq!(r.ret(), Some(2 * n + 3), "{:?}", r.outcome);
+        }
+        assert_eq!(inst.runs(), 4);
+    }
+
+    #[test]
+    fn reset_clears_metadata_between_runs() {
+        // A program that leaks pointer-bearing heap blocks, leaving live
+        // metadata behind on purpose.
+        let src = r#"
+            int main() {
+                long** blocks = (long**)malloc(8 * sizeof(long*));
+                for (int i = 0; i < 8; i++) {
+                    blocks[i] = (long*)malloc(sizeof(long));
+                }
+                return blocks[7] != 0;
+            }
+        "#;
+        let engine = Engine::new();
+        let program = engine.compile(src).expect("compiles");
+        let mut inst = engine.instantiate(&program);
+        let r = inst.run("main", &[]);
+        assert_eq!(r.ret(), Some(1));
+        assert!(inst.live_entries() > 0, "leaked metadata expected");
+        assert!(inst.check_count() > 0);
+        inst.reset();
+        assert_eq!(inst.live_entries(), 0, "reset must clear all metadata");
+        assert_eq!(inst.check_count(), 0);
+        assert_eq!(inst.violation_count(), 0);
+    }
+
+    #[test]
+    fn program_exposes_pass_stats() {
+        // A pointer re-dereferenced without redefinition: the
+        // post-instrument pass eliminates the duplicate check, and the
+        // Program surfaces the count.
+        let src = r#"
+            int main() {
+                int* p = (int*)malloc(2 * sizeof(int));
+                *p = 4;
+                int v = *p + *p;
+                free(p);
+                return v;
+            }
+        "#;
+        let program = Engine::new().compile(src).expect("compiles");
+        assert!(
+            program.stats().checks_eliminated > 0,
+            "expected elimination, got {:?}",
+            program.stats()
+        );
+        assert!(!program.module().funcs.is_empty());
+    }
+}

@@ -1,0 +1,86 @@
+//! The unified error type of the SoftBound pipeline.
+//!
+//! Before the session API, failures escaped the pipeline three ways:
+//! frontend problems as [`sb_cir::CompileError`], verifier failures as a
+//! panic (`sb_ir::verify(...).expect(...)`), and everything downstream as
+//! ad-hoc `expect`s at the call sites. [`SoftBoundError`] folds the
+//! fallible stages into one `Result` surface so embedders — servers
+//! keeping an [`Engine`](crate::Engine) alive across requests — can
+//! route every failure through ordinary error handling.
+
+use std::error::Error;
+use std::fmt;
+
+/// Any failure of the SoftBound compile pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SoftBoundError {
+    /// The CIR-C frontend rejected the source (lexing, parsing, type
+    /// checking).
+    Compile(sb_cir::CompileError),
+    /// The instrumented module failed structural verification. This
+    /// indicates a bug in a transformation pass, not in the user's
+    /// source — but a server must be able to log it and keep serving
+    /// rather than abort the process, so it is an error, not a panic.
+    Verify(sb_ir::VerifyError),
+}
+
+impl fmt::Display for SoftBoundError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SoftBoundError::Compile(e) => write!(f, "compile error: {e}"),
+            SoftBoundError::Verify(e) => write!(f, "instrumented module failed to verify: {e}"),
+        }
+    }
+}
+
+impl Error for SoftBoundError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SoftBoundError::Compile(e) => Some(e),
+            SoftBoundError::Verify(e) => Some(e),
+        }
+    }
+}
+
+impl From<sb_cir::CompileError> for SoftBoundError {
+    fn from(e: sb_cir::CompileError) -> Self {
+        SoftBoundError::Compile(e)
+    }
+}
+
+impl From<sb_ir::VerifyError> for SoftBoundError {
+    fn from(e: sb_ir::VerifyError) -> Self {
+        SoftBoundError::Verify(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compile_errors_carry_position_and_message() {
+        let e = sb_cir::compile("int main() { return $; }").expect_err("bad source");
+        let wrapped = SoftBoundError::from(e.clone());
+        assert_eq!(wrapped, SoftBoundError::Compile(e));
+        let msg = wrapped.to_string();
+        assert!(msg.starts_with("compile error: "), "{msg}");
+        assert!(
+            std::error::Error::source(&wrapped).is_some(),
+            "source chain preserved"
+        );
+    }
+
+    #[test]
+    fn verify_errors_carry_the_verifier_message() {
+        let e = sb_ir::VerifyError {
+            func: "main".into(),
+            msg: "branch target out of range".into(),
+        };
+        let wrapped: SoftBoundError = e.into();
+        let msg = wrapped.to_string();
+        assert!(msg.contains("failed to verify"), "{msg}");
+        assert!(msg.contains("main"), "{msg}");
+        assert!(msg.contains("branch target out of range"), "{msg}");
+    }
+}

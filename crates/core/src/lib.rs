@@ -10,22 +10,27 @@
 //! complete spatial safety with **no source changes and no memory-layout
 //! changes**. This crate provides:
 //!
+//! * the session-oriented [`Engine`] → [`Program`] → [`Instance`] API
+//!   (module [`engine`]): compile once, instantiate a persistent
+//!   monomorphized machine, and serve back-to-back runs that reuse the
+//!   shadow reservation instead of re-mapping it;
 //! * [`instrument`] — the compile-time [transformation](transform) over
 //!   `sb-ir` modules (checks, metadata propagation, `_sb_` function
 //!   renaming, bound shrinking, wrappers, lifecycle clearing);
-//! * the two [metadata facilities](metadata) of §5.1 (open-hash table and
-//!   tag-less shadow space) with the paper's instruction costs;
-//! * the [runtime](runtime) that plugs into the `sb-vm` machine;
-//! * a one-call [pipeline](fn@protect) for compile → lower → optimize →
-//!   instrument → re-optimize → run.
+//! * the [metadata facilities](metadata) of §5.1 (open-hash table and
+//!   tag-less shadow space, with whole-page reclamation) with the
+//!   paper's instruction costs;
+//! * the [runtime](mod@runtime) that plugs into the `sb-vm` machine;
+//! * a unified [`SoftBoundError`] covering every fallible pipeline
+//!   stage, including verifier failures that used to panic.
 //!
 //! # Examples
 //!
-//! Catching the paper's §2.1 motivating sub-object overflow:
+//! Catching the paper's §2.1 motivating sub-object overflow, then
+//! serving a second request on the same instance:
 //!
 //! ```
-//! use softbound::{protect, SoftBoundConfig};
-//! use sb_vm::Outcome;
+//! use softbound::Engine;
 //!
 //! let src = r#"
 //!     struct node { char str[8]; void (*func)(void); };
@@ -38,16 +43,38 @@
 //!         return 0;
 //!     }
 //! "#;
-//! let result = protect(src, &SoftBoundConfig::default(), "main", &[]).unwrap();
+//! let engine = Engine::new();
+//! let program = engine.compile(src)?;
+//! let mut instance = engine.instantiate(&program);
+//!
+//! let result = instance.run("main", &[]);
 //! assert!(result.outcome.is_spatial_violation());
+//!
+//! // The instance resets itself between runs: the verdict (and every
+//! // observable) is identical on the next request, and an explicit
+//! // reset leaves zero metadata behind.
+//! let again = instance.run("main", &[]);
+//! assert!(again.outcome.is_spatial_violation());
+//! instance.reset();
+//! assert_eq!(instance.live_entries(), 0);
+//! # Ok::<(), softbound::SoftBoundError>(())
 //! ```
+//!
+//! The free functions [`protect`] and [`run_instrumented`] from the
+//! pre-session API remain as thin shims over an ad-hoc [`Engine`] for
+//! one-shot callers; new code should hold an engine (and an instance,
+//! when serving more than one run) instead.
 
 pub mod config;
+pub mod engine;
+pub mod error;
 pub mod metadata;
 pub mod runtime;
 pub mod transform;
 
 pub use config::{CheckMode, Facility, SoftBoundConfig};
+pub use engine::{Engine, Instance, Program};
+pub use error::SoftBoundError;
 pub use metadata::{
     AccessSink, HashTableFacility, Meta, MetadataFacility, NoopSink, ScratchSink,
     ShadowHashMapFacility, ShadowPages,
@@ -56,38 +83,27 @@ pub use runtime::{DynRuntime, SoftBoundRuntime};
 pub use transform::{instrument, instrument_flavored, Flavor, GLOBALS_INIT_PREFIX, SB_PREFIX};
 
 use sb_ir::Module;
-use sb_vm::{Machine, MachineConfig, RunResult};
+use sb_vm::{MachineConfig, RunResult};
 
 /// Builds the type-erased runtime described by `cfg` — the wrapper for
 /// call sites that pick the facility at run time (CLI/report boundary).
 /// Hot paths should dispatch statically instead: construct a concrete
-/// `SoftBoundRuntime<F>` (or call [`run_instrumented`], which does) so
-/// the check path monomorphizes.
+/// `SoftBoundRuntime<F>` (or an [`Instance`] via [`Engine`], which does)
+/// so the check path monomorphizes.
 pub fn runtime_for(cfg: &SoftBoundConfig) -> DynRuntime {
     DynRuntime::new(cfg)
-}
-
-/// Runs `module` on a machine monomorphized over `rt`'s facility: the
-/// statically-dispatched execution path every harness funnels into.
-pub fn run_static<F: metadata::MetadataFacility>(
-    module: &Module,
-    rt: SoftBoundRuntime<F>,
-    machine_cfg: MachineConfig,
-    entry: &str,
-    args: &[i64],
-) -> RunResult {
-    let mut machine = Machine::new(module, machine_cfg, rt);
-    machine.run(entry, args)
 }
 
 /// Compiles CIR-C source through the full paper pipeline (§6.1): lower,
 /// optimize, instrument, re-run the optimizer, verify.
 ///
+/// Deprecated shim: prefer [`Engine::compile`], which returns a
+/// [`Program`] carrying the pass statistics alongside the module.
+///
 /// # Errors
 ///
-/// Returns frontend errors as boxed errors; verifier failures panic (they
-/// indicate a pass bug, not a user error).
-pub fn compile_protected(src: &str, cfg: &SoftBoundConfig) -> Result<Module, sb_cir::CompileError> {
+/// Any [`SoftBoundError`] from the pipeline.
+pub fn compile_protected(src: &str, cfg: &SoftBoundConfig) -> Result<Module, SoftBoundError> {
     compile_protected_with_stats(src, cfg).map(|(m, _)| m)
 }
 
@@ -95,46 +111,46 @@ pub fn compile_protected(src: &str, cfg: &SoftBoundConfig) -> Result<Module, sb_
 /// optimizer's statistics (instructions removed, redundant checks
 /// eliminated) for the experiment harness.
 ///
+/// Deprecated shim: prefer [`Engine::compile`]. Verifier failures are
+/// reported as [`SoftBoundError::Verify`] (they used to panic here).
+///
 /// # Errors
 ///
-/// Returns frontend compile errors.
+/// Any [`SoftBoundError`] from the pipeline.
 pub fn compile_protected_with_stats(
     src: &str,
     cfg: &SoftBoundConfig,
-) -> Result<(Module, sb_ir::PassStats), sb_cir::CompileError> {
-    let prog = sb_cir::compile(src)?;
-    let mut module = sb_ir::lower(&prog, "program");
-    sb_ir::optimize(&mut module, sb_ir::OptLevel::PreInstrument);
-    let mut module = instrument(&module, cfg);
-    let stats = sb_ir::optimize_with_stats(&mut module, sb_ir::OptLevel::PostInstrument);
-    sb_ir::verify(&module).expect("instrumented module must verify");
-    Ok((module, stats))
+) -> Result<(Module, sb_ir::PassStats), SoftBoundError> {
+    let program = Engine::new().softbound_config(cfg.clone()).compile(src)?;
+    let stats = program.stats();
+    Ok((program.into_parts().0, stats))
 }
 
 /// Compiles and runs a program under SoftBound protection.
 ///
+/// Deprecated shim: prefer [`Engine::run_once`] — or keep an
+/// [`Instance`] alive when more than one run is coming.
+///
 /// # Errors
 ///
-/// Returns frontend compile errors.
+/// Any [`SoftBoundError`] from the pipeline.
 pub fn protect(
     src: &str,
     cfg: &SoftBoundConfig,
     entry: &str,
     args: &[i64],
-) -> Result<RunResult, sb_cir::CompileError> {
-    let module = compile_protected(src, cfg)?;
-    Ok(run_instrumented(
-        &module,
-        cfg,
-        MachineConfig::default(),
-        entry,
-        args,
-    ))
+) -> Result<RunResult, SoftBoundError> {
+    Engine::new()
+        .softbound_config(cfg.clone())
+        .run_once(src, entry, args)
 }
 
 /// Runs an already instrumented module under the matching runtime,
 /// dispatching statically on the configured facility (the `Box<dyn>`
 /// wrappers never enter the check path here).
+///
+/// Deprecated shim: prefer [`Engine::instantiate_module`] and reuse the
+/// returned [`Instance`] across runs.
 pub fn run_instrumented(
     module: &Module,
     cfg: &SoftBoundConfig,
@@ -142,27 +158,9 @@ pub fn run_instrumented(
     entry: &str,
     args: &[i64],
 ) -> RunResult {
-    match cfg.facility {
-        Facility::ShadowPaged => run_static(
-            module,
-            SoftBoundRuntime::new_paged(cfg),
-            machine_cfg,
-            entry,
-            args,
-        ),
-        Facility::ShadowHashMap => run_static(
-            module,
-            SoftBoundRuntime::new_shadow_hashmap(cfg),
-            machine_cfg,
-            entry,
-            args,
-        ),
-        Facility::HashTable => run_static(
-            module,
-            SoftBoundRuntime::new_hash(cfg),
-            machine_cfg,
-            entry,
-            args,
-        ),
-    }
+    Engine::new()
+        .softbound_config(cfg.clone())
+        .machine_config(machine_cfg)
+        .instantiate_module(module)
+        .run(entry, args)
 }

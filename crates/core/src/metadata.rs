@@ -99,6 +99,16 @@ pub trait MetadataFacility {
 
     /// Number of live (non-NULL) entries — memory-overhead statistics.
     fn live_entries(&self) -> usize;
+
+    /// Forgets every entry, restoring the facility to its
+    /// just-constructed state while keeping its expensive allocations
+    /// (the paged shadow's directory reservation, the hash table's
+    /// bucket array) alive for the next program run. This is the §5.1
+    /// disjoint-metadata payoff a session-oriented embedding exploits:
+    /// program state and metadata state reset independently, so
+    /// back-to-back runs on one [`Instance`](crate::Instance) skip the
+    /// per-machine setup cost entirely.
+    fn reset(&mut self);
 }
 
 /// Boxed facilities forward to their contents, so
@@ -133,6 +143,10 @@ impl<F: MetadataFacility + ?Sized> MetadataFacility for Box<F> {
     fn live_entries(&self) -> usize {
         (**self).live_entries()
     }
+
+    fn reset(&mut self) {
+        (**self).reset();
+    }
 }
 
 // Paged shadow-space geometry: a slot is an 8-byte-aligned pointer
@@ -162,15 +176,46 @@ const SHADOW_DIRECT_SLOTS: u64 = 1 << (SHADOW_PAGE_BITS + SHADOW_DIR_BITS);
 /// Entries are stored as `u128` words (base in the low half, bound in
 /// the high half) so page allocation hits the zeroed-memory fast path;
 /// the all-zero word is exactly [`Meta::NULL`].
+///
+/// ## Page reclamation
+///
+/// Every page tracks its own live-entry count. When
+/// [`clear_range`](MetadataFacility::clear_range) covers a page end to
+/// end — a large `free`, a frame teardown, a `memset` over a
+/// pointer-bearing region — the page is **decommitted**: its 4 MiB slot
+/// array is released back to the host and its id parked on a free list
+/// for the next first-touch, instead of storing NULL 256 Ki times.
+/// [`reset`](MetadataFacility::reset) likewise releases all pages but
+/// keeps the directory reservation mapped, zeroing only the entries
+/// that were actually used — long-running servers neither leak shadow
+/// pages nor pay the reservation again per request.
 #[derive(Debug)]
 pub struct ShadowPages {
     /// Page id + 1 per directory entry; 0 = no page yet.
     dir: Vec<u32>,
-    /// Materialized pages, in first-touch order.
-    pages: Vec<Box<[u128]>>,
+    /// Materialized pages, in first-touch order (index = page id - 1).
+    pages: Vec<Page>,
+    /// Ids of decommitted pages, reusable on the next first-touch.
+    free_pages: Vec<u32>,
     /// Cold store for slots beyond the 47-bit simulated space.
     overflow: HashMap<u64, Meta>,
     live: usize,
+}
+
+/// One materialized shadow page plus its bookkeeping.
+#[derive(Debug)]
+struct Page {
+    /// Packed `(base, bound)` entries; empty while decommitted.
+    slots: Box<[u128]>,
+    /// Live (non-NULL) entries on this page.
+    live: u32,
+    /// Directory index currently owning this page (stale once the page
+    /// is decommitted; rewritten when the id is reused).
+    dir_index: u32,
+}
+
+fn zeroed_page() -> Box<[u128]> {
+    vec![0u128; SHADOW_PAGE_SLOTS as usize].into_boxed_slice()
 }
 
 #[inline]
@@ -193,14 +238,21 @@ impl ShadowPages {
         ShadowPages {
             dir: vec![0u32; 1 << SHADOW_DIR_BITS],
             pages: Vec::new(),
+            free_pages: Vec::new(),
             overflow: HashMap::new(),
             live: 0,
         }
     }
 
-    /// Number of materialized pages (memory-overhead statistics).
+    /// Number of committed pages (memory-overhead statistics); excludes
+    /// decommitted pages parked on the free list.
     pub fn page_count(&self) -> usize {
-        self.pages.len()
+        self.pages.len() - self.free_pages.len()
+    }
+
+    /// Pages decommitted and awaiting reuse (reclamation statistics).
+    pub fn decommitted_pages(&self) -> usize {
+        self.free_pages.len()
     }
 
     #[inline]
@@ -208,22 +260,40 @@ impl ShadowPages {
         SHADOW_BASE.wrapping_add(slot.wrapping_mul(16))
     }
 
-    #[inline]
-    fn slot_entry(&mut self, slot: u64, allocate: bool) -> Option<&mut u128> {
-        debug_assert!(slot < SHADOW_DIRECT_SLOTS);
-        let di = (slot >> SHADOW_PAGE_BITS) as usize;
-        let mut pid = self.dir[di];
-        if pid == 0 {
-            if !allocate {
-                return None;
+    /// Commits a page for directory entry `di`, reusing a decommitted id
+    /// when one is parked. Returns the page id.
+    fn commit_page(&mut self, di: usize) -> u32 {
+        let pid = match self.free_pages.pop() {
+            Some(pid) => {
+                let page = &mut self.pages[(pid - 1) as usize];
+                debug_assert!(page.slots.is_empty() && page.live == 0);
+                page.slots = zeroed_page();
+                page.dir_index = di as u32;
+                pid
             }
-            self.pages
-                .push(vec![0u128; SHADOW_PAGE_SLOTS as usize].into_boxed_slice());
-            pid = self.pages.len() as u32;
-            self.dir[di] = pid;
-        }
-        let pi = (slot & (SHADOW_PAGE_SLOTS - 1)) as usize;
-        Some(&mut self.pages[(pid - 1) as usize][pi])
+            None => {
+                self.pages.push(Page {
+                    slots: zeroed_page(),
+                    live: 0,
+                    dir_index: di as u32,
+                });
+                self.pages.len() as u32
+            }
+        };
+        self.dir[di] = pid;
+        pid
+    }
+
+    /// Releases the page owning directory entry `di`: its slot array
+    /// goes back to the host, its live entries leave the global count,
+    /// and its id is parked for reuse.
+    fn decommit_page(&mut self, di: usize, pid: u32) {
+        let page = &mut self.pages[(pid - 1) as usize];
+        self.live -= page.live as usize;
+        page.live = 0;
+        page.slots = Box::new([]);
+        self.dir[di] = 0;
+        self.free_pages.push(pid);
     }
 }
 
@@ -245,8 +315,11 @@ impl MetadataFacility for ShadowPages {
         let slot = addr >> 3;
         sink.record(5, Self::table_addr(slot));
         if slot < SHADOW_DIRECT_SLOTS {
-            self.slot_entry(slot, false)
-                .map_or(Meta::NULL, |m| unpack(*m))
+            let pid = self.dir[(slot >> SHADOW_PAGE_BITS) as usize];
+            if pid == 0 {
+                return Meta::NULL;
+            }
+            unpack(self.pages[(pid - 1) as usize].slots[(slot & (SHADOW_PAGE_SLOTS - 1)) as usize])
         } else {
             self.overflow.get(&slot).copied().unwrap_or(Meta::NULL)
         }
@@ -257,15 +330,28 @@ impl MetadataFacility for ShadowPages {
         let slot = addr >> 3;
         sink.record(5, Self::table_addr(slot));
         if slot < SHADOW_DIRECT_SLOTS {
-            // Null stores into untouched regions need no page.
-            let Some(entry) = self.slot_entry(slot, !meta.is_null()) else {
-                return;
-            };
+            let di = (slot >> SHADOW_PAGE_BITS) as usize;
+            let mut pid = self.dir[di];
+            if pid == 0 {
+                // Null stores into untouched regions need no page.
+                if meta.is_null() {
+                    return;
+                }
+                pid = self.commit_page(di);
+            }
+            let page = &mut self.pages[(pid - 1) as usize];
+            let entry = &mut page.slots[(slot & (SHADOW_PAGE_SLOTS - 1)) as usize];
             let was_null = *entry == 0;
             *entry = pack(meta);
             match (was_null, meta.is_null()) {
-                (true, false) => self.live += 1,
-                (false, true) => self.live -= 1,
+                (true, false) => {
+                    page.live += 1;
+                    self.live += 1;
+                }
+                (false, true) => {
+                    page.live -= 1;
+                    self.live -= 1;
+                }
                 _ => {}
             }
         } else if meta.is_null() {
@@ -277,8 +363,67 @@ impl MetadataFacility for ShadowPages {
         }
     }
 
+    /// Range clearing with whole-page reclamation: pages covered end to
+    /// end by the range are decommitted in O(1) (after bulk-reporting
+    /// the same cost and table addresses the per-slot path would), and
+    /// partial pages fall back to per-slot NULL stores — so the
+    /// observable metadata map, cost accounting, and cache traffic stay
+    /// byte-identical to the HashMap oracle's default implementation.
+    fn clear_range(&mut self, addr: u64, len: u64, sink: &mut dyn AccessSink) {
+        if len == 0 {
+            return;
+        }
+        let end = addr + len;
+        let mut s = addr >> 3;
+        let end_slot = end.div_ceil(8);
+        while s < end_slot {
+            if s >= SHADOW_DIRECT_SLOTS {
+                self.store(s << 3, Meta::NULL, sink);
+                s += 1;
+                continue;
+            }
+            let page_start = s & !(SHADOW_PAGE_SLOTS - 1);
+            let page_end = page_start + SHADOW_PAGE_SLOTS;
+            let seg_end = end_slot.min(page_end);
+            if s == page_start && seg_end == page_end {
+                // Whole page covered: report what the per-slot walk
+                // would have, then drop the page in one motion.
+                sink.add_cost(5 * SHADOW_PAGE_SLOTS);
+                if sink.wants_addresses() {
+                    for slot in s..seg_end {
+                        sink.touch(Self::table_addr(slot));
+                    }
+                }
+                let di = (s >> SHADOW_PAGE_BITS) as usize;
+                let pid = self.dir[di];
+                if pid != 0 {
+                    self.decommit_page(di, pid);
+                }
+            } else {
+                for slot in s..seg_end {
+                    self.store(slot << 3, Meta::NULL, sink);
+                }
+            }
+            s = seg_end;
+        }
+    }
+
     fn live_entries(&self) -> usize {
         self.live
+    }
+
+    /// Releases every page (committed and parked) and the overflow map,
+    /// zeroing only the directory entries that were actually used — the
+    /// 256 MiB directory reservation itself stays mapped for the next
+    /// run.
+    fn reset(&mut self) {
+        for page in &self.pages {
+            self.dir[page.dir_index as usize] = 0;
+        }
+        self.pages.clear();
+        self.free_pages.clear();
+        self.overflow.clear();
+        self.live = 0;
     }
 }
 
@@ -323,6 +468,10 @@ impl MetadataFacility for ShadowHashMapFacility {
 
     fn live_entries(&self) -> usize {
         self.entries.len()
+    }
+
+    fn reset(&mut self) {
+        self.entries.clear();
     }
 }
 
@@ -420,6 +569,16 @@ impl MetadataFacility for HashTableFacility {
 
     fn live_entries(&self) -> usize {
         self.live
+    }
+
+    /// Empties every chain in place — the bucket array keeps its
+    /// capacity, so a reused table skips re-sizing on the next run.
+    fn reset(&mut self) {
+        for chain in &mut self.buckets {
+            chain.clear();
+        }
+        self.live = 0;
+        self.extra_probes = 0;
     }
 }
 
@@ -832,6 +991,201 @@ mod tests {
             Meta { base: 3, bound: 4 },
             "unaligned zero-length clear must not wipe the containing slot"
         );
+    }
+
+    #[test]
+    fn whole_page_clear_decommits_and_reuses_page_ids() {
+        let mut f = ShadowPages::new();
+        let mut sink = NoopSink;
+        // Populate pages 1 and 2 plus a sentinel on page 0.
+        f.store(8, Meta { base: 1, bound: 2 }, &mut sink);
+        for p in 1..3u64 {
+            let mut a = p * PAGE_SPAN;
+            while a < (p + 1) * PAGE_SPAN {
+                f.store(
+                    a,
+                    Meta {
+                        base: a,
+                        bound: a + 8,
+                    },
+                    &mut sink,
+                );
+                a += 1024;
+            }
+        }
+        assert_eq!(f.page_count(), 3);
+        assert_eq!(f.decommitted_pages(), 0);
+        let live_before = f.live_entries();
+
+        // Clearing page 1 end to end decommits it in one motion.
+        f.clear_range(PAGE_SPAN, PAGE_SPAN, &mut sink);
+        assert_eq!(f.page_count(), 2, "page 1 must be decommitted");
+        assert_eq!(f.decommitted_pages(), 1);
+        assert_eq!(
+            f.live_entries(),
+            live_before - (PAGE_SPAN / 1024) as usize,
+            "exactly page 1's entries left the live count"
+        );
+        assert_eq!(f.load(PAGE_SPAN, &mut sink), Meta::NULL);
+        assert_eq!(f.load(PAGE_SPAN + 1024, &mut sink), Meta::NULL);
+        assert_eq!(f.load(8, &mut sink), Meta { base: 1, bound: 2 });
+
+        // The next first-touch — anywhere — reuses the parked page id
+        // instead of growing the page vector.
+        f.store(
+            37 * PAGE_SPAN,
+            Meta {
+                base: 0x10,
+                bound: 0x20,
+            },
+            &mut sink,
+        );
+        assert_eq!(f.decommitted_pages(), 0, "parked id was reused");
+        assert_eq!(f.page_count(), 3);
+        assert_eq!(
+            f.load(37 * PAGE_SPAN, &mut sink),
+            Meta {
+                base: 0x10,
+                bound: 0x20
+            }
+        );
+        assert_eq!(
+            f.load(37 * PAGE_SPAN + 8, &mut sink),
+            Meta::NULL,
+            "recommitted page starts zeroed"
+        );
+    }
+
+    #[test]
+    fn page_reclamation_differential_random_churn() {
+        // Pseudo-random stores interleaved with clears — partial spans,
+        // page-straddling spans, and multi-whole-page spans (which the
+        // paged side serves by decommit) — must leave both organizations
+        // with identical maps and live counts.
+        let addr_of = |state: u64| (state % (5 * PAGE_SPAN)) & !7;
+        let probes: Vec<u64> = {
+            let mut v: Vec<u64> = (0..5 * PAGE_SPAN / 8).step_by(997).map(|s| s * 8).collect();
+            v.extend([
+                0,
+                PAGE_SPAN - 8,
+                PAGE_SPAN,
+                4 * PAGE_SPAN,
+                5 * PAGE_SPAN - 8,
+            ]);
+            v
+        };
+        differential(
+            |f, sink| {
+                let mut state = 0xfeed_beefu64;
+                for i in 0..1500u64 {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let addr = addr_of(state);
+                    if i % 149 == 0 {
+                        // Clear a whole page (the decommit path). Rare,
+                        // because the oracle pays a per-slot walk.
+                        f.clear_range((addr / PAGE_SPAN) * PAGE_SPAN, PAGE_SPAN, sink);
+                    } else if i % 599 == 1 {
+                        // Two whole pages plus a partial tail.
+                        f.clear_range((addr / PAGE_SPAN) * PAGE_SPAN, 2 * PAGE_SPAN + 72, sink);
+                    } else if i % 13 == 5 {
+                        // A span straddling up to two pages.
+                        f.clear_range(addr, (state >> 33) % 512 + 1, sink);
+                    } else {
+                        f.store(
+                            addr,
+                            Meta {
+                                base: i + 1,
+                                bound: i + 101,
+                            },
+                            sink,
+                        );
+                    }
+                }
+            },
+            &probes,
+        );
+    }
+
+    #[test]
+    fn whole_page_clear_cost_matches_oracle() {
+        // The decommit fast path must report exactly the cost and table
+        // traffic the oracle's per-slot walk reports, or the cycle
+        // equality the machine differential suite asserts would break.
+        let mut paged = ShadowPages::new();
+        let mut oracle = ShadowHashMapFacility::new();
+        let mut setup = NoopSink;
+        for f in [
+            &mut paged as &mut dyn MetadataFacility,
+            &mut oracle as &mut dyn MetadataFacility,
+        ] {
+            f.store(PAGE_SPAN + 64, Meta { base: 1, bound: 2 }, &mut setup);
+        }
+        // A span covering all of page 1 plus 3 slots of page 2.
+        let mut ps = ScratchSink::new();
+        paged.clear_range(PAGE_SPAN, PAGE_SPAN + 24, &mut ps);
+        let mut os = ScratchSink::new();
+        oracle.clear_range(PAGE_SPAN, PAGE_SPAN + 24, &mut os);
+        assert_eq!(ps.cost, os.cost, "decommit fast path cost diverged");
+        assert_eq!(ps.touched, os.touched, "table traffic diverged");
+        assert_eq!(paged.decommitted_pages(), 1, "page 1 was decommitted");
+    }
+
+    #[test]
+    fn reset_empties_every_facility_and_reuses_reservation() {
+        for fac in [
+            &mut ShadowPages::new() as &mut dyn MetadataFacility,
+            &mut ShadowHashMapFacility::new(),
+            &mut HashTableFacility::new(8),
+        ] {
+            let mut sink = NoopSink;
+            for i in 0..64u64 {
+                fac.store(
+                    0x8000 + i * 8,
+                    Meta {
+                        base: i + 1,
+                        bound: i + 2,
+                    },
+                    &mut sink,
+                );
+            }
+            fac.store(1 << 50, Meta { base: 9, bound: 10 }, &mut sink);
+            assert_eq!(fac.live_entries(), 65, "{}", fac.name());
+            fac.reset();
+            assert_eq!(
+                fac.live_entries(),
+                0,
+                "{} not empty after reset",
+                fac.name()
+            );
+            assert_eq!(fac.load(0x8000, &mut sink), Meta::NULL, "{}", fac.name());
+            assert_eq!(fac.load(1 << 50, &mut sink), Meta::NULL, "{}", fac.name());
+            // The facility stays fully usable after reset.
+            fac.store(0x8000, Meta { base: 3, bound: 4 }, &mut sink);
+            assert_eq!(fac.load(0x8000, &mut sink), Meta { base: 3, bound: 4 });
+            assert_eq!(fac.live_entries(), 1);
+        }
+
+        // Paged specifics: pages are gone, the directory reservation is
+        // not reallocated (its pointer is stable across reset).
+        let mut f = ShadowPages::new();
+        let mut sink = NoopSink;
+        f.store(0x9000, Meta { base: 1, bound: 2 }, &mut sink);
+        f.clear_range(0, 2 * PAGE_SPAN, &mut sink); // park a page id too
+        f.store(5 * PAGE_SPAN, Meta { base: 5, bound: 6 }, &mut sink);
+        let dir_ptr = f.dir.as_ptr();
+        f.reset();
+        assert_eq!(f.page_count(), 0);
+        assert_eq!(f.decommitted_pages(), 0);
+        assert_eq!(f.live_entries(), 0);
+        assert!(
+            std::ptr::eq(dir_ptr, f.dir.as_ptr()),
+            "directory reallocated"
+        );
+        // Every directory entry that was used is zero again.
+        assert_eq!(f.load(0x9000, &mut sink), Meta::NULL);
+        assert_eq!(f.load(5 * PAGE_SPAN, &mut sink), Meta::NULL);
     }
 
     #[test]

@@ -205,6 +205,16 @@ impl<F: MetadataFacility> RuntimeHooks for SoftBoundRuntime<F> {
             self.facility.clear_range(addr, size, ctx);
         }
     }
+
+    /// Clears all metadata and counters while keeping the facility's
+    /// expensive allocations (shadow directory, hash buckets) alive —
+    /// what lets an [`Instance`](crate::Instance) serve back-to-back
+    /// runs without re-mapping the shadow reservation.
+    fn reset(&mut self) {
+        self.facility.reset();
+        self.check_count = 0;
+        self.violation_count = 0;
+    }
 }
 
 #[cfg(test)]

@@ -70,7 +70,7 @@ impl Flavor {
         }
     }
 
-    /// The MSCC-like flavor (fast configuration of [34]).
+    /// The MSCC-like flavor (fast configuration of \[34\]).
     pub fn mscc() -> Self {
         Flavor {
             prefix: "_mscc_",

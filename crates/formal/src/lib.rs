@@ -9,7 +9,7 @@
 //! instrumented run succeeds, the original C program has no memory
 //! violation").
 //!
-//! This crate is the executable counterpart: the same [syntax](syntax),
+//! This crate is the executable counterpart: the same [syntax](mod@syntax),
 //! the same [two-layer semantics and invariants](semantics), and the
 //! theorems as *checkable properties* ([`check_preservation`],
 //! [`check_progress`], [`check_corollary`]) that the test suite verifies

@@ -119,7 +119,7 @@ pub struct AllocaInfo {
 }
 
 /// Runtime helper functions inserted by instrumentation passes. The VM
-/// forwards these to the installed [`RuntimeHooks`] implementation (see
+/// forwards these to the installed `RuntimeHooks` implementation (see
 /// `sb-vm`), which supplies semantics and cost.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RtFn {
@@ -410,7 +410,7 @@ pub struct Function {
     pub blocks: Vec<Block>,
     /// True for C-style variadic functions.
     pub vararg: bool,
-    /// False for external declarations (resolved by [`link`](crate::link)).
+    /// False for external declarations (resolved by [`link`](crate::link())).
     pub defined: bool,
 }
 

@@ -6,10 +6,10 @@
 //!
 //! * the [IR itself](ir) (modules, functions, blocks, instructions,
 //!   runtime-call instructions for instrumentation passes);
-//! * [lowering](lower) from `sb-cir`'s typed HIR, with register promotion
+//! * [lowering](mod@lower) from `sb-cir`'s typed HIR, with register promotion
 //!   (so instrumentation runs post-optimization, as in §6.1 of the paper);
-//! * a [verifier](verify), an [optimizer](opt) and a [printer](print);
-//! * a [linker](link) implementing the separate-compilation story (§5.2).
+//! * a [verifier](mod@verify), an [optimizer](opt) and a [printer](mod@print);
+//! * a [linker](mod@link) implementing the separate-compilation story (§5.2).
 //!
 //! # Examples
 //!

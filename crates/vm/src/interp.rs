@@ -86,6 +86,8 @@ impl RunResult {
 
 const RET_TOKEN_BASE: u64 = 0x5245_5400_0000_0000;
 const SETJMP_TOKEN_BASE: u64 = 0x534A_0000_0000_0000;
+/// Seed of the deterministic `rand()` stream; restored by [`Machine::reset`].
+const RNG_SEED: u64 = 0x2545_F491_4F6C_DD1D;
 
 struct FramePlan {
     /// (dst register, frame offset, alloca info index into the entry block)
@@ -231,7 +233,7 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
             cache,
             stats: ExecStats::default(),
             output: Vec::new(),
-            rng: 0x2545_F491_4F6C_DD1D,
+            rng: RNG_SEED,
             stack_top: STACK_BASE,
             frames: Vec::new(),
             frame_pool: Vec::new(),
@@ -250,6 +252,41 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
     /// run, e.g. in differential tests).
     pub fn hooks(&self) -> &H {
         &self.hooks
+    }
+
+    /// Restores the machine to its just-constructed state so the next
+    /// [`run`](Machine::run) behaves exactly like a run on a fresh
+    /// machine: program memory, heap, stack, statistics, output, fuel,
+    /// the `rand()` stream, and the installed runtime's state
+    /// ([`RuntimeHooks::reset`]) are all cleared, and globals are laid
+    /// out (and their lifecycle events fired) again.
+    ///
+    /// What it deliberately *keeps* is everything derived from the module
+    /// alone — frame plans, the recycled frame pool, the call-argument
+    /// scratch — plus whatever allocations the runtime's own `reset`
+    /// preserves (e.g. the paged shadow facility's directory
+    /// reservation). That is the amortization a long-lived
+    /// `softbound::Instance` exploits between back-to-back requests.
+    pub fn reset(&mut self) {
+        self.mem = Mem::new();
+        self.heap = Heap::new(self.cfg.redzone);
+        self.cache = self.cfg.cache.map(CacheSim::new);
+        self.stats = ExecStats::default();
+        self.output.clear();
+        self.rng = RNG_SEED;
+        self.stack_top = STACK_BASE;
+        // Trapped runs leave their frames in place (no unwinding); drain
+        // them into the pool so their buffers stay reusable.
+        while let Some(f) = self.frames.pop() {
+            self.frame_pool.push(f);
+        }
+        self.setjmps.clear();
+        self.fuel = self.cfg.fuel;
+        self.frame_serial = 0;
+        self.global_addrs.clear();
+        self.hooks.reset();
+        self.ctx.reset(0);
+        self.layout_globals();
     }
 
     /// Mutable access to the installed safety runtime.
@@ -1705,6 +1742,52 @@ mod tests {
         let mut m = Machine::uninstrumented(&module);
         let r = m.run("main", &[]);
         assert_eq!(r.ret(), Some(10), "{:?}", r.outcome);
+    }
+
+    #[test]
+    fn reset_restores_fresh_machine_behaviour() {
+        // A program touching every resettable piece of state: globals
+        // (mutated in place), heap, the rand() stream, output, and — when
+        // run with a nonzero argument — a mid-frame trap that leaves
+        // frames stacked up.
+        let src = r#"
+            int counter = 0;
+            int main(int crash) {
+                counter = counter + 1;
+                srand(3);
+                int* p = (int*)malloc(8 * sizeof(int));
+                for (int i = 0; i < 8; i++) p[i] = rand() % 100;
+                if (crash) { *(int*)123456789 = 1; }
+                printf("run %d: %d\n", counter, p[3]);
+                free(p);
+                return counter;
+            }
+        "#;
+        let prog = sb_cir::compile(src).expect("compiles");
+        let mut module = sb_ir::lower(&prog, "t");
+        sb_ir::optimize(&mut module, sb_ir::OptLevel::PreInstrument);
+
+        let mut fresh = Machine::uninstrumented(&module);
+        let want = fresh.run("main", &[0]);
+        assert_eq!(want.ret(), Some(1));
+
+        let mut reused = Machine::uninstrumented(&module);
+        // First a trapping run that abandons live frames and heap blocks.
+        let crash = reused.run("main", &[1]);
+        assert!(matches!(
+            crash.outcome,
+            Outcome::Trapped(Trap::MemFault { .. })
+        ));
+        reused.reset();
+        let got = reused.run("main", &[0]);
+        assert_eq!(got.outcome, want.outcome, "outcome diverged after reset");
+        assert_eq!(got.output, want.output, "output diverged after reset");
+        assert_eq!(got.stats, want.stats, "stats diverged after reset");
+        assert_eq!(
+            reused.mem.content_hash(),
+            fresh.mem.content_hash(),
+            "final memory diverged after reset"
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! paged [memory](mem) with global/heap/stack segments, a heap allocator
 //! with optional redzones, an [interpreter](interp) with an x86-style
 //! instruction-count cost model and optional L1 cache model, and the
-//! [`RuntimeHooks`](rt::RuntimeHooks) interface through which safety
+//! [`RuntimeHooks`] interface through which safety
 //! runtimes (SoftBound and the baselines) supply semantics and cost for
 //! instrumentation-inserted runtime calls.
 //!

@@ -529,6 +529,14 @@ pub trait RuntimeHooks {
         let _ = (ptr, len, is_store, ctx);
         Ok(())
     }
+
+    /// Clears all per-execution state (metadata tables, counters) so a
+    /// reused [`Machine`](crate::Machine) behaves exactly like a freshly
+    /// constructed one while keeping expensive allocations alive.
+    /// Runtimes holding state between `rt_call`s **must** implement this
+    /// for [`Machine::reset`](crate::Machine::reset) to be sound; the
+    /// default is a no-op for stateless runtimes.
+    fn reset(&mut self) {}
 }
 
 /// Boxed hooks forward to their contents, so `Box<dyn RuntimeHooks>`
@@ -578,6 +586,10 @@ impl<H: RuntimeHooks + ?Sized> RuntimeHooks for Box<H> {
         ctx: &mut RtCtx,
     ) -> Result<(), Trap> {
         (**self).check_builtin_range(ptr, len, is_store, ctx)
+    }
+
+    fn reset(&mut self) {
+        (**self).reset();
     }
 }
 

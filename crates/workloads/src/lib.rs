@@ -4,7 +4,7 @@
 //! [benchmarks](benches) of Figures 1–2, the BugBench-style
 //! [buggy programs](bugbench) of Table 4, the Wilander & Kamkar
 //! [attack suite](attacks) of Table 3, and the two network
-//! [daemons](daemons) of the §6.4 compatibility case study.
+//! [daemons](mod@daemons) of the §6.4 compatibility case study.
 
 pub mod attacks;
 pub mod benches;

@@ -6,11 +6,13 @@
 //! cargo run --example attack_detection
 //! ```
 
-use softbound_repro::core::{protect, SoftBoundConfig};
+use softbound_repro::core::{Engine, SoftBoundConfig};
 use softbound_repro::vm::{run_source, Outcome};
 use softbound_repro::workloads::attacks;
 
 fn main() {
+    let full_engine = Engine::new().softbound_config(SoftBoundConfig::full_shadow());
+    let store_engine = Engine::new().softbound_config(SoftBoundConfig::store_only_shadow());
     println!(
         "{:<4}{:<18}{:<12}{:<36}{:>12}{:>8}{:>8}",
         "#", "technique", "location", "target", "unprotected", "full", "store"
@@ -21,11 +23,13 @@ fn main() {
             plain.outcome,
             Outcome::Hijacked { .. } | Outcome::Exited { code: 66 }
         );
-        let full = protect(a.source, &SoftBoundConfig::full_shadow(), "main", &[])
+        let full = full_engine
+            .run_once(a.source, "main", &[])
             .expect("compiles")
             .outcome
             .is_spatial_violation();
-        let store = protect(a.source, &SoftBoundConfig::store_only_shadow(), "main", &[])
+        let store = store_engine
+            .run_once(a.source, "main", &[])
             .expect("compiles")
             .outcome
             .is_spatial_violation();

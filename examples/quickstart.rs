@@ -1,11 +1,12 @@
 //! Quickstart: compile a C program, run it unprotected (watch the silent
-//! corruption), then run it under SoftBound and watch the overflow abort.
+//! corruption), then run it under SoftBound via the session API and
+//! watch the overflow abort — twice, on the same reusable instance.
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
-use softbound_repro::core::{protect, SoftBoundConfig};
+use softbound_repro::core::Engine;
 use softbound_repro::vm::run_source;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -28,14 +29,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("(the overflow silently corrupted `secret`)\n");
 
     println!("== under SoftBound (full checking, shadow space) ==");
-    let protected = protect(src, &SoftBoundConfig::default(), "main", &[])?;
+    let engine = Engine::new();
+    let program = engine.compile(src)?;
+    let mut instance = engine.instantiate(&program);
+    let protected = instance.run("main", &[]);
     println!("outcome: {:?}", protected.outcome);
     println!(
-        "checks executed: {}, metadata ops: {}",
+        "checks executed: {}, metadata ops: {}, redundant checks removed at compile time: {}",
         protected.stats.checks,
-        protected.stats.meta_loads + protected.stats.meta_stores
+        protected.stats.meta_loads + protected.stats.meta_stores,
+        program.stats().checks_eliminated,
     );
     assert!(protected.outcome.is_spatial_violation());
-    println!("\nSoftBound aborted at the out-of-bounds store, as the paper promises.");
+
+    // The instance resets itself between runs: a second "request" sees
+    // exactly the same verdict without recompiling or re-reserving the
+    // shadow space.
+    let again = instance.run("main", &[]);
+    assert_eq!(again.outcome, protected.outcome);
+    instance.reset();
+    assert_eq!(instance.live_entries(), 0);
+    println!("\nSoftBound aborted at the out-of-bounds store, as the paper promises —");
+    println!(
+        "and did it twice on one reusable instance ({} runs).",
+        instance.runs()
+    );
     Ok(())
 }

@@ -1,16 +1,20 @@
-//! §6.4-style production scenario: run the HTTP-like daemon under
-//! store-only checking (the low-overhead mode the paper recommends for
-//! production) and compare cost against full checking and no protection.
+//! §6.4-style production scenario: serve repeated request batches from
+//! the HTTP-like daemon on a *reused* `Instance` under store-only
+//! checking (the low-overhead mode the paper recommends for
+//! production), comparing cost against full checking and no protection,
+//! and comparing serving latency against building a fresh machine per
+//! batch.
 //!
 //! ```sh
 //! cargo run --example store_only_server --release
 //! ```
 
-use softbound_repro::core::{compile_protected, run_instrumented, SoftBoundConfig};
+use softbound_repro::core::{CheckMode, Engine, SoftBoundConfig};
 use softbound_repro::vm::{Machine, MachineConfig, NoRuntime};
 use softbound_repro::workloads::daemons;
+use std::time::Instant;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let daemon = daemons::all()
         .into_iter()
         .find(|d| d.name == "nhttpd")
@@ -33,8 +37,10 @@ fn main() {
         SoftBoundConfig::store_only_shadow(),
         SoftBoundConfig::full_shadow(),
     ] {
-        let m = compile_protected(daemon.source, &cfg).expect("compiles unmodified");
-        let r = run_instrumented(&m, &cfg, MachineConfig::default(), "main", &[20]);
+        let engine = Engine::new().softbound_config(cfg.clone());
+        let program = engine.compile(daemon.source)?;
+        let mut instance = engine.instantiate(&program);
+        let r = instance.run("main", &[20]);
         assert_eq!(r.ret(), Some(base_ret), "no false positives, same answers");
         let overhead = 100.0 * (r.stats.cycles as f64 / base.stats.cycles as f64 - 1.0);
         println!(
@@ -46,5 +52,39 @@ fn main() {
             r.stats.checks
         );
     }
-    println!("\nTransformed without source changes; zero false positives (§6.4).");
+
+    // The session payoff: serve a stream of batches on one instance
+    // (shadow reservation + compile amortized) vs a fresh machine per
+    // batch from the same compiled program.
+    let engine = Engine::new().check_mode(CheckMode::StoreOnly);
+    let program = engine.compile(daemon.source)?;
+    const BATCHES: usize = 10;
+
+    let mut instance = engine.instantiate(&program);
+    instance.run("main", &[5]); // warm
+    let t = Instant::now();
+    for _ in 0..BATCHES {
+        assert!(instance.run("main", &[5]).ret().is_some());
+    }
+    let reused = t.elapsed();
+
+    let t = Instant::now();
+    for _ in 0..BATCHES {
+        assert!(engine
+            .instantiate(&program)
+            .run("main", &[5])
+            .ret()
+            .is_some());
+    }
+    let fresh = t.elapsed();
+
+    println!(
+        "\nserving {BATCHES} request batches: reused instance {:?} vs fresh machine per batch {:?} \
+         ({:.2}x)",
+        reused,
+        fresh,
+        fresh.as_secs_f64() / reused.as_secs_f64().max(1e-9),
+    );
+    println!("Transformed without source changes; zero false positives (§6.4).");
+    Ok(())
 }
