@@ -266,8 +266,9 @@ mod tests {
             "mscc misses the forged overflow: {:?}",
             mscc.outcome
         );
-        let sb =
-            softbound::protect(src, &SoftBoundConfig::default(), "main", &[]).expect("compiles");
+        let sb = softbound::Engine::new()
+            .run_once(src, "main", &[])
+            .expect("compiles");
         assert!(
             sb.outcome.is_spatial_violation(),
             "softbound aborts: {:?}",
@@ -293,7 +294,10 @@ mod tests {
         "#;
         let mscc = run(src);
         assert_eq!(mscc.ret(), Some(1));
-        let sb = softbound::protect(src, &SoftBoundConfig::full_shadow(), "main", &[]).expect("ok");
+        let sb = softbound::Engine::new()
+            .softbound_config(SoftBoundConfig::full_shadow())
+            .run_once(src, "main", &[])
+            .expect("ok");
         assert_eq!(sb.ret(), Some(1));
         assert!(
             mscc.stats.cycles > sb.stats.cycles,

@@ -8,12 +8,19 @@
 //! per-machine setup dominates, and the §6.4 HTTP-like daemon serving a
 //! real connection batch.
 //!
+//! Also the interpreter-lane comparison (PR 6): `reused_instance`
+//! drives the pre-decoded execution IR (the engine default), the
+//! `tree_walk_reused_instance` lane drives the tree-walk oracle over
+//! the same program, and `relower_per_request` re-lowers the flat IR
+//! every request — the decode cost `Program` caching amortizes away.
+//!
 //! ```sh
 //! cargo bench -p sb-bench --bench throughput
 //! ```
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use softbound::Engine;
+use sb_vm::ExecModule;
+use softbound::{Engine, Lane};
 
 /// A request-sized program: parse-ish arithmetic, a little heap churn,
 /// pointer stores (metadata traffic), and a checksum reply.
@@ -48,10 +55,29 @@ fn bench_program(c: &mut Criterion, group_name: &str, src: &str, arg: i64) {
     group.sample_size(20);
 
     // The session path: one machine, one shadow reservation, reset
-    // between requests.
+    // between requests — driving the pre-decoded lane (the default).
     group.bench_function("reused_instance", |b| {
         let mut instance = engine.instantiate(&program);
         b.iter(|| black_box(instance.run("main", &[arg]).ret()));
+    });
+
+    // The same session topology on the tree-walk oracle lane: the gap
+    // to `reused_instance` is pure decode/dispatch, since both lanes
+    // execute identical semantics (pinned by the differential suite).
+    group.bench_function("tree_walk_reused_instance", |b| {
+        let mut instance = engine.clone().lane(Lane::TreeWalk).instantiate(&program);
+        b.iter(|| black_box(instance.run("main", &[arg]).ret()));
+    });
+
+    // What the pre-decoded lane would cost if the lowering were NOT
+    // cached on the Program: re-lower the flat IR every request.
+    group.bench_function("relower_per_request", |b| {
+        let mut instance = engine.instantiate(&program);
+        b.iter(|| {
+            let exec = ExecModule::lower(program.module());
+            black_box(exec.op_count());
+            black_box(instance.run("main", &[arg]).ret())
+        });
     });
 
     // The pre-session path with the compile amortized: a fresh runtime

@@ -1,0 +1,14 @@
+//! Regenerates `BENCH_softbound.json` — the perf-trajectory snapshot of
+//! the pre-decoded execution IR versus the tree-walk oracle.
+//!
+//! ```sh
+//! cargo run -p sb-bench --bin perf_trajectory --release > BENCH_softbound.json
+//! ```
+
+fn main() {
+    let rows = sb_bench::perf::run();
+    print!("{}", sb_bench::perf::render_json(&rows));
+    for (workload, x) in sb_bench::perf::speedups(&rows) {
+        eprintln!("{workload}: pre-decoded {x:.2}x over tree-walk");
+    }
+}

@@ -27,6 +27,26 @@ pub enum Facility {
     HashTable,
 }
 
+/// Which interpreter lane an `Instance` drives.
+///
+/// Both lanes execute the same instrumented module with identical
+/// observable behaviour — traps, output, dynamic counters, cycles,
+/// final memory (pinned by `tests/machine_differential.rs`). The lane
+/// only selects *how* the module is dispatched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Lane {
+    /// Flat pre-decoded ops with pre-resolved operands and fused
+    /// check+access superinstructions — the production lane. The
+    /// lowering is cached on `Program`, so instances pay the decode
+    /// cost once per compilation.
+    #[default]
+    Predecoded,
+    /// The original tree-walk interpreter — the differential oracle,
+    /// and the only lane available without a `Program` (instances built
+    /// directly over a module).
+    TreeWalk,
+}
+
 /// SoftBound configuration.
 #[derive(Debug, Clone)]
 pub struct SoftBoundConfig {

@@ -40,13 +40,13 @@
 //! # Ok::<(), softbound::SoftBoundError>(())
 //! ```
 
-use crate::config::{CheckMode, Facility, SoftBoundConfig};
+use crate::config::{CheckMode, Facility, Lane, SoftBoundConfig};
 use crate::error::SoftBoundError;
 use crate::metadata::{HashTableFacility, ShadowHashMapFacility, ShadowPages};
 use crate::runtime::SoftBoundRuntime;
 use crate::transform::instrument;
 use sb_ir::{Module, PassStats};
-use sb_vm::{Machine, MachineConfig, RunResult};
+use sb_vm::{ExecModule, Machine, MachineConfig, RunResult};
 
 /// A reusable SoftBound pipeline configuration: the entry point of the
 /// session API.
@@ -60,6 +60,7 @@ use sb_vm::{Machine, MachineConfig, RunResult};
 pub struct Engine {
     sb: SoftBoundConfig,
     machine: MachineConfig,
+    lane: Lane,
 }
 
 impl Engine {
@@ -93,6 +94,19 @@ impl Engine {
         self
     }
 
+    /// Selects the execution lane ([`Lane::Predecoded`] by default).
+    /// [`Lane::TreeWalk`] forces the tree-walk oracle — differential
+    /// testing and debugging.
+    pub fn lane(mut self, lane: Lane) -> Self {
+        self.lane = lane;
+        self
+    }
+
+    /// The execution lane instances built from programs will drive.
+    pub fn execution_lane(&self) -> Lane {
+        self.lane
+    }
+
     /// The SoftBound configuration this engine instruments with.
     pub fn config(&self) -> &SoftBoundConfig {
         &self.sb
@@ -119,13 +133,31 @@ impl Engine {
         let mut module = instrument(&module, &self.sb);
         let stats = sb_ir::optimize_with_stats(&mut module, sb_ir::OptLevel::PostInstrument);
         sb_ir::verify(&module)?;
-        Ok(Program { module, stats })
+        // Lower the verified module to the flat execution IR now, so
+        // every instance of this program shares one decode.
+        let exec = ExecModule::lower(&module);
+        Ok(Program {
+            module,
+            stats,
+            exec,
+        })
     }
 
     /// Builds a persistent machine over a compiled program,
-    /// monomorphized on the configured facility.
+    /// monomorphized on the configured facility and driving the
+    /// engine's [`Lane`] (pre-decoded by default — the cached
+    /// [`ExecModule`] is attached, so instantiation pays no decode).
     pub fn instantiate<'p>(&self, program: &'p Program) -> Instance<'p> {
-        self.instantiate_module(program.module())
+        let mut instance = self.instantiate_module(program.module());
+        if self.lane == Lane::Predecoded {
+            match &mut instance.repr {
+                Repr::Paged(m) => m.attach_exec(program.exec()),
+                Repr::ShadowHashMap(m) => m.attach_exec(program.exec()),
+                Repr::HashTable(m) => m.attach_exec(program.exec()),
+            }
+            instance.lane = Lane::Predecoded;
+        }
+        instance
     }
 
     /// Builds a persistent machine over an already instrumented module
@@ -133,6 +165,11 @@ impl Engine {
     /// or by [`instrument`] directly). This is the seam the one-shot
     /// shims ([`run_instrumented`](crate::run_instrumented)) delegate
     /// through.
+    ///
+    /// A bare module carries no cached [`ExecModule`], so instances
+    /// built here always drive the tree-walk lane regardless of the
+    /// engine's [`Lane`]; use [`Engine::instantiate`] with a
+    /// [`Program`] for the pre-decoded lane.
     pub fn instantiate_module<'m>(&self, module: &'m Module) -> Instance<'m> {
         let repr = match self.sb.facility {
             Facility::ShadowPaged => Repr::Paged(Machine::new(
@@ -155,6 +192,7 @@ impl Engine {
             repr,
             runs: 0,
             dirty: false,
+            lane: Lane::TreeWalk,
         }
     }
 
@@ -176,18 +214,28 @@ impl Engine {
 }
 
 /// A compiled, instrumented, verified module plus the post-instrument
-/// optimizer statistics. Produced by [`Engine::compile`]; immutable and
-/// shareable among any number of [`Instance`]s.
+/// optimizer statistics and the cached pre-decoded lowering. Produced
+/// by [`Engine::compile`]; immutable and shareable among any number of
+/// [`Instance`]s — which is exactly why the [`ExecModule`] lives here:
+/// the flat-IR decode runs once per compilation, and every instance
+/// (and every run) borrows the result.
 #[derive(Debug, Clone)]
 pub struct Program {
     module: Module,
     stats: PassStats,
+    exec: ExecModule,
 }
 
 impl Program {
     /// The instrumented module.
     pub fn module(&self) -> &Module {
         &self.module
+    }
+
+    /// The cached pre-decoded execution IR (lowered once at compile
+    /// time; [`Engine::instantiate`] attaches it to every machine).
+    pub fn exec(&self) -> &ExecModule {
+        &self.exec
     }
 
     /// Post-instrument optimizer statistics (instructions removed,
@@ -247,6 +295,7 @@ pub struct Instance<'p> {
     repr: Repr<'p>,
     runs: u64,
     dirty: bool,
+    lane: Lane,
 }
 
 impl Instance<'_> {
@@ -260,7 +309,15 @@ impl Instance<'_> {
         }
         self.dirty = true;
         self.runs += 1;
-        each_machine_mut!(self, m => m.run(entry, args))
+        match self.lane {
+            Lane::Predecoded => each_machine_mut!(self, m => m.run_predecoded(entry, args)),
+            Lane::TreeWalk => each_machine_mut!(self, m => m.run(entry, args)),
+        }
+    }
+
+    /// The execution lane this instance drives.
+    pub fn lane(&self) -> Lane {
+        self.lane
     }
 
     /// Eagerly clears program memory, heap, and all pointer metadata

@@ -72,7 +72,7 @@ pub mod metadata;
 pub mod runtime;
 pub mod transform;
 
-pub use config::{CheckMode, Facility, SoftBoundConfig};
+pub use config::{CheckMode, Facility, Lane, SoftBoundConfig};
 pub use engine::{Engine, Instance, Program};
 pub use error::SoftBoundError;
 pub use metadata::{

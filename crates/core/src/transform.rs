@@ -921,20 +921,15 @@ mod tests {
             int twice(int* p) { return *p + *p + *p; }
             int main() { return twice(&g); }
         "#;
-        let (m, stats) = crate::compile_protected_with_stats(src, &SoftBoundConfig::default())
-            .expect("compiles");
+        let engine = crate::Engine::new();
+        let program = engine.compile(src).expect("compiles");
         assert!(
-            stats.checks_eliminated > 0,
-            "repeated *p loads must share one check:\n{m}"
+            program.stats().checks_eliminated > 0,
+            "repeated *p loads must share one check:\n{}",
+            program.module()
         );
         // The protected program still runs and computes the same value.
-        let r = crate::run_instrumented(
-            &m,
-            &SoftBoundConfig::default(),
-            sb_vm::MachineConfig::default(),
-            "main",
-            &[],
-        );
+        let r = engine.instantiate(&program).run("main", &[]);
         assert_eq!(r.ret(), Some(0), "{:?}", r.outcome);
     }
 }

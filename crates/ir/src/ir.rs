@@ -185,6 +185,32 @@ impl RtFn {
             _ => 0,
         }
     }
+
+    /// True for the bounds/addressability checks every scheme counts as a
+    /// "check" in its dynamic statistics (the interpreter's `checks`
+    /// counter and the pre-decoded lane must agree on this set).
+    pub fn is_check(self) -> bool {
+        matches!(
+            self,
+            RtFn::SbCheck { .. }
+                | RtFn::ObjCheckDeref { .. }
+                | RtFn::VgCheck { .. }
+                | RtFn::MsccCheck { .. }
+                | RtFn::FatCheck { .. }
+                | RtFn::ObjCheckArith
+                | RtFn::SbFnCheck
+        )
+    }
+
+    /// True for metadata-table loads (`meta_loads` statistic).
+    pub fn is_meta_load(self) -> bool {
+        matches!(self, RtFn::SbMetaLoad | RtFn::MsccMetaLoad)
+    }
+
+    /// True for metadata-table stores (`meta_stores` statistic).
+    pub fn is_meta_store(self) -> bool {
+        matches!(self, RtFn::SbMetaStore | RtFn::MsccMetaStore)
+    }
 }
 
 /// Call targets.

@@ -25,13 +25,14 @@
 //! hijacks; SoftBound-instrumented runs abort at the out-of-bounds store
 //! instead.
 
+use crate::exec::{global_layout_into, ExecCallee, ExecModule, Op, OpVal};
 use crate::mem::{decode_fn_addr, fn_addr, Heap, Mem, FN_BASE, GLOBAL_BASE, STACK_BASE};
 use crate::rt::{
     CacheConfig, CacheSim, CostModel, ExecStats, NoRuntime, Outcome, RtCtx, RuntimeHooks, Trap,
 };
 use sb_cir::hir::Builtin;
 use sb_ir::opt::{eval_bin, eval_cmp};
-use sb_ir::{Callee, FuncId, Inst, MemTy, Module, RegId, RtFn, Value};
+use sb_ir::{Callee, FuncId, Inst, MemTy, Module, RegId, Value};
 
 /// Machine configuration.
 #[derive(Debug, Clone)]
@@ -160,6 +161,9 @@ enum Flow {
 /// and pays one indirect call per hook, exactly as before the refactor.
 pub struct Machine<'m, H: RuntimeHooks = Box<dyn RuntimeHooks>> {
     module: &'m Module,
+    /// The pre-decoded lowering of `module`, when attached
+    /// ([`Machine::attach_exec`]); enables [`Machine::run_predecoded`].
+    exec: Option<&'m ExecModule>,
     /// Simulated memory (public for tests and runtimes).
     pub mem: Mem,
     /// The heap allocator.
@@ -224,6 +228,7 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
         };
         let mut m = Machine {
             module,
+            exec: None,
             mem: Mem::new(),
             heap,
             global_addrs: Vec::new(),
@@ -301,14 +306,10 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
     }
 
     fn layout_globals(&mut self) {
-        let mut next = GLOBAL_BASE;
-        for g in &self.module.globals {
-            let align = g.align.max(1);
-            next = next.div_ceil(align) * align;
-            self.global_addrs.push(next);
-            next += g.size.max(1);
-        }
-        self.mem.map_range(GLOBAL_BASE, next - GLOBAL_BASE + 1);
+        // The walk is shared with `ExecModule::lower`, which folds these
+        // addresses into immediates — the two must agree by construction.
+        let end = global_layout_into(self.module, &mut self.global_addrs);
+        self.mem.map_range(GLOBAL_BASE, end - GLOBAL_BASE + 1);
         for (i, g) in self.module.globals.iter().enumerate() {
             let base = self.global_addrs[i];
             for (off, init) in &g.init {
@@ -366,6 +367,29 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
         }
     }
 
+    /// Attaches the pre-decoded lowering of this machine's module,
+    /// enabling [`run_predecoded`](Machine::run_predecoded). The
+    /// lowering must come from [`ExecModule::lower`] on the *same*
+    /// module (`softbound::Program` caches one per compilation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exec` was lowered from a module with a different
+    /// function count — a sure sign it belongs to another module.
+    pub fn attach_exec(&mut self, exec: &'m ExecModule) {
+        assert_eq!(
+            exec.funcs.len(),
+            self.module.funcs.len(),
+            "ExecModule lowered from a different module"
+        );
+        self.exec = Some(exec);
+    }
+
+    /// True once [`attach_exec`](Machine::attach_exec) has been called.
+    pub fn has_exec(&self) -> bool {
+        self.exec.is_some()
+    }
+
     /// Runs `entry` (falling back to `_sb_<entry>` for transformed
     /// modules) with the given integer arguments.
     ///
@@ -373,6 +397,28 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
     /// order — the C++-global-constructor convention instrumentation
     /// passes use to seed global metadata (paper §5.2).
     pub fn run(&mut self, entry: &str, args: &[i64]) -> RunResult {
+        self.run_lane(entry, args, false)
+    }
+
+    /// [`run`](Machine::run), but driving the attached pre-decoded
+    /// execution IR through the flat dispatch loop instead of walking
+    /// the tree-shaped module. Observables — traps, output, statistics,
+    /// cycles, final memory — are identical to the tree-walk lane by
+    /// construction (and by `tests/machine_differential.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no [`ExecModule`] is attached
+    /// ([`attach_exec`](Machine::attach_exec)).
+    pub fn run_predecoded(&mut self, entry: &str, args: &[i64]) -> RunResult {
+        assert!(
+            self.exec.is_some(),
+            "run_predecoded requires attach_exec first"
+        );
+        self.run_lane(entry, args, true)
+    }
+
+    fn run_lane(&mut self, entry: &str, args: &[i64], predecoded: bool) -> RunResult {
         // Transformed modules rename functions with a scheme prefix
         // (`_sb_`, `_fat_`, `_mscc_`, …); fall back to any such renaming.
         let fid = self.module.func_id(entry).or_else(|| {
@@ -404,7 +450,12 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
             .collect();
         let mut outcome = None;
         for ctor in ctors {
-            match self.invoke(ctor, &[]) {
+            let r = if predecoded {
+                self.invoke_exec(ctor, &[])
+            } else {
+                self.invoke(ctor, &[])
+            };
+            match r {
                 Outcome::Finished { .. } => {}
                 other => {
                     outcome = Some(other);
@@ -412,7 +463,13 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
                 }
             }
         }
-        let outcome = outcome.unwrap_or_else(|| self.invoke(fid, args));
+        let outcome = outcome.unwrap_or_else(|| {
+            if predecoded {
+                self.invoke_exec(fid, args)
+            } else {
+                self.invoke(fid, args)
+            }
+        });
         self.stats.cache = self.cache.as_ref().map(|c| c.stats).unwrap_or_default();
         RunResult {
             outcome,
@@ -427,6 +484,23 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
             Err(t) => Outcome::Trapped(t),
             Ok(()) => loop {
                 match self.step() {
+                    Ok(Flow::Continue) => {}
+                    Ok(Flow::Finished(v)) => break Outcome::Finished { ret: v },
+                    Ok(Flow::Exited(c)) => break Outcome::Exited { code: c },
+                    Ok(Flow::Hijacked(t)) => break Outcome::Hijacked { target: t },
+                    Err(t) => break Outcome::Trapped(t),
+                }
+            },
+        }
+    }
+
+    /// [`invoke`](Machine::invoke) through the pre-decoded dispatch loop.
+    fn invoke_exec(&mut self, fid: FuncId, args: &[i64]) -> Outcome {
+        let exec = self.exec.expect("exec attached");
+        match self.push_frame(fid, args, &[]) {
+            Err(t) => Outcome::Trapped(t),
+            Ok(()) => loop {
+                match self.step_exec(exec) {
                     Ok(Flow::Continue) => {}
                     Ok(Flow::Finished(v)) => break Outcome::Finished { ret: v },
                     Ok(Flow::Exited(c)) => break Outcome::Exited { code: c },
@@ -597,6 +671,11 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
         self.frames.last_mut().expect("frame").regs[r.0 as usize] = v;
     }
 
+    #[inline]
+    fn set_slot(&mut self, slot: u32, v: i64) {
+        self.frames.last_mut().expect("frame").regs[slot as usize] = v;
+    }
+
     fn step(&mut self) -> Result<Flow, Trap> {
         if self.fuel == 0 {
             return Err(Trap::FuelExhausted);
@@ -754,18 +833,14 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
                 let va = self.frames.last().expect("frame").varargs.len() as u64;
                 self.ctx.reset(va);
                 self.stats.rt_calls += 1;
-                match rt {
-                    RtFn::SbCheck { .. }
-                    | RtFn::ObjCheckDeref { .. }
-                    | RtFn::VgCheck { .. }
-                    | RtFn::MsccCheck { .. }
-                    | RtFn::ObjCheckArith
-                    | RtFn::SbFnCheck => {
-                        self.stats.checks += 1;
-                    }
-                    RtFn::SbMetaLoad | RtFn::MsccMetaLoad => self.stats.meta_loads += 1,
-                    RtFn::SbMetaStore | RtFn::MsccMetaStore => self.stats.meta_stores += 1,
-                    _ => {}
+                // Classification shared with the pre-decoded lane so the
+                // two can never disagree on what counts as a check.
+                if rt.is_check() {
+                    self.stats.checks += 1;
+                } else if rt.is_meta_load() {
+                    self.stats.meta_loads += 1;
+                } else if rt.is_meta_store() {
+                    self.stats.meta_stores += 1;
                 }
                 let res = self.hooks.rt_call(*rt, avs, &mut self.mem, &mut self.ctx);
                 self.charge_ctx();
@@ -802,6 +877,290 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
                         }
                     }
                     Callee::Builtin(b) => self.builtin(*b, dsts, &avs, *ptr_hint, *wrapped),
+                };
+                self.call_args = avs;
+                let flow = result?;
+                if !matches!(flow, Flow::Continue) {
+                    return Ok(flow);
+                }
+            }
+        }
+        Ok(Flow::Continue)
+    }
+
+    /// One step of the pre-decoded lane: observable semantics identical
+    /// to [`step`](Machine::step), dispatched over flat [`Op`]s with a
+    /// plain program counter (`frame.idx`; `frame.block` stays 0).
+    ///
+    /// The fused check+access superinstructions account for *both*
+    /// halves — two fuel ticks, two instruction counts, the check's
+    /// runtime cost plus the access's cycle — in the oracle's exact
+    /// order, including the possibility of fuel exhausting between the
+    /// check and the access. Only the dispatch is paid once.
+    #[allow(clippy::too_many_lines)]
+    fn step_exec(&mut self, exec: &'m ExecModule) -> Result<Flow, Trap> {
+        if self.fuel == 0 {
+            return Err(Trap::FuelExhausted);
+        }
+        self.fuel -= 1;
+        self.stats.insts += 1;
+
+        let frame = self.frames.last_mut().expect("frame");
+        let (fidx, pc) = (frame.func, frame.idx);
+        frame.idx += 1;
+        // `exec` is a borrow of the Program's cached module, disjoint
+        // from `self`: matching the op in place keeps the fixed-size
+        // `Op` out of the per-step copy path. The single hoisted `frame`
+        // borrow serves every operand read and slot write directly —
+        // `self.stats`/`self.cfg`/`self.mem`/`self.hooks` are disjoint
+        // fields, so they stay usable while `frame` is live; only the
+        // `&mut self` helpers (`touch`, `charge_ctx`, frame push/pop)
+        // require `frame`'s last use to precede them.
+        let func = &exec.funcs[fidx];
+        macro_rules! rd {
+            ($v:expr) => {
+                match $v {
+                    OpVal::Slot(s) => frame.regs[s as usize],
+                    OpVal::Imm(i) => i,
+                }
+            };
+        }
+        match func.ops[pc] {
+            Op::Bin {
+                dst,
+                op,
+                k,
+                lhs,
+                rhs,
+            } => {
+                let a = rd!(lhs);
+                let b = rd!(rhs);
+                let v = eval_bin(op, k, a, b).ok_or(Trap::DivByZero)?;
+                frame.regs[dst as usize] = v;
+                self.stats.cycles += match op {
+                    sb_ir::ArithOp::Mul => self.cfg.cost.mul,
+                    sb_ir::ArithOp::Div | sb_ir::ArithOp::Rem => self.cfg.cost.div,
+                    _ => self.cfg.cost.alu,
+                };
+            }
+            Op::Cmp {
+                dst,
+                op,
+                k,
+                lhs,
+                rhs,
+            } => {
+                let a = rd!(lhs);
+                let b = rd!(rhs);
+                frame.regs[dst as usize] = eval_cmp(op, k, a, b);
+                self.stats.cycles += self.cfg.cost.cmp;
+            }
+            Op::Cast { dst, k, src } => {
+                frame.regs[dst as usize] = k.wrap(rd!(src));
+                self.stats.cycles += self.cfg.cost.cast;
+            }
+            Op::Mov { dst, src } => {
+                frame.regs[dst as usize] = rd!(src);
+                self.stats.cycles += self.cfg.cost.mov;
+            }
+            Op::Alloca { dst } => {
+                let cur = frame.regs[dst as usize];
+                debug_assert_ne!(cur, 0, "alloca address must be precomputed");
+                let _ = cur;
+            }
+            Op::Load { dst, mem, addr } => {
+                let a = rd!(addr) as u64;
+                let raw = self.mem.read_uint(a, mem.size())?;
+                frame.regs[dst as usize] = extend(raw, mem);
+                self.stats.loads += 1;
+                if mem.is_ptr() {
+                    self.stats.ptr_mem_ops += 1;
+                }
+                self.stats.cycles += self.cfg.cost.load;
+                self.touch(a);
+            }
+            Op::Store { mem, addr, value } => {
+                let a = rd!(addr) as u64;
+                let v = rd!(value);
+                self.mem.write_uint(a, mem.size(), v as u64)?;
+                self.stats.stores += 1;
+                if mem.is_ptr() {
+                    self.stats.ptr_mem_ops += 1;
+                }
+                self.stats.cycles += self.cfg.cost.store;
+                self.touch(a);
+            }
+            Op::CheckLoad {
+                rt,
+                dst,
+                mem,
+                addr,
+                base,
+                bound,
+            } => {
+                // First half: the check, exactly as a standalone Rt op
+                // (empty dsts — nothing to write back).
+                let p = rd!(addr);
+                let avs = [p, rd!(base), rd!(bound), mem.size() as i64];
+                let va = frame.varargs.len() as u64;
+                self.ctx.reset(va);
+                self.stats.rt_calls += 1;
+                self.stats.checks += 1;
+                let res = self.hooks.rt_call(rt, &avs, &mut self.mem, &mut self.ctx);
+                self.charge_ctx();
+                res?;
+                // Second half: the guarded load, with its own fuel and
+                // instruction tick.
+                if self.fuel == 0 {
+                    return Err(Trap::FuelExhausted);
+                }
+                self.fuel -= 1;
+                self.stats.insts += 1;
+                let a = p as u64;
+                let raw = self.mem.read_uint(a, mem.size())?;
+                let v = extend(raw, mem);
+                self.stats.loads += 1;
+                if mem.is_ptr() {
+                    self.stats.ptr_mem_ops += 1;
+                }
+                self.stats.cycles += self.cfg.cost.load;
+                self.touch(a);
+                self.set_slot(dst, v);
+            }
+            Op::CheckStore {
+                rt,
+                mem,
+                addr,
+                value,
+                base,
+                bound,
+            } => {
+                let p = rd!(addr);
+                let v = rd!(value);
+                let avs = [p, rd!(base), rd!(bound), mem.size() as i64];
+                let va = frame.varargs.len() as u64;
+                self.ctx.reset(va);
+                self.stats.rt_calls += 1;
+                self.stats.checks += 1;
+                let res = self.hooks.rt_call(rt, &avs, &mut self.mem, &mut self.ctx);
+                self.charge_ctx();
+                res?;
+                if self.fuel == 0 {
+                    return Err(Trap::FuelExhausted);
+                }
+                self.fuel -= 1;
+                self.stats.insts += 1;
+                let a = p as u64;
+                self.mem.write_uint(a, mem.size(), v as u64)?;
+                self.stats.stores += 1;
+                if mem.is_ptr() {
+                    self.stats.ptr_mem_ops += 1;
+                }
+                self.stats.cycles += self.cfg.cost.store;
+                self.touch(a);
+            }
+            Op::Gep {
+                dst,
+                base,
+                index,
+                scale,
+                offset,
+            } => {
+                let b = rd!(base);
+                let i = rd!(index);
+                frame.regs[dst as usize] = b
+                    .wrapping_add(i.wrapping_mul(scale as i64))
+                    .wrapping_add(offset);
+                self.stats.cycles += self.cfg.cost.gep;
+            }
+            Op::Jump { target } => {
+                frame.idx = target as usize;
+                self.stats.cycles += self.cfg.cost.jmp;
+            }
+            Op::Branch {
+                cond,
+                then_t,
+                else_t,
+            } => {
+                let c = rd!(cond);
+                frame.idx = if c != 0 { then_t } else { else_t } as usize;
+                self.stats.cycles += self.cfg.cost.branch;
+            }
+            Op::Ret { vals } => {
+                let vs = &func.vals[vals.range()];
+                let flow = if vs.len() <= 8 {
+                    let mut vbuf = [0i64; 8];
+                    for (i, v) in vs.iter().enumerate() {
+                        vbuf[i] = rd!(*v);
+                    }
+                    self.pop_frame(&vbuf[..vs.len()])?
+                } else {
+                    let mut out = std::mem::take(&mut self.call_args);
+                    out.clear();
+                    for v in vs {
+                        out.push(rd!(*v));
+                    }
+                    let popped = self.pop_frame(&out);
+                    self.call_args = out;
+                    popped?
+                };
+                if let Some(flow) = flow {
+                    return Ok(flow);
+                }
+            }
+            Op::Unreachable => return Err(Trap::Unreachable),
+            Op::Rt { rt, args, dsts } => {
+                let avs_src = &func.vals[args.range()];
+                debug_assert!(avs_src.len() <= 8, "rt call with {} args", avs_src.len());
+                let mut abuf = [0i64; 8];
+                for (i, v) in avs_src.iter().enumerate() {
+                    abuf[i] = rd!(*v);
+                }
+                let avs = &abuf[..avs_src.len()];
+                let va = frame.varargs.len() as u64;
+                self.ctx.reset(va);
+                self.stats.rt_calls += 1;
+                if rt.is_check() {
+                    self.stats.checks += 1;
+                } else if rt.is_meta_load() {
+                    self.stats.meta_loads += 1;
+                } else if rt.is_meta_store() {
+                    self.stats.meta_stores += 1;
+                }
+                let res = self.hooks.rt_call(rt, avs, &mut self.mem, &mut self.ctx);
+                self.charge_ctx();
+                let vals = res?;
+                for (i, d) in func.regs[dsts.range()].iter().enumerate() {
+                    self.set_reg(*d, vals[i]);
+                }
+            }
+            Op::Call {
+                callee,
+                args,
+                dsts,
+                ptr_hint,
+                wrapped,
+            } => {
+                let ret_dsts: &'m [RegId] = &func.regs[dsts.range()];
+                let mut avs = std::mem::take(&mut self.call_args);
+                avs.clear();
+                for v in &func.vals[args.range()] {
+                    avs.push(rd!(*v));
+                }
+                let result = match callee {
+                    ExecCallee::Direct(fi) => self
+                        .push_frame(FuncId(fi), &avs, ret_dsts)
+                        .map(|()| Flow::Continue),
+                    ExecCallee::Indirect(v) => {
+                        let target = rd!(v) as u64;
+                        match decode_fn_addr(target) {
+                            Some(fi) if (fi as usize) < self.module.funcs.len() => self
+                                .push_frame(FuncId(fi), &avs, ret_dsts)
+                                .map(|()| Flow::Continue),
+                            _ => Err(Trap::BadIndirectCall { addr: target }),
+                        }
+                    }
+                    ExecCallee::Builtin(b) => self.builtin(b, ret_dsts, &avs, ptr_hint, wrapped),
                 };
                 self.call_args = avs;
                 let flow = result?;

@@ -58,19 +58,56 @@ pub struct MemFault {
 }
 
 /// Sparse paged memory.
-#[derive(Debug, Default)]
+///
+/// Page frames live in a flat store indexed through the page table, and
+/// the most recent translation is cached: loop-shaped access patterns
+/// (array scans, stack traffic) hit the same page repeatedly, so the
+/// common case is one comparison instead of a hash lookup. Pages are
+/// never unmapped, so the cached slot can never go stale.
+#[derive(Debug)]
 pub struct Mem {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+    /// Page index → slot in `store`.
+    pages: HashMap<u64, u32>,
+    /// Page frames, in mapping order.
+    store: Vec<Box<[u8; PAGE_SIZE as usize]>>,
+    /// Last translation `(page index, slot)`; the sentinel page index
+    /// `u64::MAX` is unreachable (addresses are `< 2^64`, so page
+    /// indices are `< 2^52`).
+    last: (u64, u32),
     /// Total bytes read/written (for statistics).
     pub bytes_read: u64,
     /// Total bytes written.
     pub bytes_written: u64,
 }
 
+impl Default for Mem {
+    fn default() -> Self {
+        Mem {
+            pages: HashMap::new(),
+            store: Vec::new(),
+            last: (u64::MAX, 0),
+            bytes_read: 0,
+            bytes_written: 0,
+        }
+    }
+}
+
 impl Mem {
     /// Creates empty memory.
     pub fn new() -> Self {
         Mem::default()
+    }
+
+    /// Translates a page index to its store slot, through the one-entry
+    /// translation cache.
+    #[inline]
+    fn slot_of(&mut self, page: u64) -> Option<u32> {
+        if self.last.0 == page {
+            return Some(self.last.1);
+        }
+        let s = *self.pages.get(&page)?;
+        self.last = (page, s);
+        Some(s)
     }
 
     /// Maps (zero-filled) every page overlapping `[addr, addr+len)`.
@@ -81,9 +118,15 @@ impl Mem {
         let first = addr / PAGE_SIZE;
         let last = (addr + len - 1) / PAGE_SIZE;
         for p in first..=last {
-            self.pages
-                .entry(p)
-                .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]));
+            // The cached translation proves the page is mapped without
+            // a hash lookup (frame setup re-maps the same stack page on
+            // every call).
+            if p == self.last.0 || self.pages.contains_key(&p) {
+                continue;
+            }
+            let slot = u32::try_from(self.store.len()).expect("page-store overflow");
+            self.store.push(Box::new([0u8; PAGE_SIZE as usize]));
+            self.pages.insert(p, slot);
         }
     }
 
@@ -104,14 +147,34 @@ impl Mem {
     /// [`MemFault`] if any byte is on an unmapped page.
     pub fn read(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), MemFault> {
         self.bytes_read += buf.len() as u64;
+        let in_page = (addr % PAGE_SIZE) as usize;
+        // Fast path: the access stays on one page — one translation,
+        // one slice copy. (Empty reads succeed even on unmapped
+        // addresses, as they always have; the slow loop handles them.)
+        if !buf.is_empty() && in_page + buf.len() <= PAGE_SIZE as usize {
+            return match self.slot_of(addr / PAGE_SIZE) {
+                Some(s) => {
+                    let n = buf.len();
+                    buf.copy_from_slice(&self.store[s as usize][in_page..in_page + n]);
+                    Ok(())
+                }
+                None => Err(MemFault { addr, write: false }),
+            };
+        }
+        self.read_multi_page(addr, buf)
+    }
+
+    fn read_multi_page(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), MemFault> {
         let mut off = 0usize;
         while off < buf.len() {
             let a = addr + off as u64;
             let page = a / PAGE_SIZE;
             let in_page = (a % PAGE_SIZE) as usize;
             let n = ((PAGE_SIZE as usize) - in_page).min(buf.len() - off);
-            match self.pages.get(&page) {
-                Some(p) => buf[off..off + n].copy_from_slice(&p[in_page..in_page + n]),
+            match self.slot_of(page) {
+                Some(s) => {
+                    buf[off..off + n].copy_from_slice(&self.store[s as usize][in_page..in_page + n])
+                }
                 None => {
                     return Err(MemFault {
                         addr: a,
@@ -131,14 +194,30 @@ impl Mem {
     /// [`MemFault`] if any byte is on an unmapped page.
     pub fn write(&mut self, addr: u64, buf: &[u8]) -> Result<(), MemFault> {
         self.bytes_written += buf.len() as u64;
+        let in_page = (addr % PAGE_SIZE) as usize;
+        if !buf.is_empty() && in_page + buf.len() <= PAGE_SIZE as usize {
+            return match self.slot_of(addr / PAGE_SIZE) {
+                Some(s) => {
+                    self.store[s as usize][in_page..in_page + buf.len()].copy_from_slice(buf);
+                    Ok(())
+                }
+                None => Err(MemFault { addr, write: true }),
+            };
+        }
+        self.write_multi_page(addr, buf)
+    }
+
+    fn write_multi_page(&mut self, addr: u64, buf: &[u8]) -> Result<(), MemFault> {
         let mut off = 0usize;
         while off < buf.len() {
             let a = addr + off as u64;
             let page = a / PAGE_SIZE;
             let in_page = (a % PAGE_SIZE) as usize;
             let n = ((PAGE_SIZE as usize) - in_page).min(buf.len() - off);
-            match self.pages.get_mut(&page) {
-                Some(p) => p[in_page..in_page + n].copy_from_slice(&buf[off..off + n]),
+            match self.slot_of(page) {
+                Some(s) => {
+                    self.store[s as usize][in_page..in_page + n].copy_from_slice(&buf[off..off + n])
+                }
                 None => {
                     return Err(MemFault {
                         addr: a,
@@ -157,6 +236,24 @@ impl Mem {
     ///
     /// [`MemFault`] on unmapped access.
     pub fn read_uint(&mut self, addr: u64, size: u64) -> Result<u64, MemFault> {
+        // Fixed-width fast path: a machine-word load instead of a
+        // variable-length copy when the access stays on one page.
+        let in_page = (addr % PAGE_SIZE) as usize;
+        if matches!(size, 1 | 2 | 4 | 8) && in_page + size as usize <= PAGE_SIZE as usize {
+            self.bytes_read += size;
+            return match self.slot_of(addr / PAGE_SIZE) {
+                Some(s) => {
+                    let p = &self.store[s as usize][in_page..];
+                    Ok(match size {
+                        1 => p[0] as u64,
+                        2 => u16::from_le_bytes(p[..2].try_into().expect("2 bytes")) as u64,
+                        4 => u32::from_le_bytes(p[..4].try_into().expect("4 bytes")) as u64,
+                        _ => u64::from_le_bytes(p[..8].try_into().expect("8 bytes")),
+                    })
+                }
+                None => Err(MemFault { addr, write: false }),
+            };
+        }
         let mut b = [0u8; 8];
         self.read(addr, &mut b[..size as usize])?;
         Ok(u64::from_le_bytes(b))
@@ -168,6 +265,26 @@ impl Mem {
     ///
     /// [`MemFault`] on unmapped access.
     pub fn write_uint(&mut self, addr: u64, size: u64, v: u64) -> Result<(), MemFault> {
+        let in_page = (addr % PAGE_SIZE) as usize;
+        if in_page + size as usize <= PAGE_SIZE as usize && matches!(size, 1 | 2 | 4 | 8) {
+            return match self.slot_of(addr / PAGE_SIZE) {
+                Some(s) => {
+                    self.bytes_written += size;
+                    let p = &mut self.store[s as usize][in_page..];
+                    match size {
+                        1 => p[0] = v as u8,
+                        2 => p[..2].copy_from_slice(&(v as u16).to_le_bytes()),
+                        4 => p[..4].copy_from_slice(&(v as u32).to_le_bytes()),
+                        _ => p[..8].copy_from_slice(&v.to_le_bytes()),
+                    }
+                    Ok(())
+                }
+                None => {
+                    self.bytes_written += size;
+                    Err(MemFault { addr, write: true })
+                }
+            };
+        }
         let b = v.to_le_bytes();
         self.write(addr, &b[..size as usize])
     }
@@ -190,7 +307,7 @@ impl Mem {
             for b in i.to_le_bytes() {
                 mix(b, &mut h);
             }
-            for &b in self.pages[&i].iter() {
+            for &b in self.store[self.pages[&i] as usize].iter() {
                 mix(b, &mut h);
             }
         }
@@ -297,8 +414,16 @@ impl Heap {
         // Zero the block (reused blocks keep stale contents otherwise;
         // zeroing keeps runs deterministic while reuse of *addresses* —
         // what SoftBound's metadata clearing is about — still happens).
-        let zeros = vec![0u8; user.min(class) as usize];
-        let _ = mem.write(addr, &zeros);
+        // Chunked through a fixed buffer so allocating simulated memory
+        // never allocates host memory.
+        let zeros = [0u8; 256];
+        let total = user.min(class);
+        let mut off = 0u64;
+        while off < total {
+            let n = (total - off).min(zeros.len() as u64);
+            let _ = mem.write(addr + off, &zeros[..n as usize]);
+            off += n;
+        }
         self.live.insert(addr, user);
         self.live_bytes += user;
         self.peak_live = self.peak_live.max(self.live_bytes);

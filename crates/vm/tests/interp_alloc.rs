@@ -8,7 +8,7 @@
 //! warmed-up machine re-running a call-heavy program must allocate
 //! nothing at all.
 
-use sb_vm::{Machine, Outcome};
+use sb_vm::{ExecModule, Machine, Outcome};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -107,6 +107,52 @@ fn warm_machine_reruns_without_allocating() {
     assert_eq!(
         delta, 0,
         "warm interpreter must not allocate per call: {delta} allocations \
+         across {} calls",
+        again.stats.calls
+    );
+    assert!(
+        again.stats.calls > 200,
+        "program must be call-heavy, executed only {} calls",
+        again.stats.calls
+    );
+}
+
+/// The pre-decoded execution lane (PR 6) shares the frame pool and
+/// scratch buffers with the tree-walk oracle, and its flat-op dispatch
+/// adds no per-step state of its own — so a warmed machine replaying
+/// the same program through `run_predecoded` must also allocate
+/// nothing. Lowering the `ExecModule` itself allocates (that is the
+/// decode cost `Program` caching amortizes); it happens once, before
+/// the measured window.
+#[test]
+fn warm_predecoded_lane_reruns_without_allocating() {
+    let _guard = MEASURE.lock().expect("no poisoned measurements");
+    let prog = sb_cir::compile(CALL_HEAVY).expect("compiles");
+    let mut module = sb_ir::lower(&prog, "alloc_test_exec");
+    sb_ir::optimize(&mut module, sb_ir::OptLevel::PreInstrument);
+    sb_ir::verify(&module).expect("verifies");
+    let exec = ExecModule::lower(&module);
+
+    let mut machine = Machine::uninstrumented(&module);
+    machine.attach_exec(&exec);
+    let warm = machine.run_predecoded("main", &[]);
+    assert!(
+        matches!(warm.outcome, Outcome::Finished { ret: 1 }),
+        "{:?}",
+        warm.outcome
+    );
+
+    let before = allocs();
+    let again = machine.run_predecoded("main", &[]);
+    let delta = allocs() - before;
+    assert!(
+        matches!(again.outcome, Outcome::Finished { ret: 1 }),
+        "{:?}",
+        again.outcome
+    );
+    assert_eq!(
+        delta, 0,
+        "warm pre-decoded lane must not allocate per call: {delta} allocations \
          across {} calls",
         again.stats.calls
     );

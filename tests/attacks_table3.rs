@@ -35,9 +35,9 @@ fn all_attacks_succeed_unprotected() {
 
 #[test]
 fn full_checking_detects_all_attacks() {
-    let cfg = SoftBoundConfig::full_shadow();
+    let engine = softbound::Engine::new().softbound_config(SoftBoundConfig::full_shadow());
     for a in attacks::all() {
-        let r = softbound::protect(a.source, &cfg, "main", &[]).expect("compiles");
+        let r = engine.run_once(a.source, "main", &[]).expect("compiles");
         assert!(
             r.outcome.is_spatial_violation(),
             "attack {} not detected by full checking: {:?}",
@@ -51,9 +51,9 @@ fn full_checking_detects_all_attacks() {
 fn store_only_checking_detects_all_attacks() {
     // Table 3's key claim: store-only checking stops every attack,
     // because each requires at least one out-of-bounds write.
-    let cfg = SoftBoundConfig::store_only_shadow();
+    let engine = softbound::Engine::new().softbound_config(SoftBoundConfig::store_only_shadow());
     for a in attacks::all() {
-        let r = softbound::protect(a.source, &cfg, "main", &[]).expect("compiles");
+        let r = engine.run_once(a.source, "main", &[]).expect("compiles");
         assert!(
             r.outcome.is_spatial_violation(),
             "attack {} not detected by store-only checking: {:?}",

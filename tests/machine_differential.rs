@@ -10,14 +10,18 @@
 //! 2. `SoftBoundRuntime<ShadowHashMapFacility>` (static, oracle),
 //! 3. `SoftBoundRuntime<HashTableFacility>` (static, §5.1 alternative),
 //! 4. `DynRuntime` — `SoftBoundRuntime<Box<dyn MetadataFacility>>`,
-//! 5. `Machine::new_dyn` over `Box<dyn RuntimeHooks>` (fully erased).
+//! 5. `Machine::new_dyn` over `Box<dyn RuntimeHooks>` (fully erased),
+//! 6. (through 8.) lanes 1–3 again through the *pre-decoded* execution
+//!    IR (`Machine::run_predecoded` over the `ExecModule` cached on the
+//!    `Program`) — the flat dispatch loop with fused check+access
+//!    superinstructions must be bit-identical to its tree-walk twin.
 //!
 //! Every lane must produce identical traps, program output, dynamic
 //! check/metadata counts, runtime violation counters, live metadata, and
 //! — for lanes sharing a cost model — identical cycles and final memory.
 
 use sb_vm::{Machine, MachineConfig, Outcome, RuntimeHooks};
-use softbound::{DynRuntime, MetadataFacility, SoftBoundConfig, SoftBoundRuntime};
+use softbound::{DynRuntime, Engine, MetadataFacility, Program, SoftBoundConfig, SoftBoundRuntime};
 
 /// Everything a lane exposes for comparison.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,12 +44,18 @@ struct Observed {
 }
 
 fn observe<F: MetadataFacility>(
-    module: &sb_ir::Module,
+    program: &Program,
     rt: SoftBoundRuntime<F>,
     arg: i64,
+    predecoded: bool,
 ) -> Observed {
-    let mut machine = Machine::new(module, MachineConfig::default(), rt);
-    let r = machine.run("main", &[arg]);
+    let mut machine = Machine::new(program.module(), MachineConfig::default(), rt);
+    let r = if predecoded {
+        machine.attach_exec(program.exec());
+        machine.run_predecoded("main", &[arg])
+    } else {
+        machine.run("main", &[arg])
+    };
     Observed {
         outcome: r.outcome,
         output: r.output,
@@ -105,13 +115,47 @@ fn cost_free(o: &Observed) -> Observed {
 }
 
 fn run_all_lanes(name: &str, source: &str, cfg: &SoftBoundConfig, arg: i64) -> Observed {
-    let module = softbound::compile_protected(source, cfg).expect("program compiles");
+    let program = Engine::new()
+        .softbound_config(cfg.clone())
+        .compile(source)
+        .expect("program compiles");
+    let module = program.module();
 
-    let paged = observe(&module, SoftBoundRuntime::new_paged(cfg), arg);
-    let hashmap = observe(&module, SoftBoundRuntime::new_shadow_hashmap(cfg), arg);
-    let hashtable = observe(&module, SoftBoundRuntime::new_hash(cfg), arg);
-    let dyn_facility = observe(&module, DynRuntime::new(cfg), arg);
-    let erased = observe_erased(&module, cfg, arg);
+    let paged = observe(&program, SoftBoundRuntime::new_paged(cfg), arg, false);
+    let hashmap = observe(
+        &program,
+        SoftBoundRuntime::new_shadow_hashmap(cfg),
+        arg,
+        false,
+    );
+    let hashtable = observe(&program, SoftBoundRuntime::new_hash(cfg), arg, false);
+    let dyn_facility = observe(&program, DynRuntime::new(cfg), arg, false);
+    let erased = observe_erased(module, cfg, arg);
+
+    // Lanes 6–8: the same three static facilities driven through the
+    // pre-decoded execution IR. Each must match its tree-walk twin on
+    // *every* observable — traps, output, all dynamic counters, runtime
+    // counters, live metadata, cycles, and the final memory digest.
+    let paged_exec = observe(&program, SoftBoundRuntime::new_paged(cfg), arg, true);
+    let hashmap_exec = observe(
+        &program,
+        SoftBoundRuntime::new_shadow_hashmap(cfg),
+        arg,
+        true,
+    );
+    let hashtable_exec = observe(&program, SoftBoundRuntime::new_hash(cfg), arg, true);
+    assert_eq!(
+        paged, paged_exec,
+        "{name}: paged tree-walk vs pre-decoded diverged"
+    );
+    assert_eq!(
+        hashmap, hashmap_exec,
+        "{name}: hashmap tree-walk vs pre-decoded diverged"
+    );
+    assert_eq!(
+        hashtable, hashtable_exec,
+        "{name}: hash-table tree-walk vs pre-decoded diverged"
+    );
 
     // The two shadow organizations share the cost model and write the
     // same simulated memory: every observable must match bit-for-bit.

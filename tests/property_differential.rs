@@ -125,6 +125,15 @@ fn all_configs() -> Vec<SoftBoundConfig> {
     ]
 }
 
+/// One-shot protected run through the session API: each proptest case is
+/// a fresh program, so there is no instance worth keeping alive.
+fn protect_once(src: &str, cfg: &SoftBoundConfig) -> sb_vm::RunResult {
+    softbound::Engine::new()
+        .softbound_config(cfg.clone())
+        .run_once(src, "main", &[])
+        .expect("compiles")
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -135,7 +144,7 @@ proptest! {
         let expected = plain.ret();
         prop_assert!(expected.is_some(), "safe program must finish: {:?}\n{src}", plain.outcome);
         for cfg in all_configs() {
-            let p = softbound::protect(&src, &cfg, "main", &[]).expect("compiles");
+            let p = protect_once(&src, &cfg);
             prop_assert_eq!(
                 p.ret(), expected,
                 "{} diverged ({:?})\n{}", cfg.label(), p.outcome, src
@@ -148,7 +157,7 @@ proptest! {
         let src = render(&r, Some((at % r.ops.len(), if mode == 1 { 0 } else { mode })));
         // (mode 1 = read is tested separately; here only writes)
         for cfg in all_configs() {
-            let p = softbound::protect(&src, &cfg, "main", &[]).expect("compiles");
+            let p = protect_once(&src, &cfg);
             prop_assert!(
                 p.outcome.is_spatial_violation(),
                 "{} missed injected OOB write: {:?}\n{}", cfg.label(), p.outcome, src
@@ -160,15 +169,14 @@ proptest! {
     fn injected_oob_reads_caught_by_full(r in recipe_strategy(), at in any::<usize>()) {
         let src = render(&r, Some((at % r.ops.len(), 1)));
         for cfg in [SoftBoundConfig::full_shadow(), SoftBoundConfig::full_hash()] {
-            let p = softbound::protect(&src, &cfg, "main", &[]).expect("compiles");
+            let p = protect_once(&src, &cfg);
             prop_assert!(
                 p.outcome.is_spatial_violation(),
                 "{} missed injected OOB read: {:?}\n{}", cfg.label(), p.outcome, src
             );
         }
         // Store-only mode, by design, lets the read through (Table 4 `go`).
-        let s = softbound::protect(&src, &SoftBoundConfig::store_only_shadow(), "main", &[])
-            .expect("compiles");
+        let s = protect_once(&src, &SoftBoundConfig::store_only_shadow());
         prop_assert!(
             !s.outcome.is_spatial_violation(),
             "store-only unexpectedly caught a read: {src}"

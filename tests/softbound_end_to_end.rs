@@ -9,7 +9,16 @@
 //! and wild-cast safety (§3.4).
 
 use sb_vm::{Outcome, Trap};
-use softbound::{protect, SoftBoundConfig};
+use softbound::{Engine, SoftBoundConfig};
+
+/// One-shot protected run through the session API — every test here
+/// compiles a distinct program, so no instance outlives its run.
+fn protect(src: &str, cfg: &SoftBoundConfig) -> sb_vm::RunResult {
+    Engine::new()
+        .softbound_config(cfg.clone())
+        .run_once(src, "main", &[])
+        .expect("compiles")
+}
 
 fn all_configs() -> Vec<SoftBoundConfig> {
     vec![
@@ -28,7 +37,7 @@ fn full_configs() -> Vec<SoftBoundConfig> {
 /// configuration — the no-false-positives property.
 fn assert_safe(src: &str, expected: i64) {
     for cfg in all_configs() {
-        let r = protect(src, &cfg, "main", &[]).expect("compiles");
+        let r = protect(src, &cfg);
         assert_eq!(
             r.ret(),
             Some(expected),
@@ -42,7 +51,7 @@ fn assert_safe(src: &str, expected: i64) {
 
 fn assert_violation(src: &str, cfgs: &[SoftBoundConfig]) {
     for cfg in cfgs {
-        let r = protect(src, cfg, "main", &[]).expect("compiles");
+        let r = protect(src, cfg);
         assert!(
             r.outcome.is_spatial_violation(),
             "expected spatial violation under {}, got {:?}",
@@ -230,7 +239,7 @@ fn read_overflow_detected_in_full_missed_in_store_only() {
         SoftBoundConfig::store_only_shadow(),
         SoftBoundConfig::store_only_hash(),
     ] {
-        let r = protect(src, &cfg, "main", &[]).expect("compiles");
+        let r = protect(src, &cfg);
         assert_eq!(
             r.ret(),
             Some(1),
@@ -301,10 +310,7 @@ fn int_to_pointer_cast_gets_null_bounds() {
                 return *p;
             }"#,
             &cfg,
-            "main",
-            &[],
-        )
-        .expect("compiles");
+        );
         assert!(
             r.outcome.is_spatial_violation(),
             "forged pointer dereference must abort, got {:?}",
@@ -333,10 +339,7 @@ fn corrupted_function_pointer_via_wild_write_caught() {
                 return 0;
             }"#,
             &cfg,
-            "main",
-            &[],
-        )
-        .expect("compiles");
+        );
         assert!(
             r.outcome.is_spatial_violation(),
             "forged function pointer must be rejected, got {:?}",
@@ -398,8 +401,8 @@ fn separate_compilation_links_and_runs_protected() {
     let app = compile_one(app_src, "app");
     let linked = sb_ir::link(&[app, lib], "prog").expect("links");
     sb_ir::verify(&linked).expect("verifies");
-    let r =
-        softbound::run_instrumented(&linked, &cfg, sb_vm::MachineConfig::default(), "main", &[]);
+    let engine = Engine::new().softbound_config(cfg.clone());
+    let r = engine.instantiate_module(&linked).run("main", &[]);
     assert_eq!(
         r.ret(),
         Some(1),
@@ -419,8 +422,7 @@ fn separate_compilation_links_and_runs_protected() {
     let app2 = compile_one(bad_app, "app");
     let lib2 = compile_one(lib_src, "lib");
     let linked2 = sb_ir::link(&[app2, lib2], "prog").expect("links");
-    let r2 =
-        softbound::run_instrumented(&linked2, &cfg, sb_vm::MachineConfig::default(), "main", &[]);
+    let r2 = engine.instantiate_module(&linked2).run("main", &[]);
     assert!(
         r2.outcome.is_spatial_violation(),
         "bounds must travel across separately compiled modules, got {:?}",
@@ -468,10 +470,7 @@ fn vararg_over_decode_trapped() {
             int main() { return sum_all(5, 1, 2); } // lies about the count
             "#,
             &cfg,
-            "main",
-            &[],
-        )
-        .expect("compiles");
+        );
         assert!(
             r.outcome.is_spatial_violation(),
             "decoding more varargs than passed must trap (§5.2), got {:?}",
@@ -501,7 +500,7 @@ fn overhead_ordering_is_sane() {
     let base = sb_vm::run_source(src, "main", &[]);
     assert_eq!(base.ret(), Some(1));
     let cycles = |cfg: &SoftBoundConfig| {
-        let r = protect(src, cfg, "main", &[]).expect("compiles");
+        let r = protect(src, cfg);
         assert_eq!(r.ret(), Some(1), "{}: {:?}", cfg.label(), r.outcome);
         r.stats.cycles
     };

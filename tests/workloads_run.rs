@@ -95,14 +95,9 @@ fn protected_runs_agree_with_unprotected() {
         let plain = run_plain(&w);
         let expected = plain.ret().expect("plain run finishes");
         for cfg in &cfgs {
-            let module = softbound::compile_protected(w.source, cfg).expect("compiles");
-            let r = softbound::run_instrumented(
-                &module,
-                cfg,
-                MachineConfig::default(),
-                "main",
-                &[w.default_arg],
-            );
+            let engine = softbound::Engine::new().softbound_config(cfg.clone());
+            let program = engine.compile(w.source).expect("compiles");
+            let r = engine.instantiate(&program).run("main", &[w.default_arg]);
             assert_eq!(
                 r.ret(),
                 Some(expected),
