@@ -20,7 +20,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use sb_vm::ExecModule;
-use softbound::{Engine, Lane};
+use softbound::{fleet, Engine, Lane};
 
 /// A request-sized program: parse-ish arithmetic, a little heap churn,
 /// pointer stores (metadata traffic), and a checksum reply.
@@ -90,6 +90,21 @@ fn bench_program(c: &mut Criterion, group_name: &str, src: &str, arg: i64) {
     group.bench_function("full_pipeline_per_request", |b| {
         b.iter(|| black_box(engine.run_once(src, "main", &[arg]).expect("ok").ret()));
     });
+
+    // Fleet lanes: the same shared Program served by a worker pool
+    // (one persistent Instance per worker, atomic work-stealing). On a
+    // multi-core host the 4-worker lane pulls ahead of
+    // `reused_instance`; on a 1-core host it measures pool overhead.
+    for workers in [1usize, 4] {
+        group.bench_function(format!("fleet_{workers}_workers_batch8"), |b| {
+            let requests = [arg; 8];
+            b.iter(|| {
+                let report = fleet::serve(&engine, &program, "main", &requests, workers);
+                assert_eq!(report.results.len(), requests.len());
+                black_box(report.reqs_per_sec)
+            });
+        });
+    }
     group.finish();
 }
 

@@ -12,6 +12,7 @@
 //! | [`table4`]  | Table 4 — BugBench detection vs Valgrind/Mudflap |
 //! | [`compat`]  | §6.4 — daemons transformed unmodified, zero false positives |
 //! | [`related`] | §6.5 — overhead comparison with the MSCC-like scheme |
+//! | [`scaling`] | fleet serving — req/s vs worker count over one shared Program |
 //!
 //! Each module exposes a `run()` returning structured rows plus a
 //! `render()` producing the textual table; the `report` binary prints
@@ -22,6 +23,7 @@ pub mod figure1;
 pub mod figure2;
 pub mod perf;
 pub mod related;
+pub mod scaling;
 pub mod table1;
 pub mod table3;
 pub mod table4;

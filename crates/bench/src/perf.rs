@@ -103,8 +103,10 @@ pub fn speedups(rows: &[PerfRow]) -> Vec<(&'static str, f64)> {
 }
 
 /// Renders the snapshot as the `BENCH_softbound.json` trajectory file
-/// (hand-rolled — the workspace carries no JSON dependency).
-pub fn render_json(rows: &[PerfRow]) -> String {
+/// (hand-rolled — the workspace carries no JSON dependency). The fleet
+/// scaling curve, when measured, is appended as a `scaling` section;
+/// pass an empty slice to omit it.
+pub fn render_json(rows: &[PerfRow], scaling: &[crate::scaling::ScalingPoint]) -> String {
     let mut s = String::new();
     s.push_str("{\n  \"bench\": \"softbound\",\n  \"unit\": \"ns_per_vm_inst\",\n");
     s.push_str("  \"lanes\": [\"predecoded\", \"tree_walk\"],\n  \"rows\": [\n");
@@ -134,7 +136,12 @@ pub fn render_json(rows: &[PerfRow]) -> String {
             if i + 1 < sp.len() { "," } else { "" }
         ));
     }
-    s.push_str("  }\n}\n");
+    s.push_str("  }");
+    if !scaling.is_empty() {
+        s.push_str(",\n");
+        s.push_str(&crate::scaling::render_json(scaling));
+    }
+    s.push_str("\n}\n");
     s
 }
 
@@ -168,7 +175,17 @@ mod tests {
                 fused_checks: 7,
             },
         ];
-        let json = render_json(&rows);
+        let scaling = vec![crate::scaling::ScalingPoint {
+            workers: 4,
+            requests: 24,
+            wall_ns: 500,
+            reqs_per_sec: 48.0,
+            p50_ns: 40,
+            p95_ns: 90,
+            p99_ns: 99,
+            reservation_bytes_per_worker: 1 << 28,
+        }];
+        let json = render_json(&rows, &scaling);
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
         for key in [
             "\"bench\": \"softbound\"",
@@ -178,6 +195,9 @@ mod tests {
             "\"checks_eliminated\"",
             "\"fused_checks\"",
             "\"speedups\"",
+            "\"scaling\"",
+            "\"host_cores\"",
+            "\"reservation_bytes_per_worker\"",
         ] {
             assert!(json.contains(key), "missing {key} in:\n{json}");
         }
@@ -187,6 +207,10 @@ mod tests {
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         let sp = speedups(&rows);
         assert_eq!(sp, vec![("compress", 2.0)]);
+        // Omitting the curve must not leave a dangling comma.
+        let bare = render_json(&rows, &[]);
+        assert!(!bare.contains("\"scaling\""));
+        assert_eq!(bare.matches('{').count(), bare.matches('}').count());
     }
 
     /// Both lanes execute the same dynamic instruction stream, so the

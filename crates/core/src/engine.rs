@@ -340,6 +340,14 @@ impl Instance<'_> {
         each_machine!(self, m => m.hooks().live_entries())
     }
 
+    /// Bytes of host memory the metadata facility holds onto between
+    /// runs — the per-worker standing cost a fleet pays (256 MiB of
+    /// zeroed virtual directory for the paged shadow). The ROADMAP's
+    /// shared-reservation follow-on is sized from this number.
+    pub fn metadata_reservation_bytes(&self) -> usize {
+        each_machine!(self, m => m.hooks().reservation_bytes())
+    }
+
     /// Bounds checks executed by the runtime since the last reset.
     pub fn check_count(&self) -> u64 {
         each_machine!(self, m => m.hooks().check_count)
@@ -365,6 +373,22 @@ impl Instance<'_> {
         }
     }
 }
+
+// The fleet contract, checked at compile time: an `Engine` and a
+// compiled `Program` cross thread boundaries by shared reference (every
+// worker borrows the same program), and an `Instance` may be *moved*
+// into a worker thread (each worker owns exactly one). These hold
+// because the whole pipeline is plain owned data — no interior
+// mutability, no `Rc`, no raw-pointer caches — so a regression (say, a
+// lazily-populated `RefCell` decode cache on `Program`) fails this
+// file's build rather than some downstream fleet test.
+const fn assert_send_sync<T: Send + Sync>() {}
+const fn assert_send<T: Send>() {}
+const _: () = {
+    assert_send_sync::<Engine>();
+    assert_send_sync::<Program>();
+    assert_send::<Instance<'static>>();
+};
 
 #[cfg(test)]
 mod tests {

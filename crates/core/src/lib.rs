@@ -68,6 +68,7 @@
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod fleet;
 pub mod metadata;
 pub mod runtime;
 pub mod transform;

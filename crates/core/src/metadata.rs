@@ -100,6 +100,16 @@ pub trait MetadataFacility {
     /// Number of live (non-NULL) entries — memory-overhead statistics.
     fn live_entries(&self) -> usize;
 
+    /// Bytes of host memory this facility holds onto *between* runs —
+    /// the standing reservation a fleet pays once per worker, not the
+    /// transient per-run growth. For the paged shadow this is dominated
+    /// by the flat directory (the analogue of the paper's `mmap`-reserved
+    /// shadow region); for the hash table, by the bucket array. The
+    /// ROADMAP's shared-reservation follow-on needs this number measured
+    /// per worker to size the win of sharing one reservation across a
+    /// pool.
+    fn reservation_bytes(&self) -> usize;
+
     /// Forgets every entry, restoring the facility to its
     /// just-constructed state while keeping its expensive allocations
     /// (the paged shadow's directory reservation, the hash table's
@@ -142,6 +152,10 @@ impl<F: MetadataFacility + ?Sized> MetadataFacility for Box<F> {
 
     fn live_entries(&self) -> usize {
         (**self).live_entries()
+    }
+
+    fn reservation_bytes(&self) -> usize {
+        (**self).reservation_bytes()
     }
 
     fn reset(&mut self) {
@@ -412,6 +426,21 @@ impl MetadataFacility for ShadowPages {
         self.live
     }
 
+    /// Directory + committed pages + overflow map. The directory alone
+    /// is 256 MiB of zeroed virtual memory (`2^26` u32 entries), which
+    /// is why a per-worker facility dominates a fleet's footprint.
+    fn reservation_bytes(&self) -> usize {
+        let dir = self.dir.len() * std::mem::size_of::<u32>();
+        let pages = self
+            .pages
+            .iter()
+            .map(|p| p.slots.len() * std::mem::size_of::<u128>())
+            .sum::<usize>();
+        let overflow =
+            self.overflow.len() * (std::mem::size_of::<u64>() + std::mem::size_of::<Meta>());
+        dir + pages + overflow
+    }
+
     /// Releases every page (committed and parked) and the overflow map,
     /// zeroing only the directory entries that were actually used — the
     /// 256 MiB directory reservation itself stays mapped for the next
@@ -468,6 +497,11 @@ impl MetadataFacility for ShadowHashMapFacility {
 
     fn live_entries(&self) -> usize {
         self.entries.len()
+    }
+
+    /// HashMap capacity; no standing reservation beyond the table.
+    fn reservation_bytes(&self) -> usize {
+        self.entries.capacity() * (std::mem::size_of::<u64>() + std::mem::size_of::<Meta>())
     }
 
     fn reset(&mut self) {
@@ -569,6 +603,16 @@ impl MetadataFacility for HashTableFacility {
 
     fn live_entries(&self) -> usize {
         self.live
+    }
+
+    /// Bucket array (kept across resets) plus chain capacities.
+    fn reservation_bytes(&self) -> usize {
+        self.buckets.capacity() * std::mem::size_of::<Vec<(u64, Meta)>>()
+            + self
+                .buckets
+                .iter()
+                .map(|c| c.capacity() * std::mem::size_of::<(u64, Meta)>())
+                .sum::<usize>()
     }
 
     /// Empties every chain in place — the bucket array keeps its

@@ -91,6 +91,12 @@ impl<F: MetadataFacility> SoftBoundRuntime<F> {
         self.facility.live_entries()
     }
 
+    /// Standing host-memory reservation of the facility (what a fleet
+    /// pays per worker between requests).
+    pub fn reservation_bytes(&self) -> usize {
+        self.facility.reservation_bytes()
+    }
+
     #[inline]
     fn check(
         &mut self,

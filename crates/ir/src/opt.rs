@@ -488,19 +488,38 @@ fn check_key(inst: &Inst) -> Option<CheckKey> {
     }
 }
 
-/// True for instructions that invalidate *every* available check:
-/// calls (arbitrary callee effects, conservatively including longjmp
-/// re-entry), pointer stores, and metadata-clobbering runtime helpers.
+/// True for instructions that invalidate *every* available check.
+///
+/// Only `setjmp` call sites qualify. A keyed check is a pure predicate
+/// over its operand *registers* (`ptr < base`, `ptr + size ≤ bound` —
+/// it reads no program memory and no metadata), so the only ways a
+/// proven fact can stop holding are:
+///
+/// * one of its registers is redefined — the generic defs-kill in
+///   [`check_transfer`] handles that, including call/Rt destinations;
+/// * control re-enters the function mid-CFG with register values the
+///   dataflow never saw. The one construct that does this is `longjmp`,
+///   which resumes execution immediately after a live `setjmp` call
+///   site with the registers' *current* (not snapshot) values. Clearing
+///   the available set at the `setjmp` site makes every fact reaching
+///   code after it justified only by checks on static paths from that
+///   site — and those same checks re-execute with the current values on
+///   the resumed path, so the facts are re-established dynamically.
+///
+/// Ordinary calls, pointer stores, and the metadata helpers
+/// (`SbMetaStore`/`SbMetaClear`/`SbMemcpyMeta`) mutate memory and
+/// metadata tables, which checks never read; killing on them (as this
+/// pass originally did) suppressed every elimination in call- or
+/// store-carrying loops — the `checks_eliminated: 0` rows on compress,
+/// tsp, and treeadd in `BENCH_softbound.json`.
 fn clobbers_all_checks(inst: &Inst) -> bool {
-    match inst {
-        Inst::Call { .. } => true,
-        Inst::Store { mem, .. } => mem.is_ptr(),
-        Inst::Rt { rt, .. } => matches!(
-            rt,
-            RtFn::SbMetaStore | RtFn::SbMetaClear | RtFn::SbMemcpyMeta | RtFn::MsccMetaStore
-        ),
-        _ => false,
-    }
+    matches!(
+        inst,
+        Inst::Call {
+            callee: Callee::Builtin(sb_cir::hir::Builtin::Setjmp),
+            ..
+        }
+    )
 }
 
 /// Registers a check key reads (redefinition of any of them kills it).
@@ -821,7 +840,11 @@ mod tests {
     }
 
     #[test]
-    fn calls_and_pointer_stores_invalidate() {
+    fn calls_and_pointer_stores_do_not_invalidate() {
+        // The check predicate reads registers only — callee side effects
+        // and (meta)data writes cannot flip a proven verdict, so a call
+        // that defines none of the key's registers and a pointer store
+        // both leave the fact available.
         let (p, b, e) = args();
         let mut f = shell(vec![Block {
             insts: vec![
@@ -833,18 +856,65 @@ mod tests {
                     ptr_hint: false,
                     wrapped: false,
                 },
-                check(p, b, e, 4), // after a call: kept
+                check(p, b, e, 4), // after a call: dropped
                 Inst::Store {
                     mem: MemTy::Ptr,
                     addr: p,
                     value: Value::Const(0),
                 },
-                check(p, b, e, 4), // after a pointer store: kept
+                check(p, b, e, 4), // after a pointer store: dropped
+                Inst::Ret { vals: vec![] },
+            ],
+        }]);
+        assert_eq!(eliminate_redundant_checks(&mut f), 2);
+        assert_eq!(count_checks(&f), 1);
+    }
+
+    #[test]
+    fn call_defining_a_key_register_invalidates() {
+        // A call's destination registers go through the ordinary
+        // defs-kill: redefinition of the checked pointer ends the fact.
+        let (p, b, e) = args();
+        let mut f = shell(vec![Block {
+            insts: vec![
+                check(p, b, e, 4),
+                Inst::Call {
+                    dsts: vec![RegId(0)],
+                    callee: Callee::Builtin(sb_cir::hir::Builtin::Rand),
+                    args: vec![],
+                    ptr_hint: false,
+                    wrapped: false,
+                },
+                check(p, b, e, 4), // ptr redefined by the call → kept
                 Inst::Ret { vals: vec![] },
             ],
         }]);
         assert_eq!(eliminate_redundant_checks(&mut f), 0);
-        assert_eq!(count_checks(&f), 3);
+        assert_eq!(count_checks(&f), 2);
+    }
+
+    #[test]
+    fn setjmp_call_sites_invalidate_everything() {
+        // longjmp resumes right after a live setjmp call with the
+        // registers' *current* values — a hidden CFG edge the dataflow
+        // cannot see. Facts must not be carried across the setjmp site.
+        let (p, b, e) = args();
+        let mut f = shell(vec![Block {
+            insts: vec![
+                check(p, b, e, 4),
+                Inst::Call {
+                    dsts: vec![],
+                    callee: Callee::Builtin(sb_cir::hir::Builtin::Setjmp),
+                    args: vec![p],
+                    ptr_hint: false,
+                    wrapped: false,
+                },
+                check(p, b, e, 4), // re-entry target → kept
+                Inst::Ret { vals: vec![] },
+            ],
+        }]);
+        assert_eq!(eliminate_redundant_checks(&mut f), 0);
+        assert_eq!(count_checks(&f), 2);
     }
 
     #[test]
@@ -883,7 +953,11 @@ mod tests {
     }
 
     #[test]
-    fn metadata_stores_invalidate_conservatively() {
+    fn metadata_stores_do_not_invalidate() {
+        // Metadata-table writes change what a *future* SbMetaLoad
+        // returns — which would define fresh base/bound registers and
+        // kill the fact through defs — but never the verdict of a check
+        // over registers already in hand.
         let (p, b, e) = args();
         let mut f = shell(vec![Block {
             insts: vec![
@@ -897,7 +971,7 @@ mod tests {
                 Inst::Ret { vals: vec![] },
             ],
         }]);
-        assert_eq!(eliminate_redundant_checks(&mut f), 0);
+        assert_eq!(eliminate_redundant_checks(&mut f), 1);
     }
 
     #[test]

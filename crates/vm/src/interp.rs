@@ -273,7 +273,11 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
     /// reservation). That is the amortization a long-lived
     /// `softbound::Instance` exploits between back-to-back requests.
     pub fn reset(&mut self) {
-        self.mem = Mem::new();
+        // `Mem::reset` (rather than a fresh `Mem`) recycles the page
+        // frames of the previous run — and invalidates the last-page
+        // translation cache, which would otherwise leak one stale
+        // (page → frame) pair into the next run's different layout.
+        self.mem.reset();
         self.heap = Heap::new(self.cfg.redzone);
         self.cache = self.cfg.cache.map(CacheSim::new);
         self.stats = ExecStats::default();
@@ -604,7 +608,14 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
         if fp != frame.frame_base {
             // Fake-frame attack: the attacker repoints the saved FP at a
             // crafted frame whose "return token" slot redirects control.
-            if let Ok(fake_ret) = self.mem.read_uint(fp.wrapping_add(8), 8) {
+            // The token-slot address must be computed with a *checked*
+            // add: a saved FP near `u64::MAX` would wrap to low memory,
+            // and whatever happens to be mapped there could misclassify
+            // the corruption as a hijack of an unrelated function.
+            let Some(fake_token_addr) = fp.checked_add(8) else {
+                return Err(Trap::CorruptedFrame);
+            };
+            if let Ok(fake_ret) = self.mem.read_uint(fake_token_addr, 8) {
                 if let Some(t) = decode_fn_addr(fake_ret) {
                     if (t as usize) < self.module.funcs.len() {
                         let name = self.module.funcs[t as usize].name.clone();
@@ -1968,6 +1979,45 @@ mod tests {
         assert!(
             matches!(r.outcome, Outcome::Trapped(Trap::CorruptedReturn)),
             "{:?}",
+            r.outcome
+        );
+    }
+
+    #[test]
+    fn saved_fp_near_u64_max_is_corruption_not_hijack() {
+        // Boundary-value fake-frame probe: the attacker plants a saved FP
+        // of `u64::MAX - 7`, whose token-slot address `fp + 8` wraps to
+        // address 0. With the old wrapping add, whatever sits in low
+        // memory is read as the fake frame's "return token" — mapping a
+        // valid code address there made the detector misreport the
+        // corruption as a successful hijack of that function. The checked
+        // add classifies the wrap itself as frame corruption.
+        let src = r#"
+            void evil(void) { exit(66); }
+            void vulnerable(void) {
+                long buf[1];
+                buf[1] = -8; // saved-FP slot := u64::MAX - 7; token intact
+            }
+            int main() { vulnerable(); return 0; }
+        "#;
+        let prog = sb_cir::compile(src).expect("source compiles");
+        let mut module = sb_ir::lower(&prog, "run");
+        sb_ir::optimize(&mut module, sb_ir::OptLevel::PreInstrument);
+        sb_ir::verify(&module).expect("module verifies");
+        let evil = module
+            .funcs
+            .iter()
+            .position(|f| f.name == "evil")
+            .expect("evil exists") as u32;
+        let mut m = Machine::uninstrumented(&module);
+        // Adversarial low memory: the wrapped address holds a valid code
+        // pointer, so a wrapping implementation would say Hijacked(evil).
+        m.mem.map_range(0, 16);
+        m.mem.write_uint(0, 8, fn_addr(evil)).expect("mapped");
+        let r = m.run("main", &[]);
+        assert!(
+            matches!(r.outcome, Outcome::Trapped(Trap::CorruptedFrame)),
+            "wrapping saved FP must trap as frame corruption, got {:?}",
             r.outcome
         );
     }

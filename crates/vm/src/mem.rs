@@ -62,14 +62,21 @@ pub struct MemFault {
 /// Page frames live in a flat store indexed through the page table, and
 /// the most recent translation is cached: loop-shaped access patterns
 /// (array scans, stack traffic) hit the same page repeatedly, so the
-/// common case is one comparison instead of a hash lookup. Pages are
-/// never unmapped, so the cached slot can never go stale.
+/// common case is one comparison instead of a hash lookup. No page is
+/// ever unmapped *within* a run, so the cached slot cannot go stale
+/// mid-run; the one path that does drop mappings — [`reset`](Mem::reset)
+/// between runs of a reused machine — must (and does) invalidate the
+/// cache, because both `slot_of` and `map_range` trust it without
+/// consulting the page table.
 #[derive(Debug)]
 pub struct Mem {
     /// Page index → slot in `store`.
     pages: HashMap<u64, u32>,
     /// Page frames, in mapping order.
     store: Vec<Box<[u8; PAGE_SIZE as usize]>>,
+    /// Frames released by [`reset`](Mem::reset), recycled (re-zeroed)
+    /// by `map_range` before a fresh frame is ever allocated.
+    free_frames: Vec<u32>,
     /// Last translation `(page index, slot)`; the sentinel page index
     /// `u64::MAX` is unreachable (addresses are `< 2^64`, so page
     /// indices are `< 2^52`).
@@ -85,6 +92,7 @@ impl Default for Mem {
         Mem {
             pages: HashMap::new(),
             store: Vec::new(),
+            free_frames: Vec::new(),
             last: (u64::MAX, 0),
             bytes_read: 0,
             bytes_written: 0,
@@ -124,10 +132,44 @@ impl Mem {
             if p == self.last.0 || self.pages.contains_key(&p) {
                 continue;
             }
-            let slot = u32::try_from(self.store.len()).expect("page-store overflow");
-            self.store.push(Box::new([0u8; PAGE_SIZE as usize]));
+            let slot = match self.free_frames.pop() {
+                // Recycle a frame dropped by `reset`, restoring the
+                // zero-fill a fresh mapping guarantees.
+                Some(s) => {
+                    self.store[s as usize].fill(0);
+                    s
+                }
+                None => {
+                    let slot = u32::try_from(self.store.len()).expect("page-store overflow");
+                    self.store.push(Box::new([0u8; PAGE_SIZE as usize]));
+                    slot
+                }
+            };
             self.pages.insert(p, slot);
         }
+    }
+
+    /// Unmaps every page and clears the statistics, returning the memory
+    /// to its just-constructed *observable* state while keeping the
+    /// allocated page frames for recycling — a long-lived machine that
+    /// resets between requests pays the host allocator only for its
+    /// high-water page count.
+    ///
+    /// The one-entry translation cache must be invalidated here: it is
+    /// the one piece of state that outlives the page table. `slot_of`
+    /// returns the cached slot without consulting `pages`, and
+    /// `map_range` takes a cache hit as proof the page is already
+    /// mapped — a stale entry would let the next run silently read the
+    /// previous run's dropped frame, or skip the zero-fill of a page
+    /// the new allocation layout maps at the same address.
+    pub fn reset(&mut self) {
+        self.pages.clear();
+        self.free_frames.clear();
+        self.free_frames
+            .extend(0..u32::try_from(self.store.len()).expect("page-store overflow"));
+        self.last = (u64::MAX, 0);
+        self.bytes_read = 0;
+        self.bytes_written = 0;
     }
 
     /// True if `addr` is on a mapped page.
@@ -535,6 +577,58 @@ mod tests {
         assert_eq!(decode_fn_addr(fn_addr(99)), Some(99));
         assert_eq!(decode_fn_addr(fn_addr(7) + 1), None);
         assert_eq!(decode_fn_addr(0x1234), None);
+    }
+
+    #[test]
+    fn reset_invalidates_translation_cache() {
+        let mut m = Mem::new();
+        m.map_range(0x1000, 8);
+        m.write_uint(0x1000, 8, 0xAB)
+            .expect("write warms the cache");
+        m.reset();
+        // Failure mode being pinned: a surviving (page, slot) cache entry
+        // lets this read silently return the dropped frame's contents
+        // instead of faulting on the now-unmapped page.
+        assert_eq!(
+            m.read_uint(0x1000, 8),
+            Err(MemFault {
+                addr: 0x1000,
+                write: false
+            })
+        );
+    }
+
+    #[test]
+    fn reset_invalidates_map_range_mapped_proof() {
+        let mut m = Mem::new();
+        m.map_range(0x1000, 8);
+        m.write_uint(0x1000, 8, 0xdead_beef).expect("write");
+        m.reset();
+        // `map_range` takes a cache hit as proof the page is mapped; a
+        // stale entry would skip both the mapping and the zero-fill.
+        m.map_range(0x1000, 8);
+        assert_eq!(
+            m.read_uint(0x1000, 8).expect("mapped again"),
+            0,
+            "recycled frame must be zero-filled"
+        );
+    }
+
+    #[test]
+    fn reset_recycles_frames_across_different_layouts() {
+        let mut m = Mem::new();
+        m.map_range(0x1000, PAGE_SIZE * 2);
+        m.write_uint(0x1000, 8, 7).expect("write");
+        assert_eq!(m.mapped_pages(), 2);
+        m.reset();
+        assert_eq!(m.mapped_pages(), 0);
+        assert_eq!((m.bytes_read, m.bytes_written), (0, 0));
+        // A different layout on the second run: recycled frames, zeroed,
+        // observably identical to a fresh memory with the same mappings.
+        m.map_range(0x9000, 8);
+        let mut fresh = Mem::new();
+        fresh.map_range(0x9000, 8);
+        assert_eq!(m.content_hash(), fresh.content_hash());
     }
 
     #[test]

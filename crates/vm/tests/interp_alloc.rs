@@ -44,6 +44,27 @@ fn allocs() -> u64 {
     ALLOC_CALLS.load(Ordering::Relaxed)
 }
 
+/// Runs `window` until it reports zero allocations, up to a few
+/// attempts, returning the last attempt's delta.
+///
+/// The counter is process-global, so the measured section also sees
+/// allocations from the libtest harness's own threads (result
+/// bookkeeping, thread teardown) — rare, but nonzero on a loaded
+/// 1-core host. Those are transient: noise can only *add* counts, so a
+/// genuinely allocation-free replay reaches zero on some attempt, while
+/// a real per-call allocation (the bug this suite pins) repeats on
+/// every attempt and still fails.
+fn min_delta_over_attempts(mut window: impl FnMut() -> u64) -> u64 {
+    let mut delta = u64::MAX;
+    for _ in 0..5 {
+        delta = window();
+        if delta == 0 {
+            break;
+        }
+    }
+    delta
+}
+
 /// Call-heavy, allocation-free program: deep recursion, wide calls,
 /// varargs, indirect calls through function pointers, and allocas — every
 /// shape the frame machinery must marshal. No printf/malloc/strings, so
@@ -96,24 +117,27 @@ fn warm_machine_reruns_without_allocating() {
 
     // Interior allocas observe a fresh frame each run; fuel is already
     // budgeted per machine, not per run, so re-running is pure replay.
-    let before = allocs();
-    let again = machine.run("main", &[]);
-    let delta = allocs() - before;
-    assert!(
-        matches!(again.outcome, Outcome::Finished { ret: 1 }),
-        "{:?}",
-        again.outcome
-    );
+    let mut calls = 0;
+    let delta = min_delta_over_attempts(|| {
+        let before = allocs();
+        let again = machine.run("main", &[]);
+        let delta = allocs() - before;
+        assert!(
+            matches!(again.outcome, Outcome::Finished { ret: 1 }),
+            "{:?}",
+            again.outcome
+        );
+        calls = again.stats.calls;
+        delta
+    });
     assert_eq!(
         delta, 0,
         "warm interpreter must not allocate per call: {delta} allocations \
-         across {} calls",
-        again.stats.calls
+         across {calls} calls"
     );
     assert!(
-        again.stats.calls > 200,
-        "program must be call-heavy, executed only {} calls",
-        again.stats.calls
+        calls > 200,
+        "program must be call-heavy, executed only {calls} calls"
     );
 }
 
@@ -142,24 +166,27 @@ fn warm_predecoded_lane_reruns_without_allocating() {
         warm.outcome
     );
 
-    let before = allocs();
-    let again = machine.run_predecoded("main", &[]);
-    let delta = allocs() - before;
-    assert!(
-        matches!(again.outcome, Outcome::Finished { ret: 1 }),
-        "{:?}",
-        again.outcome
-    );
+    let mut calls = 0;
+    let delta = min_delta_over_attempts(|| {
+        let before = allocs();
+        let again = machine.run_predecoded("main", &[]);
+        let delta = allocs() - before;
+        assert!(
+            matches!(again.outcome, Outcome::Finished { ret: 1 }),
+            "{:?}",
+            again.outcome
+        );
+        calls = again.stats.calls;
+        delta
+    });
     assert_eq!(
         delta, 0,
         "warm pre-decoded lane must not allocate per call: {delta} allocations \
-         across {} calls",
-        again.stats.calls
+         across {calls} calls"
     );
     assert!(
-        again.stats.calls > 200,
-        "program must be call-heavy, executed only {} calls",
-        again.stats.calls
+        calls > 200,
+        "program must be call-heavy, executed only {calls} calls"
     );
 }
 
@@ -185,14 +212,18 @@ fn deeper_recursion_only_grows_pools() {
     let mut machine = Machine::uninstrumented(&module);
     let depth = 300i64;
     machine.run("main", &[depth]);
-    let before = allocs();
-    let r = machine.run("main", &[depth]);
-    let delta = allocs() - before;
-    assert_eq!(r.ret(), Some(40 * depth));
-    assert!(r.stats.calls > 10_000, "calls: {}", r.stats.calls);
+    let mut calls = 0;
+    let delta = min_delta_over_attempts(|| {
+        let before = allocs();
+        let r = machine.run("main", &[depth]);
+        let delta = allocs() - before;
+        assert_eq!(r.ret(), Some(40 * depth));
+        calls = r.stats.calls;
+        delta
+    });
+    assert!(calls > 10_000, "calls: {calls}");
     assert_eq!(
         delta, 0,
-        "{delta} allocations for {} calls at warmed depth",
-        r.stats.calls
+        "{delta} allocations for {calls} calls at warmed depth"
     );
 }

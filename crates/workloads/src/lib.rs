@@ -3,12 +3,16 @@
 //! CIR-C sources for every program the paper's evaluation needs: the 15
 //! [benchmarks](benches) of Figures 1–2, the BugBench-style
 //! [buggy programs](bugbench) of Table 4, the Wilander & Kamkar
-//! [attack suite](attacks) of Table 3, and the two network
-//! [daemons](mod@daemons) of the §6.4 compatibility case study.
+//! [attack suite](attacks) of Table 3, the two network
+//! [daemons](mod@daemons) of the §6.4 compatibility case study, and
+//! deterministic request [streams] that drive those daemons through
+//! the fleet-serving harness.
 
 pub mod attacks;
 pub mod benches;
 pub mod bugbench;
 pub mod daemons;
+pub mod streams;
 
 pub use benches::{all as all_benchmarks, by_name as benchmark_by_name, Workload};
+pub use streams::{mixed_traffic, nhttpd_batches, MIXED_HANDLER};

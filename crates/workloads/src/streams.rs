@@ -1,0 +1,114 @@
+//! Request streams for fleet serving: deterministic, seedable argument
+//! sequences that shape daemon traffic the way the §6.4 case-study
+//! harnesses drive it — plus a request handler whose safety depends on
+//! the request, so mixed streams exercise both the serving fast path
+//! and SoftBound's trap path under pool churn.
+//!
+//! Everything here is a pure function of `(n, seed)`: the fleet
+//! determinism suite replays the exact stream serially and compares
+//! observations element-by-element, so generators must never consult
+//! ambient state (time, thread ids, global RNGs).
+
+/// An nhttpd-style request handler whose behaviour — and *safety* —
+/// depends on its argument. The request is a synthetic "header length":
+/// lengths that fit the stack buffer are parsed and checksummed;
+/// oversized lengths walk past the buffer exactly like the unchecked
+/// `strcpy`-into-`char[16]` pattern the paper's daemon studies protect,
+/// so an instrumented fleet answers them with a spatial-violation trap
+/// instead of corrupted memory.
+pub const MIXED_HANDLER: &str = r#"
+    int main(int n) {
+        char buf[16];
+        int i = 0;
+        while (i < n) {
+            buf[i] = (char)('a' + (i % 26));
+            i++;
+        }
+        int sum = 0;
+        for (int j = 0; j < i; j++) sum += buf[j];
+        return sum + n;
+    }
+"#;
+
+/// Deterministic 64-bit LCG step (same constants as the randomized
+/// metadata tests); the top bits are the usable ones.
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// A stream of `n` nhttpd batch sizes: each request asks the daemon to
+/// serve between 1 and 4 connections (7 HTTP requests per connection),
+/// mimicking the bursty per-accept batching of a real server loop.
+/// Deterministic in `(n, seed)`.
+pub fn nhttpd_batches(n: usize, seed: u64) -> Vec<i64> {
+    let mut state = seed ^ 0x6e68_7474_7064_5f31; // "nhttpd_1"
+    (0..n).map(|_| (lcg(&mut state) % 4 + 1) as i64).collect()
+}
+
+/// A mixed safe/trapping stream for [`MIXED_HANDLER`]: mostly in-bounds
+/// header lengths (0..=16), with every `trap_every`-th request carrying
+/// an oversized length (17..=48) that must end in a spatial-violation
+/// trap. `trap_every == 0` disables trapping requests entirely.
+/// Deterministic in `(n, trap_every, seed)`.
+pub fn mixed_traffic(n: usize, trap_every: usize, seed: u64) -> Vec<i64> {
+    let mut state = seed ^ 0x6d69_7865_645f_7631; // "mixed_v1"
+    (0..n)
+        .map(|i| {
+            let r = lcg(&mut state);
+            if trap_every != 0 && (i + 1) % trap_every == 0 {
+                (17 + r % 32) as i64
+            } else {
+                (r % 17) as i64
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handler_compiles() {
+        sb_cir::compile(MIXED_HANDLER).expect("mixed handler compiles");
+    }
+
+    #[test]
+    fn streams_are_deterministic_in_their_seed() {
+        assert_eq!(nhttpd_batches(64, 7), nhttpd_batches(64, 7));
+        assert_ne!(nhttpd_batches(64, 7), nhttpd_batches(64, 8));
+        assert_eq!(mixed_traffic(64, 4, 7), mixed_traffic(64, 4, 7));
+        assert_ne!(mixed_traffic(64, 4, 7), mixed_traffic(64, 4, 8));
+    }
+
+    #[test]
+    fn nhttpd_batches_stay_in_range() {
+        for b in nhttpd_batches(256, 42) {
+            assert!((1..=4).contains(&b), "batch size {b} out of range");
+        }
+    }
+
+    #[test]
+    fn mixed_traffic_places_trapping_requests_exactly() {
+        let stream = mixed_traffic(32, 4, 1);
+        for (i, &len) in stream.iter().enumerate() {
+            if (i + 1) % 4 == 0 {
+                assert!(len > 16, "request {i} should overflow, got {len}");
+            } else {
+                assert!(
+                    (0..=16).contains(&len),
+                    "request {i} should be safe, got {len}"
+                );
+            }
+        }
+        assert!(
+            mixed_traffic(32, 0, 1)
+                .iter()
+                .all(|&l| (0..=16).contains(&l)),
+            "trap_every = 0 must produce an all-safe stream"
+        );
+    }
+}

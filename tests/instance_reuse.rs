@@ -127,6 +127,51 @@ fn trapping_program_reuse_equals_fresh_machines() {
 }
 
 #[test]
+fn reuse_across_different_allocation_layouts() {
+    // Regression for the `Mem` last-page translation cache: `reset` now
+    // recycles page frames instead of rebuilding the memory, so a stale
+    // cached (page → frame) pair would leak one page of the previous
+    // run's image into the next. Each argument below drives a different
+    // allocation layout (different heap block counts/sizes and stack
+    // depths), and every run's observables — final-memory digest
+    // included — must match a fresh machine bit for bit.
+    let src = r#"
+        struct node { long v; struct node* next; };
+        int grow(int depth, int fan) {
+            if (depth <= 0) return 1;
+            struct node* head = NULL;
+            for (int i = 0; i < fan; i++) {
+                struct node* n = (struct node*)malloc(sizeof(struct node));
+                n->v = depth * 100 + i;
+                n->next = head;
+                head = n;
+            }
+            int s = grow(depth - 1, fan + 1);
+            while (head != NULL) {
+                s += (int)(head->v % 7);
+                head = head->next;
+            }
+            return s;
+        }
+        int main(int n) {
+            char* pad = (char*)malloc(64 + 32 * n);
+            pad[0] = (char)n;
+            int s = grow(n % 5, 1 + n % 3);
+            return s + pad[0];
+        }
+    "#;
+    for (facility, engine) in engines() {
+        let program = engine.compile(src).expect("compiles");
+        assert_reuse_invisible(
+            &engine,
+            &program,
+            &[1, 6, 2, 9, 0, 4],
+            &format!("layouts/{facility:?}"),
+        );
+    }
+}
+
+#[test]
 fn store_only_mode_reuses_identically() {
     let cfg = SoftBoundConfig::store_only_shadow();
     let engine = Engine::new().softbound_config(cfg);
