@@ -45,10 +45,10 @@ const SMALL_REQUEST: &str = r#"
     }
 "#;
 
-fn bench_program(c: &mut Criterion, group_name: &str, src: &str, arg: i64) {
+fn bench_program(c: &mut Criterion, group_name: &str, src: &str, args: &[i64]) {
     let engine = Engine::new();
     let program = engine.compile(src).expect("compiles");
-    let expected = engine.instantiate(&program).run("main", &[arg]).ret();
+    let expected = engine.instantiate(&program).run("main", args).ret();
     assert!(expected.is_some(), "request program must finish");
 
     let mut group = c.benchmark_group(group_name);
@@ -58,7 +58,7 @@ fn bench_program(c: &mut Criterion, group_name: &str, src: &str, arg: i64) {
     // between requests — driving the pre-decoded lane (the default).
     group.bench_function("reused_instance", |b| {
         let mut instance = engine.instantiate(&program);
-        b.iter(|| black_box(instance.run("main", &[arg]).ret()));
+        b.iter(|| black_box(instance.run("main", args).ret()));
     });
 
     // The same session topology on the tree-walk oracle lane: the gap
@@ -66,7 +66,7 @@ fn bench_program(c: &mut Criterion, group_name: &str, src: &str, arg: i64) {
     // execute identical semantics (pinned by the differential suite).
     group.bench_function("tree_walk_reused_instance", |b| {
         let mut instance = engine.clone().lane(Lane::TreeWalk).instantiate(&program);
-        b.iter(|| black_box(instance.run("main", &[arg]).ret()));
+        b.iter(|| black_box(instance.run("main", args).ret()));
     });
 
     // What the pre-decoded lane would cost if the lowering were NOT
@@ -76,45 +76,61 @@ fn bench_program(c: &mut Criterion, group_name: &str, src: &str, arg: i64) {
         b.iter(|| {
             let exec = ExecModule::lower(program.module());
             black_box(exec.op_count());
-            black_box(instance.run("main", &[arg]).ret())
+            black_box(instance.run("main", args).ret())
         });
     });
 
     // The pre-session path with the compile amortized: a fresh runtime
     // (fresh 256 MiB directory reservation) and machine per request.
     group.bench_function("fresh_machine_per_request", |b| {
-        b.iter(|| black_box(engine.instantiate(&program).run("main", &[arg]).ret()));
+        b.iter(|| black_box(engine.instantiate(&program).run("main", args).ret()));
     });
 
     // The fully one-shot path: compile + instantiate + run per request.
     group.bench_function("full_pipeline_per_request", |b| {
-        b.iter(|| black_box(engine.run_once(src, "main", &[arg]).expect("ok").ret()));
+        b.iter(|| black_box(engine.run_once(src, "main", args).expect("ok").ret()));
     });
 
     // Fleet lanes: the same shared Program served by a worker pool
     // (one persistent Instance per worker, atomic work-stealing). On a
     // multi-core host the 4-worker lane pulls ahead of
     // `reused_instance`; on a 1-core host it measures pool overhead.
-    for workers in [1usize, 4] {
-        group.bench_function(format!("fleet_{workers}_workers_batch8"), |b| {
-            let requests = [arg; 8];
-            b.iter(|| {
-                let report = fleet::serve(&engine, &program, "main", &requests, workers);
-                assert_eq!(report.results.len(), requests.len());
-                black_box(report.reqs_per_sec)
+    // The fleet protocol is one scalar argument per request, so these
+    // lanes only apply to single-argument request programs.
+    if let [arg] = *args {
+        for workers in [1usize, 4] {
+            group.bench_function(format!("fleet_{workers}_workers_batch8"), |b| {
+                let requests = [arg; 8];
+                b.iter(|| {
+                    let report = fleet::serve(&engine, &program, "main", &requests, workers);
+                    assert_eq!(report.results.len(), requests.len());
+                    black_box(report.reqs_per_sec)
+                });
             });
-        });
+        }
     }
     group.finish();
 }
 
 fn benches(c: &mut Criterion) {
-    bench_program(c, "throughput/small_request", SMALL_REQUEST, 32);
+    bench_program(c, "throughput/small_request", SMALL_REQUEST, &[32]);
     let daemon = sb_workloads::daemons::all()
         .into_iter()
         .find(|d| d.name == "nhttpd")
         .expect("daemon exists");
-    bench_program(c, "throughput/nhttpd_batch", daemon.source, 2);
+    bench_program(c, "throughput/nhttpd_batch", daemon.source, &[2]);
+    // String/buffer request shapes from the libc corpus: wrapper-check
+    // traffic (strcpy) and block-copy traffic (memcpy) on the shared
+    // safe arguments the perf trajectory uses.
+    for kernel in ["strcpy", "memcpy"] {
+        let k = sb_workloads::libc_kernel_by_name(kernel).expect("kernel exists");
+        bench_program(
+            c,
+            &format!("throughput/libc_{kernel}"),
+            k.source,
+            &sb_bench::perf::LIBC_ARGS,
+        );
+    }
 }
 
 criterion_group!(throughput, benches);

@@ -1,7 +1,7 @@
 //! Regenerates `BENCH_softbound.json` — the perf-trajectory snapshot of
-//! the pre-decoded execution IR versus the tree-walk oracle, plus the
-//! fleet-serving scaling curve (req/s vs worker count over one shared
-//! `Program`).
+//! the pre-decoded execution IR versus the tree-walk oracle, the
+//! libc-kernel corpus lanes, plus the fleet-serving scaling curve
+//! (req/s vs worker count over one shared `Program`).
 //!
 //! ```sh
 //! cargo run -p sb-bench --bin perf_trajectory --release > BENCH_softbound.json
@@ -9,10 +9,14 @@
 
 fn main() {
     let rows = sb_bench::perf::run();
+    let libc = sb_bench::perf::run_libc();
     let scaling = sb_bench::scaling::run();
-    print!("{}", sb_bench::perf::render_json(&rows, &scaling));
+    print!("{}", sb_bench::perf::render_json(&rows, &scaling, &libc));
     for (workload, x) in sb_bench::perf::speedups(&rows) {
         eprintln!("{workload}: pre-decoded {x:.2}x over tree-walk");
+    }
+    for (kernel, x) in sb_bench::perf::speedups(&libc) {
+        eprintln!("libc {kernel}: pre-decoded {x:.2}x over tree-walk");
     }
     for p in &scaling {
         eprintln!(

@@ -19,6 +19,7 @@
 //! everything (`cargo run -p sb-bench --bin report --release`).
 
 pub mod compat;
+pub mod conformance;
 pub mod figure1;
 pub mod figure2;
 pub mod perf;

@@ -38,10 +38,45 @@ pub struct PerfRow {
 /// dispatch-dominated runs where lane choice, not setup, is the cost.
 pub const WORKLOADS: &[&str] = &["compress", "tsp", "treeadd", "health"];
 
-fn timed(instance: &mut softbound::Instance, arg: i64) -> u128 {
+fn timed(instance: &mut softbound::Instance, args: &[i64]) -> u128 {
     let t = Instant::now();
-    std::hint::black_box(instance.run("main", &[arg]).ret());
+    std::hint::black_box(instance.run("main", args).ret());
     t.elapsed().as_nanos()
+}
+
+/// Measures one compiled program on both lanes (interleaved best-of-7,
+/// same discipline as [`run`]) and pushes a row pair onto `rows`.
+fn measure_pair(name: &'static str, source: &str, args: &[i64], rows: &mut Vec<PerfRow>) {
+    let predecoded = Engine::new();
+    let program = predecoded.compile(source).expect("program compiles");
+    let tree_walk = predecoded.clone().lane(Lane::TreeWalk);
+    let eliminated = program.stats().checks_eliminated as u64;
+    let fused = program.exec().fused_checks;
+
+    let mut pre = predecoded.instantiate(&program);
+    let mut tree = tree_walk.instantiate(&program);
+    // Warm up: materialize shadow pages, frame pool, scratch buffers.
+    let warm = pre.run("main", args);
+    let (insts, checks) = (warm.stats.insts, warm.stats.checks);
+    std::hint::black_box(tree.run("main", args).ret());
+
+    let (mut best_pre, mut best_tree) = (u128::MAX, u128::MAX);
+    for _ in 0..7 {
+        best_pre = best_pre.min(timed(&mut pre, args));
+        best_tree = best_tree.min(timed(&mut tree, args));
+    }
+    for (lane, run_ns) in [("predecoded", best_pre), ("tree_walk", best_tree)] {
+        rows.push(PerfRow {
+            workload: name,
+            lane,
+            run_ns,
+            insts,
+            ns_per_op: run_ns as f64 / insts.max(1) as f64,
+            checks,
+            checks_eliminated: eliminated,
+            fused_checks: fused,
+        });
+    }
 }
 
 /// Runs every workload through both lanes.
@@ -54,36 +89,28 @@ pub fn run() -> Vec<PerfRow> {
     let mut rows = Vec::new();
     for name in WORKLOADS {
         let w = sb_workloads::benchmark_by_name(name).expect("workload exists");
-        let predecoded = Engine::new();
-        let program = predecoded.compile(w.source).expect("workload compiles");
-        let tree_walk = predecoded.clone().lane(Lane::TreeWalk);
-        let eliminated = program.stats().checks_eliminated as u64;
-        let fused = program.exec().fused_checks;
+        measure_pair(w.name, w.source, &[w.default_arg], &mut rows);
+    }
+    rows
+}
 
-        let mut pre = predecoded.instantiate(&program);
-        let mut tree = tree_walk.instantiate(&program);
-        // Warm up: materialize shadow pages, frame pool, scratch buffers.
-        let warm = pre.run("main", &[w.default_arg]);
-        let (insts, checks) = (warm.stats.insts, warm.stats.checks);
-        std::hint::black_box(tree.run("main", &[w.default_arg]).ret());
+/// Safe `(cap, len, seed)` arguments every libc kernel accepts (len
+/// fits the `header` kernel's fixed 16-byte buffer, len + 7 fits
+/// `sprintf`, len + 3 fits `memmove`'s shift).
+pub const LIBC_ARGS: [i64; 3] = [48, 12, 7];
 
-        let (mut best_pre, mut best_tree) = (u128::MAX, u128::MAX);
-        for _ in 0..7 {
-            best_pre = best_pre.min(timed(&mut pre, w.default_arg));
-            best_tree = best_tree.min(timed(&mut tree, w.default_arg));
-        }
-        for (lane, run_ns) in [("predecoded", best_pre), ("tree_walk", best_tree)] {
-            rows.push(PerfRow {
-                workload: w.name,
-                lane,
-                run_ns,
-                insts,
-                ns_per_op: run_ns as f64 / insts.max(1) as f64,
-                checks,
-                checks_eliminated: eliminated,
-                fused_checks: fused,
-            });
-        }
+/// Runs every libc corpus kernel through both lanes on the shared safe
+/// arguments — the string/buffer-traffic counterpart of [`run`] that
+/// feeds the `libc_kernels` section of `BENCH_softbound.json`.
+pub fn run_libc() -> Vec<PerfRow> {
+    let mut rows = Vec::new();
+    for k in sb_workloads::all_libc_kernels() {
+        debug_assert!(
+            (k.safe)(LIBC_ARGS[0], LIBC_ARGS[1]),
+            "{}: perf args unsafe",
+            k.name
+        );
+        measure_pair(k.name, k.source, &LIBC_ARGS, &mut rows);
     }
     rows
 }
@@ -102,17 +129,10 @@ pub fn speedups(rows: &[PerfRow]) -> Vec<(&'static str, f64)> {
     out
 }
 
-/// Renders the snapshot as the `BENCH_softbound.json` trajectory file
-/// (hand-rolled — the workspace carries no JSON dependency). The fleet
-/// scaling curve, when measured, is appended as a `scaling` section;
-/// pass an empty slice to omit it.
-pub fn render_json(rows: &[PerfRow], scaling: &[crate::scaling::ScalingPoint]) -> String {
-    let mut s = String::new();
-    s.push_str("{\n  \"bench\": \"softbound\",\n  \"unit\": \"ns_per_vm_inst\",\n");
-    s.push_str("  \"lanes\": [\"predecoded\", \"tree_walk\"],\n  \"rows\": [\n");
+fn render_rows(s: &mut String, rows: &[PerfRow], indent: &str) {
     for (i, r) in rows.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"workload\": \"{}\", \"lane\": \"{}\", \"run_ns\": {}, \
+            "{indent}{{\"workload\": \"{}\", \"lane\": \"{}\", \"run_ns\": {}, \
              \"insts\": {}, \"ns_per_op\": {:.4}, \"checks\": {}, \
              \"checks_eliminated\": {}, \"fused_checks\": {}}}{}\n",
             r.workload,
@@ -126,6 +146,22 @@ pub fn render_json(rows: &[PerfRow], scaling: &[crate::scaling::ScalingPoint]) -
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
+}
+
+/// Renders the snapshot as the `BENCH_softbound.json` trajectory file
+/// (hand-rolled — the workspace carries no JSON dependency). The fleet
+/// scaling curve and the libc-kernel corpus rows, when measured, are
+/// appended as `scaling` / `libc_kernels` sections; pass empty slices
+/// to omit them.
+pub fn render_json(
+    rows: &[PerfRow],
+    scaling: &[crate::scaling::ScalingPoint],
+    libc: &[PerfRow],
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"bench\": \"softbound\",\n  \"unit\": \"ns_per_vm_inst\",\n");
+    s.push_str("  \"lanes\": [\"predecoded\", \"tree_walk\"],\n  \"rows\": [\n");
+    render_rows(&mut s, rows, "    ");
     s.push_str("  ],\n  \"speedups\": {\n");
     let sp = speedups(rows);
     for (i, (w, x)) in sp.iter().enumerate() {
@@ -137,6 +173,11 @@ pub fn render_json(rows: &[PerfRow], scaling: &[crate::scaling::ScalingPoint]) -
         ));
     }
     s.push_str("  }");
+    if !libc.is_empty() {
+        s.push_str(",\n  \"libc_kernels\": [\n");
+        render_rows(&mut s, libc, "    ");
+        s.push_str("  ]");
+    }
     if !scaling.is_empty() {
         s.push_str(",\n");
         s.push_str(&crate::scaling::render_json(scaling));
@@ -185,7 +226,17 @@ mod tests {
             p99_ns: 99,
             reservation_bytes_per_worker: 1 << 28,
         }];
-        let json = render_json(&rows, &scaling);
+        let libc = vec![PerfRow {
+            workload: "memcpy",
+            lane: "predecoded",
+            run_ns: 40,
+            insts: 20,
+            ns_per_op: 2.0,
+            checks: 4,
+            checks_eliminated: 1,
+            fused_checks: 2,
+        }];
+        let json = render_json(&rows, &scaling, &libc);
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
         for key in [
             "\"bench\": \"softbound\"",
@@ -195,6 +246,8 @@ mod tests {
             "\"checks_eliminated\"",
             "\"fused_checks\"",
             "\"speedups\"",
+            "\"libc_kernels\"",
+            "\"workload\": \"memcpy\"",
             "\"scaling\"",
             "\"host_cores\"",
             "\"reservation_bytes_per_worker\"",
@@ -207,10 +260,26 @@ mod tests {
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         let sp = speedups(&rows);
         assert_eq!(sp, vec![("compress", 2.0)]);
-        // Omitting the curve must not leave a dangling comma.
-        let bare = render_json(&rows, &[]);
+        // Omitting the optional sections must not leave dangling commas.
+        let bare = render_json(&rows, &[], &[]);
         assert!(!bare.contains("\"scaling\""));
+        assert!(!bare.contains("\"libc_kernels\""));
         assert_eq!(bare.matches('{').count(), bare.matches('}').count());
+    }
+
+    /// The shared perf arguments must be safe for every corpus kernel —
+    /// a trapping perf lane would time the trap path, not the kernel.
+    #[test]
+    fn libc_perf_args_are_safe_for_every_kernel() {
+        for k in sb_workloads::all_libc_kernels() {
+            assert!(
+                (k.safe)(LIBC_ARGS[0], LIBC_ARGS[1]),
+                "{}: ({}, {}) is not safe",
+                k.name,
+                LIBC_ARGS[0],
+                LIBC_ARGS[1]
+            );
+        }
     }
 
     /// Both lanes execute the same dynamic instruction stream, so the

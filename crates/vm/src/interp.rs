@@ -1201,14 +1201,21 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
             }
         };
         // Helper for wrapper-mode range checks (the paper's library
-        // wrappers, §5.2): `base <= lo && hi <= bound`.
-        let check_range = |lo: u64, len: u64, base: i64, bound: i64| -> Result<(), Trap> {
+        // wrappers, §5.2): `base <= lo && hi <= bound`. The wrapper runs
+        // *before* the builtin touches memory, so on a violation nothing
+        // has been accessed yet; the reported address is the first
+        // out-of-bounds byte the builtin *would* have touched — `lo` when
+        // the access starts outside the object, otherwise `bound` (the
+        // first byte past the object an upward walk reaches). The libc
+        // conformance harness pins this address against the per-byte
+        // check path, which traps at exactly the same byte.
+        let check_range = |lo: u64, len: u64, base: i64, bound: i64, write: bool| {
             let (base, bound) = (base as u64, bound as u64);
             if lo < base || lo + len > bound {
                 Err(Trap::SpatialViolation {
                     scheme: "softbound-wrapper",
-                    addr: lo,
-                    write: true,
+                    addr: if lo < base || lo >= bound { lo } else { bound },
+                    write,
                 })
             } else {
                 Ok(())
@@ -1258,8 +1265,8 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
                 let (d, s, n) = (args[0] as u64, args[1] as u64, args[2].max(0) as u64);
                 if wrapped {
                     // One check per buffer, at the start (§5.2).
-                    check_range(s, n, args[3 + 2], args[3 + 3])?; // src bounds
-                    check_range(d, n, args[3], args[3 + 1])?; // dst bounds
+                    check_range(s, n, args[3 + 2], args[3 + 3], false)?; // src bounds
+                    check_range(d, n, args[3], args[3 + 1], true)?; // dst bounds
                     self.stats.checks += 2;
                     self.stats.cycles += 6;
                 }
@@ -1276,7 +1283,7 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
             Builtin::Memset => {
                 let (d, c, n) = (args[0] as u64, args[1] as u8, args[2].max(0) as u64);
                 if wrapped {
-                    check_range(d, n, args[3], args[4])?;
+                    check_range(d, n, args[3], args[4], true)?;
                     self.stats.checks += 1;
                     self.stats.cycles += 3;
                 }
@@ -1305,8 +1312,8 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
                 };
                 let n = sv.len() as u64 + 1;
                 if wrapped {
-                    check_range(s, n, args[4], args[5])?;
-                    check_range(d + dlen, n, args[2], args[3])?;
+                    check_range(s, n, args[4], args[5], false)?;
+                    check_range(d + dlen, n, args[2], args[3], true)?;
                     self.stats.checks += 2;
                     self.stats.cycles += 6;
                 }
@@ -1325,8 +1332,8 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
                 let (d, s, n) = (args[0] as u64, args[1] as u64, args[2].max(0) as u64);
                 let sv = self.mem.read_cstr(s, n)?;
                 if wrapped {
-                    check_range(d, n, args[3], args[4])?;
-                    check_range(s, (sv.len() as u64 + 1).min(n), args[5], args[6])?;
+                    check_range(d, n, args[3], args[4], true)?;
+                    check_range(s, (sv.len() as u64 + 1).min(n), args[5], args[6], false)?;
                     self.stats.checks += 2;
                     self.stats.cycles += 6;
                 }
@@ -1346,7 +1353,7 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
                 let s = args[0] as u64;
                 let sv = self.mem.read_cstr(s, 1 << 20)?;
                 if wrapped {
-                    check_range(s, sv.len() as u64 + 1, args[1], args[2])?;
+                    check_range(s, sv.len() as u64 + 1, args[1], args[2], false)?;
                     self.stats.checks += 1;
                     self.stats.cycles += 3;
                 }
@@ -1357,12 +1364,26 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
             Builtin::Strcmp | Builtin::Strncmp => {
                 let a = self.mem.read_cstr(args[0] as u64, 1 << 20)?;
                 let c = self.mem.read_cstr(args[1] as u64, 1 << 20)?;
-                let (a, c) = if b == Builtin::Strncmp {
+                let (a, c, alen, clen) = if b == Builtin::Strncmp {
                     let n = args[2].max(0) as usize;
-                    (a[..a.len().min(n)].to_vec(), c[..c.len().min(n)].to_vec())
+                    // A bounded compare touches at most n bytes of each
+                    // string: the terminator is only read when the string
+                    // ends before the limit.
+                    let alen = (a.len() as u64 + 1).min(n as u64);
+                    let clen = (c.len() as u64 + 1).min(n as u64);
+                    let (a, c) = (a[..a.len().min(n)].to_vec(), c[..c.len().min(n)].to_vec());
+                    (a, c, alen, clen)
                 } else {
-                    (a, c)
+                    let (alen, clen) = (a.len() as u64 + 1, c.len() as u64 + 1);
+                    (a, c, alen, clen)
                 };
+                if wrapped {
+                    let boff = if b == Builtin::Strncmp { 3 } else { 2 };
+                    check_range(args[0] as u64, alen, args[boff], args[boff + 1], false)?;
+                    check_range(args[1] as u64, clen, args[boff + 2], args[boff + 3], false)?;
+                    self.stats.checks += 2;
+                    self.stats.cycles += 6;
+                }
                 self.hook_range(args[0] as u64, a.len() as u64 + 1, false)?;
                 self.hook_range(args[1] as u64, c.len() as u64 + 1, false)?;
                 self.stats.cycles += 2 + a.len().min(c.len()) as u64;
@@ -1383,7 +1404,7 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
             Builtin::Puts => {
                 let s = self.mem.read_cstr(args[0] as u64, 1 << 20)?;
                 if wrapped {
-                    check_range(args[0] as u64, s.len() as u64 + 1, args[1], args[2])?;
+                    check_range(args[0] as u64, s.len() as u64 + 1, args[1], args[2], false)?;
                     self.stats.checks += 1;
                 }
                 self.hook_range(args[0] as u64, s.len() as u64 + 1, false)?;
@@ -1408,7 +1429,7 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
             Builtin::Setjmp => {
                 let buf = args[0] as u64;
                 if wrapped {
-                    check_range(buf, 8, args[1], args[2])?;
+                    check_range(buf, 8, args[1], args[2], true)?;
                     self.stats.checks += 1;
                 }
                 let frame = self.frames.last().expect("frame");

@@ -356,6 +356,35 @@ impl Mem {
         h
     }
 
+    /// [`content_hash`](Self::content_hash) restricted to pages whose
+    /// start address falls in `[lo, hi)` — e.g. the globals+heap region
+    /// below [`FN_BASE`], which holds exactly the program-visible data
+    /// an uninstrumented twin must reproduce (stack pages carry frame
+    /// residue that legitimately differs across instrumentation).
+    pub fn content_hash_range(&self, lo: u64, hi: u64) -> u64 {
+        let mut idxs: Vec<u64> = self
+            .pages
+            .keys()
+            .copied()
+            .filter(|&i| (lo / PAGE_SIZE..hi / PAGE_SIZE).contains(&i))
+            .collect();
+        idxs.sort_unstable();
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mix = |byte: u8, h: &mut u64| {
+            *h ^= byte as u64;
+            *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for i in idxs {
+            for b in i.to_le_bytes() {
+                mix(b, &mut h);
+            }
+            for &b in self.store[self.pages[&i] as usize].iter() {
+                mix(b, &mut h);
+            }
+        }
+        h
+    }
+
     /// Reads a NUL-terminated C string (bounded by `max` bytes).
     ///
     /// # Errors

@@ -6,13 +6,17 @@
 //! [attack suite](attacks) of Table 3, the two network
 //! [daemons](mod@daemons) of the §6.4 compatibility case study, and
 //! deterministic request [streams] that drive those daemons through
-//! the fleet-serving harness.
+//! the fleet-serving harness, plus the [libc] kernel corpus the
+//! differential conformance fuzzer replays across every metadata
+//! facility and execution lane.
 
 pub mod attacks;
 pub mod benches;
 pub mod bugbench;
 pub mod daemons;
+pub mod libc;
 pub mod streams;
 
 pub use benches::{all as all_benchmarks, by_name as benchmark_by_name, Workload};
+pub use libc::{all as all_libc_kernels, by_name as libc_kernel_by_name, LibcKernel};
 pub use streams::{mixed_traffic, nhttpd_batches, MIXED_HANDLER};

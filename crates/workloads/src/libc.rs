@@ -1,0 +1,428 @@
+//! libc-kernel workload corpus: string/buffer semantic kernels.
+//!
+//! SoftBound's evaluation (and the CUP/Checked-C follow-on work) is
+//! dominated by `memcpy`/`strcpy`-style traffic, not pointer chasing.
+//! This module supplies that corpus: ~10 small CIR-C kernels, each a
+//! self-contained `main(cap, len, seed)` that allocates one *guarded*
+//! buffer of `cap` bytes and then drives a libc-shaped operation over
+//! `len` bytes of it. Whether the run is memory-safe is a pure function
+//! of `(cap, len)` — the [`LibcKernel::safe`] predicate — so a fuzzer
+//! can steer half its cases into the overflow regime and know, ahead of
+//! time, the exact first out-of-bounds byte the instrumented run must
+//! trap on ([`LibcKernel::fault_addr`]).
+//!
+//! Protocol every kernel follows:
+//!
+//! - signature `int main(int cap, int len, int seed)`;
+//! - first line of output is `G <base> <eff_cap>` where `<base>` is the
+//!   guarded buffer's address and `<eff_cap>` its real capacity (equal
+//!   to `cap` except for fixed-size stack kernels like `header`) — the
+//!   conformance harness parses this line (it survives in the partial
+//!   output of a trapped run) to pin the expected faulting address;
+//! - on a safe run, a deterministic checksum is printed and returned.
+//!
+//! Half the kernels overflow through the §5.2 *wrapper* checks (the
+//! builtin `memcpy`/`strcpy`/... range checks, trap scheme
+//! `"softbound-wrapper"`), the other half through the per-access
+//! *explicit* checks the transform inserts (scheme `"softbound"`), so a
+//! differential fuzzer exercises both trap paths of every facility.
+
+/// One libc-style kernel plus the oracle the conformance fuzzer needs.
+#[derive(Clone, Copy)]
+pub struct LibcKernel {
+    /// Kernel name (`memcpy`, `strcpy_off_by_one`, ...).
+    pub name: &'static str,
+    /// CIR-C source following the `main(cap, len, seed)` protocol.
+    pub source: &'static str,
+    /// What the kernel models and how it overflows.
+    pub description: &'static str,
+    /// `true` iff running with these `(cap, len)` touches no
+    /// out-of-bounds byte (`seed` never affects safety).
+    pub safe: fn(cap: i64, len: i64) -> bool,
+    /// Whether the overflowing access is a store (`true`) or load.
+    pub overflow_is_store: bool,
+    /// First out-of-bounds byte touched on an unsafe run, given the
+    /// guarded base parsed from the kernel's `G` line.
+    pub fault_addr: fn(base: u64, cap: i64, len: i64) -> u64,
+    /// Trap scheme an instrumented run must report: the builtin
+    /// wrapper checks (`"softbound-wrapper"`) or the per-access
+    /// explicit checks (`"softbound"`).
+    pub trap_scheme: &'static str,
+}
+
+impl std::fmt::Debug for LibcKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LibcKernel")
+            .field("name", &self.name)
+            .field("trap_scheme", &self.trap_scheme)
+            .field("overflow_is_store", &self.overflow_is_store)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The full corpus, in a fixed order the fuzzer indexes by.
+pub fn all() -> Vec<LibcKernel> {
+    vec![
+        LibcKernel {
+            name: "memcpy",
+            source: MEMCPY,
+            description: "block copy into a heap buffer via the memcpy wrapper; \
+                          len > cap overflows the destination range check",
+            safe: |cap, len| len <= cap,
+            overflow_is_store: true,
+            fault_addr: |base, cap, _| base + cap as u64,
+            trap_scheme: "softbound-wrapper",
+        },
+        LibcKernel {
+            name: "memmove",
+            source: MEMMOVE,
+            description: "overlapping backward copy written at the CIR level \
+                          (shift-right by 3); the highest destination byte is \
+                          touched first, so the explicit store check fires there",
+            safe: |cap, len| {
+                let m = len.min(cap);
+                m == 0 || m + 3 <= cap
+            },
+            overflow_is_store: true,
+            fault_addr: |base, cap, len| base + (len.min(cap) + 2) as u64,
+            trap_scheme: "softbound",
+        },
+        LibcKernel {
+            name: "memset",
+            source: MEMSET,
+            description: "fill via the memset wrapper; len > cap overflows the \
+                          destination range check",
+            safe: |cap, len| len <= cap,
+            overflow_is_store: true,
+            fault_addr: |base, cap, _| base + cap as u64,
+            trap_scheme: "softbound-wrapper",
+        },
+        LibcKernel {
+            name: "strcpy",
+            source: STRCPY,
+            description: "string copy via the strcpy wrapper; the terminator \
+                          makes len + 1 bytes, so len >= cap overflows",
+            safe: |cap, len| len < cap,
+            overflow_is_store: true,
+            fault_addr: |base, cap, _| base + cap as u64,
+            trap_scheme: "softbound-wrapper",
+        },
+        LibcKernel {
+            name: "strncpy",
+            source: STRNCPY,
+            description: "bounded string copy via the strncpy wrapper; writes \
+                          exactly len bytes, so len > cap overflows",
+            safe: |cap, len| len <= cap,
+            overflow_is_store: true,
+            fault_addr: |base, cap, _| base + cap as u64,
+            trap_scheme: "softbound-wrapper",
+        },
+        LibcKernel {
+            name: "strcmp",
+            source: STRCMP,
+            description: "compare against an unterminated buffer: len >= cap \
+                          leaves no NUL inside the object, so the strcmp \
+                          wrapper's read range check overflows",
+            safe: |cap, len| len < cap,
+            overflow_is_store: false,
+            fault_addr: |base, cap, _| base + cap as u64,
+            trap_scheme: "softbound-wrapper",
+        },
+        LibcKernel {
+            name: "strtok",
+            source: STRTOK,
+            description: "strtok-alike tokenizer scanning len bytes of a cap \
+                          buffer at the CIR level; len > cap is an explicit \
+                          load-check overflow at the first byte past the object",
+            safe: |cap, len| len <= cap,
+            overflow_is_store: false,
+            fault_addr: |base, cap, _| base + cap as u64,
+            trap_scheme: "softbound",
+        },
+        LibcKernel {
+            name: "sprintf",
+            source: SPRINTF,
+            description: "sprintf-alike formatter writing a 5-digit value, a \
+                          separator, len name bytes and a NUL (len + 7 bytes) \
+                          byte-by-byte; the stores are sequential, so the first \
+                          out-of-bounds store is exactly base + cap",
+            safe: |cap, len| len + 7 <= cap,
+            overflow_is_store: true,
+            fault_addr: |base, cap, _| base + cap as u64,
+            trap_scheme: "softbound",
+        },
+        LibcKernel {
+            name: "strcpy_off_by_one",
+            source: OFF_BY_ONE,
+            description: "classic BugBench off-by-one: a hand-rolled strcpy \
+                          loop with `i <= len` copies the terminator into slot \
+                          len, so len >= cap overflows by exactly one byte",
+            safe: |cap, len| len < cap,
+            overflow_is_store: true,
+            fault_addr: |base, cap, _| base + cap as u64,
+            trap_scheme: "softbound",
+        },
+        LibcKernel {
+            name: "header",
+            source: HEADER,
+            description: "unchecked header copy (the nhttpd pattern): len \
+                          request bytes into a fixed char[16] stack buffer; \
+                          cap is ignored, the G line reports 16",
+            safe: |_, len| len <= 16,
+            overflow_is_store: true,
+            fault_addr: |base, _, _| base + 16,
+            trap_scheme: "softbound",
+        },
+    ]
+}
+
+/// Looks up a kernel by name.
+pub fn by_name(name: &str) -> Option<LibcKernel> {
+    all().into_iter().find(|k| k.name == name)
+}
+
+const MEMCPY: &str = r#"
+int main(int cap, int len, int seed) {
+    char* d = (char*)malloc(cap);
+    printf("G %ld %d\n", (long)d, cap);
+    char s[80];
+    for (int i = 0; i < len; i++) s[i] = (char)('a' + ((seed + i * 3) % 26));
+    memcpy(d, s, len);
+    int sum = 0;
+    for (int i = 0; i < len; i++) sum += d[i];
+    printf("R %d\n", sum % 100000);
+    return sum % 100000;
+}
+"#;
+
+const MEMMOVE: &str = r#"
+// memmove with overlap, written out at the CIR level (there is no
+// memmove builtin): dst = src + 3 inside one buffer, so a correct move
+// must copy backwards. The backward loop touches the highest byte
+// first, which is what pins the faulting address of an overflow.
+int main(int cap, int len, int seed) {
+    char* d = (char*)malloc(cap);
+    printf("G %ld %d\n", (long)d, cap);
+    int m = len < cap ? len : cap;
+    for (int i = 0; i < m; i++) d[i] = (char)('a' + ((seed + i * 7) % 26));
+    for (int i = m - 1; i >= 0; i--) d[i + 3] = d[i];
+    int sum = 0;
+    for (int i = 0; i < m; i++) sum += d[i];
+    printf("R %d\n", sum % 100000);
+    return sum % 100000;
+}
+"#;
+
+const MEMSET: &str = r#"
+int main(int cap, int len, int seed) {
+    char* d = (char*)malloc(cap);
+    printf("G %ld %d\n", (long)d, cap);
+    memset(d, 'a' + seed % 26, len);
+    int sum = 0;
+    for (int i = 0; i < len; i++) sum += d[i];
+    printf("R %d\n", sum % 100000);
+    return sum % 100000;
+}
+"#;
+
+const STRCPY: &str = r#"
+int main(int cap, int len, int seed) {
+    char* d = (char*)malloc(cap);
+    printf("G %ld %d\n", (long)d, cap);
+    char s[80];
+    for (int i = 0; i < len; i++) s[i] = (char)('a' + ((seed + i) % 26));
+    s[len] = (char)0;
+    strcpy(d, s);
+    printf("R %d\n", (int)strlen(d));
+    return ((int)strlen(d) + len) % 100000;
+}
+"#;
+
+const STRNCPY: &str = r#"
+int main(int cap, int len, int seed) {
+    char* d = (char*)malloc(cap);
+    printf("G %ld %d\n", (long)d, cap);
+    char s[80];
+    for (int i = 0; i < len; i++) s[i] = (char)('a' + ((seed + i * 5) % 26));
+    s[len] = (char)0;
+    strncpy(d, s, len);
+    int sum = 0;
+    for (int i = 0; i < len; i++) sum += d[i];
+    printf("R %d\n", sum % 100000);
+    return sum % 100000;
+}
+"#;
+
+const STRCMP: &str = r#"
+// Unterminated-string read: when len >= cap the guarded buffer is
+// filled completely and never NUL-terminated, so strcmp's scan (and
+// its wrapper range check) walks past the object.
+int main(int cap, int len, int seed) {
+    char* d = (char*)malloc(cap);
+    printf("G %ld %d\n", (long)d, cap);
+    int m = len < cap ? len : cap;
+    for (int i = 0; i < m; i++) d[i] = (char)('a' + ((seed + i) % 26));
+    if (len < cap) d[len] = (char)0;
+    char s[80];
+    for (int i = 0; i < m; i++) s[i] = (char)('a' + ((seed + i) % 26));
+    s[m] = (char)0;
+    int r = strcmp(d, s);
+    printf("R %d\n", r);
+    return (r + 2) % 100000;
+}
+"#;
+
+const STRTOK: &str = r#"
+// strtok-alike tokenizer: every 5th byte is a delimiter; the scan
+// trusts the caller's len, so len > cap reads past the buffer.
+int main(int cap, int len, int seed) {
+    char* d = (char*)malloc(cap);
+    printf("G %ld %d\n", (long)d, cap);
+    int m = len < cap ? len : cap;
+    for (int i = 0; i < m; i++) {
+        d[i] = (i % 5 == 4) ? ',' : (char)('a' + ((seed + i) % 26));
+    }
+    int toks = 0;
+    int sum = 0;
+    int cur = 0;
+    for (int i = 0; i < len; i++) {
+        char c = d[i];
+        if (c == ',') { toks++; sum += cur; cur = 0; }
+        else { cur = (cur * 31 + c) % 100000; }
+    }
+    sum = (sum + cur + toks * 1000) % 100000;
+    printf("R %d %d\n", toks, sum);
+    return sum;
+}
+"#;
+
+const SPRINTF: &str = r#"
+// sprintf-alike formatter: "DDDDD:name\0" written byte-by-byte.
+// The value is pinned to 5 digits so the total is always len + 7
+// bytes, and the stores are strictly sequential from d[0].
+int main(int cap, int len, int seed) {
+    char* d = (char*)malloc(cap);
+    printf("G %ld %d\n", (long)d, cap);
+    int value = 10000 + seed % 90000;
+    int p = 0;
+    int div = 10000;
+    while (div > 0) {
+        d[p] = (char)('0' + (value / div) % 10);
+        p++;
+        div = div / 10;
+    }
+    d[p] = ':';
+    p++;
+    for (int i = 0; i < len; i++) {
+        d[p] = (char)('a' + ((seed + i * 5) % 26));
+        p++;
+    }
+    d[p] = (char)0;
+    printf("S %s\n", d);
+    int sum = 0;
+    for (int i = 0; i < p; i++) sum += d[i];
+    printf("R %d\n", sum % 100000);
+    return sum % 100000;
+}
+"#;
+
+const OFF_BY_ONE: &str = r#"
+// Classic off-by-one strcpy (BugBench polymorph-style): the loop uses
+// `i <= len`, copying the NUL into slot len — one byte too many when
+// the buffer holds exactly len bytes.
+int main(int cap, int len, int seed) {
+    char* d = (char*)malloc(cap);
+    printf("G %ld %d\n", (long)d, cap);
+    char s[80];
+    for (int i = 0; i < len; i++) s[i] = (char)('a' + ((seed + i * 13) % 26));
+    s[len] = (char)0;
+    int i = 0;
+    while (i <= len) { d[i] = s[i]; i++; }
+    int sum = 0;
+    for (int j = 0; j < len; j++) sum += d[j];
+    printf("R %d\n", sum % 100000);
+    return sum % 100000;
+}
+"#;
+
+const HEADER: &str = r#"
+// Unchecked header copy (the nhttpd daemon pattern): a request-sized
+// copy into a fixed char[16] stack buffer. cap is ignored; the G line
+// reports the effective capacity 16.
+int main(int cap, int len, int seed) {
+    char buf[16];
+    printf("G %ld %d\n", (long)buf, 16);
+    for (int i = 0; i < len; i++) {
+        buf[i] = (char)('a' + ((seed + i * 11) % 26));
+    }
+    int sum = 0;
+    for (int i = 0; i < len && i < 16; i++) sum += buf[i];
+    printf("R %d\n", sum % 100000);
+    return sum % 100000;
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_kernels_with_unique_names() {
+        let kernels = all();
+        assert_eq!(kernels.len(), 10);
+        let mut names: Vec<&str> = kernels.iter().map(|k| k.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 10, "kernel names must be unique");
+    }
+
+    #[test]
+    fn sources_compile() {
+        for k in all() {
+            sb_cir::compile(k.source).unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        }
+    }
+
+    #[test]
+    fn safety_predicates_spot_checks() {
+        let safe = |name: &str, cap, len| (by_name(name).unwrap().safe)(cap, len);
+        // memcpy/memset/strncpy/strtok: len <= cap.
+        for name in ["memcpy", "memset", "strncpy", "strtok"] {
+            assert!(safe(name, 8, 8), "{name} len == cap is safe");
+            assert!(!safe(name, 8, 9), "{name} len > cap overflows");
+        }
+        // strcpy and the off-by-one copy need room for the terminator.
+        for name in ["strcpy", "strcpy_off_by_one"] {
+            assert!(safe(name, 8, 7), "{name} len + 1 == cap is safe");
+            assert!(!safe(name, 8, 8), "{name} len == cap overflows");
+        }
+        // strcmp needs a NUL inside the object.
+        assert!(safe("strcmp", 8, 7));
+        assert!(!safe("strcmp", 8, 8));
+        // memmove shifts by 3.
+        assert!(safe("memmove", 8, 5));
+        assert!(safe("memmove", 8, 0));
+        assert!(!safe("memmove", 8, 6));
+        // sprintf writes len + 7 bytes.
+        assert!(safe("sprintf", 16, 9));
+        assert!(!safe("sprintf", 16, 10));
+        // header ignores cap.
+        assert!(safe("header", 1, 16));
+        assert!(!safe("header", 48, 17));
+    }
+
+    #[test]
+    fn fault_addresses_point_past_the_object() {
+        for k in all() {
+            let (cap, len) = (8, 40);
+            assert!(!(k.safe)(cap, len), "{}: (8, 40) must overflow", k.name);
+            let base = 0x1000;
+            let fault = (k.fault_addr)(base, cap, len);
+            assert!(
+                fault >= base + if k.name == "header" { 16 } else { cap as u64 },
+                "{}: fault {fault:#x} not past the object",
+                k.name
+            );
+        }
+    }
+}

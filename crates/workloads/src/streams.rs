@@ -92,6 +92,32 @@ mod tests {
     }
 
     #[test]
+    fn empty_batches_are_empty_not_errors() {
+        assert!(nhttpd_batches(0, 7).is_empty());
+        assert!(mixed_traffic(0, 4, 7).is_empty());
+        assert!(mixed_traffic(0, 0, 7).is_empty());
+    }
+
+    #[test]
+    fn trap_every_one_makes_every_request_oversized() {
+        let stream = mixed_traffic(64, 1, 9);
+        assert_eq!(stream.len(), 64);
+        assert!(
+            stream.iter().all(|&len| len > 16),
+            "trap_every = 1 must produce an all-trapping stream"
+        );
+    }
+
+    #[test]
+    fn single_request_streams_work() {
+        assert_eq!(nhttpd_batches(1, 7).len(), 1);
+        let safe = mixed_traffic(1, 0, 7);
+        assert!((0..=16).contains(&safe[0]));
+        let trapping = mixed_traffic(1, 1, 7);
+        assert!(trapping[0] > 16);
+    }
+
+    #[test]
     fn mixed_traffic_places_trapping_requests_exactly() {
         let stream = mixed_traffic(32, 4, 1);
         for (i, &len) in stream.iter().enumerate() {

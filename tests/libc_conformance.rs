@@ -1,0 +1,148 @@
+//! Conformance suite entry points for the libc kernel corpus.
+//!
+//! The heavy lifting lives in `sb_bench::conformance`: every case runs
+//! the uninstrumented baseline plus all 3 metadata facilities × 2
+//! execution lanes and checks output/digest agreement on safe inputs
+//! and first-out-of-bounds-byte traps on overflowing ones. This suite
+//! pins the contract at the workspace level:
+//!
+//! 1. a 500-case deterministic fuzz run (the CI smoke job replays the
+//!    same seed in release) finds zero divergences;
+//! 2. every kernel is individually pinned in both regimes, including
+//!    the exact faulting address of its canonical overflow;
+//! 3. a proptest-driven property drives the harness from the vendored
+//!    shim's byte-buffer/length generators, so arbitrary payloads — not
+//!    just the steered generator — satisfy the same obligations.
+
+use proptest::prelude::*;
+use sb_bench::conformance::{fuzz, Case, KernelHarness};
+use sb_vm::{Machine, MachineConfig, Outcome, Trap, HEAP_BASE};
+use softbound::{Engine, SoftBoundConfig, SoftBoundRuntime};
+use std::sync::OnceLock;
+
+/// The fixed seed CI replays (`.github/workflows/ci.yml`).
+const CI_SEED: u64 = 0x050f_7b0d;
+
+fn harnesses() -> &'static [KernelHarness] {
+    static CELL: OnceLock<Vec<KernelHarness>> = OnceLock::new();
+    CELL.get_or_init(sb_bench::conformance::harnesses)
+}
+
+#[test]
+fn five_hundred_seeded_cases_zero_divergences() {
+    let report = fuzz(CI_SEED, 500);
+    assert_eq!(report.cases, 500);
+    assert!(
+        report.failures.is_empty(),
+        "divergences:\n{}",
+        report
+            .failures
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // The steering must actually exercise both regimes.
+    assert!(report.safe >= 100, "only {} safe cases", report.safe);
+    assert!(
+        report.overflow >= 100,
+        "only {} overflow cases",
+        report.overflow
+    );
+}
+
+#[test]
+fn every_kernel_pinned_in_both_regimes() {
+    // (cap, len) = (32, 8) is safe and (16, 17) overflows for *every*
+    // kernel in the corpus (see the per-kernel `safe` predicates).
+    for h in harnesses() {
+        let k = h.kernel();
+        let safe = Case {
+            kernel_idx: 0,
+            cap: 32,
+            len: 8,
+            seed: 3,
+            expect_safe: true,
+        };
+        assert!((k.safe)(32, 8), "{}: (32, 8) should be safe", k.name);
+        h.run_case(&safe)
+            .unwrap_or_else(|e| panic!("{} safe case diverged: {e}", k.name));
+
+        let overflow = Case {
+            kernel_idx: 0,
+            cap: 16,
+            len: 17,
+            seed: 3,
+            expect_safe: false,
+        };
+        assert!(!(k.safe)(16, 17), "{}: (16, 17) should overflow", k.name);
+        h.run_case(&overflow)
+            .unwrap_or_else(|e| panic!("{} overflow case diverged: {e}", k.name));
+    }
+}
+
+#[test]
+fn memcpy_overflow_traps_at_first_byte_past_the_heap_object() {
+    // Concrete address-level pin, independent of the harness's own
+    // G-line parsing: the kernel's malloc(cap) is the program's first
+    // allocation, so it lands exactly at HEAP_BASE and a len > cap
+    // memcpy must fault at HEAP_BASE + cap.
+    let k = sb_workloads::libc_kernel_by_name("memcpy").expect("kernel exists");
+    let cfg = SoftBoundConfig::full_shadow();
+    let program = Engine::new()
+        .softbound_config(cfg.clone())
+        .compile(k.source)
+        .expect("compiles");
+    let mut machine = Machine::new(
+        program.module(),
+        MachineConfig::default(),
+        SoftBoundRuntime::new_paged(&cfg),
+    );
+    let r = machine.run("main", &[16, 17, 3]);
+    match r.outcome {
+        Outcome::Trapped(Trap::SpatialViolation {
+            scheme,
+            addr,
+            write,
+        }) => {
+            assert_eq!(addr, HEAP_BASE + 16, "not the first out-of-bounds byte");
+            assert!(write, "memcpy overflow is a store");
+            assert_eq!(scheme, "softbound-wrapper");
+        }
+        other => panic!("expected a spatial violation, got {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Arbitrary payloads through the shim's byte-buffer/length
+    // generators: the payload's length becomes the kernel's `len`, its
+    // bytes fold into the content seed, and the harness must uphold
+    // every conformance obligation regardless of the safe/overflow
+    // verdict that falls out.
+    #[test]
+    fn arbitrary_payloads_conform(
+        payload in prop::collection::vec(any::<u8>(), 0..=64),
+        cap in 1i64..=48,
+        kernel_pick in any::<u16>(),
+    ) {
+        let hs = harnesses();
+        let h = &hs[kernel_pick as usize % hs.len()];
+        let len = payload.len() as i64;
+        let seed = payload.iter().fold(0u64, |a, &b| a.wrapping_mul(31).wrapping_add(b as u64)) % 1000;
+        let case = Case {
+            kernel_idx: 0,
+            cap,
+            len,
+            seed: seed as i64,
+            expect_safe: (h.kernel().safe)(cap, len),
+        };
+        if let Err(e) = h.run_case(&case) {
+            return Err(proptest::test_runner::TestCaseError::fail(format!(
+                "{} {case}: {e}",
+                h.kernel().name
+            )));
+        }
+    }
+}

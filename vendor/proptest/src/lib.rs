@@ -332,27 +332,96 @@ pub mod collection {
     //! `prop::collection` subset.
 
     use super::{Strategy, TestRng};
-    use std::ops::Range;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length specification for [`vec()`](vec()), mirroring proptest's
+    /// `SizeRange`: built from an exclusive range, an inclusive range,
+    /// or an exact length. Bounds are stored inclusive.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl SizeRange {
+        /// Draws a length from the (inclusive) bounds.
+        fn draw(&self, rng: &mut TestRng) -> usize {
+            self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange {
+                lo: exact,
+                hi: exact,
+            }
+        }
+    }
 
     /// Vec strategy with a length range.
     pub struct VecStrategy<S> {
         element: S,
-        size: Range<usize>,
+        size: SizeRange,
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
         type Value = Vec<S::Value>;
 
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
-            let span = (self.size.end - self.size.start).max(1) as u64;
-            let len = self.size.start + rng.below(span) as usize;
+            let len = self.size.draw(rng);
             (0..len).map(|_| self.element.generate(rng)).collect()
         }
     }
 
-    /// Strategy generating vectors of `element` with length in `size`.
-    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
-        VecStrategy { element, size }
+    /// Strategy generating vectors of `element` with length in `size`
+    /// (an exclusive range, an inclusive range, or an exact length —
+    /// `vec(any::<u8>(), 0..=64)` is the byte-buffer generator the
+    /// conformance fuzz harness draws its layouts from).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::any;
+
+        #[test]
+        fn size_range_forms_agree_on_bounds() {
+            let mut rng = TestRng::from_name("size_range_forms");
+            for _ in 0..200 {
+                let v = vec(any::<u8>(), 3..7).generate(&mut rng);
+                assert!((3..=6).contains(&v.len()), "exclusive: {}", v.len());
+                let v = vec(any::<u8>(), 0..=4).generate(&mut rng);
+                assert!(v.len() <= 4, "inclusive: {}", v.len());
+                let v = vec(any::<u8>(), 5).generate(&mut rng);
+                assert_eq!(v.len(), 5, "exact");
+            }
+        }
     }
 }
 
