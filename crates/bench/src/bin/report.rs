@@ -18,4 +18,9 @@ fn main() {
     print!("{}", sb_bench::compat::render(&sb_bench::compat::run()));
     println!();
     print!("{}", sb_bench::related::render(&sb_bench::related::run()));
+    println!();
+    print!(
+        "{}",
+        sb_bench::policy_matrix::render(&sb_bench::policy_matrix::run())
+    );
 }

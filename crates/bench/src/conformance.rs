@@ -19,14 +19,28 @@
 //!   dynamic instruction index) is identical across all six lanes —
 //!   never later, never silently.
 //!
+//! On top of the Strict matrix sits a **policy matrix** lane
+//! ([`fuzz_range_policy`]): the same cases replayed under
+//! [`ViolationPolicy::Hardened`] and [`ViolationPolicy::Monitor`] on a
+//! check-preserving build. Safe cases must stay bit-identical to the
+//! baseline with zero evidence; overflow cases must *complete* without
+//! a spatial trap while recording evidence whose fault address and
+//! direction match the kernel's closed form, with Hardened clamps
+//! provably never touching a byte outside the guarded object and
+//! Monitor runs reproducing the uninstrumented baseline byte-for-byte
+//! on heap kernels.
+//!
 //! On divergence the driver greedily minimizes the case and prints a
 //! reproducible seed, so a failure seen in CI replays locally with
 //! `cargo run -p sb-bench --bin conformance_fuzz --release -- --seed
 //! <seed> --start <index> --cases 1`.
 
-use sb_vm::{Machine, MachineConfig, NoRuntime, Outcome, RunResult, Trap, FN_BASE};
+use sb_vm::{Machine, MachineConfig, NoRuntime, Outcome, RunResult, Trap, FN_BASE, HEAP_BASE};
 use sb_workloads::LibcKernel;
-use softbound::{Engine, MetadataFacility, Program, SoftBoundConfig, SoftBoundRuntime};
+use softbound::{
+    Engine, EvidenceRecord, MetadataFacility, Program, SoftBoundConfig, SoftBoundRuntime,
+    ViolationPolicy,
+};
 
 /// One generated conformance case.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -158,6 +172,14 @@ struct LaneObs {
     /// that never land in simulated memory).
     data_hash: u64,
     violation_count: u64,
+    /// Evidence the runtime recorded (always empty under Strict, whose
+    /// ring has capacity 0).
+    evidence: Vec<EvidenceRecord>,
+    /// Byte-by-byte snapshot of the requested guard windows after the
+    /// run (`None` for unmapped bytes) — `content_hash_range` is
+    /// page-granular, so the clamp-containment oracle reads the bytes
+    /// around the guarded object directly.
+    window: Vec<Option<u8>>,
 }
 
 fn observe<F: MetadataFacility>(
@@ -167,6 +189,17 @@ fn observe<F: MetadataFacility>(
     args: &[i64],
     predecoded: bool,
 ) -> LaneObs {
+    observe_windows(lane, program, rt, args, predecoded, &[])
+}
+
+fn observe_windows<F: MetadataFacility>(
+    lane: &'static str,
+    program: &Program,
+    rt: SoftBoundRuntime<F>,
+    args: &[i64],
+    predecoded: bool,
+    windows: &[(u64, u64)],
+) -> LaneObs {
     let mut machine = Machine::new(program.module(), MachineConfig::default(), rt);
     let r = if predecoded {
         machine.attach_exec(program.exec());
@@ -174,6 +207,12 @@ fn observe<F: MetadataFacility>(
     } else {
         machine.run("main", args)
     };
+    let mut window = Vec::new();
+    for &(lo, hi) in windows {
+        for a in lo..hi {
+            window.push(machine.mem.read_uint(a, 1).ok().map(|v| v as u8));
+        }
+    }
     LaneObs {
         lane,
         outcome: r.outcome,
@@ -184,6 +223,8 @@ fn observe<F: MetadataFacility>(
         mem_hash: machine.mem.content_hash(),
         data_hash: machine.mem.content_hash_range(0, FN_BASE),
         violation_count: machine.hooks().violation_count,
+        evidence: machine.hooks_mut().drain_evidence(),
+        window,
     }
 }
 
@@ -208,6 +249,13 @@ pub struct KernelHarness {
     cfg: SoftBoundConfig,
     program: Program,
     baseline: sb_ir::Module,
+    /// Check-preserving build shared by the non-Strict policies: the
+    /// policy itself lives runtime-side, but redundant-check
+    /// elimination is unsound once a failed check may continue, so
+    /// Hardened/Monitor run a `PostInstrumentAllChecks` program.
+    preserved: Program,
+    hardened_cfg: SoftBoundConfig,
+    monitor_cfg: SoftBoundConfig,
 }
 
 impl KernelHarness {
@@ -221,11 +269,22 @@ impl KernelHarness {
         let cir = sb_cir::compile(kernel.source).expect("compiles");
         let mut baseline = sb_ir::lower(&cir, kernel.name);
         sb_ir::optimize(&mut baseline, sb_ir::OptLevel::PreInstrument);
+        let mut hardened_cfg = cfg.clone();
+        hardened_cfg.policy = ViolationPolicy::Hardened;
+        let mut monitor_cfg = cfg.clone();
+        monitor_cfg.policy = ViolationPolicy::Monitor;
+        let preserved = Engine::new()
+            .softbound_config(hardened_cfg.clone())
+            .compile(kernel.source)
+            .unwrap_or_else(|e| panic!("{}: kernel does not compile: {e}", kernel.name));
         Self {
             kernel,
             cfg,
             program,
             baseline,
+            preserved,
+            hardened_cfg,
+            monitor_cfg,
         }
     }
 
@@ -242,7 +301,10 @@ impl KernelHarness {
     }
 
     fn run_lanes(&self, args: &[i64]) -> Vec<LaneObs> {
-        let (p, cfg) = (&self.program, &self.cfg);
+        self.run_lanes_with(&self.program, &self.cfg, args)
+    }
+
+    fn run_lanes_with(&self, p: &Program, cfg: &SoftBoundConfig, args: &[i64]) -> Vec<LaneObs> {
         vec![
             observe(
                 "paged/tree",
@@ -417,8 +479,9 @@ impl KernelHarness {
                         lane.lane, k.trap_scheme
                     ));
                 }
-                // Wrapper traps fire inside the VM builtin before the
-                // runtime's violation counter; explicit checks must tick it.
+                // Strict wrapper traps are raised by the VM builtin on
+                // the runtime's `Trap` disposition without ticking the
+                // violation counter; explicit checks must tick it.
                 if k.trap_scheme == "softbound" && lane.violation_count == 0 {
                     return Err(format!(
                         "{}: explicit-check trap left violation_count at 0",
@@ -430,9 +493,227 @@ impl KernelHarness {
         Ok(())
     }
 
-    /// Greedy shrink: try smaller `cap`/`len`/`seed` values that keep
-    /// the case diverging, preferring the smallest reproducer.
+    /// Runs one case under a continuing policy (Hardened or Monitor) on
+    /// the check-preserving program and checks the policy-matrix
+    /// obligations; `Strict` delegates to [`Self::run_case`].
+    ///
+    /// Safe cases must match the uninstrumented baseline bit-for-bit
+    /// with zero evidence. Overflow cases must *not* trap spatially;
+    /// every lane must record identical evidence whose first record
+    /// names the kernel's closed-form fault address and direction.
+    /// Hardened runs must finish, and on heap kernels the 64-byte
+    /// windows on either side of the guarded object must match a Strict
+    /// reference byte-for-byte (clamps contain the access). Monitor
+    /// runs on heap kernels must reproduce the uninstrumented
+    /// baseline's outcome and output exactly.
+    pub fn run_policy_case(&self, case: &Case, policy: ViolationPolicy) -> Result<(), String> {
+        let cfg = match policy {
+            ViolationPolicy::Strict => return self.run_case(case),
+            ViolationPolicy::Hardened => &self.hardened_cfg,
+            ViolationPolicy::Monitor => &self.monitor_cfg,
+        };
+        let k = &self.kernel;
+        let args = [case.cap, case.len, case.seed];
+        let lanes = self.run_lanes_with(&self.preserved, cfg, &args);
+        let first = &lanes[0];
+
+        // Lane invariance extends to the evidence stream: which
+        // accesses violated, in what order, at which dynamic PC must
+        // not depend on the facility or the execution lane.
+        for lane in &lanes[1..] {
+            if lane.outcome != first.outcome {
+                return Err(format!(
+                    "{policy:?}: outcome diverged: {} got {:?}, {} got {:?}",
+                    first.lane, first.outcome, lane.lane, lane.outcome
+                ));
+            }
+            if lane.output != first.output {
+                return Err(format!(
+                    "{policy:?}: output diverged between {} and {}: {:?} vs {:?}",
+                    first.lane, lane.lane, first.output, lane.output
+                ));
+            }
+            if lane.insts != first.insts || lane.checks != first.checks {
+                return Err(format!(
+                    "{policy:?}: dynamic counts diverged: {}=({}, {}) vs {}=({}, {})",
+                    first.lane, first.insts, first.checks, lane.lane, lane.insts, lane.checks
+                ));
+            }
+            if lane.evidence != first.evidence {
+                return Err(format!(
+                    "{policy:?}: evidence diverged between {} ({} records) and {} ({} records)",
+                    first.lane,
+                    first.evidence.len(),
+                    lane.lane,
+                    lane.evidence.len()
+                ));
+            }
+        }
+        for pair in lanes.chunks(2) {
+            if pair[0].cycles != pair[1].cycles || pair[0].mem_hash != pair[1].mem_hash {
+                return Err(format!(
+                    "{policy:?}: {} vs {} diverged on cycles/memory: ({}, {:#x}) vs ({}, {:#x})",
+                    pair[0].lane,
+                    pair[1].lane,
+                    pair[0].cycles,
+                    pair[0].mem_hash,
+                    pair[1].cycles,
+                    pair[1].mem_hash
+                ));
+            }
+        }
+
+        if case.expect_safe {
+            let (br, base_hash) = self.run_baseline(&args);
+            let bret = br.ret().ok_or_else(|| {
+                format!("baseline did not finish on a safe case: {:?}", br.outcome)
+            })?;
+            for lane in &lanes {
+                if lane.outcome != (Outcome::Finished { ret: bret }) || lane.output != br.output {
+                    return Err(format!(
+                        "{policy:?} {}: safe case diverged from baseline: {:?} {:?}",
+                        lane.lane, lane.outcome, lane.output
+                    ));
+                }
+                if !lane.evidence.is_empty() || lane.violation_count != 0 {
+                    return Err(format!(
+                        "{policy:?} {}: safe case recorded {} evidence / {} violations",
+                        lane.lane,
+                        lane.evidence.len(),
+                        lane.violation_count
+                    ));
+                }
+                if lane.data_hash != base_hash {
+                    return Err(format!(
+                        "{policy:?} {}: data-region digest {:#x} != baseline {:#x}",
+                        lane.lane, lane.data_hash, base_hash
+                    ));
+                }
+            }
+            return Ok(());
+        }
+
+        let (base, eff_cap) = parse_guard(&first.output).ok_or_else(|| {
+            format!(
+                "no `G <base> <cap>` guard line in output {:?} ({:?})",
+                first.output, first.outcome
+            )
+        })?;
+        let expected_addr = (k.fault_addr)(base, case.cap, case.len);
+        let on_heap = (HEAP_BASE..FN_BASE).contains(&base);
+        for lane in &lanes {
+            if matches!(
+                lane.outcome,
+                Outcome::Trapped(Trap::SpatialViolation { .. })
+            ) {
+                return Err(format!(
+                    "{policy:?} {}: continuing policy still trapped spatially: {:?}",
+                    lane.lane, lane.outcome
+                ));
+            }
+            let ev = lane.evidence.first().ok_or_else(|| {
+                format!(
+                    "{policy:?} {}: overflow case recorded no evidence",
+                    lane.lane
+                )
+            })?;
+            if ev.fault_addr != expected_addr {
+                return Err(format!(
+                    "{policy:?} {}: first evidence at {:#x}, but the first \
+                     out-of-bounds byte is {expected_addr:#x} (guard base \
+                     {base:#x}, eff_cap {eff_cap})",
+                    lane.lane, ev.fault_addr
+                ));
+            }
+            if ev.write != k.overflow_is_store {
+                return Err(format!(
+                    "{policy:?} {}: evidence write={}, kernel overflows with a {}",
+                    lane.lane,
+                    ev.write,
+                    if k.overflow_is_store { "store" } else { "load" }
+                ));
+            }
+            if lane.violation_count == 0 {
+                return Err(format!(
+                    "{policy:?} {}: overflow left violation_count at 0",
+                    lane.lane
+                ));
+            }
+        }
+        match policy {
+            ViolationPolicy::Hardened => {
+                for lane in &lanes {
+                    if !matches!(lane.outcome, Outcome::Finished { .. }) {
+                        return Err(format!(
+                            "hardened {}: clamped run did not finish: {:?}",
+                            lane.lane, lane.outcome
+                        ));
+                    }
+                }
+                if on_heap {
+                    // Clamp containment: the bytes just outside the
+                    // guarded object must be exactly what a Strict run
+                    // (which traps before touching them) leaves behind.
+                    // Every kernel mallocs the guarded buffer exactly
+                    // once, so no neighbouring allocation legitimately
+                    // writes into these windows.
+                    let bound = base + eff_cap as u64;
+                    let windows = [(base.saturating_sub(64), base), (bound, bound + 64)];
+                    let strict_ref = observe_windows(
+                        "strict/ref",
+                        &self.program,
+                        SoftBoundRuntime::new_paged(&self.cfg),
+                        &args,
+                        false,
+                        &windows,
+                    );
+                    let hardened = observe_windows(
+                        "hardened/ref",
+                        &self.preserved,
+                        SoftBoundRuntime::new_paged(cfg),
+                        &args,
+                        false,
+                        &windows,
+                    );
+                    if hardened.window != strict_ref.window {
+                        return Err(format!(
+                            "hardened clamp leaked outside the guarded object: \
+                             windows around [{base:#x}, {bound:#x}) differ from \
+                             the strict reference"
+                        ));
+                    }
+                }
+            }
+            ViolationPolicy::Monitor => {
+                if on_heap {
+                    // Monitor performs the access: the run must be
+                    // indistinguishable from the uninstrumented
+                    // baseline (including an identical memory fault if
+                    // the stray access leaves the mapped heap).
+                    let (br, _) = self.run_baseline(&args);
+                    if first.outcome != br.outcome || first.output != br.output {
+                        return Err(format!(
+                            "monitor diverged from the uninstrumented baseline: \
+                             {:?} {:?} vs {:?} {:?}",
+                            first.outcome, first.output, br.outcome, br.output
+                        ));
+                    }
+                }
+            }
+            ViolationPolicy::Strict => unreachable!("handled above"),
+        }
+        Ok(())
+    }
+
+    /// Greedy shrink under the Strict oracle: try smaller
+    /// `cap`/`len`/`seed` values that keep the case diverging,
+    /// preferring the smallest reproducer.
     pub fn minimize(&self, case: &Case) -> Case {
+        self.minimize_policy(case, ViolationPolicy::Strict)
+    }
+
+    /// Greedy shrink against the given policy's oracle.
+    pub fn minimize_policy(&self, case: &Case, policy: ViolationPolicy) -> Case {
         let mut best = *case;
         let mut progress = true;
         while progress {
@@ -458,7 +739,7 @@ impl KernelHarness {
             for mut c in candidates {
                 c.expect_safe = (self.kernel.safe)(c.cap, c.len);
                 let smaller = (c.cap, c.len, c.seed) < (best.cap, best.len, best.seed);
-                if smaller && self.run_case(&c).is_err() {
+                if smaller && self.run_policy_case(&c, policy).is_err() {
                     best = c;
                     progress = true;
                     break;
@@ -477,10 +758,24 @@ pub fn harnesses() -> Vec<KernelHarness> {
         .collect()
 }
 
-/// Fuzzes cases `start..start + cases` of the stream rooted at `seed0`.
-/// Stops after a handful of failures; each failure is minimized and
-/// carries a reproducible seed.
+/// Fuzzes cases `start..start + cases` of the stream rooted at `seed0`
+/// under the Strict oracle. Stops after a handful of failures; each
+/// failure is minimized and carries a reproducible seed.
 pub fn fuzz_range(seed0: u64, start: u64, cases: u64) -> FuzzReport {
+    fuzz_range_policy(seed0, start, cases, ViolationPolicy::Strict)
+}
+
+/// Fuzzes cases `start..start + cases` of the stream rooted at `seed0`
+/// under `policy`'s conformance oracle: [`KernelHarness::run_case`] for
+/// Strict, [`KernelHarness::run_policy_case`] for the continuing
+/// policies. The case stream is policy-independent, so the same seed
+/// covers the same `(kernel, cap, len, seed)` points in every mode.
+pub fn fuzz_range_policy(
+    seed0: u64,
+    start: u64,
+    cases: u64,
+    policy: ViolationPolicy,
+) -> FuzzReport {
     let kernels = sb_workloads::all_libc_kernels();
     let harnesses = harnesses();
     let mut report = FuzzReport::default();
@@ -493,8 +788,8 @@ pub fn fuzz_range(seed0: u64, start: u64, cases: u64) -> FuzzReport {
         } else {
             report.overflow += 1;
         }
-        if let Err(message) = h.run_case(&case) {
-            let minimized = h.minimize(&case);
+        if let Err(message) = h.run_policy_case(&case, policy) {
+            let minimized = h.minimize_policy(&case, policy);
             report.failures.push(Failure {
                 seed0,
                 index,
@@ -566,5 +861,23 @@ mod tests {
                 .join("\n")
         );
         assert!(report.safe > 0 && report.overflow > 0);
+    }
+
+    #[test]
+    fn policy_matrix_smoke_is_clean() {
+        for policy in [ViolationPolicy::Hardened, ViolationPolicy::Monitor] {
+            let report = fuzz_range_policy(0xc0ffee, 0, 32, policy);
+            assert!(
+                report.failures.is_empty(),
+                "{policy:?} divergences:\n{}",
+                report
+                    .failures
+                    .iter()
+                    .map(|f| f.to_string())
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            );
+            assert!(report.safe > 0 && report.overflow > 0);
+        }
     }
 }

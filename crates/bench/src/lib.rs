@@ -13,6 +13,7 @@
 //! | [`compat`]  | §6.4 — daemons transformed unmodified, zero false positives |
 //! | [`related`] | §6.5 — overhead comparison with the MSCC-like scheme |
 //! | [`scaling`] | fleet serving — req/s vs worker count over one shared Program |
+//! | [`policy_matrix`] | violation policies — Strict/Hardened/Monitor over one fleet stream |
 //!
 //! Each module exposes a `run()` returning structured rows plus a
 //! `render()` producing the textual table; the `report` binary prints
@@ -23,6 +24,7 @@ pub mod conformance;
 pub mod figure1;
 pub mod figure2;
 pub mod perf;
+pub mod policy_matrix;
 pub mod related;
 pub mod scaling;
 pub mod table1;

@@ -1,5 +1,7 @@
 //! Configuration of the SoftBound transformation and runtime.
 
+use crate::policy::ViolationPolicy;
+
 /// Which dereferences are checked (§1, §6.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum CheckMode {
@@ -67,6 +69,15 @@ pub struct SoftBoundConfig {
     pub clear_on_return: bool,
     /// Insert function-pointer checks at indirect calls (§5.2).
     pub check_fn_ptrs: bool,
+    /// How the runtime responds to a failed check: trap (the paper's
+    /// behaviour, the default), repair-and-continue, or observe-only.
+    /// Non-Strict policies disable redundant-check elimination so every
+    /// retained check guards exactly the access it precedes.
+    pub policy: ViolationPolicy,
+    /// Capacity (in records) of the per-instance evidence ring buffer,
+    /// preallocated at instantiation. Ignored under
+    /// [`ViolationPolicy::Strict`], which never records evidence.
+    pub evidence_capacity: usize,
 }
 
 impl Default for SoftBoundConfig {
@@ -79,6 +90,8 @@ impl Default for SoftBoundConfig {
             clear_on_free: true,
             clear_on_return: true,
             check_fn_ptrs: true,
+            policy: ViolationPolicy::Strict,
+            evidence_capacity: 256,
         }
     }
 }
@@ -114,8 +127,27 @@ impl SoftBoundConfig {
         }
     }
 
+    /// Full checking with the repair-and-continue
+    /// [`Hardened`](ViolationPolicy::Hardened) policy.
+    pub fn hardened() -> Self {
+        SoftBoundConfig {
+            policy: ViolationPolicy::Hardened,
+            ..Self::default()
+        }
+    }
+
+    /// Full checking with the observe-only
+    /// [`Monitor`](ViolationPolicy::Monitor) policy.
+    pub fn monitor() -> Self {
+        SoftBoundConfig {
+            policy: ViolationPolicy::Monitor,
+            ..Self::default()
+        }
+    }
+
     /// A short label like `"ShadowSpace-Complete"`, matching Figure 2's
-    /// legend.
+    /// legend. Non-Strict policies append their name
+    /// (`"ShadowSpace-Complete-Hardened"`).
     pub fn label(&self) -> String {
         let fac = match self.facility {
             Facility::ShadowPaged => "ShadowSpace",
@@ -126,7 +158,11 @@ impl SoftBoundConfig {
             CheckMode::Full => "Complete",
             CheckMode::StoreOnly => "Stores",
         };
-        format!("{fac}-{mode}")
+        match self.policy {
+            ViolationPolicy::Strict => format!("{fac}-{mode}"),
+            ViolationPolicy::Hardened => format!("{fac}-{mode}-Hardened"),
+            ViolationPolicy::Monitor => format!("{fac}-{mode}-Monitor"),
+        }
     }
 }
 
@@ -157,6 +193,20 @@ mod tests {
         assert_eq!(c.mode, CheckMode::Full);
         assert_eq!(c.facility, Facility::ShadowPaged);
         assert!(c.clear_on_free && c.clear_on_return && c.check_fn_ptrs);
+        assert_eq!(c.policy, ViolationPolicy::Strict);
+        assert_eq!(c.evidence_capacity, 256);
+    }
+
+    #[test]
+    fn non_strict_policies_show_in_the_label() {
+        assert_eq!(
+            SoftBoundConfig::hardened().label(),
+            "ShadowSpace-Complete-Hardened"
+        );
+        assert_eq!(
+            SoftBoundConfig::monitor().label(),
+            "ShadowSpace-Complete-Monitor"
+        );
     }
 
     #[test]

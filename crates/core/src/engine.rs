@@ -43,6 +43,7 @@
 use crate::config::{CheckMode, Facility, Lane, SoftBoundConfig};
 use crate::error::SoftBoundError;
 use crate::metadata::{HashTableFacility, ShadowHashMapFacility, ShadowPages};
+use crate::policy::{EvidenceRecord, ViolationPolicy};
 use crate::runtime::SoftBoundRuntime;
 use crate::transform::instrument;
 use sb_ir::{Module, PassStats};
@@ -85,6 +86,15 @@ impl Engine {
     /// Selects the checking mode (full vs store-only, §6.3).
     pub fn check_mode(mut self, mode: CheckMode) -> Self {
         self.sb.mode = mode;
+        self
+    }
+
+    /// Selects the violation policy (trap / repair / observe).
+    /// Non-Strict policies compile with redundant-check elimination
+    /// disabled, so every retained check guards exactly the access it
+    /// precedes — a clamp repairs one access, never a "proven" later one.
+    pub fn policy(mut self, policy: ViolationPolicy) -> Self {
+        self.sb.policy = policy;
         self
     }
 
@@ -131,7 +141,15 @@ impl Engine {
         let mut module = sb_ir::lower(&prog, "program");
         sb_ir::optimize(&mut module, sb_ir::OptLevel::PreInstrument);
         let mut module = instrument(&module, &self.sb);
-        let stats = sb_ir::optimize_with_stats(&mut module, sb_ir::OptLevel::PostInstrument);
+        // Strict keeps the paper pipeline (redundant-check elimination);
+        // repair/observe policies retain every check so a clamp applies
+        // to exactly the access its own check guards.
+        let post = if self.sb.policy == ViolationPolicy::Strict {
+            sb_ir::OptLevel::PostInstrument
+        } else {
+            sb_ir::OptLevel::PostInstrumentAllChecks
+        };
+        let stats = sb_ir::optimize_with_stats(&mut module, post);
         sb_ir::verify(&module)?;
         // Lower the verified module to the flat execution IR now, so
         // every instance of this program shares one decode.
@@ -358,6 +376,34 @@ impl Instance<'_> {
         each_machine!(self, m => m.hooks().violation_count)
     }
 
+    /// The violation policy the underlying runtime enforces.
+    pub fn policy(&self) -> ViolationPolicy {
+        each_machine!(self, m => m.hooks().policy())
+    }
+
+    /// Removes and returns all evidence records accumulated since the
+    /// last drain (or reset), oldest first. Strict instances never
+    /// record evidence, so this always returns an empty vector there.
+    ///
+    /// Draining does not count as a run: the next [`run`](Instance::run)
+    /// still observes the reset-between-runs contract, and an undrained
+    /// ring is cleared by it.
+    pub fn drain_evidence(&mut self) -> Vec<EvidenceRecord> {
+        each_machine_mut!(self, m => m.hooks_mut().drain_evidence())
+    }
+
+    /// Evidence records currently held in the ring (without draining).
+    pub fn evidence_len(&self) -> usize {
+        each_machine!(self, m => m.hooks().evidence_len())
+    }
+
+    /// Evidence records lost to ring overflow since the last reset — a
+    /// non-zero value means the drain cadence (or the configured
+    /// `evidence_capacity`) is too small for the violation rate.
+    pub fn evidence_overflow(&self) -> u64 {
+        each_machine!(self, m => m.hooks().evidence_overflow())
+    }
+
     /// Digest of the current simulated memory image (differential
     /// testing against fresh machines).
     pub fn mem_content_hash(&self) -> u64 {
@@ -459,6 +505,46 @@ mod tests {
         assert_eq!(inst.live_entries(), 0, "reset must clear all metadata");
         assert_eq!(inst.check_count(), 0);
         assert_eq!(inst.violation_count(), 0);
+    }
+
+    #[test]
+    fn hardened_instance_clamps_records_and_survives_reuse() {
+        let src = r#"
+            int main() {
+                int* p = (int*)malloc(4 * sizeof(int));
+                p[4] = 99;
+                int v = p[0];
+                free(p);
+                return v;
+            }
+        "#;
+        let engine = Engine::new().policy(ViolationPolicy::Hardened);
+        let program = engine.compile(src).expect("compiles");
+        let mut inst = engine.instantiate(&program);
+        assert_eq!(inst.policy(), ViolationPolicy::Hardened);
+        for _ in 0..2 {
+            let r = inst.run("main", &[]);
+            assert_eq!(
+                r.ret(),
+                Some(0),
+                "clamped store is dropped: {:?}",
+                r.outcome
+            );
+            let ev = inst.drain_evidence();
+            assert_eq!(ev.len(), 1, "one violation per run after reset");
+            assert!(ev[0].write);
+            assert_eq!(
+                ev[0].fault_addr, ev[0].bound,
+                "p + 16 is the first byte past the object"
+            );
+            assert_eq!(inst.evidence_len(), 0);
+            assert_eq!(inst.evidence_overflow(), 0);
+        }
+        // The same program under Strict traps.
+        let strict = Engine::new();
+        let sp = strict.compile(src).expect("compiles");
+        let r = strict.instantiate(&sp).run("main", &[]);
+        assert!(r.outcome.is_spatial_violation(), "{:?}", r.outcome);
     }
 
     #[test]

@@ -31,6 +31,7 @@
 //! the ROADMAP's shared-reservation follow-on has real numbers to beat.
 
 use crate::engine::{Engine, Instance, Program};
+use crate::policy::EvidenceRecord;
 use sb_vm::Outcome;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
@@ -58,6 +59,13 @@ pub struct Observation {
     pub violation_count: u64,
     /// Digest of the final simulated memory image.
     pub mem_hash: u64,
+    /// Evidence records drained from the instance after the run. Empty
+    /// under [`ViolationPolicy::Strict`](crate::ViolationPolicy::Strict);
+    /// under the continuing policies this is part of the determinism
+    /// contract — pooled and serial runs must record identical evidence.
+    pub evidence: Vec<EvidenceRecord>,
+    /// Evidence records dropped by ring overflow during the run.
+    pub evidence_overflow: u64,
 }
 
 /// Runs `entry(arg)` on `instance` and captures the full
@@ -76,6 +84,9 @@ pub fn observe(instance: &mut Instance<'_>, entry: &str, arg: i64) -> Observatio
         check_count: instance.check_count(),
         violation_count: instance.violation_count(),
         mem_hash: instance.mem_content_hash(),
+        // Draining keeps the overflow counter, so read it afterwards.
+        evidence: instance.drain_evidence(),
+        evidence_overflow: instance.evidence_overflow(),
     }
 }
 
@@ -107,6 +118,11 @@ pub struct WorkerReport {
     pub violations: u64,
     /// Requests that ended in a trap.
     pub traps: u64,
+    /// Evidence records its runtime collected across all its requests
+    /// (always 0 under the default Strict policy).
+    pub evidence: u64,
+    /// Evidence records lost to ring overflow across all its requests.
+    pub evidence_overflow: u64,
     /// Standing host-memory reservation of this worker's metadata
     /// facility after its last request (the per-worker cost the
     /// shared-reservation follow-on would amortize).
@@ -133,6 +149,20 @@ pub struct FleetReport {
     pub p95_ns: u64,
     /// 99th-percentile service latency (nearest-rank).
     pub p99_ns: u64,
+}
+
+impl FleetReport {
+    /// Total evidence records collected across the pool (0 under the
+    /// default Strict policy, where violations trap instead of being
+    /// recorded).
+    pub fn evidence_total(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.evidence).sum()
+    }
+
+    /// Total evidence records lost to ring overflow across the pool.
+    pub fn evidence_overflow_total(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.evidence_overflow).sum()
+    }
 }
 
 /// Nearest-rank percentile over an ascending-sorted slice: the smallest
@@ -184,6 +214,8 @@ pub fn serve(
                         checks: 0,
                         violations: 0,
                         traps: 0,
+                        evidence: 0,
+                        evidence_overflow: 0,
                         reservation_bytes: 0,
                     };
                     loop {
@@ -199,6 +231,8 @@ pub fn serve(
                         report.violations += observation.violation_count;
                         report.traps +=
                             u64::from(matches!(observation.outcome, Outcome::Trapped(_)));
+                        report.evidence += observation.evidence.len() as u64;
+                        report.evidence_overflow += observation.evidence_overflow;
                         results.push(RequestResult {
                             index,
                             worker,
@@ -328,6 +362,42 @@ mod tests {
                 w.worker,
                 w.reservation_bytes
             );
+        }
+        // Strict pools never collect evidence — violations trap.
+        assert_eq!(report.evidence_total(), 0);
+        assert_eq!(report.evidence_overflow_total(), 0);
+    }
+
+    #[test]
+    fn hardened_pool_neutralizes_overflows_and_aggregates_evidence() {
+        let src = r#"
+            int main(int n) {
+                char buf[8];
+                buf[n] = 1;
+                return buf[0];
+            }
+        "#;
+        let engine = Engine::new().policy(crate::ViolationPolicy::Hardened);
+        let program = engine.compile(src).unwrap();
+        let requests = [0i64, 32, 0, 32, 0, 32];
+        let report = serve(&engine, &program, "main", &requests, 2);
+        let traps: u64 = report.per_worker.iter().map(|w| w.traps).sum();
+        assert_eq!(traps, 0, "hardened pools clamp instead of trapping");
+        assert_eq!(
+            report.evidence_total(),
+            3,
+            "one evidence record per out-of-bounds request"
+        );
+        assert_eq!(report.evidence_overflow_total(), 0);
+        for r in &report.results {
+            assert!(matches!(r.observation.outcome, Outcome::Finished { .. }));
+            let oob = requests[r.index] == 32;
+            assert_eq!(r.observation.evidence.len(), usize::from(oob));
+            if oob {
+                let ev = r.observation.evidence[0];
+                assert!(ev.write, "the probe is a clamped store");
+                assert_eq!(ev.fault_addr, ev.ptr, "store lands past the bound");
+            }
         }
     }
 }

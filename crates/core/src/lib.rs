@@ -70,6 +70,7 @@ pub mod engine;
 pub mod error;
 pub mod fleet;
 pub mod metadata;
+pub mod policy;
 pub mod runtime;
 pub mod transform;
 
@@ -80,6 +81,7 @@ pub use metadata::{
     AccessSink, HashTableFacility, Meta, MetadataFacility, NoopSink, ScratchSink,
     ShadowHashMapFacility, ShadowPages,
 };
+pub use policy::{EvidenceRecord, EvidenceRing, PolicyAction, ViolationPolicy};
 pub use runtime::{DynRuntime, SoftBoundRuntime};
 pub use transform::{instrument, instrument_flavored, Flavor, GLOBALS_INIT_PREFIX, SB_PREFIX};
 

@@ -14,8 +14,11 @@ use crate::config::{Facility, SoftBoundConfig};
 use crate::metadata::{
     HashTableFacility, Meta, MetadataFacility, ShadowHashMapFacility, ShadowPages,
 };
+use crate::policy::{first_oob_byte, EvidenceRecord, EvidenceRing, PolicyAction, ViolationPolicy};
 use sb_ir::RtFn;
-use sb_vm::{AccessSink, Mem, RtCtx, RtVals, RuntimeHooks, Trap};
+use sb_vm::{
+    AccessSink, BuiltinViolation, Mem, RtCtx, RtVals, RuntimeHooks, Trap, ViolationDisposition,
+};
 
 /// Cost of the bounds check itself (two compares + branch, §3.1).
 pub const CHECK_COST: u64 = 3;
@@ -24,6 +27,8 @@ pub const CHECK_COST: u64 = 3;
 pub struct SoftBoundRuntime<F: MetadataFacility = Box<dyn MetadataFacility>> {
     facility: F,
     clear_on_free: bool,
+    policy: ViolationPolicy,
+    evidence: EvidenceRing,
     /// Checks executed.
     pub check_count: u64,
     /// Violations would-have-fired (always 0 on safe programs).
@@ -71,11 +76,19 @@ impl SoftBoundRuntime<HashTableFacility> {
 }
 
 impl<F: MetadataFacility> SoftBoundRuntime<F> {
-    /// Builds the runtime around an explicit facility instance.
+    /// Builds the runtime around an explicit facility instance. The
+    /// evidence ring is preallocated here (at `cfg.evidence_capacity`
+    /// records), so recording on the warm path never allocates.
     pub fn with_facility(facility: F, cfg: &SoftBoundConfig) -> Self {
         SoftBoundRuntime {
             facility,
             clear_on_free: cfg.clear_on_free,
+            policy: cfg.policy,
+            evidence: EvidenceRing::new(if cfg.policy == ViolationPolicy::Strict {
+                0
+            } else {
+                cfg.evidence_capacity
+            }),
             check_count: 0,
             violation_count: 0,
         }
@@ -84,6 +97,26 @@ impl<F: MetadataFacility> SoftBoundRuntime<F> {
     /// The installed facility (for facility-specific statistics).
     pub fn facility(&self) -> &F {
         &self.facility
+    }
+
+    /// The violation policy this runtime enforces.
+    pub fn policy(&self) -> ViolationPolicy {
+        self.policy
+    }
+
+    /// Evidence records currently held in the ring.
+    pub fn evidence_len(&self) -> usize {
+        self.evidence.len()
+    }
+
+    /// Evidence records lost to ring overflow since the last reset.
+    pub fn evidence_overflow(&self) -> u64 {
+        self.evidence.overflow()
+    }
+
+    /// Removes and returns all held evidence records, oldest first.
+    pub fn drain_evidence(&mut self) -> Vec<EvidenceRecord> {
+        self.evidence.drain()
     }
 
     /// Live metadata entries (memory-overhead statistics).
@@ -97,6 +130,30 @@ impl<F: MetadataFacility> SoftBoundRuntime<F> {
         self.facility.reservation_bytes()
     }
 
+    /// Records one evidence record for a violation a non-Strict policy
+    /// absorbed. Out of line: the safe-path check never reaches it.
+    #[cold]
+    fn record(
+        &mut self,
+        ptr: u64,
+        size: u64,
+        (base, bound): (u64, u64),
+        write: bool,
+        action: PolicyAction,
+        pc: u64,
+    ) {
+        self.evidence.record(EvidenceRecord {
+            pc,
+            ptr,
+            fault_addr: first_oob_byte(ptr, base, bound),
+            size,
+            base,
+            bound,
+            write,
+            action,
+        });
+    }
+
     #[inline]
     fn check(
         &mut self,
@@ -105,6 +162,7 @@ impl<F: MetadataFacility> SoftBoundRuntime<F> {
         bound: u64,
         size: u64,
         write: bool,
+        ctx: &mut RtCtx,
     ) -> Result<(), Trap> {
         self.check_count += 1;
         // `ptr + size` must not wrap: a huge pointer or size whose sum
@@ -112,11 +170,36 @@ impl<F: MetadataFacility> SoftBoundRuntime<F> {
         let end_in_bounds = ptr.checked_add(size).is_some_and(|end| end <= bound);
         if ptr < base || !end_in_bounds || base == 0 {
             self.violation_count += 1;
-            Err(Trap::SpatialViolation {
-                scheme: "softbound",
-                addr: ptr,
-                write,
-            })
+            match self.policy {
+                ViolationPolicy::Strict => Err(Trap::SpatialViolation {
+                    scheme: "softbound",
+                    addr: ptr,
+                    write,
+                }),
+                ViolationPolicy::Hardened => {
+                    let action = if write {
+                        PolicyAction::ClampedWrite
+                    } else {
+                        PolicyAction::ZeroedRead
+                    };
+                    self.record(ptr, size, (base, bound), write, action, ctx.pc);
+                    // The machine clamps the guarded access to these
+                    // bounds (truncated write / zero-filled read).
+                    ctx.repair = Some((base, bound));
+                    Ok(())
+                }
+                ViolationPolicy::Monitor => {
+                    self.record(
+                        ptr,
+                        size,
+                        (base, bound),
+                        write,
+                        PolicyAction::Observed,
+                        ctx.pc,
+                    );
+                    Ok(())
+                }
+            }
         } else {
             Ok(())
         }
@@ -145,6 +228,7 @@ impl<F: MetadataFacility> RuntimeHooks for SoftBoundRuntime<F> {
                     args[2] as u64,
                     args[3] as u64,
                     is_store,
+                    ctx,
                 )?;
                 Ok([0, 0])
             }
@@ -165,7 +249,10 @@ impl<F: MetadataFacility> RuntimeHooks for SoftBoundRuntime<F> {
                 self.check_count += 1;
                 let (ptr, base, bound) = (args[0] as u64, args[1] as u64, args[2] as u64);
                 // Function pointers are encoded base == bound == ptr (§5.2):
-                // a zero-sized "object" no data pointer can carry.
+                // a zero-sized "object" no data pointer can carry. This
+                // check traps under *every* policy: there is no meaningful
+                // "clamped" control transfer, and continuing past a failed
+                // fn-ptr check would turn a detected hijack into UB.
                 if ptr != 0 && base == ptr && bound == ptr {
                     Ok([0, 0])
                 } else {
@@ -190,6 +277,8 @@ impl<F: MetadataFacility> RuntimeHooks for SoftBoundRuntime<F> {
             RtFn::SbVaCheck => {
                 ctx.add_cost(2);
                 let idx = args[0];
+                // Like SbFnCheck, vararg-index checks trap under every
+                // policy: there is no in-bounds vararg slot to clamp to.
                 if idx < 0 || idx as u64 >= ctx.vararg_count {
                     Err(Trap::SpatialViolation {
                         scheme: "softbound",
@@ -212,6 +301,45 @@ impl<F: MetadataFacility> RuntimeHooks for SoftBoundRuntime<F> {
         }
     }
 
+    /// Decides what a libc-wrapper bounds failure does. Under Strict the
+    /// builtin traps exactly as before — and, as before, without touching
+    /// the runtime's violation counter (wrapper traps fire in the VM, not
+    /// in an `SbCheck`; the differential suites pin that counter). Under
+    /// Hardened/Monitor the violation is counted, evidence is recorded
+    /// with the wrapper's whole intended range as the access size, and
+    /// the builtin clamps or proceeds.
+    fn on_builtin_violation(
+        &mut self,
+        v: &BuiltinViolation,
+        ctx: &mut RtCtx,
+    ) -> ViolationDisposition {
+        match self.policy {
+            ViolationPolicy::Strict => ViolationDisposition::Trap,
+            ViolationPolicy::Hardened => {
+                self.violation_count += 1;
+                let action = if v.write {
+                    PolicyAction::ClampedWrite
+                } else {
+                    PolicyAction::ZeroedRead
+                };
+                self.record(v.ptr, v.len, (v.base, v.bound), v.write, action, ctx.pc);
+                ViolationDisposition::Clamp
+            }
+            ViolationPolicy::Monitor => {
+                self.violation_count += 1;
+                self.record(
+                    v.ptr,
+                    v.len,
+                    (v.base, v.bound),
+                    v.write,
+                    PolicyAction::Observed,
+                    ctx.pc,
+                );
+                ViolationDisposition::Observe
+            }
+        }
+    }
+
     /// Clears all metadata and counters while keeping the facility's
     /// expensive allocations (shadow directory, hash buckets) alive —
     /// what lets an [`Instance`](crate::Instance) serve back-to-back
@@ -220,6 +348,7 @@ impl<F: MetadataFacility> RuntimeHooks for SoftBoundRuntime<F> {
         self.facility.reset();
         self.check_count = 0;
         self.violation_count = 0;
+        self.evidence.reset();
     }
 }
 
@@ -442,6 +571,156 @@ mod tests {
         assert!(rt
             .rt_call(RtFn::SbVaCheck, &[3], &mut mem, &mut ctx)
             .is_err());
+    }
+
+    #[test]
+    fn hardened_check_absorbs_orders_repair_and_records_evidence() {
+        let mut rt = SoftBoundRuntime::new_paged(&SoftBoundConfig::hardened());
+        let mut mem = Mem::new();
+        let mut ctx = RtCtx {
+            pc: 42,
+            ..RtCtx::default()
+        };
+        // An 8-byte store straddling the bound: absorbed, repair ordered.
+        assert!(rt
+            .rt_call(
+                RtFn::SbCheck { is_store: true },
+                &[0x1039, 0x1000, 0x1040, 8],
+                &mut mem,
+                &mut ctx
+            )
+            .is_ok());
+        assert_eq!(ctx.repair, Some((0x1000, 0x1040)));
+        assert_eq!(rt.violation_count, 1);
+        let ev = rt.drain_evidence();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].pc, 42);
+        assert_eq!(ev[0].ptr, 0x1039);
+        assert_eq!(ev[0].fault_addr, 0x1040, "starts in bounds: fault at bound");
+        assert_eq!(ev[0].size, 8);
+        assert_eq!((ev[0].base, ev[0].bound), (0x1000, 0x1040));
+        assert!(ev[0].write);
+        assert_eq!(ev[0].action, PolicyAction::ClampedWrite);
+        // A safe check afterwards: no repair, no evidence.
+        ctx.repair = None;
+        assert!(rt
+            .rt_call(
+                RtFn::SbCheck { is_store: false },
+                &[0x1000, 0x1000, 0x1040, 8],
+                &mut mem,
+                &mut ctx
+            )
+            .is_ok());
+        assert_eq!(ctx.repair, None);
+        assert_eq!(rt.evidence_len(), 0);
+    }
+
+    #[test]
+    fn monitor_check_observes_without_repair() {
+        let mut rt = SoftBoundRuntime::new_paged(&SoftBoundConfig::monitor());
+        let mut mem = Mem::new();
+        let mut ctx = RtCtx::default();
+        // Below-base load: absorbed, no repair (access proceeds as-is).
+        assert!(rt
+            .rt_call(
+                RtFn::SbCheck { is_store: false },
+                &[0xfff, 0x1000, 0x1040, 1],
+                &mut mem,
+                &mut ctx
+            )
+            .is_ok());
+        assert_eq!(ctx.repair, None);
+        let ev = rt.drain_evidence();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].fault_addr, 0xfff, "starts below base: fault at ptr");
+        assert_eq!(ev[0].action, PolicyAction::Observed);
+        assert!(!ev[0].write);
+    }
+
+    #[test]
+    fn fn_and_va_checks_trap_under_every_policy() {
+        for cfg in [SoftBoundConfig::hardened(), SoftBoundConfig::monitor()] {
+            let mut rt = SoftBoundRuntime::new_paged(&cfg);
+            let mut mem = Mem::new();
+            let mut ctx = RtCtx {
+                vararg_count: 1,
+                ..RtCtx::default()
+            };
+            assert!(rt
+                .rt_call(
+                    RtFn::SbFnCheck,
+                    &[0x1000, 0x1000, 0x1040],
+                    &mut mem,
+                    &mut ctx
+                )
+                .is_err());
+            assert!(rt
+                .rt_call(RtFn::SbVaCheck, &[3], &mut mem, &mut ctx)
+                .is_err());
+            assert_eq!(ctx.repair, None);
+        }
+    }
+
+    #[test]
+    fn builtin_violation_disposition_follows_policy() {
+        let v = BuiltinViolation {
+            ptr: 0x1030,
+            len: 0x20,
+            base: 0x1000,
+            bound: 0x1040,
+            write: true,
+        };
+        let mut ctx = RtCtx {
+            pc: 7,
+            ..RtCtx::default()
+        };
+        let mut strict = SoftBoundRuntime::new_paged(&SoftBoundConfig::default());
+        assert_eq!(
+            strict.on_builtin_violation(&v, &mut ctx),
+            ViolationDisposition::Trap
+        );
+        assert_eq!(
+            strict.violation_count, 0,
+            "Strict wrapper counters unchanged"
+        );
+
+        let mut hardened = SoftBoundRuntime::new_paged(&SoftBoundConfig::hardened());
+        assert_eq!(
+            hardened.on_builtin_violation(&v, &mut ctx),
+            ViolationDisposition::Clamp
+        );
+        let ev = hardened.drain_evidence();
+        assert_eq!(ev[0].fault_addr, 0x1040, "in-bounds start clamps at bound");
+        assert_eq!(ev[0].size, 0x20);
+        assert_eq!(ev[0].pc, 7);
+        assert_eq!(ev[0].action, PolicyAction::ClampedWrite);
+        assert_eq!(hardened.violation_count, 1);
+
+        let mut monitor = SoftBoundRuntime::new_paged(&SoftBoundConfig::monitor());
+        assert_eq!(
+            monitor.on_builtin_violation(&v, &mut ctx),
+            ViolationDisposition::Observe
+        );
+        assert_eq!(monitor.drain_evidence()[0].action, PolicyAction::Observed);
+    }
+
+    #[test]
+    fn reset_clears_the_evidence_ring() {
+        let mut rt = SoftBoundRuntime::new_paged(&SoftBoundConfig::hardened());
+        let mut mem = Mem::new();
+        let mut ctx = RtCtx::default();
+        rt.rt_call(
+            RtFn::SbCheck { is_store: true },
+            &[0x2000, 0, 0, 1],
+            &mut mem,
+            &mut ctx,
+        )
+        .expect("hardened absorbs");
+        assert_eq!(rt.evidence_len(), 1);
+        rt.reset();
+        assert_eq!(rt.evidence_len(), 0);
+        assert_eq!(rt.evidence_overflow(), 0);
+        assert_eq!(rt.violation_count, 0);
     }
 
     #[test]

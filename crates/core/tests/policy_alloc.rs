@@ -1,0 +1,116 @@
+//! Proves evidence telemetry is allocation-free in the steady state.
+//!
+//! The evidence ring is preallocated at instance construction
+//! (`SoftBoundConfig::evidence_capacity` records) and recording a
+//! violation under the Hardened policy only writes into it — so a
+//! warmed instance replaying an overflow-heavy program must ask the
+//! host allocator for nothing, evidence emission included. Draining
+//! returns a fresh `Vec` and is therefore done outside the measured
+//! window (that is the caller's explicit export step, not the hot
+//! path).
+
+use softbound::{Engine, ViolationPolicy};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Serializes the measuring sections: the allocation counter is global,
+/// so concurrently running tests would see each other's allocations.
+static MEASURE: Mutex<()> = Mutex::new(());
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}
+
+/// Runs `window` until it reports zero allocations, up to a few
+/// attempts, returning the last attempt's delta. The counter is
+/// process-global, so the measured section also sees transient
+/// allocations from the libtest harness's own threads; noise can only
+/// *add* counts, so a genuinely allocation-free replay reaches zero on
+/// some attempt, while a real per-record allocation repeats every time.
+fn min_delta_over_attempts(mut window: impl FnMut() -> u64) -> u64 {
+    let mut delta = u64::MAX;
+    for _ in 0..5 {
+        delta = window();
+        if delta == 0 {
+            break;
+        }
+    }
+    delta
+}
+
+/// Overflow-heavy, allocation-free probe: a guarded stack buffer is
+/// overrun through explicit per-access checks (no printf, no malloc, no
+/// string builtins — the program itself asks the host for nothing).
+/// With `n = 64`, indices `i & 31` hit 16..31 twice: 32 clamped stores,
+/// 32 evidence records per run — well inside the default ring capacity.
+const PROBE: &str = r#"
+    int main(int n) {
+        char buf[16];
+        int sum = 0;
+        for (int i = 0; i < n; i = i + 1) buf[i & 31] = (char)i;
+        for (int i = 0; i < 16; i = i + 1) sum = sum + buf[i];
+        return sum > 0;
+    }
+"#;
+
+#[test]
+fn warm_hardened_instance_records_evidence_without_allocating() {
+    // Locked before any setup: compilation in a concurrently-running
+    // test would bump the shared counter mid-measurement.
+    let _guard = MEASURE.lock().expect("no poisoned measurements");
+    let engine = Engine::new().policy(ViolationPolicy::Hardened);
+    let program = engine.compile(PROBE).expect("compiles");
+    let mut instance = engine.instantiate(&program);
+
+    // Warmup: maps the stack pages, grows the frame pool, and exercises
+    // the full clamp + record path once.
+    let warm = instance.run("main", &[64]);
+    assert_eq!(warm.ret(), Some(1), "{:?}", warm.outcome);
+    assert_eq!(instance.evidence_len(), 32, "32 clamped stores per run");
+    let drained = instance.drain_evidence();
+    assert_eq!(drained.len(), 32);
+
+    let mut evidence_len = 0;
+    let delta = min_delta_over_attempts(|| {
+        let before = allocs();
+        let again = instance.run("main", &[64]);
+        let delta = allocs() - before;
+        assert_eq!(again.ret(), Some(1), "{:?}", again.outcome);
+        evidence_len = instance.evidence_len();
+        delta
+    });
+    assert_eq!(
+        evidence_len, 32,
+        "every replay must re-record the full evidence stream"
+    );
+    assert_eq!(instance.evidence_overflow(), 0);
+    assert_eq!(
+        delta, 0,
+        "warm hardened run must not allocate while emitting evidence: \
+         {delta} allocations for {evidence_len} records"
+    );
+}

@@ -32,6 +32,14 @@ pub enum OptLevel {
     /// After instrumentation: loads and `Rt` calls are pinned (except
     /// provably redundant checks, which check elimination removes).
     PostInstrument,
+    /// [`PostInstrument`](OptLevel::PostInstrument) without the
+    /// redundant-check-elimination pass. Repair-and-continue violation
+    /// policies need every check retained: RCE's soundness argument —
+    /// "an earlier *passed* check proves this one passes" — inverts
+    /// under a policy that lets execution continue past a *failed*
+    /// check, and a clamp applies only to the one access its own check
+    /// guards.
+    PostInstrumentAllChecks,
 }
 
 /// Statistics of one optimizer run.
@@ -301,7 +309,7 @@ fn has_side_effect(inst: &Inst, level: OptLevel) -> bool {
         | Inst::Br { .. }
         | Inst::Unreachable
         | Inst::Alloca { .. } => true,
-        Inst::Load { .. } => level == OptLevel::PostInstrument,
+        Inst::Load { .. } => level != OptLevel::PreInstrument,
         _ => false,
     }
 }
@@ -1100,6 +1108,29 @@ mod tests {
             pre.checks_eliminated, 0,
             "pre-instrument runs no check elimination"
         );
+    }
+
+    #[test]
+    fn all_checks_level_pins_redundant_checks_and_loads() {
+        let (p, b, e) = args();
+        let mut m = Module {
+            name: "t".into(),
+            globals: vec![],
+            funcs: vec![shell(vec![Block {
+                insts: vec![
+                    check(p, b, e, 4),
+                    check(p, b, e, 4),
+                    Inst::Ret { vals: vec![] },
+                ],
+            }])],
+        };
+        let stats = optimize_with_stats(&mut m, OptLevel::PostInstrumentAllChecks);
+        assert_eq!(
+            stats.checks_eliminated, 0,
+            "repair policies keep every check"
+        );
+        assert_eq!(count_checks(&m.funcs[0]), 2);
+        verify(&m).expect("still verifies");
     }
 
     #[test]

@@ -28,7 +28,8 @@
 use crate::exec::{global_layout_into, ExecCallee, ExecModule, Op, OpVal};
 use crate::mem::{decode_fn_addr, fn_addr, Heap, Mem, FN_BASE, GLOBAL_BASE, STACK_BASE};
 use crate::rt::{
-    CacheConfig, CacheSim, CostModel, ExecStats, NoRuntime, Outcome, RtCtx, RuntimeHooks, Trap,
+    BuiltinViolation, CacheConfig, CacheSim, CostModel, ExecStats, NoRuntime, Outcome, RtCtx,
+    RuntimeHooks, Trap, ViolationDisposition,
 };
 use sb_cir::hir::Builtin;
 use sb_ir::opt::{eval_bin, eval_cmp};
@@ -188,6 +189,13 @@ pub struct Machine<'m, H: RuntimeHooks = Box<dyn RuntimeHooks>> {
     call_args: Vec<i64>,
     setjmps: Vec<JumpPoint>,
     ctx: RtCtx,
+    /// Repair order handed down by the last check's runtime response
+    /// (`RtCtx::repair`), waiting for the access that check guards: the
+    /// next load/store consumes it and clamps itself to these bounds.
+    /// Instrumentation places each check immediately before its access
+    /// (metadata ops may intervene, but never another access), so the
+    /// hand-off is unambiguous in both lanes.
+    pending_clamp: Option<(u64, u64)>,
     fuel: u64,
     frame_serial: u64,
 }
@@ -245,6 +253,7 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
             call_args: Vec::new(),
             setjmps: Vec::new(),
             ctx,
+            pending_clamp: None,
             fuel,
             frame_serial: 0,
         };
@@ -295,6 +304,7 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
         self.global_addrs.clear();
         self.hooks.reset();
         self.ctx.reset(0);
+        self.pending_clamp = None;
         self.layout_globals();
     }
 
@@ -445,15 +455,17 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
                 output: String::new(),
             };
         };
-        let ctors: Vec<FuncId> = (0..self.module.funcs.len() as u32)
-            .map(FuncId)
-            .filter(|f| {
-                let func = &self.module.funcs[f.0 as usize];
-                func.defined && func.name.starts_with("__ctor.")
-            })
-            .collect();
+        // `self.module` is a shared reference; copying it out lets the
+        // ctor scan walk the function table while `invoke` borrows the
+        // machine mutably — without collecting ids into a Vec (this is
+        // the run path's only steady-state host allocation otherwise).
+        let module = self.module;
         let mut outcome = None;
-        for ctor in ctors {
+        for (i, func) in module.funcs.iter().enumerate() {
+            if !(func.defined && func.name.starts_with("__ctor.")) {
+                continue;
+            }
+            let ctor = FuncId(i as u32);
             let r = if predecoded {
                 self.invoke_exec(ctor, &[])
             } else {
@@ -751,7 +763,12 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
             Inst::Load { dst, mem, addr } => {
                 let a = self.val(addr) as u64;
                 let size = mem.size();
-                let raw = self.mem.read_uint(a, size)?;
+                let raw = if self.pending_clamp.is_some() {
+                    let (lo, hi) = self.pending_clamp.take().expect("just checked");
+                    self.mem.read_uint_clamped(a, size, lo, hi)?
+                } else {
+                    self.mem.read_uint(a, size)?
+                };
                 let v = extend(raw, *mem);
                 self.stats.loads += 1;
                 if mem.is_ptr() {
@@ -764,7 +781,13 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
             Inst::Store { mem, addr, value } => {
                 let a = self.val(addr) as u64;
                 let v = self.val(value);
-                self.mem.write_uint(a, mem.size(), v as u64)?;
+                if self.pending_clamp.is_some() {
+                    let (lo, hi) = self.pending_clamp.take().expect("just checked");
+                    self.mem
+                        .write_uint_clamped(a, mem.size(), v as u64, lo, hi)?;
+                } else {
+                    self.mem.write_uint(a, mem.size(), v as u64)?;
+                }
                 self.stats.stores += 1;
                 if mem.is_ptr() {
                     self.stats.ptr_mem_ops += 1;
@@ -843,6 +866,7 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
                 let avs = &abuf[..args.len()];
                 let va = self.frames.last().expect("frame").varargs.len() as u64;
                 self.ctx.reset(va);
+                self.ctx.pc = self.stats.insts;
                 self.stats.rt_calls += 1;
                 // Classification shared with the pre-decoded lane so the
                 // two can never disagree on what counts as a check.
@@ -855,6 +879,12 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
                 }
                 let res = self.hooks.rt_call(*rt, avs, &mut self.mem, &mut self.ctx);
                 self.charge_ctx();
+                // A repair-and-continue runtime absorbed a violation:
+                // carry its clamp order to the access this check guards
+                // (conditional, so intervening metadata ops pass through).
+                if let Some(r) = self.ctx.repair.take() {
+                    self.pending_clamp = Some(r);
+                }
                 let vals = res?;
                 for (i, d) in dsts.iter().enumerate() {
                     self.set_reg(*d, vals[i]);
@@ -981,7 +1011,12 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
             }
             Op::Load { dst, mem, addr } => {
                 let a = rd!(addr) as u64;
-                let raw = self.mem.read_uint(a, mem.size())?;
+                let raw = if self.pending_clamp.is_some() {
+                    let (lo, hi) = self.pending_clamp.take().expect("just checked");
+                    self.mem.read_uint_clamped(a, mem.size(), lo, hi)?
+                } else {
+                    self.mem.read_uint(a, mem.size())?
+                };
                 frame.regs[dst as usize] = extend(raw, mem);
                 self.stats.loads += 1;
                 if mem.is_ptr() {
@@ -993,7 +1028,13 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
             Op::Store { mem, addr, value } => {
                 let a = rd!(addr) as u64;
                 let v = rd!(value);
-                self.mem.write_uint(a, mem.size(), v as u64)?;
+                if self.pending_clamp.is_some() {
+                    let (lo, hi) = self.pending_clamp.take().expect("just checked");
+                    self.mem
+                        .write_uint_clamped(a, mem.size(), v as u64, lo, hi)?;
+                } else {
+                    self.mem.write_uint(a, mem.size(), v as u64)?;
+                }
                 self.stats.stores += 1;
                 if mem.is_ptr() {
                     self.stats.ptr_mem_ops += 1;
@@ -1015,10 +1056,14 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
                 let avs = [p, rd!(base), rd!(bound), mem.size() as i64];
                 let va = frame.varargs.len() as u64;
                 self.ctx.reset(va);
+                self.ctx.pc = self.stats.insts;
                 self.stats.rt_calls += 1;
                 self.stats.checks += 1;
                 let res = self.hooks.rt_call(rt, &avs, &mut self.mem, &mut self.ctx);
                 self.charge_ctx();
+                // The fused pair consumes a repair order directly: the
+                // guarded access is the very next half of this op.
+                let repair = self.ctx.repair.take();
                 res?;
                 // Second half: the guarded load, with its own fuel and
                 // instruction tick.
@@ -1028,7 +1073,11 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
                 self.fuel -= 1;
                 self.stats.insts += 1;
                 let a = p as u64;
-                let raw = self.mem.read_uint(a, mem.size())?;
+                let raw = if let Some((lo, hi)) = repair {
+                    self.mem.read_uint_clamped(a, mem.size(), lo, hi)?
+                } else {
+                    self.mem.read_uint(a, mem.size())?
+                };
                 let v = extend(raw, mem);
                 self.stats.loads += 1;
                 if mem.is_ptr() {
@@ -1051,10 +1100,12 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
                 let avs = [p, rd!(base), rd!(bound), mem.size() as i64];
                 let va = frame.varargs.len() as u64;
                 self.ctx.reset(va);
+                self.ctx.pc = self.stats.insts;
                 self.stats.rt_calls += 1;
                 self.stats.checks += 1;
                 let res = self.hooks.rt_call(rt, &avs, &mut self.mem, &mut self.ctx);
                 self.charge_ctx();
+                let repair = self.ctx.repair.take();
                 res?;
                 if self.fuel == 0 {
                     return Err(Trap::FuelExhausted);
@@ -1062,7 +1113,12 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
                 self.fuel -= 1;
                 self.stats.insts += 1;
                 let a = p as u64;
-                self.mem.write_uint(a, mem.size(), v as u64)?;
+                if let Some((lo, hi)) = repair {
+                    self.mem
+                        .write_uint_clamped(a, mem.size(), v as u64, lo, hi)?;
+                } else {
+                    self.mem.write_uint(a, mem.size(), v as u64)?;
+                }
                 self.stats.stores += 1;
                 if mem.is_ptr() {
                     self.stats.ptr_mem_ops += 1;
@@ -1130,6 +1186,7 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
                 let avs = &abuf[..avs_src.len()];
                 let va = frame.varargs.len() as u64;
                 self.ctx.reset(va);
+                self.ctx.pc = self.stats.insts;
                 self.stats.rt_calls += 1;
                 if rt.is_check() {
                     self.stats.checks += 1;
@@ -1140,6 +1197,12 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
                 }
                 let res = self.hooks.rt_call(rt, avs, &mut self.mem, &mut self.ctx);
                 self.charge_ctx();
+                // Un-fused checks (e.g. before pointer-typed loads, where
+                // a metadata load sits between check and access) hand
+                // their repair order to the next load/store.
+                if let Some(r) = self.ctx.repair.take() {
+                    self.pending_clamp = Some(r);
+                }
                 let vals = res?;
                 for (i, d) in func.regs[dsts.range()].iter().enumerate() {
                     self.set_reg(*d, vals[i]);
@@ -1200,27 +1263,6 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
                 m.set_reg(d, v);
             }
         };
-        // Helper for wrapper-mode range checks (the paper's library
-        // wrappers, §5.2): `base <= lo && hi <= bound`. The wrapper runs
-        // *before* the builtin touches memory, so on a violation nothing
-        // has been accessed yet; the reported address is the first
-        // out-of-bounds byte the builtin *would* have touched — `lo` when
-        // the access starts outside the object, otherwise `bound` (the
-        // first byte past the object an upward walk reaches). The libc
-        // conformance harness pins this address against the per-byte
-        // check path, which traps at exactly the same byte.
-        let check_range = |lo: u64, len: u64, base: i64, bound: i64, write: bool| {
-            let (base, bound) = (base as u64, bound as u64);
-            if lo < base || lo + len > bound {
-                Err(Trap::SpatialViolation {
-                    scheme: "softbound-wrapper",
-                    addr: if lo < base || lo >= bound { lo } else { bound },
-                    write,
-                })
-            } else {
-                Ok(())
-            }
-        };
         match b {
             Builtin::Malloc | Builtin::Calloc => {
                 let size = if b == Builtin::Calloc {
@@ -1263,16 +1305,20 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
             }
             Builtin::Memcpy => {
                 let (d, s, n) = (args[0] as u64, args[1] as u64, args[2].max(0) as u64);
+                let mut eff = n;
                 if wrapped {
-                    // One check per buffer, at the start (§5.2).
-                    check_range(s, n, args[3 + 2], args[3 + 3], false)?; // src bounds
-                    check_range(d, n, args[3], args[3 + 1], true)?; // dst bounds
+                    // One check per buffer, at the start (§5.2). A
+                    // clamping policy truncates the copy to what both
+                    // buffers can legally provide/receive.
+                    let es = self.wrapper_check(s, n, args[3 + 2], args[3 + 3], false)?; // src bounds
+                    let ed = self.wrapper_check(d, n, args[3], args[3 + 1], true)?; // dst bounds
+                    eff = es.min(ed);
                     self.stats.checks += 2;
                     self.stats.cycles += 6;
                 }
-                self.hook_range(s, n, false)?;
-                self.hook_range(d, n, true)?;
-                self.copy_bytes(d, s, n)?;
+                self.hook_range(s, eff, false)?;
+                self.hook_range(d, eff, true)?;
+                self.copy_bytes(d, s, eff)?;
                 self.stats.cycles += 4 + n / 8;
                 set(self, 0, d as i64);
                 if wrapped {
@@ -1282,16 +1328,17 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
             }
             Builtin::Memset => {
                 let (d, c, n) = (args[0] as u64, args[1] as u8, args[2].max(0) as u64);
+                let mut eff = n;
                 if wrapped {
-                    check_range(d, n, args[3], args[4], true)?;
+                    eff = self.wrapper_check(d, n, args[3], args[4], true)?;
                     self.stats.checks += 1;
                     self.stats.cycles += 3;
                 }
-                self.hook_range(d, n, true)?;
+                self.hook_range(d, eff, true)?;
                 let chunk = vec![c; 256];
                 let mut off = 0;
-                while off < n {
-                    let len = (n - off).min(256);
+                while off < eff {
+                    let len = (eff - off).min(256);
                     self.mem.write(d + off, &chunk[..len as usize])?;
                     off += len;
                 }
@@ -1311,16 +1358,26 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
                     0
                 };
                 let n = sv.len() as u64 + 1;
+                let (mut eff_s, mut eff_d) = (n, n);
                 if wrapped {
-                    check_range(s, n, args[4], args[5], false)?;
-                    check_range(d + dlen, n, args[2], args[3], true)?;
+                    eff_s = self.wrapper_check(s, n, args[4], args[5], false)?;
+                    eff_d = self.wrapper_check(d + dlen, n, args[2], args[3], true)?;
                     self.stats.checks += 2;
                     self.stats.cycles += 6;
                 }
-                self.hook_range(s, n, false)?;
-                self.hook_range(d + dlen, n, true)?;
-                self.mem.write(d + dlen, &sv)?;
-                self.mem.write_uint(d + dlen + sv.len() as u64, 1, 0)?;
+                // A clamped source read zero-fills past its bound, so the
+                // effective payload ends there; a clamped destination
+                // truncates the write (terminator included only if it
+                // still fits).
+                let payload = &sv[..sv.len().min(eff_s as usize)];
+                let w = (payload.len() as u64 + 1).min(eff_d);
+                self.hook_range(s, eff_s.min(n), false)?;
+                self.hook_range(d + dlen, w, true)?;
+                self.mem
+                    .write(d + dlen, &payload[..payload.len().min(w as usize)])?;
+                if w > payload.len() as u64 {
+                    self.mem.write_uint(d + dlen + payload.len() as u64, 1, 0)?;
+                }
                 self.stats.cycles += 4 + n;
                 set(self, 0, d as i64);
                 if wrapped {
@@ -1331,17 +1388,22 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
             Builtin::Strncpy => {
                 let (d, s, n) = (args[0] as u64, args[1] as u64, args[2].max(0) as u64);
                 let sv = self.mem.read_cstr(s, n)?;
+                let src_len = (sv.len() as u64 + 1).min(n);
+                let (mut eff_d, mut eff_s) = (n, src_len);
                 if wrapped {
-                    check_range(d, n, args[3], args[4], true)?;
-                    check_range(s, (sv.len() as u64 + 1).min(n), args[5], args[6], false)?;
+                    eff_d = self.wrapper_check(d, n, args[3], args[4], true)?;
+                    eff_s = self.wrapper_check(s, src_len, args[5], args[6], false)?;
                     self.stats.checks += 2;
                     self.stats.cycles += 6;
                 }
-                self.hook_range(s, (sv.len() as u64 + 1).min(n), false)?;
-                self.hook_range(d, n, true)?;
-                let mut buf = sv.clone();
+                self.hook_range(s, eff_s.min(src_len), false)?;
+                self.hook_range(d, eff_d.min(n), true)?;
+                // Clamped source: payload ends at the boundary (zero-fill
+                // behaves like an early terminator). Clamped destination:
+                // the n-byte write is truncated to the in-bounds prefix.
+                let mut buf = sv[..sv.len().min(eff_s as usize)].to_vec();
                 buf.resize(n as usize, 0);
-                self.mem.write(d, &buf)?;
+                self.mem.write(d, &buf[..(n.min(eff_d)) as usize])?;
                 self.stats.cycles += 4 + n;
                 set(self, 0, d as i64);
                 if wrapped {
@@ -1352,14 +1414,18 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
             Builtin::Strlen => {
                 let s = args[0] as u64;
                 let sv = self.mem.read_cstr(s, 1 << 20)?;
+                let n = sv.len() as u64 + 1;
+                let mut eff = n;
                 if wrapped {
-                    check_range(s, sv.len() as u64 + 1, args[1], args[2], false)?;
+                    eff = self.wrapper_check(s, n, args[1], args[2], false)?;
                     self.stats.checks += 1;
                     self.stats.cycles += 3;
                 }
-                self.hook_range(s, sv.len() as u64 + 1, false)?;
+                self.hook_range(s, eff.min(n), false)?;
                 self.stats.cycles += 2 + sv.len() as u64;
-                set(self, 0, sv.len() as i64);
+                // A clamped scan stops at the boundary: the zero-fill
+                // past the object reads as a terminator.
+                set(self, 0, (sv.len() as u64).min(eff) as i64);
             }
             Builtin::Strcmp | Builtin::Strncmp => {
                 let a = self.mem.read_cstr(args[0] as u64, 1 << 20)?;
@@ -1377,20 +1443,37 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
                     let (alen, clen) = (a.len() as u64 + 1, c.len() as u64 + 1);
                     (a, c, alen, clen)
                 };
+                let (mut eff_a, mut eff_c) = (alen, clen);
                 if wrapped {
                     let boff = if b == Builtin::Strncmp { 3 } else { 2 };
-                    check_range(args[0] as u64, alen, args[boff], args[boff + 1], false)?;
-                    check_range(args[1] as u64, clen, args[boff + 2], args[boff + 3], false)?;
+                    eff_a = self.wrapper_check(
+                        args[0] as u64,
+                        alen,
+                        args[boff],
+                        args[boff + 1],
+                        false,
+                    )?;
+                    eff_c = self.wrapper_check(
+                        args[1] as u64,
+                        clen,
+                        args[boff + 2],
+                        args[boff + 3],
+                        false,
+                    )?;
                     self.stats.checks += 2;
                     self.stats.cycles += 6;
                 }
+                // Clamped reads end at the boundary (zero-fill acts as a
+                // terminator), so a clamped compare sees the truncation.
+                let a = &a[..a.len().min(eff_a as usize)];
+                let c = &c[..c.len().min(eff_c as usize)];
                 self.hook_range(args[0] as u64, a.len() as u64 + 1, false)?;
                 self.hook_range(args[1] as u64, c.len() as u64 + 1, false)?;
                 self.stats.cycles += 2 + a.len().min(c.len()) as u64;
                 set(
                     self,
                     0,
-                    match a.cmp(&c) {
+                    match a.cmp(c) {
                         std::cmp::Ordering::Less => -1,
                         std::cmp::Ordering::Equal => 0,
                         std::cmp::Ordering::Greater => 1,
@@ -1403,13 +1486,15 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
             }
             Builtin::Puts => {
                 let s = self.mem.read_cstr(args[0] as u64, 1 << 20)?;
+                let n = s.len() as u64 + 1;
+                let mut eff = n;
                 if wrapped {
-                    check_range(args[0] as u64, s.len() as u64 + 1, args[1], args[2], false)?;
+                    eff = self.wrapper_check(args[0] as u64, n, args[1], args[2], false)?;
                     self.stats.checks += 1;
                 }
-                self.hook_range(args[0] as u64, s.len() as u64 + 1, false)?;
+                self.hook_range(args[0] as u64, eff.min(n), false)?;
                 self.stats.cycles += 2 + s.len() as u64;
-                self.emit_out(&s);
+                self.emit_out(&s[..s.len().min(eff as usize)]);
                 self.emit_out(b"\n");
                 set(self, 0, 0);
             }
@@ -1428,8 +1513,9 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
             }
             Builtin::Setjmp => {
                 let buf = args[0] as u64;
+                let mut eff = 8u64;
                 if wrapped {
-                    check_range(buf, 8, args[1], args[2], true)?;
+                    eff = self.wrapper_check(buf, 8, args[1], args[2], true)?;
                     self.stats.checks += 1;
                 }
                 let frame = self.frames.last().expect("frame");
@@ -1443,7 +1529,11 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
                 };
                 let token = SETJMP_TOKEN_BASE | self.setjmps.len() as u64;
                 self.setjmps.push(jp);
-                self.mem.write_uint(buf, 8, token)?;
+                // A clamped jmp_buf write stores only the in-bounds prefix
+                // of the token; a later longjmp through it reports a
+                // corrupted buffer instead of jumping wild.
+                self.mem
+                    .write(buf, &token.to_le_bytes()[..eff.min(8) as usize])?;
                 self.stats.cycles += 6;
                 set(self, 0, 0);
             }
@@ -1534,6 +1624,67 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
         Ok(Flow::Continue)
     }
 
+    /// Wrapper-mode range check (the paper's library wrappers, §5.2):
+    /// `base <= lo && lo + len <= bound`, routed through the installed
+    /// runtime's violation policy. Returns how many bytes of the
+    /// intended range the builtin may touch:
+    ///
+    /// * in bounds — the full `len` (the common path; the runtime is
+    ///   not consulted, so a trap-policy run pays nothing here);
+    /// * violation, policy traps — `Trap::SpatialViolation` with scheme
+    ///   `"softbound-wrapper"`. The wrapper runs *before* the builtin
+    ///   touches memory, so nothing has been accessed yet; the reported
+    ///   address is the first out-of-bounds byte the builtin *would*
+    ///   have touched — `lo` when the access starts outside the object,
+    ///   otherwise `bound` (the first byte past the object an upward
+    ///   walk reaches). The libc conformance harness pins this address
+    ///   against the per-byte check path, which traps at the same byte;
+    /// * violation, policy clamps — the in-bounds prefix (`bound - lo`,
+    ///   or 0 when the range starts outside the object entirely);
+    /// * violation, policy observes — the full `len`.
+    fn wrapper_check(
+        &mut self,
+        lo: u64,
+        len: u64,
+        base: i64,
+        bound: i64,
+        write: bool,
+    ) -> Result<u64, Trap> {
+        let (base, bound) = (base as u64, bound as u64);
+        if lo >= base && lo + len <= bound {
+            return Ok(len);
+        }
+        let va = self
+            .frames
+            .last()
+            .map(|f| f.varargs.len() as u64)
+            .unwrap_or(0);
+        self.ctx.reset(va);
+        self.ctx.pc = self.stats.insts;
+        let violation = BuiltinViolation {
+            ptr: lo,
+            len,
+            base,
+            bound,
+            write,
+        };
+        let disposition = self.hooks.on_builtin_violation(&violation, &mut self.ctx);
+        self.charge_ctx();
+        match disposition {
+            ViolationDisposition::Trap => Err(Trap::SpatialViolation {
+                scheme: "softbound-wrapper",
+                addr: if lo < base || lo >= bound { lo } else { bound },
+                write,
+            }),
+            ViolationDisposition::Clamp => Ok(if lo < base || lo >= bound {
+                0
+            } else {
+                bound - lo
+            }),
+            ViolationDisposition::Observe => Ok(len),
+        }
+    }
+
     /// Reports a builtin-touched buffer to the installed runtime (the
     /// libc-interposition point used by object-table and addressability
     /// schemes).
@@ -1573,7 +1724,7 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
     /// `0` flags and width. Returns the number of bytes written.
     fn printf(&mut self, args: &[i64], wrapped: bool) -> Result<i64, Trap> {
         let fmt_ptr = args[0] as u64;
-        let fmt = self.mem.read_cstr(fmt_ptr, 1 << 16)?;
+        let mut fmt = self.mem.read_cstr(fmt_ptr, 1 << 16)?;
         // In wrapper mode the last two args are the fmt bounds.
         let va_end = if wrapped {
             args.len().saturating_sub(2)
@@ -1581,15 +1732,14 @@ impl<'m, H: RuntimeHooks> Machine<'m, H> {
             args.len()
         };
         if wrapped {
-            let (base, bound) = (args[va_end] as u64, args[va_end + 1] as u64);
-            let lo = fmt_ptr;
-            if lo < base || lo + fmt.len() as u64 + 1 > bound {
-                return Err(Trap::SpatialViolation {
-                    scheme: "softbound-wrapper",
-                    addr: lo,
-                    write: false,
-                });
-            }
+            // Routed through the shared wrapper check so the format
+            // string's trap address follows the same first-out-of-bounds
+            // byte convention as every other wrapper (it used to report
+            // `lo` unconditionally), and so non-trap policies can clamp
+            // the scan at the boundary instead.
+            let n = fmt.len() as u64 + 1;
+            let eff = self.wrapper_check(fmt_ptr, n, args[va_end], args[va_end + 1], false)?;
+            fmt.truncate(fmt.len().min(eff as usize));
             self.stats.checks += 1;
         }
         let varargs = &args[1..va_end];

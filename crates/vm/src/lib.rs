@@ -36,6 +36,7 @@ pub use mem::{
     PAGE_SIZE, STACK_BASE,
 };
 pub use rt::{
-    AccessSink, CacheConfig, CacheSim, CacheStats, CostModel, ExecStats, NoRuntime, NoopSink,
-    Outcome, RtCtx, RtVals, RuntimeHooks, ScratchSink, Trap,
+    AccessSink, BuiltinViolation, CacheConfig, CacheSim, CacheStats, CostModel, ExecStats,
+    NoRuntime, NoopSink, Outcome, RtCtx, RtVals, RuntimeHooks, ScratchSink, Trap,
+    ViolationDisposition,
 };

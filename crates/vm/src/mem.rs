@@ -331,6 +331,60 @@ impl Mem {
         self.write(addr, &b[..size as usize])
     }
 
+    /// Reads an unsigned little-endian integer of `size` (≤ 8) bytes
+    /// with the access *clamped* to `[lo, hi)`: in-bounds bytes come
+    /// from memory, out-of-bounds bytes read as zero (a "zeroed read").
+    /// This is the access shape a repair-and-continue violation policy
+    /// substitutes for an out-of-bounds load — a fully out-of-bounds
+    /// access yields 0 and touches no memory at all.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault`] if an *in-bounds* byte lies on an unmapped page.
+    pub fn read_uint_clamped(
+        &mut self,
+        addr: u64,
+        size: u64,
+        lo: u64,
+        hi: u64,
+    ) -> Result<u64, MemFault> {
+        let mut b = [0u8; 8];
+        for i in 0..size.min(8) {
+            let a = addr.wrapping_add(i);
+            if a >= lo && a < hi {
+                b[i as usize] = self.read_uint(a, 1)? as u8;
+            }
+        }
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Writes the low `size` (≤ 8) bytes of `v` little-endian with the
+    /// access clamped to `[lo, hi)`: only in-bounds bytes are stored (a
+    /// "truncated write"), out-of-bounds bytes are dropped. The
+    /// repair-and-continue counterpart of an out-of-bounds store; a
+    /// fully out-of-bounds access stores nothing.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault`] if an *in-bounds* byte lies on an unmapped page.
+    pub fn write_uint_clamped(
+        &mut self,
+        addr: u64,
+        size: u64,
+        v: u64,
+        lo: u64,
+        hi: u64,
+    ) -> Result<(), MemFault> {
+        let b = v.to_le_bytes();
+        for i in 0..size.min(8) {
+            let a = addr.wrapping_add(i);
+            if a >= lo && a < hi {
+                self.write_uint(a, 1, b[i as usize] as u64)?;
+            }
+        }
+        Ok(())
+    }
+
     /// Order-independent digest of the full memory image (every mapped
     /// page's index and contents, folded in sorted page order). Two
     /// memories with identical mapped pages and bytes hash equal —
@@ -598,6 +652,40 @@ mod tests {
         m.map_range(0x2000, 16);
         m.write(0x2000, b"hi\0junk").expect("write");
         assert_eq!(m.read_cstr(0x2000, 16).expect("read"), b"hi");
+    }
+
+    #[test]
+    fn clamped_read_zero_fills_out_of_bounds_bytes() {
+        let mut m = Mem::new();
+        m.map_range(0x1000, 64);
+        m.write_uint(0x1000, 8, u64::MAX).expect("write");
+        // Object is [0x1000, 0x1004): upper 4 bytes of the read are OOB.
+        assert_eq!(
+            m.read_uint_clamped(0x1000, 8, 0x1000, 0x1004)
+                .expect("read"),
+            0x0000_0000_ffff_ffff
+        );
+        // Fully out of bounds: zero, even on unmapped addresses.
+        assert_eq!(m.read_uint_clamped(0x9000, 8, 0x1000, 0x1004), Ok(0));
+        // Straddling the base: low bytes OOB, high bytes in.
+        assert_eq!(
+            m.read_uint_clamped(0xffe, 4, 0x1000, 0x1004).expect("read"),
+            0xffff_0000
+        );
+    }
+
+    #[test]
+    fn clamped_write_stores_only_in_bounds_bytes() {
+        let mut m = Mem::new();
+        m.map_range(0x1000, 64);
+        m.write_uint_clamped(0x1002, 4, 0xaabb_ccdd, 0x1000, 0x1004)
+            .expect("write");
+        // Bytes at 0x1002..0x1004 stored, 0x1004..0x1006 dropped.
+        assert_eq!(m.read_uint(0x1000, 8).expect("read"), 0xccdd_0000);
+        // Fully out of bounds: no fault, no store, even unmapped.
+        m.write_uint_clamped(0x9000, 8, 0x1234, 0x1000, 0x1004)
+            .expect("write nothing");
+        assert!(!m.is_mapped(0x9000));
     }
 
     #[test]

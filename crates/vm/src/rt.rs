@@ -431,6 +431,16 @@ pub struct RtCtx {
     pub record_touched: bool,
     /// Number of variadic arguments of the current frame (for `SbVaCheck`).
     pub vararg_count: u64,
+    /// Dynamic instruction index at the call site — the "PC" a runtime
+    /// stamps into evidence records. The machine writes it before every
+    /// check-shaped hook call; [`reset`](RtCtx::reset) leaves it alone.
+    pub pc: u64,
+    /// Repair order from a repair-and-continue runtime: `Some((base,
+    /// bound))` means "the check I just ran would have trapped; perform
+    /// the guarded access clamped to these bounds instead". The machine
+    /// consumes it on the very next load/store (check and access are
+    /// adjacent by construction of the instrumentation pass).
+    pub repair: Option<(u64, u64)>,
 }
 
 impl RtCtx {
@@ -439,6 +449,7 @@ impl RtCtx {
         self.cost = 0;
         self.touched.clear();
         self.vararg_count = vararg_count;
+        self.repair = None;
     }
 }
 
@@ -456,6 +467,40 @@ impl AccessSink for RtCtx {
     fn wants_addresses(&self) -> bool {
         self.record_touched
     }
+}
+
+/// One §5.2 wrapper-check violation, reported to the installed runtime
+/// *before* the builtin touches memory. The VM describes the whole range
+/// the builtin wanted (`[ptr, ptr + len)`) against the pointer's bounds
+/// (`[base, bound)`); the runtime decides how the machine responds via
+/// [`ViolationDisposition`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuiltinViolation {
+    /// First byte the builtin would touch.
+    pub ptr: u64,
+    /// Length of the intended access in bytes.
+    pub len: u64,
+    /// Lower bound of the pointed-to object.
+    pub base: u64,
+    /// One past the last valid byte of the object.
+    pub bound: u64,
+    /// True if the builtin would write through this pointer.
+    pub write: bool,
+}
+
+/// How the installed runtime wants the VM to respond to a wrapper
+/// (builtin) range violation — the §5.2 `check_range` analogue of the
+/// violation policy applied on explicit checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationDisposition {
+    /// Abort with a `"softbound-wrapper"` [`Trap::SpatialViolation`]
+    /// (the paper's behaviour, and the default).
+    Trap,
+    /// Clamp the builtin's access to the in-bounds prefix of the range
+    /// (zero bytes when the range starts out of bounds) and continue.
+    Clamp,
+    /// Perform the full access anyway and continue (monitor-only mode).
+    Observe,
 }
 
 /// Return values of a runtime helper (at most 2: base and bound).
@@ -530,6 +575,22 @@ pub trait RuntimeHooks {
         Ok(())
     }
 
+    /// A §5.2 wrapper range check failed. The returned
+    /// [`ViolationDisposition`] tells the VM whether to trap (the
+    /// default, the paper's behaviour), clamp the builtin's access to
+    /// the in-bounds prefix, or perform it anyway — the seam a
+    /// repair-and-continue violation policy plugs into. Implementations
+    /// typically record evidence here; `ctx.pc` carries the dynamic
+    /// instruction index of the builtin call.
+    fn on_builtin_violation(
+        &mut self,
+        violation: &BuiltinViolation,
+        ctx: &mut RtCtx,
+    ) -> ViolationDisposition {
+        let _ = (violation, ctx);
+        ViolationDisposition::Trap
+    }
+
     /// Clears all per-execution state (metadata tables, counters) so a
     /// reused [`Machine`](crate::Machine) behaves exactly like a freshly
     /// constructed one while keeping expensive allocations alive.
@@ -586,6 +647,14 @@ impl<H: RuntimeHooks + ?Sized> RuntimeHooks for Box<H> {
         ctx: &mut RtCtx,
     ) -> Result<(), Trap> {
         (**self).check_builtin_range(ptr, len, is_store, ctx)
+    }
+
+    fn on_builtin_violation(
+        &mut self,
+        violation: &BuiltinViolation,
+        ctx: &mut RtCtx,
+    ) -> ViolationDisposition {
+        (**self).on_builtin_violation(violation, ctx)
     }
 
     fn reset(&mut self) {

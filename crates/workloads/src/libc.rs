@@ -163,6 +163,19 @@ pub fn all() -> Vec<LibcKernel> {
             trap_scheme: "softbound",
         },
         LibcKernel {
+            name: "negindex",
+            source: NEGINDEX,
+            description: "negative-index underflow (the libpng-style \
+                          `length - offset` pattern): a reverse scan starts at \
+                          d[cap - 1] and walks down len bytes, so len > cap \
+                          reads below the object's base — the only kernel whose \
+                          first out-of-bounds byte is *before* the object",
+            safe: |cap, len| len <= cap,
+            overflow_is_store: false,
+            fault_addr: |base, _, _| base.wrapping_sub(1),
+            trap_scheme: "softbound",
+        },
+        LibcKernel {
             name: "header",
             source: HEADER,
             description: "unchecked header copy (the nhttpd pattern): len \
@@ -345,6 +358,25 @@ int main(int cap, int len, int seed) {
 }
 "#;
 
+const NEGINDEX: &str = r#"
+// Negative-index underflow: a reverse scan anchored at the top of the
+// buffer (`d[cap - 1 - i]`) trusts the caller's len, so len > cap walks
+// below the object. The first out-of-bounds byte is base - 1 — an
+// *underflow*, which exercises the `ptr < base` arm of the check (every
+// other kernel overflows past `bound`).
+int main(int cap, int len, int seed) {
+    char* d = (char*)malloc(cap);
+    printf("G %ld %d\n", (long)d, cap);
+    for (int i = 0; i < cap; i++) d[i] = (char)('a' + ((seed + i) % 26));
+    int sum = 0;
+    for (int i = 0; i < len; i++) {
+        sum = (sum + d[cap - 1 - i]) % 100000;
+    }
+    printf("R %d\n", sum);
+    return sum;
+}
+"#;
+
 const HEADER: &str = r#"
 // Unchecked header copy (the nhttpd daemon pattern): a request-sized
 // copy into a fixed char[16] stack buffer. cap is ignored; the G line
@@ -367,13 +399,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn ten_kernels_with_unique_names() {
+    fn eleven_kernels_with_unique_names() {
         let kernels = all();
-        assert_eq!(kernels.len(), 10);
+        assert_eq!(kernels.len(), 11);
         let mut names: Vec<&str> = kernels.iter().map(|k| k.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 10, "kernel names must be unique");
+        assert_eq!(names.len(), 11, "kernel names must be unique");
     }
 
     #[test]
@@ -409,20 +441,28 @@ mod tests {
         // header ignores cap.
         assert!(safe("header", 1, 16));
         assert!(!safe("header", 48, 17));
+        // negindex scans down from the top of the buffer.
+        assert!(safe("negindex", 8, 8));
+        assert!(!safe("negindex", 8, 9));
     }
 
     #[test]
-    fn fault_addresses_point_past_the_object() {
+    fn fault_addresses_point_outside_the_object() {
         for k in all() {
             let (cap, len) = (8, 40);
             assert!(!(k.safe)(cap, len), "{}: (8, 40) must overflow", k.name);
             let base = 0x1000;
             let fault = (k.fault_addr)(base, cap, len);
-            assert!(
-                fault >= base + if k.name == "header" { 16 } else { cap as u64 },
-                "{}: fault {fault:#x} not past the object",
-                k.name
-            );
+            if k.name == "negindex" {
+                // The one underflow kernel: first bad byte is below base.
+                assert_eq!(fault, base - 1);
+            } else {
+                assert!(
+                    fault >= base + if k.name == "header" { 16 } else { cap as u64 },
+                    "{}: fault {fault:#x} not past the object",
+                    k.name
+                );
+            }
         }
     }
 }

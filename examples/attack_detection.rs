@@ -1,21 +1,27 @@
 //! Run the full Wilander & Kamkar attack suite (Table 3): every attack
-//! takes control of the unprotected machine; SoftBound stops all of them
-//! in both checking modes.
+//! takes control of the unprotected machine; SoftBound stops all of
+//! them in both checking modes. The `hardened` column shows the
+//! continuing policy: the corrupting store is clamped to its object's
+//! bounds, the program runs on, and the attempt is documented as
+//! structured evidence records instead of a trap.
 //!
 //! ```sh
 //! cargo run --example attack_detection
 //! ```
 
-use softbound_repro::core::{Engine, SoftBoundConfig};
+use softbound_repro::core::{Engine, SoftBoundConfig, ViolationPolicy};
 use softbound_repro::vm::{run_source, Outcome};
 use softbound_repro::workloads::attacks;
 
 fn main() {
     let full_engine = Engine::new().softbound_config(SoftBoundConfig::full_shadow());
     let store_engine = Engine::new().softbound_config(SoftBoundConfig::store_only_shadow());
+    let hardened_engine = Engine::new()
+        .softbound_config(SoftBoundConfig::full_shadow())
+        .policy(ViolationPolicy::Hardened);
     println!(
-        "{:<4}{:<18}{:<12}{:<36}{:>12}{:>8}{:>8}",
-        "#", "technique", "location", "target", "unprotected", "full", "store"
+        "{:<4}{:<18}{:<12}{:<36}{:>12}{:>8}{:>8}{:>22}",
+        "#", "technique", "location", "target", "unprotected", "full", "store", "hardened"
     );
     for a in attacks::all() {
         let plain = run_source(a.source, "main", &[]);
@@ -33,8 +39,16 @@ fn main() {
             .expect("compiles")
             .outcome
             .is_spatial_violation();
+        let program = hardened_engine.compile(a.source).expect("compiles");
+        let mut instance = hardened_engine.instantiate(&program);
+        let hardened_outcome = instance.run("main", &[]).outcome;
+        let neutralized = !matches!(
+            hardened_outcome,
+            Outcome::Hijacked { .. } | Outcome::Exited { code: 66 }
+        ) && !hardened_outcome.is_spatial_violation();
+        let evidence = instance.drain_evidence();
         println!(
-            "{:<4}{:<18}{:<12}{:<36}{:>12}{:>8}{:>8}",
+            "{:<4}{:<18}{:<12}{:<36}{:>12}{:>8}{:>8}{:>22}",
             a.id,
             format!("{:?}", a.technique),
             format!("{:?}", a.location),
@@ -42,7 +56,16 @@ fn main() {
             if took_control { "hijacked" } else { "inert?!" },
             if full { "caught" } else { "MISSED" },
             if store { "caught" } else { "MISSED" },
+            if neutralized {
+                format!("clamped ({} records)", evidence.len())
+            } else {
+                "NOT NEUTRALIZED".to_string()
+            },
         );
     }
-    println!("\nStore-only checking suffices: every attack needs at least one OOB write (§6.2).");
+    println!(
+        "\nStore-only checking suffices: every attack needs at least one OOB write (§6.2).\n\
+         Hardened keeps the process alive: each clamped attack leaves an evidence trail\n\
+         (PC, pointer, bounds, first OOB byte) drainable via Instance::drain_evidence()."
+    );
 }

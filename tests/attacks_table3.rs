@@ -4,7 +4,7 @@
 
 use sb_vm::Outcome;
 use sb_workloads::attacks;
-use softbound::SoftBoundConfig;
+use softbound::{SoftBoundConfig, ViolationPolicy};
 
 /// The Wilander "attack succeeded" criterion: control reached the
 /// attacker payload — either by a hijacked return token / frame pointer /
@@ -43,6 +43,78 @@ fn full_checking_detects_all_attacks() {
             "attack {} not detected by full checking: {:?}",
             a.id,
             r.outcome
+        );
+    }
+}
+
+#[test]
+fn hardened_policy_neutralizes_every_attack_with_evidence() {
+    // The continuing-policy counterpart of the all-"yes" columns: under
+    // Hardened the corrupting store is clamped to the object's bounds,
+    // so the attacker payload never gains control — no trap, no hijack
+    // — and the runtime documents the attempt as structured evidence.
+    let engine = softbound::Engine::new()
+        .softbound_config(SoftBoundConfig::full_shadow())
+        .policy(ViolationPolicy::Hardened);
+    for a in attacks::all() {
+        let program = engine.compile(a.source).expect("compiles");
+        let mut instance = engine.instantiate(&program);
+        let r = instance.run("main", &[]);
+        assert!(
+            !attack_succeeded(&r.outcome),
+            "attack {} took control under the hardened policy: {:?}",
+            a.id,
+            r.outcome
+        );
+        assert!(
+            !r.outcome.is_spatial_violation(),
+            "attack {} trapped under the hardened policy (should clamp): {:?}",
+            a.id,
+            r.outcome
+        );
+        let evidence = instance.drain_evidence();
+        let ev = evidence
+            .iter()
+            .find(|e| e.write)
+            .unwrap_or_else(|| panic!("attack {}: no clamped-store evidence", a.id));
+        assert!(
+            ev.fault_addr < ev.base || ev.fault_addr >= ev.bound,
+            "attack {}: evidence fault address {:#x} inside bounds [{:#x}, {:#x})",
+            a.id,
+            ev.fault_addr,
+            ev.base,
+            ev.bound
+        );
+    }
+}
+
+#[test]
+fn monitor_policy_observes_every_attack_without_intervening() {
+    // Monitor performs the out-of-bounds access, so the attack plays
+    // out as on the unprotected machine — except that function-pointer
+    // and setjmp-buffer checks trap under *every* policy (there is no
+    // meaningful "clamped" control transfer), so fn-target attacks
+    // still end in a spatial violation. Either way the evidence stream
+    // names the corrupting store.
+    let engine = softbound::Engine::new()
+        .softbound_config(SoftBoundConfig::full_shadow())
+        .policy(ViolationPolicy::Monitor);
+    for a in attacks::all() {
+        let program = engine.compile(a.source).expect("compiles");
+        let mut instance = engine.instantiate(&program);
+        let r = instance.run("main", &[]);
+        assert!(
+            attack_succeeded(&r.outcome) || r.outcome.is_spatial_violation(),
+            "attack {} was neutralized under the monitor policy \
+             (monitor must not repair): {:?}",
+            a.id,
+            r.outcome
+        );
+        let evidence = instance.drain_evidence();
+        assert!(
+            evidence.iter().any(|e| e.write),
+            "attack {}: monitor recorded no out-of-bounds store",
+            a.id
         );
     }
 }

@@ -21,7 +21,10 @@
 //! — for lanes sharing a cost model — identical cycles and final memory.
 
 use sb_vm::{Machine, MachineConfig, Outcome, RuntimeHooks};
-use softbound::{DynRuntime, Engine, MetadataFacility, Program, SoftBoundConfig, SoftBoundRuntime};
+use softbound::{
+    DynRuntime, Engine, EvidenceRecord, MetadataFacility, Program, SoftBoundConfig,
+    SoftBoundRuntime, ViolationPolicy,
+};
 
 /// Everything a lane exposes for comparison.
 #[derive(Debug, Clone, PartialEq)]
@@ -256,6 +259,119 @@ fn violating_programs_trap_identically_across_all_lanes() {
             bug.name,
             o.outcome
         );
+    }
+}
+
+#[test]
+fn policy_behavior_invariant_across_facilities_and_lanes() {
+    // The violation policy is a runtime-side property: what each policy
+    // *does* on the same overflow — trap, clamp, or observe — and the
+    // evidence it records must be identical across all three metadata
+    // facilities and both execution lanes.
+    let src = r#"
+        int main(int n) {
+            char* p = (char*)malloc(16);
+            for (int i = 0; i <= n; i = i + 1) p[i] = (char)i;
+            int sum = 0;
+            for (int i = 0; i < 16; i = i + 1) sum = sum + p[i];
+            return sum;
+        }
+    "#;
+    #[derive(Debug, PartialEq)]
+    struct PolicyObs {
+        outcome: Outcome,
+        output: String,
+        violation_count: u64,
+        evidence: Vec<EvidenceRecord>,
+    }
+    fn policy_obs<F: MetadataFacility>(
+        program: &Program,
+        rt: SoftBoundRuntime<F>,
+        predecoded: bool,
+    ) -> PolicyObs {
+        let mut machine = Machine::new(program.module(), MachineConfig::default(), rt);
+        let r = if predecoded {
+            machine.attach_exec(program.exec());
+            machine.run_predecoded("main", &[16])
+        } else {
+            machine.run("main", &[16])
+        };
+        PolicyObs {
+            outcome: r.outcome,
+            output: r.output,
+            violation_count: machine.hooks().violation_count,
+            evidence: machine.hooks_mut().drain_evidence(),
+        }
+    }
+    for policy in [
+        ViolationPolicy::Strict,
+        ViolationPolicy::Hardened,
+        ViolationPolicy::Monitor,
+    ] {
+        let mut cfg = SoftBoundConfig::full_shadow();
+        cfg.policy = policy;
+        let program = Engine::new()
+            .softbound_config(cfg.clone())
+            .compile(src)
+            .expect("compiles");
+        let reference = policy_obs(&program, SoftBoundRuntime::new_paged(&cfg), false);
+        for (lane, obs) in [
+            (
+                "paged/pre",
+                policy_obs(&program, SoftBoundRuntime::new_paged(&cfg), true),
+            ),
+            (
+                "hashmap/tree",
+                policy_obs(&program, SoftBoundRuntime::new_shadow_hashmap(&cfg), false),
+            ),
+            (
+                "hashmap/pre",
+                policy_obs(&program, SoftBoundRuntime::new_shadow_hashmap(&cfg), true),
+            ),
+            (
+                "hash/tree",
+                policy_obs(&program, SoftBoundRuntime::new_hash(&cfg), false),
+            ),
+            (
+                "hash/pre",
+                policy_obs(&program, SoftBoundRuntime::new_hash(&cfg), true),
+            ),
+        ] {
+            assert_eq!(
+                reference, obs,
+                "{policy:?}: {lane} diverged from paged/tree"
+            );
+        }
+        match policy {
+            ViolationPolicy::Strict => {
+                assert!(
+                    reference.outcome.is_spatial_violation(),
+                    "strict must trap: {:?}",
+                    reference.outcome
+                );
+                assert!(reference.evidence.is_empty());
+            }
+            ViolationPolicy::Hardened => {
+                // The clamped store is dropped; the in-bounds sum is
+                // unaffected, so the run finishes.
+                assert!(
+                    matches!(reference.outcome, Outcome::Finished { .. }),
+                    "hardened must finish: {:?}",
+                    reference.outcome
+                );
+                assert_eq!(reference.evidence.len(), 1);
+                assert!(reference.evidence[0].write);
+            }
+            ViolationPolicy::Monitor => {
+                assert!(
+                    matches!(reference.outcome, Outcome::Finished { .. }),
+                    "monitor must finish: {:?}",
+                    reference.outcome
+                );
+                assert_eq!(reference.evidence.len(), 1);
+                assert_eq!(reference.violation_count, 1);
+            }
+        }
     }
 }
 
