@@ -20,7 +20,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use sb_vm::ExecModule;
-use softbound::{fleet, Engine, Lane};
+use softbound::{fleet, Engine, Facility, Lane};
 
 /// A request-sized program: parse-ish arithmetic, a little heap churn,
 /// pointer stores (metadata traffic), and a checksum reply.
@@ -103,6 +103,25 @@ fn bench_program(c: &mut Criterion, group_name: &str, src: &str, args: &[i64]) {
                 let requests = [arg; 8];
                 b.iter(|| {
                     let report = fleet::serve(&engine, &program, "main", &requests, workers);
+                    assert_eq!(report.results.len(), requests.len());
+                    black_box(report.reqs_per_sec)
+                });
+            });
+        }
+        // The same pool over the process-wide shared shadow
+        // reservation: one 256 MiB directory for every worker instead
+        // of one each. Throughput must track the private-facility
+        // lanes (the check path reads the worker's overlay lock-free);
+        // what changes is the standing reservation, measured in the
+        // scaling section of BENCH_softbound.json.
+        let shared_engine = engine.clone().facility(Facility::ShadowShared);
+        let shared_program = shared_engine.compile(src).expect("compiles");
+        for workers in [1usize, 4] {
+            group.bench_function(format!("fleet_{workers}_workers_shared_batch8"), |b| {
+                let requests = [arg; 8];
+                b.iter(|| {
+                    let report =
+                        fleet::serve(&shared_engine, &shared_program, "main", &requests, workers);
                     assert_eq!(report.results.len(), requests.len());
                     black_box(report.reqs_per_sec)
                 });

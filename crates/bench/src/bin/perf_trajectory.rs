@@ -20,11 +20,13 @@ fn main() {
     }
     for p in &scaling {
         eprintln!(
-            "fleet nhttpd: {} workers -> {:.1} req/s (p99 {} us, {} MiB/worker reserved)",
+            "fleet nhttpd: {} workers -> {:.1} req/s (p99 {} us, standing \
+             reservation {} MiB private vs {} MiB shared)",
             p.workers,
             p.reqs_per_sec,
             p.p99_ns / 1000,
-            p.reservation_bytes_per_worker >> 20
+            p.reservation_bytes_private >> 20,
+            p.reservation_bytes_shared >> 20
         );
     }
 }

@@ -225,6 +225,8 @@ mod tests {
             p95_ns: 90,
             p99_ns: 99,
             reservation_bytes_per_worker: 1 << 28,
+            reservation_bytes_private: 4 << 28,
+            reservation_bytes_shared: (1 << 28) + (4 << 22),
         }];
         let libc = vec![PerfRow {
             workload: "memcpy",
@@ -251,6 +253,8 @@ mod tests {
             "\"scaling\"",
             "\"host_cores\"",
             "\"reservation_bytes_per_worker\"",
+            "\"reservation_bytes_private\"",
+            "\"reservation_bytes_shared\"",
         ] {
             assert!(json.contains(key), "missing {key} in:\n{json}");
         }

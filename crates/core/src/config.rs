@@ -27,6 +27,12 @@ pub enum Facility {
     ShadowHashMap,
     /// Open-hashing table; ~9 instructions plus probes.
     HashTable,
+    /// The same tag-less direct map as [`Facility::ShadowPaged`], but
+    /// over the process-wide shared directory reservation: the 256 MiB
+    /// span is allocated once per process and each worker overlays it
+    /// with copy-on-first-touch chunks — the fleet configuration. Same
+    /// simulated costs, bit-identical observables.
+    ShadowShared,
 }
 
 /// Which interpreter lane an `Instance` drives.
@@ -153,6 +159,7 @@ impl SoftBoundConfig {
             Facility::ShadowPaged => "ShadowSpace",
             Facility::ShadowHashMap => "ShadowHashMap",
             Facility::HashTable => "HashTable",
+            Facility::ShadowShared => "SharedShadow",
         };
         let mode = match self.mode {
             CheckMode::Full => "Complete",
@@ -216,5 +223,14 @@ mod tests {
             ..SoftBoundConfig::default()
         };
         assert_eq!(c.label(), "ShadowHashMap-Complete");
+    }
+
+    #[test]
+    fn shared_shadow_label_is_distinct() {
+        let c = SoftBoundConfig {
+            facility: Facility::ShadowShared,
+            ..SoftBoundConfig::default()
+        };
+        assert_eq!(c.label(), "SharedShadow-Complete");
     }
 }

@@ -42,7 +42,7 @@
 
 use crate::config::{CheckMode, Facility, Lane, SoftBoundConfig};
 use crate::error::SoftBoundError;
-use crate::metadata::{HashTableFacility, ShadowHashMapFacility, ShadowPages};
+use crate::metadata::{HashTableFacility, ShadowHashMapFacility, ShadowPages, SharedShadowPages};
 use crate::policy::{EvidenceRecord, ViolationPolicy};
 use crate::runtime::SoftBoundRuntime;
 use crate::transform::instrument;
@@ -172,6 +172,7 @@ impl Engine {
                 Repr::Paged(m) => m.attach_exec(program.exec()),
                 Repr::ShadowHashMap(m) => m.attach_exec(program.exec()),
                 Repr::HashTable(m) => m.attach_exec(program.exec()),
+                Repr::Shared(m) => m.attach_exec(program.exec()),
             }
             instance.lane = Lane::Predecoded;
         }
@@ -204,6 +205,11 @@ impl Engine {
                 module,
                 self.machine.clone(),
                 SoftBoundRuntime::new_hash(&self.sb),
+            )),
+            Facility::ShadowShared => Repr::Shared(Machine::new(
+                module,
+                self.machine.clone(),
+                SoftBoundRuntime::new_shared(&self.sb),
             )),
         };
         Instance {
@@ -270,13 +276,14 @@ impl Program {
     }
 }
 
-/// The three monomorphized machines an engine can build. One `match`
+/// The four monomorphized machines an engine can build. One `match`
 /// per public call, then fully static dispatch inside — the check path
 /// never sees a vtable.
 enum Repr<'p> {
     Paged(Machine<'p, SoftBoundRuntime<ShadowPages>>),
     ShadowHashMap(Machine<'p, SoftBoundRuntime<ShadowHashMapFacility>>),
     HashTable(Machine<'p, SoftBoundRuntime<HashTableFacility>>),
+    Shared(Machine<'p, SoftBoundRuntime<SharedShadowPages>>),
 }
 
 macro_rules! each_machine {
@@ -285,6 +292,7 @@ macro_rules! each_machine {
             Repr::Paged($m) => $body,
             Repr::ShadowHashMap($m) => $body,
             Repr::HashTable($m) => $body,
+            Repr::Shared($m) => $body,
         }
     };
 }
@@ -295,6 +303,7 @@ macro_rules! each_machine_mut {
             Repr::Paged($m) => $body,
             Repr::ShadowHashMap($m) => $body,
             Repr::HashTable($m) => $body,
+            Repr::Shared($m) => $body,
         }
     };
 }
@@ -366,6 +375,15 @@ impl Instance<'_> {
         each_machine!(self, m => m.hooks().reservation_bytes())
     }
 
+    /// The portion of
+    /// [`metadata_reservation_bytes`](Self::metadata_reservation_bytes)
+    /// that is process-wide shared state — one copy serves every worker
+    /// over the same reservation, so a fleet counts it once per pool.
+    /// 0 for the private facilities.
+    pub fn metadata_shared_reservation_bytes(&self) -> usize {
+        each_machine!(self, m => m.hooks().shared_reservation_bytes())
+    }
+
     /// Bounds checks executed by the runtime since the last reset.
     pub fn check_count(&self) -> u64 {
         each_machine!(self, m => m.hooks().check_count)
@@ -416,6 +434,7 @@ impl Instance<'_> {
             Repr::Paged(_) => Facility::ShadowPaged,
             Repr::ShadowHashMap(_) => Facility::ShadowHashMap,
             Repr::HashTable(_) => Facility::HashTable,
+            Repr::Shared(_) => Facility::ShadowShared,
         }
     }
 }
@@ -450,6 +469,42 @@ mod tests {
         let program = e.compile("int main() { return 7; }").expect("compiles");
         let inst = e.instantiate(&program);
         assert_eq!(inst.facility(), Facility::HashTable);
+    }
+
+    #[test]
+    fn shared_facility_instance_runs_resets_and_reports_split() {
+        let src = r#"
+            int main(int n) {
+                int* p = (int*)malloc(4 * sizeof(int));
+                for (int i = 0; i < 4; i++) p[i] = n + i;
+                int s = p[0] + p[3];
+                free(p);
+                return s;
+            }
+        "#;
+        let engine = Engine::new().facility(Facility::ShadowShared);
+        let program = engine.compile(src).expect("compiles");
+        let mut inst = engine.instantiate(&program);
+        assert_eq!(inst.facility(), Facility::ShadowShared);
+        assert_eq!(inst.lane(), Lane::Predecoded);
+        for n in 0..3 {
+            let r = inst.run("main", &[n]);
+            assert_eq!(r.ret(), Some(2 * n + 3), "{:?}", r.outcome);
+        }
+        inst.reset();
+        assert_eq!(inst.live_entries(), 0);
+        // The 256 MiB directory shows up in the total but is flagged as
+        // process-shared; the private remainder is small.
+        let shared = inst.metadata_shared_reservation_bytes();
+        assert_eq!(
+            shared,
+            (1 << 28) + crate::SharedShadowReservation::frame_pool_capacity_bytes()
+        );
+        assert!(inst.metadata_reservation_bytes() >= shared);
+        assert!(inst.metadata_reservation_bytes() - shared < 1 << 24);
+        // Private facilities report a zero shared portion.
+        let private = Engine::new().instantiate(&program);
+        assert_eq!(private.metadata_shared_reservation_bytes(), 0);
     }
 
     #[test]

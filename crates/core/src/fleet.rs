@@ -25,10 +25,18 @@
 //! runs, and `tests/fleet_determinism.rs` pins exactly that across all
 //! three metadata facilities and both execution lanes.
 //!
-//! What the pool does *not* yet share is the metadata reservation: each
-//! worker's paged shadow facility holds its own 256 MiB directory.
-//! [`WorkerReport::reservation_bytes`] measures that standing cost so
-//! the ROADMAP's shared-reservation follow-on has real numbers to beat.
+//! The metadata reservation is shared when the engine is built with
+//! [`Facility::ShadowShared`](crate::Facility::ShadowShared): every
+//! worker reads through the one process-wide
+//! [`SharedShadowReservation`](crate::SharedShadowReservation) (a 256 MiB
+//! zero prototype) and owns only copy-on-first-touch directory chunks
+//! plus its own pages — still lock-free, still `Instance: Send`, and
+//! bit-identical to the private facilities (the determinism suite runs
+//! the shared lane too). [`WorkerReport::reservation_bytes`] measures
+//! each worker's standing cost and
+//! [`WorkerReport::reservation_shared_bytes`] flags the process-shared
+//! portion, so [`FleetReport::reservation_total_bytes`] can count the
+//! shared directory once per pool instead of once per worker.
 
 use crate::engine::{Engine, Instance, Program};
 use crate::policy::EvidenceRecord;
@@ -124,9 +132,15 @@ pub struct WorkerReport {
     /// Evidence records lost to ring overflow across all its requests.
     pub evidence_overflow: u64,
     /// Standing host-memory reservation of this worker's metadata
-    /// facility after its last request (the per-worker cost the
-    /// shared-reservation follow-on would amortize).
+    /// facility once its stream drained and the instance reset — the
+    /// idle cost a pool pays to keep this worker warm.
     pub reservation_bytes: usize,
+    /// The portion of [`reservation_bytes`](Self::reservation_bytes)
+    /// that is process-wide shared state (the shared shadow directory).
+    /// 0 for the private facilities; equal across workers of a shared
+    /// pool, and counted once — not per worker — by
+    /// [`FleetReport::reservation_total_bytes`].
+    pub reservation_shared_bytes: usize,
 }
 
 /// Aggregated outcome of one [`serve`] call.
@@ -162,6 +176,34 @@ impl FleetReport {
     /// Total evidence records lost to ring overflow across the pool.
     pub fn evidence_overflow_total(&self) -> u64 {
         self.per_worker.iter().map(|w| w.evidence_overflow).sum()
+    }
+
+    /// The process-shared portion of the pool's standing reservation —
+    /// every worker reads through the same reservation, so the one copy
+    /// is the max across workers, not their sum. 0 for private
+    /// facilities.
+    pub fn reservation_shared_bytes(&self) -> usize {
+        self.per_worker
+            .iter()
+            .map(|w| w.reservation_shared_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Standing metadata reservation of the whole pool, counting
+    /// process-shared state **once**: `shared + Σ per-worker private`.
+    /// For the private facilities this equals the plain per-worker sum;
+    /// for [`Facility::ShadowShared`](crate::Facility::ShadowShared) it
+    /// is what the pool actually pins — a naive sum of
+    /// [`WorkerReport::reservation_bytes`] would charge the one shared
+    /// directory N times.
+    pub fn reservation_total_bytes(&self) -> usize {
+        self.reservation_shared_bytes()
+            + self
+                .per_worker
+                .iter()
+                .map(|w| w.reservation_bytes - w.reservation_shared_bytes)
+                .sum::<usize>()
     }
 }
 
@@ -217,6 +259,7 @@ pub fn serve(
                         evidence: 0,
                         evidence_overflow: 0,
                         reservation_bytes: 0,
+                        reservation_shared_bytes: 0,
                     };
                     loop {
                         let index = cursor.fetch_add(1, Ordering::Relaxed);
@@ -240,7 +283,13 @@ pub fn serve(
                             observation,
                         });
                     }
+                    // Reset before measuring: the report captures the
+                    // *standing* (idle) reservation a warm worker holds
+                    // between streams, not the last request's transient
+                    // page footprint.
+                    instance.reset();
                     report.reservation_bytes = instance.metadata_reservation_bytes();
+                    report.reservation_shared_bytes = instance.metadata_shared_reservation_bytes();
                     (report, results)
                 })
             })
@@ -354,7 +403,8 @@ mod tests {
         let traps: u64 = report.per_worker.iter().map(|w| w.traps).sum();
         assert_eq!(traps, 3, "every out-of-bounds request must trap");
         // The paged shadow's standing reservation is dominated by its
-        // 256 MiB directory; every worker pays it separately.
+        // 256 MiB directory; every worker pays it separately, and none
+        // of it is shared.
         for w in &report.per_worker {
             assert!(
                 w.reservation_bytes >= (1 << 28),
@@ -362,10 +412,96 @@ mod tests {
                 w.worker,
                 w.reservation_bytes
             );
+            assert_eq!(w.reservation_shared_bytes, 0);
         }
+        assert_eq!(report.reservation_shared_bytes(), 0);
+        assert_eq!(
+            report.reservation_total_bytes(),
+            report
+                .per_worker
+                .iter()
+                .map(|w| w.reservation_bytes)
+                .sum::<usize>(),
+            "private pools: total is the plain per-worker sum"
+        );
         // Strict pools never collect evidence — violations trap.
         assert_eq!(report.evidence_total(), 0);
         assert_eq!(report.evidence_overflow_total(), 0);
+    }
+
+    #[test]
+    fn shared_pool_counts_the_directory_once() {
+        let src = r#"
+            int main(int n) {
+                long* p = (long*)malloc(8 * sizeof(long));
+                for (int i = 0; i < 8; i++) p[i] = n + i;
+                long s = p[0] + p[7];
+                free(p);
+                return (int)s;
+            }
+        "#;
+        let engine = Engine::new().facility(Facility::ShadowShared);
+        let program = engine.compile(src).unwrap();
+        let requests: Vec<i64> = (0..16).collect();
+        let report = serve(&engine, &program, "main", &requests, 4);
+        // The process-shared portion: the 256 MiB directory prototype
+        // plus the frame pool at capacity.
+        let shared_span =
+            (1usize << 28) + crate::SharedShadowReservation::frame_pool_capacity_bytes();
+        for w in &report.per_worker {
+            assert_eq!(w.reservation_shared_bytes, shared_span);
+            assert!(w.reservation_bytes >= shared_span);
+        }
+        assert_eq!(report.reservation_shared_bytes(), shared_span);
+        let naive: usize = report.per_worker.iter().map(|w| w.reservation_bytes).sum();
+        let total = report.reservation_total_bytes();
+        assert_eq!(
+            total,
+            naive - 3 * shared_span,
+            "the one shared reservation must be counted once, not 4 times"
+        );
+        // The pool's standing reservation stays close to a single
+        // worker's: reset returned every frame to the shared pool, so
+        // each idle worker privately owns only its chunk-root
+        // bookkeeping (a few hundred KiB, not megabytes of frames).
+        assert!(
+            total < shared_span + (1 << 22),
+            "4-worker shared pool pins {total} bytes"
+        );
+    }
+
+    #[test]
+    fn one_worker_shared_matches_one_worker_private() {
+        // The 1-worker shared pool and the 1-worker private pool pay
+        // comparable standing reservations: the same 256 MiB directory
+        // span, plus the shared facility's small copy-on-first-touch
+        // overlay and its frame pool counted at capacity (the private
+        // worker instead parks only the frames it actually touched, so
+        // the shared figure sits at most one pool-capacity above).
+        let src = r#"
+            int main(int n) {
+                long* p = (long*)malloc(4 * sizeof(long));
+                p[0] = n; p[3] = n + 3;
+                long s = p[0] + p[3];
+                free(p);
+                return (int)s;
+            }
+        "#;
+        let private_engine = Engine::new().facility(Facility::ShadowPaged);
+        let shared_engine = Engine::new().facility(Facility::ShadowShared);
+        let requests: Vec<i64> = (0..4).collect();
+        let private_program = private_engine.compile(src).unwrap();
+        let shared_program = shared_engine.compile(src).unwrap();
+        let private = serve(&private_engine, &private_program, "main", &requests, 1)
+            .reservation_total_bytes();
+        let shared =
+            serve(&shared_engine, &shared_program, "main", &requests, 1).reservation_total_bytes();
+        assert!(shared >= private, "both pools span the same directory");
+        assert!(
+            shared - private <= crate::SharedShadowReservation::frame_pool_capacity_bytes(),
+            "1-worker shared ({shared}) should be within one pool capacity of \
+             private ({private})"
+        );
     }
 
     #[test]

@@ -79,7 +79,7 @@ pub use engine::{Engine, Instance, Program};
 pub use error::SoftBoundError;
 pub use metadata::{
     AccessSink, HashTableFacility, Meta, MetadataFacility, NoopSink, ScratchSink,
-    ShadowHashMapFacility, ShadowPages,
+    ShadowHashMapFacility, ShadowPages, SharedShadowPages, SharedShadowReservation,
 };
 pub use policy::{EvidenceRecord, EvidenceRing, PolicyAction, ViolationPolicy};
 pub use runtime::{DynRuntime, SoftBoundRuntime};

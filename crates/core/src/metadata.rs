@@ -16,6 +16,11 @@
 //! * [`ShadowHashMapFacility`] — the previous HashMap-backed *simulation*
 //!   of the shadow space, kept as a differential-testing oracle and as the
 //!   slow comparison point for the `metadata` microbenchmark.
+//! * [`SharedShadowPages`] — the same paged direct map, but reading
+//!   through a process-wide [`SharedShadowReservation`]: the 256 MiB
+//!   directory is allocated once per process and each worker overlays it
+//!   with copy-on-first-touch chunks, so a fleet pays the reservation
+//!   once instead of once per worker.
 //!
 //! All facilities report their *simulated table addresses* through an
 //! [`AccessSink`] so the VM's cache model sees the extra memory pressure
@@ -27,6 +32,7 @@
 //! [`RtCtx`]: sb_vm::RtCtx
 
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 pub use sb_vm::{AccessSink, NoopSink, ScratchSink};
 
@@ -110,6 +116,16 @@ pub trait MetadataFacility {
     /// pool.
     fn reservation_bytes(&self) -> usize;
 
+    /// The portion of [`reservation_bytes`](Self::reservation_bytes)
+    /// that is *process-wide shared* state: one copy serves every
+    /// facility built over the same reservation, so a fleet counts it
+    /// once per pool rather than once per worker. 0 for the private
+    /// facilities; [`SharedShadowPages`] reports its shared directory
+    /// here.
+    fn shared_reservation_bytes(&self) -> usize {
+        0
+    }
+
     /// Forgets every entry, restoring the facility to its
     /// just-constructed state while keeping its expensive allocations
     /// (the paged shadow's directory reservation, the hash table's
@@ -158,9 +174,28 @@ impl<F: MetadataFacility + ?Sized> MetadataFacility for Box<F> {
         (**self).reservation_bytes()
     }
 
+    fn shared_reservation_bytes(&self) -> usize {
+        (**self).shared_reservation_bytes()
+    }
+
     fn reset(&mut self) {
         (**self).reset();
     }
+}
+
+/// Approximates the standing host bytes of a `HashMap`'s *actual* bucket
+/// layout. A `len()`-based estimate undercounts a standing reservation —
+/// the table keeps its buckets when entries are removed — so facilities
+/// size their maps from `capacity()`: hashbrown allocates the smallest
+/// power-of-two bucket count whose 7/8 load ceiling covers that capacity,
+/// with one `(K, V)` slot and one control byte per bucket.
+fn hash_map_reservation_bytes<K, V>(map: &HashMap<K, V>) -> usize {
+    let cap = map.capacity();
+    if cap == 0 {
+        return 0;
+    }
+    let buckets = (cap * 8).div_ceil(7).next_power_of_two();
+    buckets * (std::mem::size_of::<(K, V)>() + 1)
 }
 
 // Paged shadow-space geometry: a slot is an 8-byte-aligned pointer
@@ -173,6 +208,260 @@ const SHADOW_PAGE_BITS: u32 = 18;
 const SHADOW_DIR_BITS: u32 = 26;
 const SHADOW_PAGE_SLOTS: u64 = 1 << SHADOW_PAGE_BITS;
 const SHADOW_DIRECT_SLOTS: u64 = 1 << (SHADOW_PAGE_BITS + SHADOW_DIR_BITS);
+
+// The copy-on-first-touch shared organization splits the directory into
+// 2^13 chunks of 2^13 u32 entries (32 KiB per chunk, 8192-entry root).
+const DIR_CHUNK_BITS: u32 = 13;
+const DIR_CHUNK_ENTRIES: usize = 1 << DIR_CHUNK_BITS;
+const DIR_CHUNKS: usize = 1 << (SHADOW_DIR_BITS - DIR_CHUNK_BITS);
+
+/// How a paged shadow map stores its directory (slot high bits → page
+/// id). The two implementations trade standing reservation for one level
+/// of indirection: [`FlatDirectory`] owns the whole 256 MiB span
+/// privately (one indexed load per lookup); [`CowDirectory`] reads
+/// through the process-wide [`SharedShadowReservation`] and materializes
+/// private 32 KiB chunks only for directory spans it actually writes.
+///
+/// Directory choice is a *host-side* organization. The simulated cost
+/// model (`sink.record(5, ..)`) and the observable metadata map are
+/// identical for both, which is what lets the shared facility ride the
+/// same differential suites as the private one, bit for bit.
+pub trait ShadowDirectory {
+    /// Facility name reported through [`MetadataFacility::name`].
+    const NAME: &'static str;
+
+    /// Whether [`MetadataFacility::reset`] hands page frames back to a
+    /// process-wide pool (counted once, in
+    /// [`shared_bytes`](Self::shared_bytes)) instead of parking them
+    /// per worker. `false` keeps frames on the worker's own free list.
+    const SHARES_FRAMES: bool = false;
+
+    /// Reads the page id (+1) for directory entry `di`; 0 = no page.
+    fn get(&self, di: usize) -> u32;
+
+    /// Writes the page id (+1) for directory entry `di`.
+    fn set(&mut self, di: usize, pid: u32);
+
+    /// Host bytes this directory owns privately (paid per worker).
+    fn private_bytes(&self) -> usize;
+
+    /// Bytes of process-wide shared reservation this directory reads
+    /// through to — paid once per process, not once per worker.
+    fn shared_bytes(&self) -> usize {
+        0
+    }
+
+    /// Offers a scrubbed (all-zero) frame to the shared pool; only
+    /// meaningful when [`SHARES_FRAMES`](Self::SHARES_FRAMES) is true.
+    fn stash_frame(&self, frame: Box<[u128]>) {
+        drop(frame);
+    }
+
+    /// Takes a scrubbed frame back from the shared pool, if one is
+    /// available.
+    fn take_frame(&self) -> Option<Box<[u128]>> {
+        None
+    }
+}
+
+/// The private flat directory: this facility owns the entire
+/// 2^26-entry span (256 MiB of zeroed virtual memory) itself — the
+/// per-worker cost every fleet member paid before the shared
+/// reservation existed.
+#[derive(Debug)]
+pub struct FlatDirectory {
+    dir: Vec<u32>,
+}
+
+impl FlatDirectory {
+    fn new() -> Self {
+        FlatDirectory {
+            dir: vec![0u32; 1 << SHADOW_DIR_BITS],
+        }
+    }
+}
+
+impl ShadowDirectory for FlatDirectory {
+    const NAME: &'static str = "shadow-space";
+
+    #[inline]
+    fn get(&self, di: usize) -> u32 {
+        self.dir[di]
+    }
+
+    #[inline]
+    fn set(&mut self, di: usize, pid: u32) {
+        self.dir[di] = pid;
+    }
+
+    fn private_bytes(&self) -> usize {
+        self.dir.len() * std::mem::size_of::<u32>()
+    }
+}
+
+/// The process-wide shared shadow reservation: one 256 MiB zeroed
+/// directory that every [`SharedShadowPages`] worker reads through for
+/// directory spans it has never written — the software analogue of the
+/// kernel zero page backing the paper's `mmap`-reserved shadow region
+/// (§5.1): reserve once per process, commit per toucher.
+///
+/// The prototype is written by *no one* (workers materialize private
+/// copy-on-first-touch chunks before their first directory write), so
+/// sharing it across a fleet is lock-free and race-free by construction;
+/// the `Arc` only manages lifetime. A fleet therefore pays the directory
+/// once, plus per-worker private bytes proportional to the address span
+/// each worker actually touched.
+#[derive(Debug)]
+pub struct SharedShadowReservation {
+    /// The zero prototype: one u32 per directory entry, never written.
+    zero_dir: Box<[u32]>,
+    /// Standing pool of scrubbed (all-zero) 4 MiB page frames, shared
+    /// by every worker on this reservation: [`MetadataFacility::reset`]
+    /// returns a worker's frames here and the next page commit —
+    /// anyone's — reuses them without touching the host allocator.
+    /// Bounded at [`Self::frame_pool_capacity_bytes`]; excess frames
+    /// are released to the host, so a fleet's *standing* frame cost is
+    /// the pool capacity once, not `workers × pages` forever. Touched
+    /// only at commit/reset (the check hot path never takes the lock).
+    frame_pool: Mutex<Vec<Box<[u128]>>>,
+}
+
+/// Frames the shared pool retains across resets (32 MiB of standing
+/// frame reservation — enough to recycle a typical pool's churn
+/// without growing with the worker count).
+const FRAME_POOL_CAP: usize = 8;
+
+impl SharedShadowReservation {
+    /// Allocates a fresh reservation, for tests (or embedders) that want
+    /// isolation from the process-wide one. The span is zeroed virtual
+    /// memory; nothing is committed until readers fault pages in.
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new() -> Arc<Self> {
+        Arc::new(SharedShadowReservation {
+            zero_dir: vec![0u32; 1 << SHADOW_DIR_BITS].into_boxed_slice(),
+            frame_pool: Mutex::new(Vec::with_capacity(FRAME_POOL_CAP)),
+        })
+    }
+
+    /// The process-wide reservation, allocated on first use and shared
+    /// by every facility built through [`SharedShadowPages::new_shared`]
+    /// thereafter.
+    pub fn global() -> Arc<Self> {
+        static GLOBAL: OnceLock<Arc<SharedShadowReservation>> = OnceLock::new();
+        GLOBAL.get_or_init(Self::new).clone()
+    }
+
+    /// Bytes of the once-per-process reservation: the directory
+    /// prototype plus the frame pool *at capacity*. The pool is counted
+    /// at its bound, not its momentary occupancy, for the same reason
+    /// the 256 MiB directory is counted at its span: `reservation`
+    /// means address space this facility may hold, and a capacity
+    /// figure keeps fleet accounting deterministic while frames move
+    /// between workers and the pool.
+    pub fn shared_bytes(&self) -> usize {
+        self.zero_dir.len() * std::mem::size_of::<u32>() + Self::frame_pool_capacity_bytes()
+    }
+
+    /// Upper bound on host bytes the standing frame pool retains.
+    pub fn frame_pool_capacity_bytes() -> usize {
+        FRAME_POOL_CAP * (SHADOW_PAGE_SLOTS as usize) * std::mem::size_of::<u128>()
+    }
+
+    fn stash_frame(&self, frame: Box<[u128]>) {
+        let mut pool = self
+            .frame_pool
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if pool.len() < FRAME_POOL_CAP {
+            pool.push(frame);
+        }
+    }
+
+    fn take_frame(&self) -> Option<Box<[u128]>> {
+        self.frame_pool
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .pop()
+    }
+}
+
+/// The copy-on-first-touch directory over the shared reservation: reads
+/// fall through to the shared zero prototype until this worker's first
+/// page commit in a 32 KiB span materializes a private chunk. The check
+/// hot path stays lock-free (the overlay is worker-private and the
+/// prototype read-only) and the warm path allocation-free: chunks
+/// materialize on page commit — the moment the flat organization would
+/// be allocating a 4 MiB page anyway — and, like the flat directory,
+/// survive [`MetadataFacility::reset`].
+#[derive(Debug)]
+pub struct CowDirectory {
+    shared: Arc<SharedShadowReservation>,
+    /// Materialized private chunks; `DIR_CHUNKS` entries.
+    root: Box<[Option<Box<[u32]>>]>,
+}
+
+impl CowDirectory {
+    fn new(shared: Arc<SharedShadowReservation>) -> Self {
+        CowDirectory {
+            shared,
+            root: vec![None; DIR_CHUNKS].into_boxed_slice(),
+        }
+    }
+}
+
+impl ShadowDirectory for CowDirectory {
+    const NAME: &'static str = "shadow-space-shared";
+    const SHARES_FRAMES: bool = true;
+
+    #[inline]
+    fn get(&self, di: usize) -> u32 {
+        match &self.root[di >> DIR_CHUNK_BITS] {
+            Some(chunk) => chunk[di & (DIR_CHUNK_ENTRIES - 1)],
+            // Never-written span: read the shared zero prototype
+            // (always "no page") instead of owning 256 MiB to say so.
+            None => self.shared.zero_dir[di],
+        }
+    }
+
+    fn set(&mut self, di: usize, pid: u32) {
+        let slot = &mut self.root[di >> DIR_CHUNK_BITS];
+        match slot {
+            Some(chunk) => chunk[di & (DIR_CHUNK_ENTRIES - 1)] = pid,
+            None => {
+                // Writing "no page" into a never-written span changes
+                // nothing; stay unmaterialized.
+                if pid == 0 {
+                    return;
+                }
+                let mut chunk = vec![0u32; DIR_CHUNK_ENTRIES].into_boxed_slice();
+                chunk[di & (DIR_CHUNK_ENTRIES - 1)] = pid;
+                *slot = Some(chunk);
+            }
+        }
+    }
+
+    fn private_bytes(&self) -> usize {
+        std::mem::size_of_val::<[Option<Box<[u32]>>]>(&self.root)
+            + self
+                .root
+                .iter()
+                .flatten()
+                .map(|c| c.len() * std::mem::size_of::<u32>())
+                .sum::<usize>()
+    }
+
+    fn shared_bytes(&self) -> usize {
+        self.shared.shared_bytes()
+    }
+
+    fn stash_frame(&self, frame: Box<[u128]>) {
+        self.shared.stash_frame(frame);
+    }
+
+    fn take_frame(&self) -> Option<Box<[u128]>> {
+        self.shared.take_frame()
+    }
+}
 
 /// The tag-less shadow-space organization (§5.1 "Shadow space"),
 /// implemented as a real two-level paged direct map.
@@ -196,17 +485,33 @@ const SHADOW_DIRECT_SLOTS: u64 = 1 << (SHADOW_PAGE_BITS + SHADOW_DIR_BITS);
 /// Every page tracks its own live-entry count. When
 /// [`clear_range`](MetadataFacility::clear_range) covers a page end to
 /// end — a large `free`, a frame teardown, a `memset` over a
-/// pointer-bearing region — the page is **decommitted**: its 4 MiB slot
-/// array is released back to the host and its id parked on a free list
-/// for the next first-touch, instead of storing NULL 256 Ki times.
-/// [`reset`](MetadataFacility::reset) likewise releases all pages but
-/// keeps the directory reservation mapped, zeroing only the entries
-/// that were actually used — long-running servers neither leak shadow
-/// pages nor pay the reservation again per request.
+/// pointer-bearing region — the page is **decommitted**: its id is
+/// unmapped from the directory and parked on a free list, instead of
+/// storing NULL 256 Ki times. Decommit scrubs the page's written
+/// extent back to all-zero (a few cache lines for a typical request,
+/// never a 4 MiB memset), so the next first-touch recommits it with
+/// pointer work alone — no fill, no host allocation: a warm worker's
+/// commit/decommit churn never touches the allocator.
+/// [`reset`](MetadataFacility::reset) decommits every page the same
+/// way but keeps the directory reservation mapped, zeroing only the
+/// entries that were actually used — long-running servers neither leak
+/// shadow pages nor pay the reservation again per request. A private
+/// facility parks its scrubbed frames locally; a shared facility
+/// returns them to the reservation's bounded frame pool so idle
+/// workers hold nothing.
+///
+/// ## Directory backends
+///
+/// The directory is generic over [`ShadowDirectory`]:
+/// `ShadowPages = PagedShadow<FlatDirectory>` owns the full 256 MiB span
+/// per facility, while `SharedShadowPages = PagedShadow<CowDirectory>`
+/// overlays the process-wide [`SharedShadowReservation`]. Page and
+/// overflow handling — and the simulated cost model — are shared code,
+/// so the two stay bit-identical by construction.
 #[derive(Debug)]
-pub struct ShadowPages {
+pub struct PagedShadow<D: ShadowDirectory> {
     /// Page id + 1 per directory entry; 0 = no page yet.
-    dir: Vec<u32>,
+    dir: D,
     /// Materialized pages, in first-touch order (index = page id - 1).
     pages: Vec<Page>,
     /// Ids of decommitted pages, reusable on the next first-touch.
@@ -216,16 +521,64 @@ pub struct ShadowPages {
     live: usize,
 }
 
+/// The per-worker paged shadow: a private flat 256 MiB directory.
+pub type ShadowPages = PagedShadow<FlatDirectory>;
+
+/// The fleet paged shadow: a copy-on-first-touch overlay over the
+/// process-wide [`SharedShadowReservation`].
+pub type SharedShadowPages = PagedShadow<CowDirectory>;
+
 /// One materialized shadow page plus its bookkeeping.
 #[derive(Debug)]
 struct Page {
-    /// Packed `(base, bound)` entries; empty while decommitted.
+    /// Packed `(base, bound)` entries. Invariant: all-zero outside the
+    /// `[dirty_lo, dirty_hi)` extent, and decommitted (parked or
+    /// pooled) frames are all-zero everywhere — recommit needs no fill.
     slots: Box<[u128]>,
     /// Live (non-NULL) entries on this page.
     live: u32,
     /// Directory index currently owning this page (stale once the page
     /// is decommitted; rewritten when the id is reused).
     dir_index: u32,
+    /// Written-slot extent since the last scrub (`lo >= hi` = clean).
+    /// Zeroing on decommit touches only this span, so a worker that
+    /// writes a few hundred entries never pays a 4 MiB memset — the
+    /// frames stay as cheap to recycle as freshly `calloc`ed ones.
+    dirty_lo: u32,
+    dirty_hi: u32,
+}
+
+impl Page {
+    fn fresh(slots: Box<[u128]>, dir_index: u32) -> Self {
+        Page {
+            slots,
+            live: 0,
+            dir_index,
+            dirty_lo: u32::MAX,
+            dirty_hi: 0,
+        }
+    }
+
+    #[inline]
+    fn note_write(&mut self, idx: usize) {
+        let idx = idx as u32;
+        self.dirty_lo = self.dirty_lo.min(idx);
+        self.dirty_hi = self.dirty_hi.max(idx + 1);
+    }
+
+    /// Zeroes the written extent, restoring the all-zero invariant.
+    fn scrub(&mut self) {
+        if self.dirty_lo < self.dirty_hi {
+            self.slots[self.dirty_lo as usize..self.dirty_hi as usize].fill(0);
+        }
+        self.dirty_lo = u32::MAX;
+        self.dirty_hi = 0;
+        self.live = 0;
+    }
+
+    fn is_clean(&self) -> bool {
+        self.dirty_lo >= self.dirty_hi && self.live == 0
+    }
 }
 
 fn zeroed_page() -> Box<[u128]> {
@@ -246,11 +599,37 @@ fn unpack(v: u128) -> Meta {
 }
 
 impl ShadowPages {
-    /// Creates an empty paged shadow space. The directory allocation is
-    /// zeroed virtual memory; nothing is committed until first touch.
+    /// Creates an empty paged shadow space over a private flat
+    /// directory. The directory allocation is zeroed virtual memory;
+    /// nothing is committed until first touch.
     pub fn new() -> Self {
-        ShadowPages {
-            dir: vec![0u32; 1 << SHADOW_DIR_BITS],
+        PagedShadow::with_directory(FlatDirectory::new())
+    }
+}
+
+impl SharedShadowPages {
+    /// Creates a worker facility over the process-wide shared
+    /// reservation ([`SharedShadowReservation::global`]).
+    pub fn new_shared() -> Self {
+        Self::with_reservation(SharedShadowReservation::global())
+    }
+
+    /// Creates a worker facility over an explicit reservation — tests,
+    /// or an embedder running several isolated fleets in one process.
+    pub fn with_reservation(shared: Arc<SharedShadowReservation>) -> Self {
+        PagedShadow::with_directory(CowDirectory::new(shared))
+    }
+
+    /// The reservation this worker reads through.
+    pub fn reservation(&self) -> &Arc<SharedShadowReservation> {
+        &self.dir.shared
+    }
+}
+
+impl<D: ShadowDirectory> PagedShadow<D> {
+    fn with_directory(dir: D) -> Self {
+        PagedShadow {
+            dir,
             pages: Vec::new(),
             free_pages: Vec::new(),
             overflow: HashMap::new(),
@@ -274,39 +653,46 @@ impl ShadowPages {
         SHADOW_BASE.wrapping_add(slot.wrapping_mul(16))
     }
 
-    /// Commits a page for directory entry `di`, reusing a decommitted id
-    /// when one is parked. Returns the page id.
+    /// Commits a page for directory entry `di`, reusing a parked frame
+    /// when one is available. Returns the page id.
+    ///
+    /// Every frame source is already all-zero — parked frames and
+    /// pooled shared frames were scrubbed when they left service, fresh
+    /// frames come from the zeroed allocator — so commit is pointer
+    /// work only: no fill, no memset, regardless of where the frame
+    /// came from.
     fn commit_page(&mut self, di: usize) -> u32 {
         let pid = match self.free_pages.pop() {
             Some(pid) => {
                 let page = &mut self.pages[(pid - 1) as usize];
-                debug_assert!(page.slots.is_empty() && page.live == 0);
-                page.slots = zeroed_page();
+                debug_assert!(page.is_clean());
                 page.dir_index = di as u32;
                 pid
             }
             None => {
-                self.pages.push(Page {
-                    slots: zeroed_page(),
-                    live: 0,
-                    dir_index: di as u32,
-                });
+                let slots = self.dir.take_frame().unwrap_or_else(zeroed_page);
+                self.pages.push(Page::fresh(slots, di as u32));
                 self.pages.len() as u32
             }
         };
-        self.dir[di] = pid;
+        self.dir.set(di, pid);
         pid
     }
 
-    /// Releases the page owning directory entry `di`: its slot array
-    /// goes back to the host, its live entries leave the global count,
-    /// and its id is parked for reuse.
+    /// Decommits the page owning directory entry `di`: its live entries
+    /// leave the global count, its written extent is scrubbed back to
+    /// all-zero, and its id is parked for reuse. The frame stays owned
+    /// — and counted by
+    /// [`reservation_bytes`](MetadataFacility::reservation_bytes) —
+    /// while parked; decommit unmaps it from the directory, not from
+    /// the host. Scrubbing here (the cold path) is what lets
+    /// [`commit_page`](Self::commit_page) skip the fill on the warm
+    /// path.
     fn decommit_page(&mut self, di: usize, pid: u32) {
         let page = &mut self.pages[(pid - 1) as usize];
         self.live -= page.live as usize;
-        page.live = 0;
-        page.slots = Box::new([]);
-        self.dir[di] = 0;
+        page.scrub();
+        self.dir.set(di, 0);
         self.free_pages.push(pid);
     }
 }
@@ -317,9 +703,9 @@ impl Default for ShadowPages {
     }
 }
 
-impl MetadataFacility for ShadowPages {
+impl<D: ShadowDirectory> MetadataFacility for PagedShadow<D> {
     fn name(&self) -> &'static str {
-        "shadow-space"
+        D::NAME
     }
 
     // The check path's devirtualization only pays off if these bodies
@@ -329,7 +715,7 @@ impl MetadataFacility for ShadowPages {
         let slot = addr >> 3;
         sink.record(5, Self::table_addr(slot));
         if slot < SHADOW_DIRECT_SLOTS {
-            let pid = self.dir[(slot >> SHADOW_PAGE_BITS) as usize];
+            let pid = self.dir.get((slot >> SHADOW_PAGE_BITS) as usize);
             if pid == 0 {
                 return Meta::NULL;
             }
@@ -345,7 +731,7 @@ impl MetadataFacility for ShadowPages {
         sink.record(5, Self::table_addr(slot));
         if slot < SHADOW_DIRECT_SLOTS {
             let di = (slot >> SHADOW_PAGE_BITS) as usize;
-            let mut pid = self.dir[di];
+            let mut pid = self.dir.get(di);
             if pid == 0 {
                 // Null stores into untouched regions need no page.
                 if meta.is_null() {
@@ -354,9 +740,15 @@ impl MetadataFacility for ShadowPages {
                 pid = self.commit_page(di);
             }
             let page = &mut self.pages[(pid - 1) as usize];
-            let entry = &mut page.slots[(slot & (SHADOW_PAGE_SLOTS - 1)) as usize];
+            let idx = (slot & (SHADOW_PAGE_SLOTS - 1)) as usize;
+            let entry = &mut page.slots[idx];
             let was_null = *entry == 0;
             *entry = pack(meta);
+            if !meta.is_null() {
+                // Null stores write zero and can't widen the nonzero
+                // extent, so only live stores advance the dirty span.
+                page.note_write(idx);
+            }
             match (was_null, meta.is_null()) {
                 (true, false) => {
                     page.live += 1;
@@ -409,7 +801,7 @@ impl MetadataFacility for ShadowPages {
                     }
                 }
                 let di = (s >> SHADOW_PAGE_BITS) as usize;
-                let pid = self.dir[di];
+                let pid = self.dir.get(di);
                 if pid != 0 {
                     self.decommit_page(di, pid);
                 }
@@ -426,31 +818,57 @@ impl MetadataFacility for ShadowPages {
         self.live
     }
 
-    /// Directory + committed pages + overflow map. The directory alone
-    /// is 256 MiB of zeroed virtual memory (`2^26` u32 entries), which
-    /// is why a per-worker facility dominates a fleet's footprint.
+    /// Directory (shared + private spans) + page frames (committed
+    /// *and* parked — a parked frame is still owned host memory) + the
+    /// overflow map's actual bucket layout. With the flat directory
+    /// this is dominated by the private 256 MiB span, which is why a
+    /// per-worker facility dominates a fleet's footprint; the shared
+    /// directory pins the same 256 MiB once per process instead (see
+    /// [`shared_reservation_bytes`](MetadataFacility::shared_reservation_bytes)).
     fn reservation_bytes(&self) -> usize {
-        let dir = self.dir.len() * std::mem::size_of::<u32>();
+        let dir = self.dir.private_bytes() + self.dir.shared_bytes();
         let pages = self
             .pages
             .iter()
             .map(|p| p.slots.len() * std::mem::size_of::<u128>())
             .sum::<usize>();
-        let overflow =
-            self.overflow.len() * (std::mem::size_of::<u64>() + std::mem::size_of::<Meta>());
-        dir + pages + overflow
+        dir + pages + hash_map_reservation_bytes(&self.overflow)
     }
 
-    /// Releases every page (committed and parked) and the overflow map,
-    /// zeroing only the directory entries that were actually used — the
-    /// 256 MiB directory reservation itself stays mapped for the next
-    /// run.
+    fn shared_reservation_bytes(&self) -> usize {
+        self.dir.shared_bytes()
+    }
+
+    /// Decommits every page, zeroing only the directory entries that
+    /// were actually used — the directory reservation stays mapped for
+    /// the next run (and materialized shared-directory chunks stay
+    /// materialized). Every frame is scrubbed back to all-zero (only
+    /// its written extent is touched) so recommit needs no fill.
+    ///
+    /// What happens to the scrubbed frames depends on the directory:
+    /// a private facility *parks* them locally — a warm instance's
+    /// reset → recommit churn must never touch the host allocator, so
+    /// the frames stay owned (and counted by
+    /// [`reservation_bytes`](MetadataFacility::reservation_bytes)) —
+    /// while a shared facility (`D::SHARES_FRAMES`) returns them to
+    /// the reservation's bounded frame pool, so an idle worker holds
+    /// no frames of its own and an 8-worker fleet's standing
+    /// reservation stays within a pool's width of a single worker's.
     fn reset(&mut self) {
-        for page in &self.pages {
-            self.dir[page.dir_index as usize] = 0;
-        }
-        self.pages.clear();
         self.free_pages.clear();
+        if D::SHARES_FRAMES {
+            for mut page in self.pages.drain(..) {
+                self.dir.set(page.dir_index as usize, 0);
+                page.scrub();
+                self.dir.stash_frame(page.slots);
+            }
+        } else {
+            for (i, page) in self.pages.iter_mut().enumerate() {
+                self.dir.set(page.dir_index as usize, 0);
+                page.scrub();
+                self.free_pages.push(i as u32 + 1);
+            }
+        }
         self.overflow.clear();
         self.live = 0;
     }
@@ -499,9 +917,10 @@ impl MetadataFacility for ShadowHashMapFacility {
         self.entries.len()
     }
 
-    /// HashMap capacity; no standing reservation beyond the table.
+    /// The HashMap's actual bucket layout (sized from `capacity`); no
+    /// standing reservation beyond the table.
     fn reservation_bytes(&self) -> usize {
-        self.entries.capacity() * (std::mem::size_of::<u64>() + std::mem::size_of::<Meta>())
+        hash_map_reservation_bytes(&self.entries)
     }
 
     fn reset(&mut self) {
@@ -626,6 +1045,15 @@ impl MetadataFacility for HashTableFacility {
     }
 }
 
+// Fleet workers hold a facility each; the shared reservation crosses
+// threads by design. Compile-time proof both are Send + Sync.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SharedShadowReservation>();
+    assert_send_sync::<SharedShadowPages>();
+    assert_send_sync::<ShadowPages>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -655,6 +1083,15 @@ mod tests {
     }
 
     #[test]
+    fn shadow_shared_roundtrip() {
+        // Over a fresh reservation and over the process-wide one.
+        roundtrip(&mut SharedShadowPages::with_reservation(
+            SharedShadowReservation::new(),
+        ));
+        roundtrip(&mut SharedShadowPages::new_shared());
+    }
+
+    #[test]
     fn shadow_hashmap_roundtrip() {
         roundtrip(&mut ShadowHashMapFacility::new());
     }
@@ -668,6 +1105,7 @@ mod tests {
     fn shadow_costs_five() {
         for fac in [
             &mut ShadowPages::new() as &mut dyn MetadataFacility,
+            &mut SharedShadowPages::new_shared(),
             &mut ShadowHashMapFacility::new(),
         ] {
             let mut sink = ScratchSink::new();
@@ -714,11 +1152,12 @@ mod tests {
 
     #[test]
     fn facilities_agree_randomized() {
-        // Property: all three organizations implement the same map. The
-        // HashMap shadow is the oracle; the paged shadow and the (tiny,
-        // collision-heavy) hash table must agree with it after a churn of
-        // overwrites and deletions.
+        // Property: all four organizations implement the same map. The
+        // HashMap shadow is the oracle; the paged shadows (private and
+        // shared-reservation) and the (tiny, collision-heavy) hash table
+        // must agree with it after a churn of overwrites and deletions.
         let mut paged = ShadowPages::new();
+        let mut shared = SharedShadowPages::new_shared();
         let mut oracle = ShadowHashMapFacility::new();
         let mut ht = HashTableFacility::new(6); // tiny → lots of collisions
         let mut sink = ScratchSink::new();
@@ -739,6 +1178,7 @@ mod tests {
                 }
             };
             paged.store(addr, meta, &mut sink);
+            shared.store(addr, meta, &mut sink);
             oracle.store(addr, meta, &mut sink);
             ht.store(addr, meta, &mut sink);
             addrs.push(addr);
@@ -751,12 +1191,18 @@ mod tests {
                 "paged diverged at {addr:#x}"
             );
             assert_eq!(
+                shared.load(addr, &mut sink),
+                expected,
+                "shared diverged at {addr:#x}"
+            );
+            assert_eq!(
                 ht.load(addr, &mut sink),
                 expected,
                 "hash diverged at {addr:#x}"
             );
         }
         assert_eq!(paged.live_entries(), oracle.live_entries());
+        assert_eq!(shared.live_entries(), oracle.live_entries());
         assert_eq!(ht.live_entries(), oracle.live_entries());
     }
 
@@ -887,26 +1333,36 @@ mod tests {
     /// Bytes of simulated address space covered by one shadow page.
     const PAGE_SPAN: u64 = 8 << SHADOW_PAGE_BITS;
 
-    /// Runs the same mutation script against the paged shadow and the
-    /// HashMap oracle, then asserts both agree on every probed address
-    /// and on the live-entry count.
+    /// Runs the same mutation script against the paged shadows (private
+    /// flat directory and shared-reservation overlay) and the HashMap
+    /// oracle, then asserts all agree on every probed address and on
+    /// the live-entry count.
     fn differential(
         script: impl Fn(&mut dyn MetadataFacility, &mut dyn AccessSink),
         probes: &[u64],
     ) {
         let mut paged = ShadowPages::new();
+        let mut shared = SharedShadowPages::new_shared();
         let mut oracle = ShadowHashMapFacility::new();
         let mut sink = NoopSink;
         script(&mut paged, &mut sink);
+        script(&mut shared, &mut sink);
         script(&mut oracle, &mut sink);
         for &a in probes {
+            let expected = oracle.load(a, &mut sink);
             assert_eq!(
                 paged.load(a, &mut sink),
-                oracle.load(a, &mut sink),
+                expected,
                 "paged diverged from oracle at {a:#x}"
+            );
+            assert_eq!(
+                shared.load(a, &mut sink),
+                expected,
+                "shared diverged from oracle at {a:#x}"
             );
         }
         assert_eq!(paged.live_entries(), oracle.live_entries());
+        assert_eq!(shared.live_entries(), oracle.live_entries());
     }
 
     #[test]
@@ -1180,6 +1636,7 @@ mod tests {
     fn reset_empties_every_facility_and_reuses_reservation() {
         for fac in [
             &mut ShadowPages::new() as &mut dyn MetadataFacility,
+            &mut SharedShadowPages::new_shared(),
             &mut ShadowHashMapFacility::new(),
             &mut HashTableFacility::new(8),
         ] {
@@ -1211,20 +1668,21 @@ mod tests {
             assert_eq!(fac.live_entries(), 1);
         }
 
-        // Paged specifics: pages are gone, the directory reservation is
+        // Paged specifics: every frame is parked (committed count drops
+        // to zero, nothing is freed), and the directory reservation is
         // not reallocated (its pointer is stable across reset).
         let mut f = ShadowPages::new();
         let mut sink = NoopSink;
         f.store(0x9000, Meta { base: 1, bound: 2 }, &mut sink);
         f.clear_range(0, 2 * PAGE_SPAN, &mut sink); // park a page id too
         f.store(5 * PAGE_SPAN, Meta { base: 5, bound: 6 }, &mut sink);
-        let dir_ptr = f.dir.as_ptr();
+        let dir_ptr = f.dir.dir.as_ptr();
         f.reset();
         assert_eq!(f.page_count(), 0);
-        assert_eq!(f.decommitted_pages(), 0);
+        assert_eq!(f.decommitted_pages(), 1);
         assert_eq!(f.live_entries(), 0);
         assert!(
-            std::ptr::eq(dir_ptr, f.dir.as_ptr()),
+            std::ptr::eq(dir_ptr, f.dir.dir.as_ptr()),
             "directory reallocated"
         );
         // Every directory entry that was used is zero again.
@@ -1241,5 +1699,210 @@ mod tests {
         f.copy_range(0x6000, 0x5000, 0, &mut sink);
         assert_eq!(sink.cost, 0);
         assert_eq!(f.load(0x6000, &mut sink), Meta::NULL);
+    }
+
+    #[test]
+    fn reservation_accounting_pinned_across_churn() {
+        // Pins `reservation_bytes` across a commit → whole-page-clear
+        // decommit → recommit cycle: parked frames are still owned host
+        // memory and must never fall out of (or double into) the count.
+        const PAGE_BYTES: usize = (SHADOW_PAGE_SLOTS as usize) * std::mem::size_of::<u128>();
+        let mut f = ShadowPages::new();
+        let mut sink = NoopSink;
+        let idle = f.reservation_bytes();
+        assert_eq!(
+            idle,
+            (1usize << SHADOW_DIR_BITS) * std::mem::size_of::<u32>()
+        );
+
+        f.store(0x100, Meta { base: 1, bound: 2 }, &mut sink);
+        assert_eq!(f.reservation_bytes(), idle + PAGE_BYTES);
+
+        // Whole-page clear decommits the page; the parked frame stays
+        // owned and counted.
+        f.clear_range(0, PAGE_SPAN, &mut sink);
+        assert_eq!(f.decommitted_pages(), 1);
+        assert_eq!(
+            f.reservation_bytes(),
+            idle + PAGE_BYTES,
+            "parked frame fell out of the accounting"
+        );
+
+        // Recommit — at a different directory entry — reuses the parked
+        // frame: no growth, no allocator traffic.
+        f.store(37 * PAGE_SPAN, Meta { base: 3, bound: 4 }, &mut sink);
+        assert_eq!(f.decommitted_pages(), 0);
+        assert_eq!(f.page_count(), 1);
+        assert_eq!(f.reservation_bytes(), idle + PAGE_BYTES);
+
+        // A second page is genuinely new memory.
+        f.store(0x100, Meta { base: 5, bound: 6 }, &mut sink);
+        assert_eq!(f.reservation_bytes(), idle + 2 * PAGE_BYTES);
+
+        // Overflow entries count at the map's actual bucket layout, and
+        // the standing estimate must not shrink when an entry is
+        // removed — the table keeps its buckets.
+        f.store(1 << 50, Meta { base: 7, bound: 8 }, &mut sink);
+        let with_overflow = f.reservation_bytes();
+        assert!(with_overflow > idle + 2 * PAGE_BYTES, "overflow uncounted");
+        f.store(1 << 50, Meta::NULL, &mut sink);
+        assert_eq!(
+            f.reservation_bytes(),
+            with_overflow,
+            "standing overflow reservation vanished on remove (len-based estimate)"
+        );
+
+        // Reset parks every frame — still owned, still counted, never
+        // returned to the host — and keeps the directory reservation
+        // and the overflow map's buckets: a warm idle worker's standing
+        // cost.
+        f.reset();
+        assert_eq!(f.live_entries(), 0);
+        assert_eq!(f.decommitted_pages(), 2);
+        assert_eq!(
+            f.reservation_bytes(),
+            with_overflow,
+            "reset must park frames, not free them"
+        );
+
+        // And the next run's first store reuses a parked frame: the
+        // reservation is flat across reset churn.
+        f.store(0x100, Meta { base: 9, bound: 10 }, &mut sink);
+        assert_eq!(f.page_count(), 1);
+        assert_eq!(f.decommitted_pages(), 1);
+        assert_eq!(f.reservation_bytes(), with_overflow);
+    }
+
+    #[test]
+    fn shared_reservation_counted_once_per_process() {
+        let shared = SharedShadowReservation::new();
+        let mut a = SharedShadowPages::with_reservation(shared.clone());
+        let b = SharedShadowPages::with_reservation(shared.clone());
+        let mut sink = NoopSink;
+        let dir_bytes = shared.shared_bytes();
+        assert_eq!(
+            dir_bytes,
+            (1usize << SHADOW_DIR_BITS) * 4 + SharedShadowReservation::frame_pool_capacity_bytes()
+        );
+
+        // Both workers report the full reservation (they depend on it),
+        // flagging the shared portion so a pool counts it once.
+        assert_eq!(a.shared_reservation_bytes(), dir_bytes);
+        assert_eq!(b.shared_reservation_bytes(), dir_bytes);
+
+        // An untouched worker owns almost nothing privately — the chunk
+        // root, vs. the 256 MiB flat directory of `ShadowPages`.
+        let idle_private = b.reservation_bytes() - b.shared_reservation_bytes();
+        assert!(idle_private < 1 << 20, "idle private bytes: {idle_private}");
+
+        // Touching a page charges the frame + one directory chunk to
+        // that worker alone.
+        a.store(0x2000, Meta { base: 1, bound: 2 }, &mut sink);
+        let a_private = a.reservation_bytes() - a.shared_reservation_bytes();
+        assert!(a_private > idle_private);
+        assert_eq!(
+            b.reservation_bytes() - b.shared_reservation_bytes(),
+            idle_private,
+            "sibling charged for another worker's page"
+        );
+    }
+
+    #[test]
+    fn shared_reset_returns_frames_to_the_pool() {
+        const PAGE_BYTES: usize = (SHADOW_PAGE_SLOTS as usize) * std::mem::size_of::<u128>();
+        let shared = SharedShadowReservation::new();
+        let mut a = SharedShadowPages::with_reservation(shared.clone());
+        let mut b = SharedShadowPages::with_reservation(shared.clone());
+        let mut sink = NoopSink;
+        a.store(0x2000, Meta { base: 1, bound: 2 }, &mut sink);
+        a.store(37 * PAGE_SPAN, Meta { base: 3, bound: 4 }, &mut sink);
+        let committed = a.reservation_bytes() - a.shared_reservation_bytes();
+
+        // Reset hands both frames to the reservation's pool: the
+        // worker's private bytes drop back to chunk-root bookkeeping,
+        // and the shared figure (pool counted at capacity) is
+        // unchanged — pool occupancy never shows up as churn.
+        let shared_before = shared.shared_bytes();
+        a.reset();
+        let idle = a.reservation_bytes() - a.shared_reservation_bytes();
+        assert_eq!(
+            idle + 2 * PAGE_BYTES,
+            committed,
+            "frames still charged to the worker after reset"
+        );
+        assert_eq!(a.decommitted_pages(), 0, "shared reset must pool, not park");
+        assert_eq!(shared.shared_bytes(), shared_before);
+
+        // A sibling's next commit drains the pool instead of touching
+        // the host allocator: one of the two stashed frames goes to
+        // `b`, the other is still pooled.
+        b.store(0x2000, Meta { base: 5, bound: 6 }, &mut sink);
+        assert_eq!(b.load(0x2000, &mut sink), Meta { base: 5, bound: 6 });
+        assert!(shared.take_frame().is_some(), "reset did not stash frames");
+        assert!(
+            shared.take_frame().is_none(),
+            "pool held more than expected"
+        );
+    }
+
+    #[test]
+    fn shared_reset_does_not_disturb_siblings() {
+        let shared = SharedShadowReservation::new();
+        let mut a = SharedShadowPages::with_reservation(shared.clone());
+        let mut b = SharedShadowPages::with_reservation(shared);
+        let mut sink = NoopSink;
+        let m = Meta {
+            base: 0x10,
+            bound: 0x20,
+        };
+        // Identical simulated addresses on purpose: worker overlays
+        // must not alias each other through the shared prototype.
+        a.store(0x3000, m, &mut sink);
+        b.store(
+            0x3000,
+            Meta {
+                base: 0x30,
+                bound: 0x40,
+            },
+            &mut sink,
+        );
+        b.store(5 * PAGE_SPAN, m, &mut sink);
+        a.reset();
+        assert_eq!(a.live_entries(), 0);
+        assert_eq!(a.load(0x3000, &mut sink), Meta::NULL);
+        assert_eq!(b.live_entries(), 2, "sibling lost entries to a reset");
+        assert_eq!(
+            b.load(0x3000, &mut sink),
+            Meta {
+                base: 0x30,
+                bound: 0x40
+            }
+        );
+        assert_eq!(b.load(5 * PAGE_SPAN, &mut sink), m);
+    }
+
+    #[test]
+    fn cow_chunks_materialize_on_first_commit_only() {
+        let mut f = SharedShadowPages::with_reservation(SharedShadowReservation::new());
+        let mut sink = NoopSink;
+        let root_only = f.dir.private_bytes();
+        // Loads and NULL stores read through the shared prototype
+        // without materializing anything.
+        assert_eq!(f.load(0x4000, &mut sink), Meta::NULL);
+        f.store(0x4000, Meta::NULL, &mut sink);
+        f.clear_range(0, 4 * PAGE_SPAN, &mut sink);
+        assert_eq!(
+            f.dir.private_bytes(),
+            root_only,
+            "read/NULL paths materialized a chunk"
+        );
+        // The first real store commits a page and one directory chunk;
+        // a second store under the same chunk reuses it.
+        let chunk_bytes = DIR_CHUNK_ENTRIES * std::mem::size_of::<u32>();
+        f.store(0x4000, Meta { base: 1, bound: 2 }, &mut sink);
+        assert_eq!(f.dir.private_bytes(), root_only + chunk_bytes);
+        f.store(0x4008, Meta { base: 3, bound: 4 }, &mut sink);
+        assert_eq!(f.dir.private_bytes(), root_only + chunk_bytes);
+        assert_eq!(f.load(0x4000, &mut sink), Meta { base: 1, bound: 2 });
     }
 }

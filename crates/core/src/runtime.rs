@@ -13,6 +13,7 @@
 use crate::config::{Facility, SoftBoundConfig};
 use crate::metadata::{
     HashTableFacility, Meta, MetadataFacility, ShadowHashMapFacility, ShadowPages,
+    SharedShadowPages,
 };
 use crate::policy::{first_oob_byte, EvidenceRecord, EvidenceRing, PolicyAction, ViolationPolicy};
 use sb_ir::RtFn;
@@ -48,6 +49,7 @@ impl DynRuntime {
             Facility::ShadowPaged => Box::new(ShadowPages::new()),
             Facility::ShadowHashMap => Box::new(ShadowHashMapFacility::new()),
             Facility::HashTable => Box::new(HashTableFacility::new(cfg.hash_log2_buckets)),
+            Facility::ShadowShared => Box::new(SharedShadowPages::new_shared()),
         };
         SoftBoundRuntime::with_facility(facility, cfg)
     }
@@ -58,6 +60,15 @@ impl SoftBoundRuntime<ShadowPages> {
     /// default production facility).
     pub fn new_paged(cfg: &SoftBoundConfig) -> Self {
         SoftBoundRuntime::with_facility(ShadowPages::new(), cfg)
+    }
+}
+
+impl SoftBoundRuntime<SharedShadowPages> {
+    /// Statically-dispatched runtime over the process-wide shared
+    /// shadow reservation — the fleet facility: one 256 MiB directory
+    /// per process, copy-on-first-touch chunks per worker.
+    pub fn new_shared(cfg: &SoftBoundConfig) -> Self {
+        SoftBoundRuntime::with_facility(SharedShadowPages::new_shared(), cfg)
     }
 }
 
@@ -128,6 +139,14 @@ impl<F: MetadataFacility> SoftBoundRuntime<F> {
     /// pays per worker between requests).
     pub fn reservation_bytes(&self) -> usize {
         self.facility.reservation_bytes()
+    }
+
+    /// The portion of [`reservation_bytes`](Self::reservation_bytes)
+    /// that is process-wide shared state — one copy serves every worker
+    /// over the same reservation, so fleets count it once per pool. 0
+    /// for the private facilities.
+    pub fn shared_reservation_bytes(&self) -> usize {
+        self.facility.shared_reservation_bytes()
     }
 
     /// Records one evidence record for a violation a non-Strict policy
@@ -522,6 +541,7 @@ mod tests {
             Facility::ShadowPaged,
             Facility::ShadowHashMap,
             Facility::HashTable,
+            Facility::ShadowShared,
         ] {
             let mut rt = runtime(fac);
             call(&mut rt, RtFn::SbMetaStore, &[0x7000, 0x5000, 0x5100]).expect("store ok");

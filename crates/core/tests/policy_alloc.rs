@@ -9,7 +9,7 @@
 //! window (that is the caller's explicit export step, not the hot
 //! path).
 
-use softbound::{Engine, ViolationPolicy};
+use softbound::{Engine, Facility, ViolationPolicy};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -112,5 +112,57 @@ fn warm_hardened_instance_records_evidence_without_allocating() {
         delta, 0,
         "warm hardened run must not allocate while emitting evidence: \
          {delta} allocations for {evidence_len} records"
+    );
+}
+
+/// Like [`PROBE`], but it also stores pointers into a guarded array so
+/// every iteration writes shadow-space metadata — the traffic that
+/// would expose a copy-on-first-touch directory allocating chunks (or a
+/// decommit freeing frames) on the warm path.
+const SHARED_PROBE: &str = r#"
+    int main(int n) {
+        char buf[16];
+        char* slots[8];
+        int sum = 0;
+        for (int i = 0; i < n; i = i + 1) slots[i & 7] = buf + (i & 15);
+        for (int i = 0; i < 8; i = i + 1) sum = sum + (slots[i] != 0);
+        for (int i = 0; i < n; i = i + 1) buf[i & 31] = (char)i;
+        return sum > 0;
+    }
+"#;
+
+#[test]
+fn warm_shared_facility_run_allocates_nothing() {
+    // The shared-reservation facility overlays worker-private directory
+    // chunks on a process-wide zero prototype. Chunks materialize on
+    // first page commit and reset parks page frames instead of freeing
+    // them, so a warmed instance — metadata stores, clamped overflows,
+    // and reset churn included — must ask the host allocator for
+    // nothing.
+    let _guard = MEASURE.lock().expect("no poisoned measurements");
+    let engine = Engine::new()
+        .facility(Facility::ShadowShared)
+        .policy(ViolationPolicy::Hardened);
+    let program = engine.compile(SHARED_PROBE).expect("compiles");
+    let mut instance = engine.instantiate(&program);
+
+    // Warmup: commits shadow pages (materializing their directory
+    // chunks), maps stack pages, and fills the frame pools.
+    let warm = instance.run("main", &[64]);
+    assert_eq!(warm.ret(), Some(1), "{:?}", warm.outcome);
+    instance.drain_evidence();
+
+    let delta = min_delta_over_attempts(|| {
+        let before = allocs();
+        instance.reset();
+        let again = instance.run("main", &[64]);
+        let delta = allocs() - before;
+        assert_eq!(again.ret(), Some(1), "{:?}", again.outcome);
+        delta
+    });
+    assert_eq!(
+        delta, 0,
+        "warm shared-facility replay (reset included) must not touch \
+         the host allocator: {delta} allocations"
     );
 }

@@ -2,8 +2,9 @@
 //! one compiled `Program` must observe *bit-identically* what N serial
 //! fresh runs of the same request stream observe — outcomes, captured
 //! output, dynamic statistics, runtime counters, and final-memory
-//! digests — across all three metadata facilities, both execution
-//! lanes, and both safe and trapping traffic.
+//! digests — across all four metadata facilities (including the
+//! process-wide shared shadow reservation), both execution lanes, and
+//! both safe and trapping traffic.
 //!
 //! This is the concurrent analogue of `tests/instance_reuse.rs`: that
 //! suite licenses *reuse* (reset between requests is invisible), this
@@ -20,6 +21,7 @@ fn engines() -> Vec<(String, Engine)> {
         Facility::ShadowPaged,
         Facility::ShadowHashMap,
         Facility::HashTable,
+        Facility::ShadowShared,
     ] {
         for lane in [Lane::Predecoded, Lane::TreeWalk] {
             out.push((

@@ -2,7 +2,8 @@
 //! runs on one `Instance` must observe exactly what N fresh machines
 //! observe — identical outcomes, outputs, dynamic statistics, runtime
 //! check/violation counters, and final-memory digests — across all
-//! three metadata facilities, for both finishing and trapping programs.
+//! four metadata facilities (including the process-wide shared shadow
+//! reservation), for both finishing and trapping programs.
 //!
 //! This is what licenses a server to keep one machine per worker and
 //! reset between requests instead of rebuilding the world.
@@ -68,6 +69,7 @@ fn engines() -> Vec<(Facility, Engine)> {
         Facility::ShadowPaged,
         Facility::ShadowHashMap,
         Facility::HashTable,
+        Facility::ShadowShared,
     ]
     .into_iter()
     .map(|f| (f, Engine::new().facility(f)))
@@ -169,6 +171,52 @@ fn reuse_across_different_allocation_layouts() {
             &format!("layouts/{facility:?}"),
         );
     }
+}
+
+#[test]
+fn shared_facility_reset_does_not_disturb_sibling_instances() {
+    // Two instances over the same process-wide shared reservation:
+    // resetting one must clear *its* metadata only. A leak through the
+    // shared directory would show up as the sibling losing entries, a
+    // changed memory digest, or a diverging subsequent run.
+    let src = r#"
+        int main() {
+            long** blocks = (long**)malloc(8 * sizeof(long*));
+            for (int i = 0; i < 8; i++) {
+                blocks[i] = (long*)malloc(sizeof(long));
+            }
+            return blocks[7] != 0;
+        }
+    "#;
+    let engine = Engine::new().facility(Facility::ShadowShared);
+    let program = engine.compile(src).expect("compiles");
+    let mut a = engine.instantiate(&program);
+    let mut b = engine.instantiate(&program);
+    let first_on_b = observe_run(&mut b, 0);
+    observe_run(&mut a, 0);
+    assert!(
+        a.live_entries() > 0,
+        "the program leaks metadata on purpose"
+    );
+    assert!(b.live_entries() > 0);
+    let b_live = b.live_entries();
+    let b_hash = b.mem_content_hash();
+
+    a.reset();
+    assert_eq!(a.live_entries(), 0, "reset worker must be empty");
+    assert_eq!(
+        b.live_entries(),
+        b_live,
+        "sibling lost metadata to another worker's reset"
+    );
+    assert_eq!(
+        b.mem_content_hash(),
+        b_hash,
+        "sibling memory disturbed by another worker's reset"
+    );
+    // Both instances keep serving correctly afterwards.
+    assert_eq!(observe_run(&mut b, 0), first_on_b);
+    assert_eq!(observe_run(&mut a, 0), first_on_b);
 }
 
 #[test]

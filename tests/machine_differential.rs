@@ -14,7 +14,11 @@
 //! 6. (through 8.) lanes 1–3 again through the *pre-decoded* execution
 //!    IR (`Machine::run_predecoded` over the `ExecModule` cached on the
 //!    `Program`) — the flat dispatch loop with fused check+access
-//!    superinstructions must be bit-identical to its tree-walk twin.
+//!    superinstructions must be bit-identical to its tree-walk twin,
+//! 9. (and 10.) `SoftBoundRuntime<SharedShadowPages>` — the process-wide
+//!    shared-reservation facility — in both lanes; it shares the paged
+//!    shadow's cost model, so it must match lane 1 on *every*
+//!    observable, cycles and final memory included.
 //!
 //! Every lane must produce identical traps, program output, dynamic
 //! check/metadata counts, runtime violation counters, live metadata, and
@@ -158,6 +162,20 @@ fn run_all_lanes(name: &str, source: &str, cfg: &SoftBoundConfig, arg: i64) -> O
     assert_eq!(
         hashtable, hashtable_exec,
         "{name}: hash-table tree-walk vs pre-decoded diverged"
+    );
+
+    // Lanes 9–10: the shared-reservation shadow. Same packed pages,
+    // same cost model, host-side directory shared across the process —
+    // nothing observable may differ from the private paged lane.
+    let shared = observe(&program, SoftBoundRuntime::new_shared(cfg), arg, false);
+    let shared_exec = observe(&program, SoftBoundRuntime::new_shared(cfg), arg, true);
+    assert_eq!(
+        shared, shared_exec,
+        "{name}: shared tree-walk vs pre-decoded diverged"
+    );
+    assert_eq!(
+        paged, shared,
+        "{name}: paged vs shared-reservation shadow diverged"
     );
 
     // The two shadow organizations share the cost model and write the
@@ -335,6 +353,14 @@ fn policy_behavior_invariant_across_facilities_and_lanes() {
             (
                 "hash/pre",
                 policy_obs(&program, SoftBoundRuntime::new_hash(&cfg), true),
+            ),
+            (
+                "shared/tree",
+                policy_obs(&program, SoftBoundRuntime::new_shared(&cfg), false),
+            ),
+            (
+                "shared/pre",
+                policy_obs(&program, SoftBoundRuntime::new_shared(&cfg), true),
             ),
         ] {
             assert_eq!(
